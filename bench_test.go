@@ -1,0 +1,190 @@
+// Package repro's root benchmarks regenerate every figure of the
+// Pesos evaluation (§6) as testing.B benchmarks, one per figure, at a
+// micro scale that completes in seconds. Use cmd/pesos-bench for
+// quick- and paper-scale runs with full sweeps; these benchmarks
+// exist so `go test -bench=.` exercises every experiment end to end
+// and reports its headline metric.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// microScale shrinks every sweep so a full figure fits in a benchmark
+// iteration.
+func microScale() bench.Scale {
+	return bench.Scale{
+		RecordCount:        600,
+		OpCount:            2400,
+		ClientSteps:        []int{4, 16},
+		DiskOpCount:        250,
+		DiskRecordCount:    120,
+		DiskClientSteps:    []int{4, 16},
+		PolicyCacheEntries: 150,
+		PolicySteps:        []int{1, 150, 600},
+		MALGranularities:   []int{1, 10, 100},
+		PayloadSizes:       []int{128, 1024, 16384},
+		ReplicationDisks:   []int{1, 2, 4},
+		Clients:            16,
+	}
+}
+
+// reportPeak reports the maximum value of a column as a benchmark
+// metric.
+func reportPeak(b *testing.B, t *bench.Table, column, metric string) {
+	b.Helper()
+	idx := t.Col(column)
+	if idx < 0 {
+		b.Fatalf("column %q missing in %s", column, t.Name)
+	}
+	peak := 0.0
+	for _, r := range t.Rows {
+		if r.Values[idx] > peak {
+			peak = r.Values[idx]
+		}
+	}
+	b.ReportMetric(peak, metric)
+}
+
+// BenchmarkFig3Throughput regenerates Figure 3 (throughput vs
+// clients, four configurations).
+func BenchmarkFig3Throughput(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig3Throughput(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPeak(b, t, "Pesos Sim kIOP/s", "pesos-sim-kIOPS")
+		reportPeak(b, t, "Native Sim kIOP/s", "native-sim-kIOPS")
+		reportPeak(b, t, "Pesos Disk IOP/s", "pesos-disk-IOPS")
+	}
+}
+
+// BenchmarkFig4Latency regenerates Figure 4 (latency vs clients).
+func BenchmarkFig4Latency(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig4Latency(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the single-digit-client latency (the flat region).
+		idx := t.Col("Pesos Sim ms")
+		b.ReportMetric(t.Rows[0].Values[idx], "pesos-sim-ms")
+	}
+}
+
+// BenchmarkFig5DiskScaling regenerates Figure 5 (scaling with
+// controller+disk pairs).
+func BenchmarkFig5DiskScaling(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig5DiskScaling(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPeak(b, t, "Pesos Sim kIOP/s", "pesos-sim-3disk-kIOPS")
+	}
+}
+
+// BenchmarkFig6PayloadSize regenerates Figure 6 (value size sweep).
+func BenchmarkFig6PayloadSize(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig6PayloadSize(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPeak(b, t, "Pesos Sim kIOP/s", "pesos-sim-kIOPS")
+	}
+}
+
+// BenchmarkEncryptionOverhead regenerates the §6.2 encryption
+// experiment.
+func BenchmarkEncryptionOverhead(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.EncryptionOverhead(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx := t.Col("Overhead %")
+		b.ReportMetric(t.Rows[len(t.Rows)-1].Values[idx], "enc-overhead-pct")
+	}
+}
+
+// BenchmarkFig7Replication regenerates Figure 7 (replication factor).
+func BenchmarkFig7Replication(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig7Replication(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPeak(b, t, "Pesos Sim kIOP/s", "pesos-sim-r1-kIOPS")
+	}
+}
+
+// BenchmarkFig8PolicyCache regenerates Figure 8 (policy cache
+// effectiveness).
+func BenchmarkFig8PolicyCache(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig8PolicyCache(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx := t.Col("Pesos Sim kIOP/s")
+		first := t.Rows[0].Values[idx]
+		last := t.Rows[len(t.Rows)-1].Values[idx]
+		b.ReportMetric(first, "cached-kIOPS")
+		b.ReportMetric(last, "overflow-kIOPS")
+	}
+}
+
+// BenchmarkFig9Versioned regenerates Figure 9 (versioned store).
+func BenchmarkFig9Versioned(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig9Versioned(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPeak(b, t, "Pesos Policy kIOP/s", "pesos-policy-kIOPS")
+		idx := t.Col("Overhead %")
+		b.ReportMetric(t.Rows[len(t.Rows)-1].Values[idx], "overhead-pct")
+	}
+}
+
+// BenchmarkFig10MAL regenerates Figure 10 (mandatory access logging
+// granularity).
+func BenchmarkFig10MAL(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig10MAL(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx := t.Col("Pesos Sim kIOP/s")
+		b.ReportMetric(t.Rows[0].Values[idx], "G1-kIOPS")
+		b.ReportMetric(t.Rows[len(t.Rows)-1].Values[idx], "G100-kIOPS")
+	}
+}
+
+// BenchmarkAblation measures the cost of each security layer against
+// the full configuration (the design-choice ablation of DESIGN.md).
+func BenchmarkAblation(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Ablation(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx := t.Col("kIOP/s")
+		b.ReportMetric(t.Rows[0].Values[idx], "full-kIOPS")
+		b.ReportMetric(t.Rows[len(t.Rows)-1].Values[idx], "native-kIOPS")
+	}
+}

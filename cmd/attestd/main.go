@@ -1,0 +1,197 @@
+// Command attestd runs the attestation and secret-provisioning
+// service (the Scone CAS equivalent, §3.1) as an HTTP daemon for
+// multi-machine lab deployments: operators register expected enclave
+// measurements with sealed secret bundles; a booting controller posts
+// a quote bound to a fresh nonce and receives its secrets.
+//
+// The in-process deployments (testbed, examples) use the library form
+// in internal/enclave/attest directly; this daemon exposes the same
+// service over the network.
+//
+// Endpoints (JSON):
+//
+//	POST /v1/register   {"measurement": hex, "secrets": {...}}  (operator, loopback only)
+//	GET  /v1/challenge  -> {"nonce": hex}
+//	POST /v1/attest     {"quote": {...}, "nonce": hex} -> secrets
+//
+// Usage:
+//
+//	attestd -listen 127.0.0.1:9443 -platform-key platform-pub.pem
+package main
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/hex"
+	"encoding/json"
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/enclave"
+	"repro/internal/enclave/attest"
+)
+
+type server struct {
+	svc *attest.Service
+}
+
+type registerReq struct {
+	Measurement string          `json:"measurement"`
+	Secrets     *attest.Secrets `json:"secrets"`
+}
+
+type quoteJSON struct {
+	Measurement string `json:"measurement"`
+	ReportData  string `json:"reportData"`
+	SigR        string `json:"sigR"`
+	SigS        string `json:"sigS"`
+}
+
+type attestReq struct {
+	Quote quoteJSON `json:"quote"`
+	Nonce string    `json:"nonce"`
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9443", "listen address")
+	keyFile := flag.String("platform-key", "", "PEM file with the platform's attestation public key")
+	flag.Parse()
+
+	var pub *ecdsa.PublicKey
+	if *keyFile != "" {
+		data, err := os.ReadFile(*keyFile)
+		if err != nil {
+			log.Fatalf("attestd: %v", err)
+		}
+		block, _ := pem.Decode(data)
+		if block == nil {
+			log.Fatal("attestd: no PEM block in platform key file")
+		}
+		k, err := x509.ParsePKIXPublicKey(block.Bytes)
+		if err != nil {
+			log.Fatalf("attestd: parse platform key: %v", err)
+		}
+		var ok bool
+		if pub, ok = k.(*ecdsa.PublicKey); !ok {
+			log.Fatal("attestd: platform key is not ECDSA")
+		}
+	} else {
+		// Development mode: create a fresh platform and print its key
+		// so a co-located simulated enclave can be launched against it.
+		platform, err := enclave.NewPlatform()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pub = platform.AttestationPublicKey()
+		der, _ := x509.MarshalPKIXPublicKey(pub)
+		log.Printf("attestd: dev platform key:\n%s",
+			pem.EncodeToMemory(&pem.Block{Type: "PUBLIC KEY", Bytes: der}))
+	}
+
+	s := &server{svc: attest.NewService(pub)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/register", s.handleRegister)
+	mux.HandleFunc("GET /v1/challenge", s.handleChallenge)
+	mux.HandleFunc("POST /v1/attest", s.handleAttest)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("attestd: listen: %v", err)
+	}
+	log.Printf("attestd: serving on %s", ln.Addr())
+	log.Fatal(http.Serve(ln, mux))
+}
+
+func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	// Registration carries secrets: restrict to loopback peers.
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil || !net.ParseIP(host).IsLoopback() {
+		jsonError(w, http.StatusForbidden, fmt.Errorf("register allowed from loopback only"))
+		return
+	}
+	var req registerReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := parseMeasurement(req.Measurement)
+	if err != nil || req.Secrets == nil {
+		jsonError(w, http.StatusBadRequest, fmt.Errorf("need measurement and secrets"))
+		return
+	}
+	s.svc.Register(m, req.Secrets)
+	json.NewEncoder(w).Encode(map[string]any{"ok": true})
+}
+
+func (s *server) handleChallenge(w http.ResponseWriter, r *http.Request) {
+	nonce, err := s.svc.Challenge()
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"nonce": hex.EncodeToString(nonce[:])})
+}
+
+func (s *server) handleAttest(w http.ResponseWriter, r *http.Request) {
+	var req attestReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := parseMeasurement(req.Quote.Measurement)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	var q enclave.Quote
+	q.Measurement = m
+	rd, err := hex.DecodeString(req.Quote.ReportData)
+	if err != nil || len(rd) != 32 {
+		jsonError(w, http.StatusBadRequest, fmt.Errorf("bad reportData"))
+		return
+	}
+	copy(q.ReportData[:], rd)
+	if q.SigR, err = hex.DecodeString(req.Quote.SigR); err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	if q.SigS, err = hex.DecodeString(req.Quote.SigS); err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	nb, err := hex.DecodeString(req.Nonce)
+	if err != nil || len(nb) != 32 {
+		jsonError(w, http.StatusBadRequest, fmt.Errorf("bad nonce"))
+		return
+	}
+	var nonce [32]byte
+	copy(nonce[:], nb)
+
+	secrets, err := s.svc.Attest(&q, nonce)
+	if err != nil {
+		jsonError(w, http.StatusForbidden, err)
+		return
+	}
+	json.NewEncoder(w).Encode(secrets)
+}
+
+func parseMeasurement(s string) (enclave.Measurement, error) {
+	var m enclave.Measurement
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(m) {
+		return m, fmt.Errorf("bad measurement %q", s)
+	}
+	copy(m[:], b)
+	return m, nil
+}
+
+func jsonError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+}

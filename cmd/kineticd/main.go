@@ -1,0 +1,102 @@
+// Command kineticd runs a standalone Kinetic drive on TCP — the
+// software equivalent of one Ethernet-attached disk. A fresh drive
+// boots in factory state (the well-known factory-admin account); the
+// Pesos controller takes exclusive control at bootstrap.
+//
+// Usage:
+//
+//	kineticd -listen :8123 -name kinetic-0 -media sim
+//	kineticd -listen :8124 -name kinetic-1 -media hdd -tls-cert c.pem -tls-key k.pem
+package main
+
+import (
+	"context"
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/kinetic"
+	"repro/internal/kinetic/kclient"
+)
+
+func main() {
+	listen := flag.String("listen", ":8123", "TCP listen address")
+	name := flag.String("name", "kinetic-0", "drive name")
+	media := flag.String("media", "sim", "media model: sim (in-memory) or hdd (seek-time model)")
+	hddScale := flag.Float64("hdd-scale", 1.0, "time scale for the hdd media model (0..1]")
+	tlsCert := flag.String("tls-cert", "", "PEM certificate for the drive's TLS identity")
+	tlsKey := flag.String("tls-key", "", "PEM key for the drive's TLS identity")
+	flag.Parse()
+
+	var mm kinetic.MediaModel
+	switch *media {
+	case "sim":
+		mm = kinetic.SimMedia{}
+	case "hdd":
+		mm = kinetic.NewHDDMedia(*hddScale)
+	default:
+		fmt.Fprintf(os.Stderr, "kineticd: unknown media model %q\n", *media)
+		os.Exit(2)
+	}
+
+	drive := kinetic.NewDrive(kinetic.Config{
+		Name:  *name,
+		Media: mm,
+		P2PDial: func(peer string) (kinetic.P2PTarget, error) {
+			return dialPeer(peer)
+		},
+	})
+
+	var tlsCfg *tls.Config
+	if *tlsCert != "" || *tlsKey != "" {
+		cert, err := tls.LoadX509KeyPair(*tlsCert, *tlsKey)
+		if err != nil {
+			log.Fatalf("kineticd: load TLS identity: %v", err)
+		}
+		tlsCfg = &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("kineticd: listen: %v", err)
+	}
+	srv := kinetic.Serve(drive, ln, tlsCfg)
+	log.Printf("kineticd: drive %q serving on %s (media=%s, tls=%v)",
+		*name, ln.Addr(), mm.Name(), tlsCfg != nil)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("kineticd: shutting down")
+	srv.Close()
+}
+
+// dialPeer implements device-to-device copies between kineticd
+// instances: the peer address is another drive's TCP endpoint,
+// reached with the factory account (P2P trust is drive-to-drive).
+func dialPeer(addr string) (kinetic.P2PTarget, error) {
+	cl, err := kclient.Dial(contextTODO(), kclient.TCPDialer(addr, nil), kclient.Credentials{
+		Identity: kinetic.DefaultAdminIdentity,
+		Key:      kinetic.DefaultAdminKey,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &p2pClient{cl}, nil
+}
+
+type p2pClient struct{ cl *kclient.Client }
+
+// P2PPut implements kinetic.P2PTarget over the wire protocol.
+func (p *p2pClient) P2PPut(key, value, version []byte) error {
+	defer p.cl.Close()
+	return p.cl.Put(contextTODO(), key, value, nil, version, true)
+}
+
+// contextTODO centralizes the daemon's background context.
+func contextTODO() context.Context { return context.Background() }

@@ -1,0 +1,70 @@
+// Command pesos-bench regenerates the paper's evaluation figures
+// (§6) against in-process Pesos deployments. Each figure prints as an
+// aligned table whose columns match the plot's series.
+//
+// Usage:
+//
+//	pesos-bench -fig 3            # one figure, quick scale
+//	pesos-bench -fig all -paper   # every figure at the paper's scale
+//
+// Figures: 3 (throughput vs clients), 4 (latency vs clients),
+// 5 (disk scaling), 6 (payload size), enc (§6.2 encryption overhead),
+// 7 (replication), 8 (policy cache), 9 (versioned store), 10 (MAL).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10 or all")
+	paper := flag.Bool("paper", false, "use the paper's full experiment scale (minutes per figure)")
+	flag.Parse()
+
+	scale := bench.Quick()
+	if *paper {
+		scale = bench.Paper()
+	}
+
+	type figure struct {
+		name string
+		run  func(bench.Scale) (*bench.Table, error)
+	}
+	figures := []figure{
+		{"3", bench.Fig3Throughput},
+		{"4", bench.Fig4Latency},
+		{"5", bench.Fig5DiskScaling},
+		{"6", bench.Fig6PayloadSize},
+		{"enc", bench.EncryptionOverhead},
+		{"7", bench.Fig7Replication},
+		{"8", bench.Fig8PolicyCache},
+		{"9", bench.Fig9Versioned},
+		{"10", bench.Fig10MAL},
+		{"ablation", bench.Ablation},
+	}
+
+	ran := false
+	for _, f := range figures {
+		if *fig != "all" && *fig != f.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		t, err := f.run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pesos-bench: figure %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Format())
+		fmt.Printf("(figure %s took %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "pesos-bench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,282 @@
+// Command pesos runs the Pesos controller daemon: it takes exclusive
+// control of a set of Kinetic drives and serves the policy-enforcing
+// REST interface over mutual TLS.
+//
+// State directory: on first start with -init, the daemon creates a
+// certificate authority, the controller's serving identity and the
+// runtime secret bundle (object encryption key, per-drive admin seed)
+// under -state. In a production deployment those secrets would be
+// released by the attestation service only to a measured enclave
+// (see internal/enclave/attest and the testbed); the file-based path
+// exists so the daemon can run across processes and machines.
+//
+// Usage:
+//
+//	pesos -state ./state -init -drives 127.0.0.1:8123,127.0.0.1:8124
+//	pesos -state ./state -listen :8443 -drives 127.0.0.1:8123,127.0.0.1:8124
+//	pesos -state ./state -issue-client alice      # mint a client cert
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/json"
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/enclave/attest"
+	"repro/internal/kinetic"
+	"repro/internal/kinetic/kclient"
+	"repro/internal/tlsutil"
+)
+
+func main() {
+	state := flag.String("state", "./pesos-state", "state directory (CA, identities, secrets)")
+	initState := flag.Bool("init", false, "initialize the state directory and exit")
+	issueClient := flag.String("issue-client", "", "issue a client certificate with this name and exit")
+	listen := flag.String("listen", ":8443", "REST listen address")
+	drives := flag.String("drives", "", "comma-separated drive addresses (host:port)")
+	driveTLS := flag.Bool("drive-tls", false, "connect to drives over TLS")
+	replicas := flag.Int("replicas", 1, "copies per object")
+	noEncrypt := flag.Bool("no-encrypt", false, "disable payload encryption (baseline)")
+	host := flag.String("host", "localhost", "hostname in the serving certificate")
+	flag.Parse()
+
+	switch {
+	case *initState:
+		if err := doInit(*state, *host); err != nil {
+			log.Fatalf("pesos: init: %v", err)
+		}
+		fmt.Printf("state initialized in %s\n", *state)
+	case *issueClient != "":
+		if err := doIssueClient(*state, *issueClient); err != nil {
+			log.Fatalf("pesos: issue-client: %v", err)
+		}
+	default:
+		if err := run(*state, *listen, *drives, *driveTLS, *replicas, !*noEncrypt); err != nil {
+			log.Fatalf("pesos: %v", err)
+		}
+	}
+}
+
+// stateFiles names the layout of the state directory.
+type stateFiles struct{ dir string }
+
+func (s stateFiles) caCert() string     { return filepath.Join(s.dir, "ca-cert.pem") }
+func (s stateFiles) caKey() string      { return filepath.Join(s.dir, "ca-key.pem") }
+func (s stateFiles) serverCert() string { return filepath.Join(s.dir, "server-cert.pem") }
+func (s stateFiles) serverKey() string  { return filepath.Join(s.dir, "server-key.pem") }
+func (s stateFiles) secrets() string    { return filepath.Join(s.dir, "secrets.json") }
+
+// doInit creates the CA, serving identity and secret bundle.
+func doInit(dir, host string) error {
+	sf := stateFiles{dir}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return err
+	}
+	if _, err := os.Stat(sf.caCert()); err == nil {
+		return fmt.Errorf("state already initialized in %s", dir)
+	}
+	ca, err := tlsutil.NewCA("pesos-ca")
+	if err != nil {
+		return err
+	}
+	caPEM := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: ca.DER})
+	caKeyDER, err := x509.MarshalECPrivateKey(ca.Key)
+	if err != nil {
+		return err
+	}
+	caKeyPEM := pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: caKeyDER})
+	srv, err := ca.IssueServer("pesos", host, "127.0.0.1")
+	if err != nil {
+		return err
+	}
+	srvCert, srvKey, err := srv.EncodePEM()
+	if err != nil {
+		return err
+	}
+	var secrets attest.Secrets
+	if _, err := rand.Read(secrets.ObjectKey[:]); err != nil {
+		return err
+	}
+	if _, err := rand.Read(secrets.AdminSeed[:]); err != nil {
+		return err
+	}
+	secretsJSON, err := json.MarshalIndent(&secrets, "", "  ")
+	if err != nil {
+		return err
+	}
+	for file, data := range map[string][]byte{
+		sf.caCert():     caPEM,
+		sf.caKey():      caKeyPEM,
+		sf.serverCert(): srvCert,
+		sf.serverKey():  srvKey,
+		sf.secrets():    secretsJSON,
+	} {
+		if err := os.WriteFile(file, data, 0o600); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadCA reads the CA back for issuing client certs and trust pools.
+func loadCA(sf stateFiles) (*tlsutil.CA, error) {
+	certPEM, err := os.ReadFile(sf.caCert())
+	if err != nil {
+		return nil, err
+	}
+	keyPEM, err := os.ReadFile(sf.caKey())
+	if err != nil {
+		return nil, err
+	}
+	cb, _ := pem.Decode(certPEM)
+	kb, _ := pem.Decode(keyPEM)
+	if cb == nil || kb == nil {
+		return nil, fmt.Errorf("bad PEM in state directory")
+	}
+	cert, err := x509.ParseCertificate(cb.Bytes)
+	if err != nil {
+		return nil, err
+	}
+	key, err := x509.ParseECPrivateKey(kb.Bytes)
+	if err != nil {
+		return nil, err
+	}
+	return &tlsutil.CA{Cert: cert, Key: key, DER: cb.Bytes}, nil
+}
+
+// doIssueClient mints a client certificate under the state CA and
+// prints its policy-language fingerprint.
+func doIssueClient(dir, name string) error {
+	sf := stateFiles{dir}
+	ca, err := loadCA(sf)
+	if err != nil {
+		return err
+	}
+	id, err := ca.IssueClient(name)
+	if err != nil {
+		return err
+	}
+	certPEM, keyPEM, err := id.EncodePEM()
+	if err != nil {
+		return err
+	}
+	certFile := filepath.Join(dir, name+"-cert.pem")
+	keyFile := filepath.Join(dir, name+"-key.pem")
+	if err := os.WriteFile(certFile, certPEM, 0o600); err != nil {
+		return err
+	}
+	if err := os.WriteFile(keyFile, keyPEM, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("client certificate: %s\nclient key: %s\n", certFile, keyFile)
+	fmt.Printf("policy principal: k'%s'\n", tlsutil.KeyFingerprint(&id.Key.PublicKey))
+	return nil
+}
+
+// run boots the controller against TCP drives and serves REST.
+func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt bool) error {
+	sf := stateFiles{dir}
+	if driveList == "" {
+		return fmt.Errorf("no drives configured (use -drives host:port,...)")
+	}
+	secretsJSON, err := os.ReadFile(sf.secrets())
+	if err != nil {
+		return fmt.Errorf("read secrets (run -init first): %w", err)
+	}
+	secrets, err := attest.UnmarshalSecrets(secretsJSON)
+	if err != nil {
+		return err
+	}
+	secrets.TLSCertPEM, err = os.ReadFile(sf.serverCert())
+	if err != nil {
+		return err
+	}
+	secrets.TLSKeyPEM, err = os.ReadFile(sf.serverKey())
+	if err != nil {
+		return err
+	}
+	ca, err := loadCA(sf)
+	if err != nil {
+		return err
+	}
+
+	addrs := strings.Split(driveList, ",")
+	cfg := core.Config{
+		Replicas: replicas,
+		Encrypt:  encrypt,
+		TakeOver: true,
+		Secrets:  secrets,
+	}
+	secrets.Drives = nil
+	for i, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		var tlsCfg *tls.Config
+		if driveTLS {
+			tlsCfg = &tls.Config{RootCAs: ca.Pool(), ServerName: "kinetic", MinVersion: tls.VersionTLS12}
+		}
+		cfg.Drives = append(cfg.Drives, core.DriveEndpoint{
+			Name: fmt.Sprintf("drive-%d@%s", i, addr),
+			Dial: kclient.TCPDialer(addr, tlsCfg),
+		})
+		secrets.Drives = append(secrets.Drives, attest.DriveCredential{
+			Address:  addr,
+			Identity: kinetic.DefaultAdminIdentity,
+			Key:      kinetic.DefaultAdminKey,
+		})
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	ctl, err := core.New(ctx, cfg)
+	cancel()
+	if err != nil {
+		return err
+	}
+	defer ctl.Close()
+
+	serverCert, err := tls.X509KeyPair(secrets.TLSCertPEM, secrets.TLSKeyPEM)
+	if err != nil {
+		return err
+	}
+	tlsCfg := &tls.Config{
+		Certificates: []tls.Certificate{serverCert},
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+		ClientCAs:    ca.Pool(),
+		MinVersion:   tls.VersionTLS12,
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: core.NewREST(ctl)}
+	go func() {
+		// Session contexts expire after their TTL (§3.1).
+		for {
+			time.Sleep(time.Minute)
+			ctl.ExpireSessions()
+		}
+	}()
+	go srv.Serve(tls.NewListener(ln, tlsCfg))
+	log.Printf("pesos: controller serving on %s, %d drives, replicas=%d, encrypt=%v",
+		ln.Addr(), len(cfg.Drives), replicas, encrypt)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("pesos: shutting down")
+	return srv.Close()
+}

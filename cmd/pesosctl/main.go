@@ -1,0 +1,186 @@
+// Command pesosctl is the command-line client for a Pesos controller.
+//
+// Usage:
+//
+//	pesosctl -server https://localhost:8443 -cert alice-cert.pem \
+//	         -key alice-key.pem -cacert ca-cert.pem <command> [args]
+//
+// Commands:
+//
+//	put <key> [<file|->]          store an object (value from file or stdin)
+//	get <key>                     print an object
+//	del <key>                     delete an object
+//	versions <key>                list stored versions
+//	verify <key> <version>        print integrity evidence
+//	repair <key>                  restore missing/corrupt replicas (§4.5)
+//	policy-put <file|->           compile + store a policy, print its id
+//	policy-get <id>               print a stored policy's canonical text
+//	status                        controller statistics
+package main
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+
+	"repro/internal/client"
+)
+
+func main() {
+	server := flag.String("server", "https://localhost:8443", "controller base URL")
+	certFile := flag.String("cert", "", "client certificate PEM")
+	keyFile := flag.String("key", "", "client key PEM")
+	caFile := flag.String("cacert", "", "controller CA certificate PEM")
+	policyID := flag.String("policy", "", "policy id to attach on put")
+	version := flag.Int64("version", -1, "explicit version for put/get")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	tlsCfg := &tls.Config{MinVersion: tls.VersionTLS12}
+	if *caFile != "" {
+		caPEM, err := os.ReadFile(*caFile)
+		if err != nil {
+			fatal(err)
+		}
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(caPEM) {
+			fatal(fmt.Errorf("no certificates in %s", *caFile))
+		}
+		tlsCfg.RootCAs = pool
+	}
+	if *certFile != "" {
+		cert, err := tls.LoadX509KeyPair(*certFile, *keyFile)
+		if err != nil {
+			fatal(err)
+		}
+		tlsCfg.Certificates = []tls.Certificate{cert}
+	}
+	cl := client.New(client.Config{BaseURL: *server, TLS: tlsCfg})
+	ctx := context.Background()
+
+	switch args[0] {
+	case "put":
+		need(args, 2, "put <key> [<file|->]")
+		value := readInput(args, 2)
+		opts := client.PutOptions{PolicyID: *policyID}
+		if *version >= 0 {
+			opts.Version, opts.HasVersion = *version, true
+		}
+		ver, err := cl.Put(ctx, args[1], value, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stored %q version %d\n", args[1], ver)
+	case "get":
+		need(args, 2, "get <key>")
+		opts := client.GetOptions{}
+		if *version >= 0 {
+			opts.Version, opts.HasVersion = *version, true
+		}
+		val, meta, err := cl.Get(ctx, args[1], opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "version %d policy %s\n", meta.Version, meta.PolicyID)
+		os.Stdout.Write(val)
+	case "del":
+		need(args, 2, "del <key>")
+		if _, err := cl.Delete(ctx, args[1], false); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("deleted %q\n", args[1])
+	case "versions":
+		need(args, 2, "versions <key>")
+		vers, err := cl.ListVersions(ctx, args[1])
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range vers {
+			fmt.Println(v)
+		}
+	case "verify":
+		need(args, 3, "verify <key> <version>")
+		v, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			fatal(err)
+		}
+		info, err := cl.Verify(ctx, args[1], v)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("key:         %s\nversion:     %d\nsize:        %d\ncontentHash: %s\npolicy:      %s\npolicyHash:  %s\n",
+			info.Key, info.Version, info.Size, info.ContentHash, info.Policy, info.PolicyHash)
+	case "repair":
+		need(args, 2, "repair <key>")
+		resp, err := (&http.Client{Transport: &http.Transport{TLSClientConfig: tlsCfg}}).Post(
+			*server+"/v1/repair/"+args[1], "application/octet-stream", nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(os.Stdout, resp.Body)
+		fmt.Println()
+	case "policy-put":
+		need(args, 2, "policy-put <file|->")
+		src := readInput(args, 1)
+		id, err := cl.PutPolicy(ctx, string(src))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(id)
+	case "policy-get":
+		need(args, 2, "policy-get <id>")
+		text, err := cl.GetPolicy(ctx, args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+	case "status":
+		resp, err := (&http.Client{Transport: &http.Transport{TLSClientConfig: tlsCfg}}).Get(*server + "/v1/status")
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(os.Stdout, resp.Body)
+	default:
+		fatal(fmt.Errorf("unknown command %q", args[0]))
+	}
+}
+
+// readInput reads the value argument at index i: a file name, "-" for
+// stdin, or stdin when absent.
+func readInput(args []string, i int) []byte {
+	if len(args) <= i || args[i] == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		return data
+	}
+	data, err := os.ReadFile(args[i])
+	if err != nil {
+		fatal(err)
+	}
+	return data
+}
+
+func need(args []string, n int, usage string) {
+	if len(args) < n {
+		fatal(fmt.Errorf("usage: pesosctl %s", usage))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pesosctl: %v\n", err)
+	os.Exit(1)
+}

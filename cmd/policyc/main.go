@@ -1,0 +1,107 @@
+// Command policyc is the standalone Pesos policy compiler: it checks,
+// compiles, hashes and decompiles policy source, so operators can
+// audit policies without a running controller.
+//
+// Usage:
+//
+//	policyc [-o compiled.psc] [-print] [-hash] policy.pol
+//	echo "read :- sessionKeyIs(U)" | policyc -hash -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/policy"
+	"repro/internal/policy/lang"
+)
+
+func main() {
+	out := flag.String("o", "", "write the compiled binary program to this file")
+	print := flag.Bool("print", true, "print the canonical (decompiled) policy text")
+	hash := flag.Bool("hash", true, "print the policy hash / identifier")
+	analyze := flag.Bool("analyze", true, "print the static policy analysis")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: policyc [-o file] [-print] [-hash] <policy-file | ->")
+		os.Exit(2)
+	}
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	prog, err := policy.CompileSource(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	bin, err := prog.Marshal()
+	if err != nil {
+		fatal(err)
+	}
+	if *hash {
+		h := prog.Hash()
+		fmt.Printf("policy id: %x\n", h)
+		fmt.Printf("compiled size: %d bytes (%d constants)\n", len(bin), len(prog.Consts))
+	}
+	if *print {
+		text, err := prog.Source()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+	}
+	if *analyze {
+		a := policy.Analyze(prog)
+		fmt.Printf("grants: read=%v update=%v delete=%v\n",
+			a.Grants[lang.PermRead], a.Grants[lang.PermUpdate], a.Grants[lang.PermDelete])
+		if len(a.Principals) > 0 {
+			fmt.Printf("principals (%d):\n", len(a.Principals))
+			for _, p := range a.Principals {
+				fmt.Printf("  k'%s'\n", p)
+			}
+		}
+		if len(a.Authorities) > 0 {
+			fmt.Printf("certificate authorities (%d):\n", len(a.Authorities))
+			for _, p := range a.Authorities {
+				fmt.Printf("  k'%s'\n", p)
+			}
+		}
+		var flags []string
+		if a.UsesContent {
+			flags = append(flags, "content-dependent (objSays)")
+		}
+		if a.UsesCertificates {
+			flags = append(flags, "requires certified facts")
+		}
+		if a.UsesVersions {
+			flags = append(flags, "version-controlled")
+		}
+		if a.Open(prog, lang.PermRead) {
+			flags = append(flags, "read open to any authenticated client")
+		}
+		for _, f := range flags {
+			fmt.Printf("note: %s\n", f)
+		}
+		fmt.Printf("%d clauses, %d predicate applications\n", a.Clauses, a.PredicateCount)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, bin, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "policyc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Quickstart: boot a complete Pesos deployment in-process (two
+// Kinetic drives, attestation service, enclave controller, REST over
+// mutual TLS), store an object under an access-control policy, read
+// it back, and verify the stored integrity evidence.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/client"
+	"repro/internal/testbed"
+	"repro/internal/usecases"
+)
+
+func main() {
+	// Start the deployment: drives, attestation, controller. Enclave
+	// mode means the controller passes remote attestation before it
+	// receives its TLS identity, drive credentials and object
+	// encryption key.
+	cluster, err := testbed.Start(testbed.Options{Drives: 2, Replicas: 2, Enclave: true})
+	if err != nil {
+		log.Fatalf("start cluster: %v", err)
+	}
+	defer cluster.Close()
+	fmt.Printf("controller attested, measurement %s\n", cluster.Enclave.Measurement())
+	fmt.Printf("drives after takeover: %v accounts on drive 0 (pesos-admin only)\n",
+		cluster.Drives[0].Accounts())
+
+	// Each client is identified by its TLS certificate.
+	alice, aliceID, err := cluster.NewClient("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, bobID, err := cluster.NewClient("bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// A per-object policy: alice and bob may read, only alice updates,
+	// only alice deletes (§5.1 content server).
+	src := usecases.ContentServer(
+		[]string{testbed.Fingerprint(aliceID), testbed.Fingerprint(bobID)}, // readers
+		[]string{testbed.Fingerprint(aliceID)},                             // writers
+		[]string{testbed.Fingerprint(aliceID)},                             // deleters
+	)
+	policyID, err := alice.PutPolicy(ctx, src)
+	if err != nil {
+		log.Fatalf("compile policy: %v", err)
+	}
+	fmt.Printf("policy compiled and stored, id %s...\n", policyID[:16])
+
+	// Store an object with the policy attached.
+	if _, err := alice.Put(ctx, "greeting", []byte("hello, secure world"), client.PutOptions{PolicyID: policyID}); err != nil {
+		log.Fatalf("put: %v", err)
+	}
+
+	// Both principals can read.
+	val, meta, err := bob.Get(ctx, "greeting", client.GetOptions{})
+	if err != nil {
+		log.Fatalf("bob get: %v", err)
+	}
+	fmt.Printf("bob read %q (version %d)\n", val, meta.Version)
+
+	// Bob cannot update: the controller's policy interpreter denies it.
+	if _, err := bob.Put(ctx, "greeting", []byte("overwritten!"), client.PutOptions{}); err != nil {
+		fmt.Printf("bob update denied as expected: %v\n", err)
+	} else {
+		log.Fatal("bob update unexpectedly allowed")
+	}
+
+	// Verify the stored object: content hash and policy hash as
+	// recorded in the trusted layer.
+	info, err := alice.Verify(ctx, "greeting", 0)
+	if err != nil {
+		log.Fatalf("verify: %v", err)
+	}
+	fmt.Printf("verified: size=%d contentHash=%s... policyHash=%s...\n",
+		info.Size, info.ContentHash[:16], info.PolicyHash[:16])
+
+	// Audit what the policy id actually enforces.
+	text, err := alice.GetPolicy(ctx, policyID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("canonical policy text:\n%s", text)
+}

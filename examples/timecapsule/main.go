@@ -1,0 +1,126 @@
+// Time capsule (§5.2): an object that nobody can read until a release
+// date, enforced with certified time from a time authority chained to
+// a root CA. Demonstrates certificateSays with a chain of trust and
+// freshness windows.
+//
+// Run with: go run ./examples/timecapsule
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/authority"
+	"repro/internal/client"
+	"repro/internal/testbed"
+	"repro/internal/usecases"
+)
+
+func main() {
+	// A controllable trusted clock stands in for the SGX trusted time
+	// source so the example can "wait" for the release date instantly.
+	clock := &fakeClock{now: time.Date(2026, 6, 1, 12, 0, 0, 0, time.UTC)}
+
+	cluster, err := testbed.Start(testbed.Options{Drives: 1, Enclave: true, Clock: clock.Now})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	// The root authority delegates time signing to a time server
+	// (certificate chain: rootCA says ts(tsKey); tsKey says time(t)).
+	rootCA, err := authority.New("root-ca")
+	if err != nil {
+		log.Fatal(err)
+	}
+	timeServer, err := authority.New("time-server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	delegation, err := rootCA.Sign(
+		authority.DelegationFact("ts", timeServer.KeyValue()),
+		clock.Now(), [32]byte{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	owner, ownerID, err := cluster.NewClient("owner")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	release := time.Date(2026, 6, 15, 0, 0, 0, 0, time.UTC)
+	policySrc := usecases.TimeCapsule(rootCA.Fingerprint(), release.Unix(), 300, testbed.Fingerprint(ownerID))
+	fmt.Printf("time-capsule policy:\n%s\n", policySrc)
+	pid, err := owner.PutPolicy(ctx, policySrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := owner.Put(ctx, "capsule", []byte("the secret plans"), client.PutOptions{PolicyID: pid}); err != nil {
+		log.Fatal(err)
+	}
+
+	// timeCert fetches a fresh signed time statement, like querying a
+	// real time server.
+	timeCert := func() *authority.Certificate {
+		c, err := timeServer.Sign(authority.TimeFact(clock.Now()), clock.Now(), [32]byte{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+
+	// Before the release date: denied, even with valid certificates.
+	_, _, err = owner.Get(ctx, "capsule", client.GetOptions{
+		Certs: []*authority.Certificate{delegation, timeCert()},
+	})
+	fmt.Printf("read on %s: %v\n", clock.Now().Format("2006-01-02"), err)
+
+	// A stale certificate from after the release date also fails the
+	// freshness window: forge-by-waiting does not work.
+	clock.Advance(20 * 24 * time.Hour) // now past release
+	staleCert := timeCert()
+	clock.Advance(time.Hour) // certificate is now an hour old, window is 300 s
+	_, _, err = owner.Get(ctx, "capsule", client.GetOptions{
+		Certs: []*authority.Certificate{delegation, staleCert},
+	})
+	fmt.Printf("read with stale time certificate: %v\n", err)
+
+	// Fresh certificate after release: granted.
+	val, _, err := owner.Get(ctx, "capsule", client.GetOptions{
+		Certs: []*authority.Certificate{delegation, timeCert()},
+	})
+	if err != nil {
+		log.Fatalf("read after release should pass: %v", err)
+	}
+	fmt.Printf("read on %s: %q\n", clock.Now().Format("2006-01-02"), val)
+
+	// A certificate signed by an undelegated key is rejected.
+	rogue, _ := authority.New("rogue-time")
+	rogueCert, _ := rogue.Sign(authority.TimeFact(clock.Now()), clock.Now(), [32]byte{})
+	_, _, err = owner.Get(ctx, "capsule", client.GetOptions{
+		Certs: []*authority.Certificate{rogueCert},
+	})
+	fmt.Printf("read with undelegated time server: %v\n", err)
+}
+
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}

@@ -1,0 +1,238 @@
+// Package authority implements certified external facts for the
+// policy language's certificateSays predicate (§3.3, §5.2). An
+// Authority signs policy-language tuples (for example time('time'(t))
+// from a time server); clients attach the resulting certificates to
+// requests; the policy interpreter verifies the signature, the
+// freshness window and — for chains of trust — that an upstream
+// authority certified the signer's key.
+package authority
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/policy/value"
+	"repro/internal/tlsutil"
+)
+
+// ErrBadSignature is returned when a certificate fails verification.
+var ErrBadSignature = errors.New("authority: bad certificate signature")
+
+// ErrExpired is returned when a certificate is outside its freshness
+// window.
+var ErrExpired = errors.New("authority: certificate not fresh")
+
+// Authority holds a signing key for certifying facts.
+type Authority struct {
+	name string
+	key  *ecdsa.PrivateKey
+	fp   string
+}
+
+// New creates an authority with a fresh P-256 key.
+func New(name string) (*Authority, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("authority: keygen: %w", err)
+	}
+	return &Authority{name: name, key: key, fp: tlsutil.KeyFingerprint(&key.PublicKey)}, nil
+}
+
+// Name returns the authority's label.
+func (a *Authority) Name() string { return a.name }
+
+// Fingerprint returns the canonical public-key fingerprint used to
+// name this authority inside policies (the k'...' literal).
+func (a *Authority) Fingerprint() string { return a.fp }
+
+// KeyValue returns the authority's key as a policy value.
+func (a *Authority) KeyValue() value.V { return value.PubKey(a.fp) }
+
+// PublicKey exposes the verification key.
+func (a *Authority) PublicKey() *ecdsa.PublicKey { return &a.key.PublicKey }
+
+// Certificate is a signed statement: "the key with fingerprint Signer
+// says Fact, issued at IssuedAt, optionally bound to Nonce".
+type Certificate struct {
+	Signer   string   // fingerprint of the signing key
+	Fact     value.V  // the certified tuple
+	IssuedAt int64    // unix seconds
+	Nonce    [32]byte // optional freshness nonce chosen by the verifier
+	SigR     []byte
+	SigS     []byte
+
+	// PubKeyDER carries the signer's public key so the verifier can
+	// check the signature given only the fingerprint named in the
+	// policy.
+	PubKeyDER []byte
+}
+
+// Sign certifies fact at the given issue time with an optional nonce.
+func (a *Authority) Sign(fact value.V, issuedAt time.Time, nonce [32]byte) (*Certificate, error) {
+	if fact.Kind != value.KTuple {
+		return nil, errors.New("authority: only tuples can be certified")
+	}
+	digest, err := certDigest(a.fp, fact, issuedAt.Unix(), nonce)
+	if err != nil {
+		return nil, err
+	}
+	r, s, err := ecdsa.Sign(rand.Reader, a.key, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("authority: sign: %w", err)
+	}
+	der, err := marshalPub(&a.key.PublicKey)
+	if err != nil {
+		return nil, err
+	}
+	return &Certificate{
+		Signer:    a.fp,
+		Fact:      fact,
+		IssuedAt:  issuedAt.Unix(),
+		Nonce:     nonce,
+		SigR:      r.Bytes(),
+		SigS:      s.Bytes(),
+		PubKeyDER: der,
+	}, nil
+}
+
+// Verify checks the certificate's signature and that the embedded
+// public key matches the claimed signer fingerprint. Freshness is
+// checked separately by Fresh because the policy supplies the window.
+func (c *Certificate) Verify() error {
+	pub, err := parsePub(c.PubKeyDER)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	if tlsutil.KeyFingerprint(pub) != c.Signer {
+		return fmt.Errorf("%w: embedded key does not match signer fingerprint", ErrBadSignature)
+	}
+	digest, err := certDigest(c.Signer, c.Fact, c.IssuedAt, c.Nonce)
+	if err != nil {
+		return err
+	}
+	r := new(big.Int).SetBytes(c.SigR)
+	s := new(big.Int).SetBytes(c.SigS)
+	if !ecdsa.Verify(pub, digest[:], r, s) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Fresh reports whether the certificate was issued within window of
+// now. A zero window means freshness is not required.
+func (c *Certificate) Fresh(now time.Time, window time.Duration) error {
+	if window <= 0 {
+		return nil
+	}
+	age := now.Sub(time.Unix(c.IssuedAt, 0))
+	if age < -window || age > window {
+		return fmt.Errorf("%w: issued %s ago, window %s", ErrExpired, age, window)
+	}
+	return nil
+}
+
+// Marshal encodes the certificate for transport.
+func (c *Certificate) Marshal() ([]byte, error) {
+	factBytes, err := c.Fact.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	buf := appendBytes(nil, []byte(c.Signer))
+	buf = appendBytes(buf, factBytes)
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(c.IssuedAt))
+	buf = append(buf, ts[:]...)
+	buf = append(buf, c.Nonce[:]...)
+	buf = appendBytes(buf, c.SigR)
+	buf = appendBytes(buf, c.SigS)
+	buf = appendBytes(buf, c.PubKeyDER)
+	return buf, nil
+}
+
+// UnmarshalCertificate decodes a certificate.
+func UnmarshalCertificate(data []byte) (*Certificate, error) {
+	var c Certificate
+	signer, data, err := readBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	c.Signer = string(signer)
+	factBytes, data, err := readBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	if c.Fact, err = value.Unmarshal(factBytes); err != nil {
+		return nil, err
+	}
+	if len(data) < 8+32 {
+		return nil, errors.New("authority: truncated certificate")
+	}
+	c.IssuedAt = int64(binary.BigEndian.Uint64(data))
+	data = data[8:]
+	copy(c.Nonce[:], data)
+	data = data[32:]
+	if c.SigR, data, err = readBytes(data); err != nil {
+		return nil, err
+	}
+	if c.SigS, data, err = readBytes(data); err != nil {
+		return nil, err
+	}
+	if c.PubKeyDER, _, err = readBytes(data); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// TimeFact builds the conventional time tuple: 'time'(unixSeconds).
+func TimeFact(t time.Time) value.V {
+	return value.Tup("time", value.Int(t.Unix()))
+}
+
+// DelegationFact builds the conventional key-delegation tuple used for
+// chains of trust: name(delegateKey), e.g. ts(k'...') meaning "this
+// key is an authorized time server" (§5.2).
+func DelegationFact(name string, delegate value.V) value.V {
+	return value.Tup(name, delegate)
+}
+
+func certDigest(signer string, fact value.V, issuedAt int64, nonce [32]byte) ([32]byte, error) {
+	factBytes, err := fact.Marshal()
+	if err != nil {
+		return [32]byte{}, err
+	}
+	h := sha256.New()
+	h.Write([]byte("pesos-cert-v1"))
+	h.Write([]byte(signer))
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(issuedAt))
+	h.Write(ts[:])
+	h.Write(nonce[:])
+	h.Write(factBytes)
+	var d [32]byte
+	copy(d[:], h.Sum(nil))
+	return d, nil
+}
+
+func marshalPub(pub *ecdsa.PublicKey) ([]byte, error) {
+	return marshalPKIX(pub)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func readBytes(data []byte) ([]byte, []byte, error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < l {
+		return nil, nil, errors.New("authority: truncated field")
+	}
+	return data[n : n+int(l)], data[n+int(l):], nil
+}

@@ -1,0 +1,133 @@
+package authority
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/policy/value"
+)
+
+func TestSignVerify(t *testing.T) {
+	a, err := New("ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1_750_000_000, 0)
+	cert, err := a.Sign(value.Tup("time", value.Int(now.Unix())), now, [32]byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if cert.Signer != a.Fingerprint() {
+		t.Error("signer fingerprint mismatch")
+	}
+}
+
+func TestSignRejectsNonTuple(t *testing.T) {
+	a, _ := New("ca")
+	if _, err := a.Sign(value.Int(5), time.Now(), [32]byte{}); err == nil {
+		t.Fatal("non-tuple fact signed")
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	a, _ := New("ca")
+	b, _ := New("other")
+	now := time.Now()
+	cert, _ := a.Sign(authorityTimeFact(now), now, [32]byte{})
+
+	mut := *cert
+	mut.Fact = value.Tup("time", value.Int(1))
+	if mut.Verify() == nil {
+		t.Error("tampered fact verified")
+	}
+	mut = *cert
+	mut.IssuedAt += 1000
+	if mut.Verify() == nil {
+		t.Error("tampered timestamp verified")
+	}
+	mut = *cert
+	mut.Nonce[0] ^= 1
+	if mut.Verify() == nil {
+		t.Error("tampered nonce verified")
+	}
+	// Swapping in another key's fingerprint must fail (key binding).
+	mut = *cert
+	mut.Signer = b.Fingerprint()
+	if mut.Verify() == nil {
+		t.Error("signer substitution verified")
+	}
+	// Swapping in another public key fails fingerprint check.
+	otherCert, _ := b.Sign(authorityTimeFact(now), now, [32]byte{})
+	mut = *cert
+	mut.PubKeyDER = otherCert.PubKeyDER
+	if mut.Verify() == nil {
+		t.Error("pubkey substitution verified")
+	}
+}
+
+func authorityTimeFact(t time.Time) value.V { return TimeFact(t) }
+
+func TestFreshness(t *testing.T) {
+	a, _ := New("ca")
+	issued := time.Unix(1_750_000_000, 0)
+	cert, _ := a.Sign(TimeFact(issued), issued, [32]byte{})
+
+	if err := cert.Fresh(issued.Add(30*time.Second), time.Minute); err != nil {
+		t.Errorf("fresh cert rejected: %v", err)
+	}
+	if err := cert.Fresh(issued.Add(2*time.Minute), time.Minute); err == nil {
+		t.Error("stale cert accepted")
+	}
+	// Certificates "from the future" beyond the window also fail.
+	if err := cert.Fresh(issued.Add(-2*time.Minute), time.Minute); err == nil {
+		t.Error("future cert accepted")
+	}
+	// Zero window disables the check.
+	if err := cert.Fresh(issued.Add(100*time.Hour), 0); err != nil {
+		t.Errorf("zero window rejected: %v", err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	a, _ := New("ca")
+	now := time.Unix(1_234_567, 0)
+	var nonce [32]byte
+	nonce[5] = 9
+	cert, _ := a.Sign(value.Tup("write", value.Str("obj"), value.Int(3)), now, nonce)
+	data, err := cert.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCertificate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Signer != cert.Signer || got.IssuedAt != cert.IssuedAt || got.Nonce != cert.Nonce {
+		t.Error("fields changed in round trip")
+	}
+	if !got.Fact.Equal(cert.Fact) {
+		t.Error("fact changed in round trip")
+	}
+	if err := got.Verify(); err != nil {
+		t.Errorf("round-tripped cert fails verification: %v", err)
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	for _, in := range [][]byte{nil, {}, {1, 2, 3}, make([]byte, 40)} {
+		if _, err := UnmarshalCertificate(in); err == nil {
+			t.Errorf("garbage %v accepted", in)
+		}
+	}
+}
+
+func TestDelegationFact(t *testing.T) {
+	ts, _ := New("ts")
+	f := DelegationFact("ts", ts.KeyValue())
+	if f.Kind != value.KTuple || f.Tuple.Name != "ts" || f.Tuple.Args[0].Key != ts.Fingerprint() {
+		t.Errorf("delegation fact: %v", f)
+	}
+}

@@ -1,0 +1,26 @@
+package authority
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+	"errors"
+)
+
+// marshalPKIX and parsePub isolate the x509 plumbing for embedding
+// signer keys in certificates.
+
+func marshalPKIX(pub *ecdsa.PublicKey) ([]byte, error) {
+	return x509.MarshalPKIXPublicKey(pub)
+}
+
+func parsePub(der []byte) (*ecdsa.PublicKey, error) {
+	k, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, err
+	}
+	pub, ok := k.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, errors.New("authority: embedded key is not ECDSA")
+	}
+	return pub, nil
+}

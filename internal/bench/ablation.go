@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/testbed"
+)
+
+// Ablation quantifies the design choices DESIGN.md calls out, one
+// knob at a time against the full Pesos configuration (enclave on,
+// drive TLS on, payload encryption on, policy checks on): what does
+// each security layer cost at a fixed concurrency? This extends the
+// paper's §6.2 encryption experiment to every layer.
+func Ablation(s Scale) (*Table, error) {
+	t := &Table{
+		Name: "Ablation", Title: fmt.Sprintf("Security-layer cost (Pesos Sim, 1 KB, %d clients)", s.Clients),
+		XLabel:  "configuration",
+		Columns: []string{"kIOP/s", "vs full %"},
+	}
+	type knob struct {
+		name   string
+		mutate func(*testbed.Options)
+	}
+	knobs := []knob{
+		{"full", func(*testbed.Options) {}},
+		{"no drive TLS", func(o *testbed.Options) { o.PlainDriveLinks = true }},
+		{"no payload encryption", func(o *testbed.Options) { o.PlaintextPayloads = true }},
+		{"no policy checks", func(o *testbed.Options) { o.DisablePolicies = true }},
+		{"native (no enclave)", func(o *testbed.Options) { o.Enclave = false }},
+	}
+	full := 0.0
+	for _, k := range knobs {
+		o := testbed.Options{Drives: 1, Enclave: true}
+		k.mutate(&o)
+		cluster, err := testbed.Start(o)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", k.name, err)
+		}
+		// Objects carry a simple ACL policy so "no policy checks"
+		// actually removes work.
+		policySrc := "read :- sessionKeyIs(U)\nupdate :- sessionKeyIs(U)\n"
+		m, err := runOnCluster(cluster, s.Clients, s.RecordCount, s.OpCount, 1024, ModePlain, 1, policySrc)
+		cluster.Close()
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", k.name, err)
+		}
+		if k.name == "full" {
+			full = m.KIOPS
+		}
+		delta := 0.0
+		if full > 0 {
+			delta = (m.KIOPS/full - 1) * 100
+		}
+		t.Rows = append(t.Rows, Row{X: k.name, Values: []float64{m.KIOPS, delta}})
+	}
+	return t, nil
+}

@@ -1,0 +1,341 @@
+// Package bench is the measurement harness regenerating every figure
+// of the paper's evaluation (§6). It drives full in-process Pesos
+// deployments (REST over TLS, attested controller, Kinetic drives)
+// with closed-loop concurrent clients replaying YCSB traces, and
+// reports throughput and latency per configuration. cmd/pesos-bench
+// prints the tables; bench_test.go wraps each figure as a testing.B
+// benchmark.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/testbed"
+	"repro/internal/usecases"
+	"repro/internal/ycsb"
+)
+
+// Metrics summarizes one replay run.
+type Metrics struct {
+	Ops      int
+	Errors   int
+	Duration time.Duration
+	// KIOPS is throughput in thousands of operations per second.
+	KIOPS float64
+	// Latency percentiles over per-operation samples.
+	Mean, P50, P95, P99 time.Duration
+}
+
+// String implements fmt.Stringer.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("%.1f kIOP/s, mean %.3v, p50 %.3v, p99 %.3v (%d ops, %d errors)",
+		m.KIOPS, m.Mean, m.P50, m.P99, m.Ops, m.Errors)
+}
+
+// Driver runs workloads against one cluster with a fixed set of
+// concurrent clients, each with its own certificate, TLS session and
+// controller session context — the paper's "clients" axis.
+type Driver struct {
+	Cluster *testbed.Cluster
+	Clients []*client.Client
+	FPs     []string
+
+	// value material shared by all workers: a big deterministic
+	// buffer sliced per operation so payload generation is free.
+	valuePool []byte
+
+	// per-key serialization for version-carrying workloads.
+	stripes [64]sync.Mutex
+	// versions tracks current object versions for versioned replays.
+	versions sync.Map // string -> *int64
+}
+
+// NewDriver issues nClients client identities against the cluster.
+func NewDriver(c *testbed.Cluster, nClients int) (*Driver, error) {
+	d := &Driver{Cluster: c}
+	for i := 0; i < nClients; i++ {
+		cl, id, err := c.NewClient(fmt.Sprintf("bench-client-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		d.Clients = append(d.Clients, cl)
+		d.FPs = append(d.FPs, testbed.Fingerprint(id))
+	}
+	pool := make([]byte, 1<<20+256)
+	rand.New(rand.NewSource(42)).Read(pool)
+	d.valuePool = pool
+	return d, nil
+}
+
+// value returns a deterministic n-byte payload for key.
+func (d *Driver) value(key string, n int) []byte {
+	if n <= 0 {
+		n = 1
+	}
+	off := 0
+	for _, c := range []byte(key) {
+		off = (off*131 + int(c)) & 0xff
+	}
+	return d.valuePool[off : off+n]
+}
+
+func (d *Driver) stripe(key string) *sync.Mutex {
+	return &d.stripes[keyOwner(key, len(d.stripes))]
+}
+
+// keyOwner deterministically assigns a key to one of n workers.
+func keyOwner(key string, n int) int {
+	h := 0
+	for _, c := range []byte(key) {
+		h = h*31 + int(c)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h % n
+}
+
+// Load populates keys with valueSize payloads directly through the
+// controller session API (the load phase is not what the figures
+// measure). policyFor, when non-nil, selects a policy id per record
+// index.
+func (d *Driver) Load(keys []string, valueSize int, policyFor func(i int) string) error {
+	sess := d.Cluster.Controller.Session("bench-loader")
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+	sem := make(chan struct{}, 64)
+	for i, k := range keys {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, k string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			opts := core.PutOptions{}
+			if policyFor != nil {
+				opts.PolicyID = policyFor(i)
+			}
+			ver, err := sess.Put(ctx, k, d.value(k, valueSize), opts)
+			if err != nil {
+				select {
+				case errCh <- fmt.Errorf("load %q: %w", k, err):
+				default:
+				}
+				return
+			}
+			vp := new(int64)
+			*vp = ver
+			d.versions.Store(k, vp)
+		}(i, k)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// ReplayMode selects per-operation semantics.
+type ReplayMode uint8
+
+// Replay modes.
+const (
+	// ModePlain issues reads and version-less updates.
+	ModePlain ReplayMode = iota
+	// ModeVersioned supplies explicit next-version numbers with every
+	// update, as the §5.3 versioned-store policy requires.
+	ModeVersioned
+	// ModeMAL appends a write-intent log entry before updates, one
+	// intent per LogGranularity updates of a key (§5.4, Figure 10).
+	ModeMAL
+)
+
+// ReplayConfig parameterizes a replay.
+type ReplayConfig struct {
+	Ops       []ycsb.Op
+	ValueSize int
+	Mode      ReplayMode
+	// LogGranularity is G for ModeMAL (1 = log every write).
+	LogGranularity int
+	// SampleEvery keeps one latency sample per N operations
+	// (0 = every operation).
+	SampleEvery int
+	// PartitionWrites routes every update to a single owning client
+	// (hash of the key), the way real versioned-store clients manage
+	// their version counters (§5.3): updates to one key never race.
+	// Reads stay on their original worker.
+	PartitionWrites bool
+}
+
+// Replay partitions ops across the driver's clients and replays them
+// closed-loop, returning aggregate metrics.
+func (d *Driver) Replay(cfg ReplayConfig) (*Metrics, error) {
+	n := len(d.Clients)
+	if n == 0 {
+		return nil, fmt.Errorf("bench: driver has no clients")
+	}
+	if cfg.LogGranularity <= 0 {
+		cfg.LogGranularity = 1
+	}
+	sampleEvery := cfg.SampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+
+	// Partition the trace across workers: round-robin by default, or
+	// write-ownership partitioning for version-carrying workloads.
+	perWorker := make([][]ycsb.Op, n)
+	if cfg.PartitionWrites {
+		for i, op := range cfg.Ops {
+			w := i % n
+			if op.Type != ycsb.OpRead {
+				w = keyOwner(op.Key, n)
+			}
+			perWorker[w] = append(perWorker[w], op)
+		}
+	} else {
+		for i, op := range cfg.Ops {
+			perWorker[i%n] = append(perWorker[i%n], op)
+		}
+	}
+
+	var errs atomic.Int64
+	samples := make([][]time.Duration, n)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := d.Clients[w]
+			fp := d.FPs[w]
+			ctx := context.Background()
+			ops := perWorker[w]
+			local := make([]time.Duration, 0, len(ops)/sampleEvery+1)
+			for i, op := range ops {
+				t0 := time.Now()
+				err := d.execute(ctx, cl, fp, op, cfg)
+				if err != nil {
+					errs.Add(1)
+				}
+				if i%sampleEvery == 0 {
+					local = append(local, time.Since(t0))
+				}
+			}
+			samples[w] = local
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	all := make([]time.Duration, 0, len(cfg.Ops)/sampleEvery+n)
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	m := &Metrics{
+		Ops:      len(cfg.Ops),
+		Errors:   int(errs.Load()),
+		Duration: elapsed,
+		KIOPS:    float64(len(cfg.Ops)) / elapsed.Seconds() / 1000,
+	}
+	if len(all) > 0 {
+		var sum time.Duration
+		for _, s := range all {
+			sum += s
+		}
+		m.Mean = sum / time.Duration(len(all))
+		m.P50 = all[len(all)/2]
+		m.P95 = all[len(all)*95/100]
+		m.P99 = all[len(all)*99/100]
+	}
+	return m, nil
+}
+
+// execute performs one trace operation.
+func (d *Driver) execute(ctx context.Context, cl *client.Client, fp string, op ycsb.Op, cfg ReplayConfig) error {
+	switch op.Type {
+	case ycsb.OpRead:
+		_, _, err := cl.Get(ctx, op.Key, client.GetOptions{})
+		return err
+	case ycsb.OpUpdate, ycsb.OpInsert:
+		switch cfg.Mode {
+		case ModeVersioned:
+			return d.versionedUpdate(ctx, cl, op.Key, cfg.ValueSize)
+		case ModeMAL:
+			return d.malUpdate(ctx, cl, fp, op.Key, cfg)
+		default:
+			_, err := cl.Put(ctx, op.Key, d.value(op.Key, cfg.ValueSize), client.PutOptions{})
+			return err
+		}
+	}
+	return nil
+}
+
+// versionedUpdate performs an update carrying the exact next version,
+// serialized per key so concurrent clients do not race the counter.
+func (d *Driver) versionedUpdate(ctx context.Context, cl *client.Client, key string, valueSize int) error {
+	mu := d.stripe(key)
+	mu.Lock()
+	defer mu.Unlock()
+	next := int64(0)
+	if vp, ok := d.versions.Load(key); ok {
+		next = atomic.LoadInt64(vp.(*int64)) + 1
+	}
+	_, err := cl.Put(ctx, key, d.value(key, valueSize), client.PutOptions{Version: next, HasVersion: true})
+	if err != nil {
+		return err
+	}
+	vp, _ := d.versions.LoadOrStore(key, new(int64))
+	atomic.StoreInt64(vp.(*int64), next)
+	return nil
+}
+
+// malUpdate appends a write-intent to the key's log every
+// LogGranularity writes, then updates the object (§5.4).
+func (d *Driver) malUpdate(ctx context.Context, cl *client.Client, fp, key string, cfg ReplayConfig) error {
+	mu := d.stripe(key)
+	mu.Lock()
+	defer mu.Unlock()
+
+	countKey := "malcount:" + key + ":" + fp
+	cp, _ := d.versions.LoadOrStore(countKey, new(int64))
+	count := cp.(*int64)
+	if *count%int64(cfg.LogGranularity) == 0 {
+		logKey := core.LogKeyFor(key)
+		next := int64(0)
+		if vp, ok := d.versions.Load(logKey); ok {
+			next = atomic.LoadInt64(vp.(*int64)) + 1
+		}
+		intent := usecases.WriteIntent(key, fp)
+		if _, err := cl.Put(ctx, logKey, []byte(intent), client.PutOptions{Version: next, HasVersion: true}); err != nil {
+			return fmt.Errorf("log append: %w", err)
+		}
+		vp, _ := d.versions.LoadOrStore(logKey, new(int64))
+		atomic.StoreInt64(vp.(*int64), next)
+	}
+	*count++
+
+	next := int64(0)
+	if vp, ok := d.versions.Load(key); ok {
+		next = atomic.LoadInt64(vp.(*int64)) + 1
+	}
+	_, err := cl.Put(ctx, key, d.value(key, cfg.ValueSize), client.PutOptions{Version: next, HasVersion: true})
+	if err != nil {
+		return err
+	}
+	vp, _ := d.versions.LoadOrStore(key, new(int64))
+	atomic.StoreInt64(vp.(*int64), next)
+	return nil
+}

@@ -1,0 +1,45 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkCacheGetHit(b *testing.B) {
+	c := New[string, []byte](Config[[]byte]{
+		BudgetBytes: 64 << 20,
+		SizeOf:      func(v []byte) int64 { return int64(len(v)) },
+	})
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user%012d", i)
+		c.Put(keys[i], make([]byte, 1024))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkCachePutEvicting(b *testing.B) {
+	c := New[string, []byte](Config[[]byte]{
+		BudgetBytes: 1 << 20, // forces steady-state eviction
+		SizeOf:      func(v []byte) int64 { return int64(len(v)) },
+	})
+	val := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(fmt.Sprintf("k%d", i), val)
+	}
+}
+
+func BenchmarkResultBuffer(b *testing.B) {
+	rb := NewResultBuffer(2048, nil, "")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.Put(Result{OpID: uint64(i), Done: true})
+		rb.Get(uint64(i))
+	}
+}

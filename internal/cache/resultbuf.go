@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"sync"
+
+	"repro/internal/enclave"
+)
+
+// DefaultResultCapacity is how many asynchronous results Pesos keeps
+// before discarding the oldest: "Pesos stores the results of the last
+// 2048 requests" (§4.1).
+const DefaultResultCapacity = 2048
+
+// Result is the stored outcome of one asynchronous operation.
+type Result struct {
+	OpID    uint64
+	Owner   string // client key fingerprint that issued the operation
+	Done    bool
+	Err     string // empty on success
+	Version int64  // resulting object version for puts
+}
+
+// ResultBuffer keeps the outcomes of the most recent asynchronous
+// operations in a fixed-capacity ring. Lookups are by operation id;
+// entries older than the capacity window are discarded, after which
+// clients must re-issue the request (§4.1 fault-tolerance note).
+type ResultBuffer struct {
+	mu    sync.Mutex
+	cap   int
+	ring  []uint64 // insertion order of op ids
+	next  int
+	byID  map[uint64]Result
+	epc   *enclave.EPC
+	label string
+}
+
+// NewResultBuffer creates a buffer keeping the last capacity results
+// (0 selects DefaultResultCapacity).
+func NewResultBuffer(capacity int, epc *enclave.EPC, label string) *ResultBuffer {
+	if capacity <= 0 {
+		capacity = DefaultResultCapacity
+	}
+	rb := &ResultBuffer{
+		cap:   capacity,
+		ring:  make([]uint64, capacity),
+		byID:  make(map[uint64]Result, capacity),
+		epc:   epc,
+		label: label,
+	}
+	if epc != nil {
+		// The ring and map are preallocated enclave memory.
+		epc.Alloc(label, int64(capacity)*64)
+	}
+	return rb
+}
+
+// Put records (or updates) the result for an operation id.
+func (rb *ResultBuffer) Put(r Result) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if _, exists := rb.byID[r.OpID]; exists {
+		rb.byID[r.OpID] = r
+		return
+	}
+	// Overwrite the oldest slot.
+	old := rb.ring[rb.next]
+	if old != 0 {
+		delete(rb.byID, old)
+	}
+	rb.ring[rb.next] = r.OpID
+	rb.next = (rb.next + 1) % rb.cap
+	rb.byID[r.OpID] = r
+}
+
+// Get returns the result for an operation id; ok=false means the id is
+// unknown or has aged out of the window.
+func (rb *ResultBuffer) Get(opID uint64) (Result, bool) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	r, ok := rb.byID[opID]
+	return r, ok
+}
+
+// Len returns the number of retained results.
+func (rb *ResultBuffer) Len() int {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return len(rb.byID)
+}

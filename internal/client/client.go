@@ -1,0 +1,399 @@
+// Package client is a Go client for the Pesos REST interface (§4.1).
+// Pesos deliberately needs no special client library — any HTTPS
+// client works — but examples, tools and benchmarks share this thin
+// wrapper. It authenticates with a TLS client certificate and, before
+// trusting a controller, can verify the controller's attestation
+// transcript out of band.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/tls"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/authority"
+	"repro/internal/core"
+)
+
+// Client talks to one Pesos controller.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// APIError is a non-2xx response from the controller.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("pesos client: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// ErrDenied mirrors a 403 policy denial.
+var ErrDenied = errors.New("pesos client: denied by policy")
+
+// Config configures a client.
+type Config struct {
+	// BaseURL is the controller endpoint, e.g. "https://pesos:8443".
+	BaseURL string
+	// TLS is the mutual-TLS configuration (client cert + root CA).
+	TLS *tls.Config
+	// DialContext overrides the transport dialer (in-memory networks).
+	DialContext func(ctx context.Context, network, addr string) (net.Conn, error)
+}
+
+// New creates a client.
+func New(cfg Config) *Client {
+	tr := &http.Transport{
+		TLSClientConfig:     cfg.TLS,
+		MaxIdleConnsPerHost: 128,
+	}
+	if cfg.DialContext != nil {
+		tr.DialContext = cfg.DialContext
+	}
+	return &Client{base: cfg.BaseURL, http: &http.Client{Transport: tr}}
+}
+
+// PutOptions mirror core.PutOptions over the wire.
+type PutOptions struct {
+	PolicyID   string
+	Version    int64
+	HasVersion bool
+	Async      bool
+	Certs      []*authority.Certificate
+}
+
+// Put stores an object. In async mode the returned id is an operation
+// id to poll with Result; otherwise it is the new object version.
+func (c *Client) Put(ctx context.Context, key string, value []byte, opts PutOptions) (int64, error) {
+	q := url.Values{}
+	if opts.PolicyID != "" {
+		q.Set("policy", opts.PolicyID)
+	}
+	if opts.HasVersion {
+		q.Set("version", strconv.FormatInt(opts.Version, 10))
+	}
+	if opts.Async {
+		q.Set("async", "1")
+	}
+	req, err := c.newRequest(ctx, http.MethodPut, "/v1/objects/"+escapeKey(key), q, bytes.NewReader(value), opts.Certs)
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		Version int64  `json:"version"`
+		Op      uint64 `json:"op"`
+	}
+	if err := c.do(req, &out); err != nil {
+		return 0, err
+	}
+	if opts.Async {
+		return int64(out.Op), nil
+	}
+	return out.Version, nil
+}
+
+// GetOptions mirror core.GetOptions.
+type GetOptions struct {
+	Version    int64
+	HasVersion bool
+	Certs      []*authority.Certificate
+}
+
+// ObjectMeta is the metadata returned with a get.
+type ObjectMeta struct {
+	Version  int64
+	PolicyID string
+}
+
+// Get fetches an object.
+func (c *Client) Get(ctx context.Context, key string, opts GetOptions) ([]byte, *ObjectMeta, error) {
+	q := url.Values{}
+	if opts.HasVersion {
+		q.Set("version", strconv.FormatInt(opts.Version, 10))
+	}
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/objects/"+escapeKey(key), q, nil, opts.Certs)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, decodeError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	ver, _ := strconv.ParseInt(resp.Header.Get("X-Pesos-Version"), 10, 64)
+	return body, &ObjectMeta{Version: ver, PolicyID: resp.Header.Get("X-Pesos-Policy")}, nil
+}
+
+// Delete removes an object. Async returns an operation id.
+func (c *Client) Delete(ctx context.Context, key string, async bool, certs ...*authority.Certificate) (uint64, error) {
+	q := url.Values{}
+	if async {
+		q.Set("async", "1")
+	}
+	req, err := c.newRequest(ctx, http.MethodDelete, "/v1/objects/"+escapeKey(key), q, nil, certs)
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		Op uint64 `json:"op"`
+	}
+	if err := c.do(req, &out); err != nil {
+		return 0, err
+	}
+	return out.Op, nil
+}
+
+// ListVersions returns an object's stored versions.
+func (c *Client) ListVersions(ctx context.Context, key string, certs ...*authority.Certificate) ([]int64, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/versions/"+escapeKey(key), nil, nil, certs)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Versions []int64 `json:"versions"`
+	}
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return out.Versions, nil
+}
+
+// PutPolicy uploads policy source, returning the policy id.
+func (c *Client) PutPolicy(ctx context.Context, src string) (string, error) {
+	req, err := c.newRequest(ctx, http.MethodPost, "/v1/policies", nil, bytes.NewReader([]byte(src)), nil)
+	if err != nil {
+		return "", err
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := c.do(req, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// GetPolicy fetches the canonical source of a stored policy.
+func (c *Client) GetPolicy(ctx context.Context, id string) (string, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/policies/"+url.PathEscape(id), nil, nil, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// AsyncResult is the outcome of an asynchronous operation.
+type AsyncResult struct {
+	Op      uint64 `json:"op"`
+	Done    bool   `json:"done"`
+	Error   string `json:"error"`
+	Version int64  `json:"version"`
+}
+
+// Result polls an asynchronous operation. ok=false means the result
+// aged out of the window and the request must be re-issued.
+func (c *Client) Result(ctx context.Context, opID uint64) (*AsyncResult, bool, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/results/"+strconv.FormatUint(opID, 10), nil, nil, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	var out AsyncResult
+	err = c.do(req, &out)
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return &out, true, nil
+}
+
+// VerifyInfo is the integrity evidence for one stored version.
+type VerifyInfo struct {
+	Key         string `json:"key"`
+	Version     int64  `json:"version"`
+	Size        int64  `json:"size"`
+	ContentHash string `json:"contentHash"`
+	Policy      string `json:"policy"`
+	PolicyHash  string `json:"policyHash"`
+}
+
+// Verify fetches integrity-checked metadata for a stored version.
+func (c *Client) Verify(ctx context.Context, key string, version int64) (*VerifyInfo, error) {
+	q := url.Values{"version": {strconv.FormatInt(version, 10)}}
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/verify/"+escapeKey(key), q, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out VerifyInfo
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Tx is a client-side transaction handle.
+type Tx struct {
+	c  *Client
+	id uint64
+}
+
+// CreateTx opens a transaction.
+func (c *Client) CreateTx(ctx context.Context) (*Tx, error) {
+	req, err := c.newRequest(ctx, http.MethodPost, "/v1/tx", nil, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Tx uint64 `json:"tx"`
+	}
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &Tx{c: c, id: out.Tx}, nil
+}
+
+// ID returns the server-side transaction id.
+func (t *Tx) ID() uint64 { return t.id }
+
+// AddRead declares a read key.
+func (t *Tx) AddRead(ctx context.Context, key string) error {
+	q := url.Values{"key": {key}}
+	req, err := t.c.newRequest(ctx, http.MethodPost, t.path("read"), q, nil, nil)
+	if err != nil {
+		return err
+	}
+	return t.c.do(req, nil)
+}
+
+// AddWrite declares a write.
+func (t *Tx) AddWrite(ctx context.Context, key string, value []byte) error {
+	q := url.Values{"key": {key}}
+	req, err := t.c.newRequest(ctx, http.MethodPost, t.path("write"), q, bytes.NewReader(value), nil)
+	if err != nil {
+		return err
+	}
+	return t.c.do(req, nil)
+}
+
+// Commit executes the transaction.
+func (t *Tx) Commit(ctx context.Context) error {
+	req, err := t.c.newRequest(ctx, http.MethodPost, t.path("commit"), nil, nil, nil)
+	if err != nil {
+		return err
+	}
+	return t.c.do(req, nil)
+}
+
+// Abort discards the transaction.
+func (t *Tx) Abort(ctx context.Context) error {
+	req, err := t.c.newRequest(ctx, http.MethodPost, t.path("abort"), nil, nil, nil)
+	if err != nil {
+		return err
+	}
+	return t.c.do(req, nil)
+}
+
+// Results fetches per-operation outcomes after commit.
+func (t *Tx) Results(ctx context.Context) ([]core.TxOpResult, error) {
+	req, err := t.c.newRequest(ctx, http.MethodGet, t.path("results"), nil, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Results []core.TxOpResult `json:"results"`
+	}
+	if err := t.c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+func (t *Tx) path(op string) string {
+	return "/v1/tx/" + strconv.FormatUint(t.id, 10) + "/" + op
+}
+
+func (c *Client) newRequest(ctx context.Context, method, path string, q url.Values, body io.Reader, certs []*authority.Certificate) (*http.Request, error) {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return nil, err
+	}
+	for _, cert := range certs {
+		raw, err := cert.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Add(core.CertHeader, base64.StdEncoding.EncodeToString(raw))
+	}
+	return req, nil
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&e)
+	if e.Error == "" {
+		e.Error = resp.Status
+	}
+	apiErr := &APIError{Status: resp.StatusCode, Msg: e.Error}
+	if resp.StatusCode == http.StatusForbidden {
+		return fmt.Errorf("%w: %s", ErrDenied, e.Error)
+	}
+	return apiErr
+}
+
+// escapeKey preserves '/' in object keys while escaping the rest.
+func escapeKey(key string) string {
+	return url.PathEscape(key)
+}

@@ -1,0 +1,394 @@
+// Package core implements the Pesos controller (§3): the single
+// trusted layer that terminates client connections, compiles and
+// enforces per-object policies, caches hot state inside the enclave,
+// and persists objects on Kinetic drives with write-through
+// replication. Everything security-relevant funnels through this
+// package — the unified enforcement layer the paper argues reduces
+// the TCB to one place.
+package core
+
+import (
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/enclave"
+	"repro/internal/enclave/attest"
+	"repro/internal/kinetic/kclient"
+	"repro/internal/kinetic/wire"
+	"repro/internal/policy"
+	"repro/internal/store"
+	"repro/internal/vll"
+)
+
+// Errors surfaced to clients.
+var (
+	ErrDenied        = errors.New("pesos: request denied by policy")
+	ErrNotFound      = errors.New("pesos: object not found")
+	ErrNoSuchPolicy  = errors.New("pesos: unknown policy id")
+	ErrBadVersion    = errors.New("pesos: version conflict")
+	ErrClosed        = errors.New("pesos: controller closed")
+	ErrInTransaction = errors.New("pesos: operation not allowed inside a transaction")
+)
+
+// DeniedError wraps ErrDenied with the interpreter's explanation.
+type DeniedError struct {
+	Op     string
+	Key    string
+	Reason string
+}
+
+// Error implements error.
+func (e *DeniedError) Error() string {
+	return fmt.Sprintf("pesos: %s %q denied by policy: %s", e.Op, e.Key, e.Reason)
+}
+
+// Unwrap lets errors.Is match ErrDenied.
+func (e *DeniedError) Unwrap() error { return ErrDenied }
+
+// AdminIdentity is the account the controller installs on its drives
+// during takeover.
+const AdminIdentity = "pesos-admin"
+
+// LogKeyFor derives the mandatory-access-log object key paired with
+// an object (§5.4). The log is an ordinary client-visible object —
+// clients append intent entries to it before touching the protected
+// object — so the derived name stays inside the client key space.
+func LogKeyFor(key string) string { return key + ".log" }
+
+// Config configures a controller.
+type Config struct {
+	// Drives lists the Kinetic drives this controller owns.
+	Drives []DriveEndpoint
+	// Replicas is the total number of copies per object (1 = no
+	// replication, §4.5).
+	Replicas int
+	// Encrypt enables payload encryption (on by default in the paper;
+	// the §6.2 encryption experiment turns it off).
+	Encrypt bool
+	// DisablePolicies turns policy enforcement off entirely — the
+	// "without policy checking" baseline of §6.4.
+	DisablePolicies bool
+
+	// Enclave is the trusted execution environment; nil runs the
+	// controller "native" (no attestation, no overhead model).
+	Enclave *enclave.Enclave
+	// Cost is the shielded-execution overhead model; nil derives one
+	// from Enclave (native if Enclave is nil).
+	Cost *enclave.CostModel
+
+	// Attestation, when set, is used with Enclave to obtain Secrets
+	// via remote attestation. Otherwise Secrets must be set directly.
+	Attestation *attest.Service
+	// Secrets provides runtime credentials when Attestation is nil.
+	Secrets *attest.Secrets
+
+	// TakeOver erases foreign accounts on the drives at bootstrap
+	// (§3.1). Disable only for tests that pre-provision accounts.
+	TakeOver bool
+
+	// Cache budgets; zero selects the paper's defaults (§4.2):
+	// 5 MB policies, 600 KB key cache, objects sized to fit EPC.
+	PolicyCacheBytes   int64
+	PolicyCacheEntries int
+	ObjectCacheBytes   int64
+	KeyCacheBytes      int64
+
+	// AsyncWorkers sizes the pool executing asynchronous operations;
+	// 0 selects 32.
+	AsyncWorkers int
+
+	// SessionTTL expires idle session contexts; 0 selects 10 minutes.
+	SessionTTL time.Duration
+
+	// Clock supplies trusted time for policy freshness (§5.2); nil
+	// uses the SGX-SDK-equivalent monotonic system time.
+	Clock func() time.Time
+}
+
+// Controller is one Pesos instance.
+type Controller struct {
+	cfg     Config
+	cost    *enclave.CostModel
+	epc     *enclave.EPC
+	codec   *store.Codec
+	secrets *attest.Secrets
+	clock   func() time.Time
+
+	drives []*drivePool
+
+	policyCache *cache.Cache[string, *policy.Program]
+	objectCache *cache.Cache[string, *store.Record]
+	metaCache   *cache.Cache[string, *store.Meta]
+
+	locks *vll.Manager
+	async *asyncState
+
+	// writeLocks serialize mutations per key stripe. The controller
+	// has exclusive control of its drives (§3.1), so in-process
+	// serialization is authoritative; the drives' compare-and-swap
+	// versions remain as a backstop against misconfigured deployments
+	// sharing drives between controllers.
+	writeLocks [256]sync.Mutex
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	closed   bool
+
+	stats Stats
+}
+
+// Stats aggregates controller activity counters.
+type Stats struct {
+	mu            sync.Mutex
+	Puts          uint64
+	Gets          uint64
+	Deletes       uint64
+	PolicyChecks  uint64
+	PolicyDenials uint64
+	TxCommits     uint64
+	TxAborts      uint64
+}
+
+// Snapshot returns a copy of the counters.
+func (s *Stats) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Puts: s.Puts, Gets: s.Gets, Deletes: s.Deletes,
+		PolicyChecks: s.PolicyChecks, PolicyDenials: s.PolicyDenials,
+		TxCommits: s.TxCommits, TxAborts: s.TxAborts,
+	}
+}
+
+func (s *Stats) add(f func(*Stats)) {
+	s.mu.Lock()
+	f(s)
+	s.mu.Unlock()
+}
+
+// New bootstraps a controller: attest (when configured), connect to
+// every drive, take exclusive control, and initialize caches sized
+// against the EPC budget.
+func New(ctx context.Context, cfg Config) (*Controller, error) {
+	if len(cfg.Drives) == 0 {
+		return nil, errors.New("core: no drives configured")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > len(cfg.Drives) {
+		return nil, fmt.Errorf("core: %d replicas need at least that many drives, have %d",
+			cfg.Replicas, len(cfg.Drives))
+	}
+
+	c := &Controller{cfg: cfg, sessions: make(map[string]*Session)}
+
+	c.clock = cfg.Clock
+	if c.clock == nil {
+		c.clock = time.Now
+	}
+
+	// Step 1: obtain runtime secrets — via remote attestation when an
+	// attestation service is configured (§3.1 bootstrap), directly
+	// otherwise.
+	switch {
+	case cfg.Attestation != nil && cfg.Enclave != nil:
+		secrets, err := cfg.Attestation.AttestEnclave(cfg.Enclave)
+		if err != nil {
+			return nil, fmt.Errorf("core: attestation failed: %w", err)
+		}
+		c.secrets = secrets
+	case cfg.Secrets != nil:
+		c.secrets = cfg.Secrets
+	default:
+		return nil, errors.New("core: need either Attestation+Enclave or Secrets")
+	}
+
+	// Step 2: overhead model and EPC accounting.
+	if cfg.Enclave != nil {
+		c.epc = cfg.Enclave.EPC()
+	} else {
+		c.epc = enclave.NewEPC(0)
+	}
+	c.cost = cfg.Cost
+	if c.cost == nil {
+		c.cost = enclave.DefaultCostModel(cfg.Enclave != nil, c.epc)
+	}
+
+	var err error
+	if c.codec, err = store.NewCodec(c.secrets.ObjectKey, cfg.Encrypt); err != nil {
+		return nil, err
+	}
+
+	// Step 3: connect to the drives with the provisioned factory
+	// credentials and take exclusive control.
+	if err := c.connectDrives(ctx); err != nil {
+		return nil, err
+	}
+
+	// Step 4: caches, sized to the paper's defaults within the EPC.
+	pcBytes := cfg.PolicyCacheBytes
+	if pcBytes == 0 {
+		pcBytes = 5 << 20
+	}
+	ocBytes := cfg.ObjectCacheBytes
+	if ocBytes == 0 {
+		ocBytes = 48 << 20
+	}
+	kcBytes := cfg.KeyCacheBytes
+	if kcBytes == 0 {
+		kcBytes = 600 << 10
+	}
+	c.policyCache = cache.New[string, *policy.Program](cache.Config[*policy.Program]{
+		BudgetBytes: pcBytes,
+		MaxEntries:  cfg.PolicyCacheEntries,
+		SizeOf:      func(p *policy.Program) int64 { return programSize(p) },
+		EPC:         c.epc, Label: "policy-cache",
+	})
+	c.objectCache = cache.New[string, *store.Record](cache.Config[*store.Record]{
+		BudgetBytes: ocBytes,
+		SizeOf:      func(r *store.Record) int64 { return int64(len(r.Payload)) + 128 },
+		EPC:         c.epc, Label: "object-cache",
+	})
+	c.metaCache = cache.New[string, *store.Meta](cache.Config[*store.Meta]{
+		BudgetBytes: kcBytes,
+		SizeOf:      func(m *store.Meta) int64 { return int64(len(m.Key)+len(m.PolicyID)) + 96 },
+		EPC:         c.epc, Label: "key-cache",
+	})
+
+	c.locks = vll.NewManager()
+	return c, nil
+}
+
+// connectDrives dials every drive and, unless disabled, performs the
+// exclusive takeover: replace all accounts with a single Pesos admin
+// account derived from the attested admin seed (§3.1).
+func (c *Controller) connectDrives(ctx context.Context) error {
+	if len(c.secrets.Drives) != len(c.cfg.Drives) {
+		return fmt.Errorf("core: secrets cover %d drives, config has %d",
+			len(c.secrets.Drives), len(c.cfg.Drives))
+	}
+	for i, ep := range c.cfg.Drives {
+		cred := c.secrets.Drives[i]
+		pool, err := dialPool(ctx, ep, kclient.Credentials{Identity: cred.Identity, Key: cred.Key})
+		if err != nil {
+			c.closeDrives()
+			return err
+		}
+		if c.cfg.TakeOver {
+			adminKey := c.adminKeyFor(ep.Name)
+			acl := wire.ACL{Identity: AdminIdentity, Key: adminKey, Perms: wire.PermAll}
+			if err := pool.pick().SetSecurity(ctx, []wire.ACL{acl}, nil); err != nil {
+				pool.close()
+				c.closeDrives()
+				return fmt.Errorf("core: takeover of drive %s: %w", ep.Name, err)
+			}
+			pool.setCredentials(kclient.Credentials{Identity: AdminIdentity, Key: adminKey})
+		}
+		c.drives = append(c.drives, pool)
+	}
+	return nil
+}
+
+// adminKeyFor derives the per-drive admin HMAC secret from the
+// attestation-provisioned seed, so no long-term drive secret ever
+// exists outside the enclave.
+func (c *Controller) adminKeyFor(driveName string) []byte {
+	mac := hmac.New(sha256.New, c.secrets.AdminSeed[:])
+	mac.Write([]byte("drive-admin:"))
+	mac.Write([]byte(driveName))
+	return mac.Sum(nil)
+}
+
+func (c *Controller) closeDrives() {
+	for _, p := range c.drives {
+		p.close()
+	}
+	c.drives = nil
+}
+
+// Stats returns the controller's counters.
+func (c *Controller) Stats() *Stats { return &c.stats }
+
+// EPC exposes the enclave memory accountant (for tests and GETLOG-
+// style introspection).
+func (c *Controller) EPC() *enclave.EPC { return c.epc }
+
+// Cost exposes the overhead model.
+func (c *Controller) Cost() *enclave.CostModel { return c.cost }
+
+// CacheStats reports hit/miss/eviction counters of the three caches.
+func (c *Controller) CacheStats() map[string][3]uint64 {
+	out := make(map[string][3]uint64, 3)
+	h, m, e := c.policyCache.Stats()
+	out["policy"] = [3]uint64{h, m, e}
+	h, m, e = c.objectCache.Stats()
+	out["object"] = [3]uint64{h, m, e}
+	h, m, e = c.metaCache.Stats()
+	out["meta"] = [3]uint64{h, m, e}
+	return out
+}
+
+// Close shuts the controller down: sessions stop accepting work,
+// drive connections close.
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	sessions := make([]*Session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		sessions = append(sessions, s)
+	}
+	c.mu.Unlock()
+	for _, s := range sessions {
+		s.stop()
+	}
+	c.mu.Lock()
+	async := c.async
+	c.async = nil
+	c.mu.Unlock()
+	if async != nil {
+		close(async.queue)
+		async.wg.Wait()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closeDrives()
+	return nil
+}
+
+// writeLock returns the mutation lock stripe for a key.
+func (c *Controller) writeLock(key string) *sync.Mutex {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &c.writeLocks[h&255]
+}
+
+// programSize estimates a compiled policy's resident footprint.
+func programSize(p *policy.Program) int64 {
+	data, err := p.Marshal()
+	if err != nil {
+		return 256
+	}
+	return int64(len(data)) + 64
+}
+
+// policyID derives the content-addressed identifier of a compiled
+// policy: the hex policy hash. Identical policies share an id, which
+// is what lets one policy serve many objects (1:M, §3).
+func policyID(p *policy.Program) string {
+	h := p.Hash()
+	return hex.EncodeToString(h[:])
+}

@@ -1,0 +1,448 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/enclave"
+	"repro/internal/enclave/attest"
+	"repro/internal/kinetic"
+	"repro/internal/kinetic/kclient"
+	"repro/internal/netx"
+	"repro/internal/store"
+)
+
+// harness wires a controller to in-memory drives without TLS (the
+// full TLS path is covered by the testbed integration tests).
+type harness struct {
+	ctl     *Controller
+	drives  []*kinetic.Drive
+	servers []*kinetic.Server
+	lns     []*netx.Listener
+}
+
+func newHarness(t *testing.T, nDrives int, mutate func(*Config)) *harness {
+	t.Helper()
+	h := &harness{}
+	secrets := &attest.Secrets{}
+	if _, err := rand.Read(secrets.ObjectKey[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rand.Read(secrets.AdminSeed[:]); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Replicas: 1, Encrypt: true, TakeOver: true, Secrets: secrets}
+	for i := 0; i < nDrives; i++ {
+		name := fmt.Sprintf("d%d", i)
+		drive := kinetic.NewDrive(kinetic.Config{Name: name})
+		ln := netx.NewListener(name)
+		h.drives = append(h.drives, drive)
+		h.lns = append(h.lns, ln)
+		h.servers = append(h.servers, kinetic.Serve(drive, ln, nil))
+		cfg.Drives = append(cfg.Drives, DriveEndpoint{
+			Name:  name,
+			Dial:  func(ctx context.Context) (net.Conn, error) { return ln.DialContext(ctx) },
+			Conns: 2,
+		})
+		secrets.Drives = append(secrets.Drives, attest.DriveCredential{
+			Address: name, Identity: kinetic.DefaultAdminIdentity, Key: kinetic.DefaultAdminKey,
+		})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	ctl, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("controller: %v", err)
+	}
+	h.ctl = ctl
+	t.Cleanup(func() {
+		ctl.Close()
+		for _, s := range h.servers {
+			s.Close()
+		}
+	})
+	return h
+}
+
+func TestVersioningRules(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	s := h.ctl.Session("alice")
+	ctx := context.Background()
+
+	// Creation defaults to version 0.
+	v, err := s.Put(ctx, "k", []byte("v0"), PutOptions{})
+	if err != nil || v != 0 {
+		t.Fatalf("create: v=%d err=%v", v, err)
+	}
+	// Explicit creation must use 0.
+	if _, err := s.Put(ctx, "new", []byte("x"), PutOptions{Version: 2, HasVersion: true}); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("create at v2: %v", err)
+	}
+	// Updates are dense: current+1 only.
+	if _, err := s.Put(ctx, "k", []byte("v1"), PutOptions{Version: 5, HasVersion: true}); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("sparse version: %v", err)
+	}
+	v, err = s.Put(ctx, "k", []byte("v1"), PutOptions{Version: 1, HasVersion: true})
+	if err != nil || v != 1 {
+		t.Fatalf("update: v=%d err=%v", v, err)
+	}
+	// Implicit update continues the sequence.
+	v, err = s.Put(ctx, "k", []byte("v2"), PutOptions{})
+	if err != nil || v != 2 {
+		t.Fatalf("implicit update: v=%d err=%v", v, err)
+	}
+	// All versions readable.
+	for i := int64(0); i <= 2; i++ {
+		val, meta, err := s.Get(ctx, "k", GetOptions{Version: i, HasVersion: true})
+		if err != nil || string(val) != fmt.Sprintf("v%d", i) || meta.Version != i {
+			t.Fatalf("get v%d: %q %v", i, val, err)
+		}
+	}
+	vers, err := s.ListVersions(ctx, "k", nil)
+	if err != nil || len(vers) != 3 {
+		t.Fatalf("versions: %v %v", vers, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	s := h.ctl.Session("alice")
+	if _, _, err := s.Get(context.Background(), "ghost", GetOptions{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestDeleteRemovesHistory(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	s := h.ctl.Session("alice")
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := s.Put(ctx, "k", []byte(fmt.Sprint(i)), PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete(ctx, "k", DeleteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(ctx, "k", GetOptions{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete: %v", err)
+	}
+	if _, _, err := s.Get(ctx, "k", GetOptions{Version: 1, HasVersion: true}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("history after delete: %v", err)
+	}
+	// The drive holds nothing for the key.
+	if h.drives[0].Len() != 0 {
+		t.Fatalf("drive still holds %d keys", h.drives[0].Len())
+	}
+	// The key can be recreated from scratch.
+	if v, err := s.Put(ctx, "k", []byte("again"), PutOptions{}); err != nil || v != 0 {
+		t.Fatalf("recreate: v=%d err=%v", v, err)
+	}
+}
+
+func TestPolicyGovernsChange(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	alice := h.ctl.Session("a11cef")
+	bob := h.ctl.Session("b0bf00")
+	ctx := context.Background()
+
+	restrictive, err := h.ctl.PutPolicy(ctx, "read :- sessionKeyIs(k'a11cef')\nupdate :- sessionKeyIs(k'a11cef')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := h.ctl.PutPolicy(ctx, "read :- sessionKeyIs(U)\nupdate :- sessionKeyIs(U)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Put(ctx, "doc", []byte("x"), PutOptions{PolicyID: restrictive}); err != nil {
+		t.Fatal(err)
+	}
+	// Bob cannot swap the policy: policy change is an update.
+	if _, err := bob.Put(ctx, "doc", []byte("x"), PutOptions{PolicyID: open}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("bob policy change: %v", err)
+	}
+	// Alice can change the policy; afterwards bob may update.
+	if _, err := alice.Put(ctx, "doc", []byte("x2"), PutOptions{PolicyID: open}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.Put(ctx, "doc", []byte("bob!"), PutOptions{}); err != nil {
+		t.Fatalf("bob after policy change: %v", err)
+	}
+}
+
+func TestPolicyPersistsAcrossCacheDrop(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	s := h.ctl.Session("4d4e")
+	ctx := context.Background()
+	pid, err := h.ctl.PutPolicy(ctx, "read :- sessionKeyIs(k'4d4e')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(ctx, "k", []byte("v"), PutOptions{PolicyID: pid}); err != nil {
+		t.Fatal(err)
+	}
+	// Clear in-enclave caches: the policy must come back from disk.
+	h.ctl.policyCache.Clear()
+	h.ctl.metaCache.Clear()
+	h.ctl.objectCache.Clear()
+	if _, _, err := s.Get(ctx, "k", GetOptions{}); err != nil {
+		t.Fatalf("get after cache drop: %v", err)
+	}
+	other := h.ctl.Session("07e4")
+	if _, _, err := other.Get(ctx, "k", GetOptions{}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("denial after cache drop: %v", err)
+	}
+	// The stored policy text is auditable.
+	src, err := h.ctl.GetPolicySource(ctx, pid)
+	if err != nil || src == "" {
+		t.Fatalf("policy source: %q %v", src, err)
+	}
+}
+
+func TestUnknownPolicyRejected(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	s := h.ctl.Session("4d4e")
+	_, err := s.Put(context.Background(), "k", []byte("v"), PutOptions{PolicyID: "deadbeef"})
+	if !errors.Is(err, ErrNoSuchPolicy) {
+		t.Fatalf("unknown policy: %v", err)
+	}
+}
+
+func TestReplicationAndFailover(t *testing.T) {
+	h := newHarness(t, 3, func(c *Config) { c.Replicas = 3 })
+	s := h.ctl.Session("4d4e")
+	ctx := context.Background()
+	if _, err := s.Put(ctx, "k", []byte("replicated"), PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Every drive holds the object + meta.
+	for i, d := range h.drives {
+		if d.Len() != 2 {
+			t.Fatalf("drive %d holds %d keys, want 2", i, d.Len())
+		}
+	}
+	// Kill the primary; reads must fail over to a replica.
+	placement := store.Placement("k", 3, 3)
+	primary := placement[0]
+	h.servers[primary].Close()
+	h.ctl.metaCache.Clear()
+	h.ctl.objectCache.Clear()
+	val, _, err := s.Get(ctx, "k", GetOptions{})
+	if err != nil || !bytes.Equal(val, []byte("replicated")) {
+		t.Fatalf("failover get: %q %v", val, err)
+	}
+}
+
+func TestDisablePolicies(t *testing.T) {
+	h := newHarness(t, 1, func(c *Config) { c.DisablePolicies = true })
+	s := h.ctl.Session("anyone")
+	ctx := context.Background()
+	pid, err := h.ctl.PutPolicy(ctx, "read :- sessionKeyIs(k'deadbeef')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(ctx, "k", []byte("v"), PutOptions{PolicyID: pid}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(ctx, "k", GetOptions{}); err != nil {
+		t.Fatalf("policy enforced despite DisablePolicies: %v", err)
+	}
+	if h.ctl.Stats().Snapshot().PolicyChecks != 0 {
+		t.Error("policy checks counted while disabled")
+	}
+}
+
+func TestAsyncResults(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	s := h.ctl.Session("4d4e")
+	op := s.PutAsync("k", []byte("async"), PutOptions{})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, ok := s.Result(op)
+		if ok && res.Done {
+			if res.Err != "" {
+				t.Fatalf("async failed: %s", res.Err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async put never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Another session cannot read someone else's result.
+	if _, ok := h.ctl.Session("07e4").Result(op); ok {
+		t.Fatal("cross-session result leak")
+	}
+	// Async errors are reported, not swallowed.
+	op = s.PutAsync("k", []byte("x"), PutOptions{Version: 99, HasVersion: true})
+	for {
+		res, ok := s.Result(op)
+		if ok && res.Done {
+			if res.Err == "" {
+				t.Fatal("bad-version async put reported success")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async error never surfaced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	h := newHarness(t, 1, func(c *Config) { c.SessionTTL = 10 * time.Millisecond })
+	s1 := h.ctl.Session("ephemeral")
+	_ = s1
+	resident := h.ctl.EPC().Usage()["sessions"]
+	if resident == 0 {
+		t.Fatal("session memory not accounted")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := h.ctl.ExpireSessions(); n != 1 {
+		t.Fatalf("expired %d sessions, want 1", n)
+	}
+	if h.ctl.EPC().Usage()["sessions"] != 0 {
+		t.Fatal("session memory leaked after expiry")
+	}
+	// A returning client gets a fresh session transparently.
+	s2 := h.ctl.Session("ephemeral")
+	if s2 == s1 {
+		t.Fatal("expired session resurrected")
+	}
+}
+
+func TestSessionReuseOnReconnect(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	if h.ctl.Session("4d4e") != h.ctl.Session("4d4e") {
+		t.Fatal("same identity should reuse the session context")
+	}
+}
+
+func TestContentHashVerification(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	s := h.ctl.Session("4d4e")
+	ctx := context.Background()
+	if _, err := s.Put(ctx, "k", []byte("good"), PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s.Verify(ctx, "k", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ContentHash != store.HashContent([]byte("good")) {
+		t.Fatal("verify hash mismatch")
+	}
+}
+
+func TestEncryptionOnDisk(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	s := h.ctl.Session("4d4e")
+	ctx := context.Background()
+	secret := []byte("super secret payload 1234567890")
+	if _, err := s.Put(ctx, "k", secret, PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Read the raw drive record: the plaintext must not appear.
+	cl, err := kclient.Dial(ctx,
+		func(ctx context.Context) (net.Conn, error) { return h.lns[0].DialContext(ctx) },
+		kclient.Credentials{Identity: AdminIdentity, Key: h.ctl.adminKeyFor("d0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	raw, _, err := cl.Get(ctx, store.ObjectKey("k", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, secret) {
+		t.Fatal("plaintext visible on the drive")
+	}
+}
+
+func TestBootstrapLocksOutFactoryAccount(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	ctx := context.Background()
+	cl, err := kclient.Dial(ctx,
+		func(ctx context.Context) (net.Conn, error) { return h.lns[0].DialContext(ctx) },
+		kclient.Credentials{Identity: kinetic.DefaultAdminIdentity, Key: kinetic.DefaultAdminKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Noop(ctx); !errors.Is(err, kclient.ErrNotAuthorized) {
+		t.Fatalf("factory account still alive after takeover: %v", err)
+	}
+}
+
+func TestAttestationGatedBootstrap(t *testing.T) {
+	// Controller refuses to start when attestation fails (wrong
+	// measurement registered).
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl := platform.Launch([]byte("real"), nil, 0)
+	svc := attest.NewService(platform.AttestationPublicKey())
+	// Register a different measurement.
+	other := platform.Launch([]byte("expected"), nil, 0)
+	svc.Register(other.Measurement(), &attest.Secrets{})
+
+	drive := kinetic.NewDrive(kinetic.Config{Name: "d"})
+	ln := netx.NewListener("d")
+	srv := kinetic.Serve(drive, ln, nil)
+	defer srv.Close()
+
+	_, err = New(context.Background(), Config{
+		Drives: []DriveEndpoint{{
+			Name: "d",
+			Dial: func(ctx context.Context) (net.Conn, error) { return ln.DialContext(ctx) },
+		}},
+		Enclave:     encl,
+		Attestation: svc,
+	})
+	if err == nil {
+		t.Fatal("controller started with failing attestation")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(context.Background(), Config{}); err == nil {
+		t.Error("no drives accepted")
+	}
+	_, err := New(context.Background(), Config{
+		Drives:   []DriveEndpoint{{Name: "a"}, {Name: "b"}},
+		Replicas: 3,
+		Secrets:  &attest.Secrets{},
+	})
+	if err == nil {
+		t.Error("replicas > drives accepted")
+	}
+	_, err = New(context.Background(), Config{Drives: []DriveEndpoint{{Name: "a"}}})
+	if err == nil {
+		t.Error("missing secrets accepted")
+	}
+}
+
+func TestLogKeyFor(t *testing.T) {
+	if LogKeyFor("x") != "x.log" {
+		t.Fatalf("log key = %q", LogKeyFor("x"))
+	}
+}
+
+func TestObjectSizeLimit(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	s := h.ctl.Session("4d4e")
+	_, err := s.Put(context.Background(), "big", make([]byte, store.MaxObjectSize+1), PutOptions{})
+	if !errors.Is(err, store.ErrTooLarge) {
+		t.Fatalf("oversized object: %v", err)
+	}
+}

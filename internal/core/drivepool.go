@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/kinetic/kclient"
+)
+
+// DriveEndpoint names one Kinetic drive and how to reach it.
+type DriveEndpoint struct {
+	// Name identifies the drive in logs and placement-independent
+	// diagnostics.
+	Name string
+	// Dial opens a byte stream to the drive (TCP+TLS or in-memory).
+	Dial kclient.Dialer
+	// Conns is the number of parallel connections the controller
+	// keeps to this drive (the Kinetic library's thread pool, §4.3);
+	// 0 selects a default of 4.
+	Conns int
+}
+
+// drivePool multiplexes requests over several connections to one
+// drive, mirroring the adapted Kinetic C library's decoupled
+// request/response handling (§3.1).
+type drivePool struct {
+	name    string
+	clients []*kclient.Client
+	next    atomic.Uint64
+}
+
+// dialPool connects all pool connections with creds.
+func dialPool(ctx context.Context, ep DriveEndpoint, creds kclient.Credentials) (*drivePool, error) {
+	n := ep.Conns
+	if n <= 0 {
+		n = 4
+	}
+	p := &drivePool{name: ep.Name}
+	for i := 0; i < n; i++ {
+		c, err := kclient.Dial(ctx, ep.Dial, creds)
+		if err != nil {
+			p.close()
+			return nil, fmt.Errorf("core: dial drive %s: %w", ep.Name, err)
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+// pick returns the next connection round-robin.
+func (p *drivePool) pick() *kclient.Client {
+	i := p.next.Add(1)
+	return p.clients[i%uint64(len(p.clients))]
+}
+
+// setCredentials switches every connection to new credentials.
+func (p *drivePool) setCredentials(creds kclient.Credentials) {
+	for _, c := range p.clients {
+		c.SetCredentials(creds)
+	}
+}
+
+func (p *drivePool) close() {
+	for _, c := range p.clients {
+		c.Close()
+	}
+}

@@ -1,0 +1,511 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/authority"
+	"repro/internal/kinetic/kclient"
+	"repro/internal/policy"
+	"repro/internal/policy/lang"
+	"repro/internal/store"
+)
+
+// PutOptions modifies a put/update request.
+type PutOptions struct {
+	// PolicyID attaches (or changes to) the given stored policy.
+	// Empty keeps the object's current policy.
+	PolicyID string
+	// Version, when HasVersion, is the client-supplied next version
+	// (the nextVersion policy argument). It must be exactly
+	// current+1, or 0 for creation.
+	Version    int64
+	HasVersion bool
+	// Certs are certified external facts attached to the request.
+	Certs []*authority.Certificate
+}
+
+// GetOptions modifies a get request.
+type GetOptions struct {
+	// Version selects a historic version when HasVersion; otherwise
+	// the latest version is returned.
+	Version    int64
+	HasVersion bool
+	Certs      []*authority.Certificate
+}
+
+// DeleteOptions modifies a delete request.
+type DeleteOptions struct {
+	Certs []*authority.Certificate
+}
+
+// encodeVer renders a version as the Kinetic compare-and-swap token
+// guarding the metadata record against concurrent controllers.
+func encodeVer(v int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+// putObject is the write path (§3.2 steps 4–7): policy check, record
+// encoding, write-through to every replica, cache update.
+func (c *Controller) putObject(ctx context.Context, sessionKey, key string, value []byte, opts PutOptions) (int64, error) {
+	if int64(len(value)) > store.MaxObjectSize {
+		return 0, store.ErrTooLarge
+	}
+	c.cost.MoveBytes(len(value)) // request payload crosses into the enclave
+
+	// Serialize mutations of this key: concurrent version-less puts
+	// become last-writer-wins instead of surfacing CAS conflicts, and
+	// record/meta writes of different versions can never interleave.
+	lock := c.writeLock(key)
+	lock.Lock()
+	defer lock.Unlock()
+
+	meta, err := c.loadMeta(ctx, key)
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		return 0, err
+	}
+
+	// Determine the next version: explicit from the client, else
+	// current+1 (0 for creation).
+	var next int64
+	switch {
+	case opts.HasVersion:
+		next = opts.Version
+	case meta != nil:
+		next = meta.Version + 1
+	default:
+		next = 0
+	}
+	// Base integrity rule, independent of policies: versions are
+	// dense and monotonic.
+	if meta != nil && next != meta.Version+1 {
+		return 0, fmt.Errorf("%w: object at version %d, put requests %d",
+			ErrBadVersion, meta.Version, next)
+	}
+	if meta == nil && next != 0 {
+		return 0, fmt.Errorf("%w: creation must use version 0, got %d", ErrBadVersion, next)
+	}
+
+	// Policy check: an existing object's policy governs updates,
+	// including policy changes (§3.1).
+	if err := c.checkPolicy(ctx, lang.PermUpdate, sessionKey, key, meta, &next, opts.Certs); err != nil {
+		return 0, err
+	}
+
+	// Resolve the policy for the new version.
+	newPolicyID := opts.PolicyID
+	if newPolicyID == "" && meta != nil {
+		newPolicyID = meta.PolicyID
+	}
+	var policyHash [32]byte
+	if newPolicyID != "" {
+		prog, err := c.loadPolicy(ctx, newPolicyID)
+		if err != nil {
+			return 0, err
+		}
+		policyHash = prog.Hash()
+	}
+
+	newMeta := &store.Meta{
+		Key:         key,
+		Version:     next,
+		Size:        int64(len(value)),
+		ContentHash: store.HashContent(value),
+		PolicyID:    newPolicyID,
+		PolicyHash:  policyHash,
+	}
+	rec := &store.Record{Meta: *newMeta, Payload: value}
+	blob, err := c.codec.EncodeRecord(rec)
+	if err != nil {
+		return 0, err
+	}
+	metaRec := newMeta.Marshal()
+
+	// Write-through to every replica; the operation succeeds only if
+	// all replicas persist (§4.5).
+	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	for _, di := range placement {
+		cl := c.drives[di].pick()
+		c.chargeDriveIO(len(blob))
+		if err := cl.Put(ctx, store.ObjectKey(key, next), blob, nil, encodeVer(next), true); err != nil {
+			return 0, fmt.Errorf("core: write object to drive %s: %w", c.drives[di].name, err)
+		}
+		var prev []byte
+		if meta != nil {
+			prev = encodeVer(meta.Version)
+		}
+		c.chargeDriveIO(len(metaRec))
+		err := cl.Put(ctx, store.MetaKey(key), metaRec, prev, encodeVer(next), false)
+		if errors.Is(err, kclient.ErrVersionMismatch) {
+			c.metaCache.Remove(key)
+			return 0, fmt.Errorf("%w: concurrent update detected", ErrBadVersion)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("core: write meta to drive %s: %w", c.drives[di].name, err)
+		}
+	}
+
+	c.metaCache.Put(key, newMeta)
+	c.objectCache.Put(string(store.ObjectKey(key, next)), rec)
+	c.stats.add(func(s *Stats) { s.Puts++ })
+	return next, nil
+}
+
+// getObject is the read path (§3.2 step 5: policy first, then data,
+// each cache-first).
+func (c *Controller) getObject(ctx context.Context, sessionKey, key string, opts GetOptions) ([]byte, *store.Meta, error) {
+	meta, err := c.loadMeta(ctx, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.checkPolicy(ctx, lang.PermRead, sessionKey, key, meta, nil, opts.Certs); err != nil {
+		return nil, nil, err
+	}
+	version := meta.Version
+	if opts.HasVersion {
+		version = opts.Version
+	}
+	rec, err := c.loadRecord(ctx, key, version)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.cost.MoveBytes(len(rec.Payload)) // response payload leaves the enclave
+	c.stats.add(func(s *Stats) { s.Gets++ })
+	m := rec.Meta
+	return rec.Payload, &m, nil
+}
+
+// deleteObject removes an object and its whole version history.
+func (c *Controller) deleteObject(ctx context.Context, sessionKey, key string, opts DeleteOptions) error {
+	lock := c.writeLock(key)
+	lock.Lock()
+	defer lock.Unlock()
+
+	meta, err := c.loadMeta(ctx, key)
+	if err != nil {
+		return err
+	}
+	if err := c.checkPolicy(ctx, lang.PermDelete, sessionKey, key, meta, nil, opts.Certs); err != nil {
+		return err
+	}
+	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	start, end := store.ObjectKeyRange(key)
+	for _, di := range placement {
+		cl := c.drives[di].pick()
+		c.chargeDriveIO(0)
+		keys, err := cl.GetKeyRange(ctx, start, end, true, false, 0)
+		if err != nil {
+			return err
+		}
+		for _, k := range keys {
+			c.chargeDriveIO(0)
+			if err := cl.Delete(ctx, k, nil, true); err != nil && !errors.Is(err, kclient.ErrNotFound) {
+				return err
+			}
+			c.objectCache.Remove(string(k))
+		}
+		c.chargeDriveIO(0)
+		if err := cl.Delete(ctx, store.MetaKey(key), encodeVer(meta.Version), false); err != nil {
+			if errors.Is(err, kclient.ErrVersionMismatch) {
+				c.metaCache.Remove(key)
+				return fmt.Errorf("%w: concurrent update during delete", ErrBadVersion)
+			}
+			if !errors.Is(err, kclient.ErrNotFound) {
+				return err
+			}
+		}
+	}
+	c.metaCache.Remove(key)
+	c.stats.add(func(s *Stats) { s.Deletes++ })
+	return nil
+}
+
+// listVersions enumerates an object's stored versions (privileged
+// clients reading history, §5.3). Governed by the read permission.
+func (c *Controller) listVersions(ctx context.Context, sessionKey, key string, certs []*authority.Certificate) ([]int64, error) {
+	meta, err := c.loadMeta(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.checkPolicy(ctx, lang.PermRead, sessionKey, key, meta, nil, certs); err != nil {
+		return nil, err
+	}
+	start, end := store.ObjectKeyRange(key)
+	var lastErr error
+	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	for _, di := range placement {
+		cl := c.drives[di].pick()
+		c.chargeDriveIO(0)
+		keys, err := cl.GetKeyRange(ctx, start, end, true, false, 0)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out := make([]int64, 0, len(keys))
+		for _, k := range keys {
+			_, v, err := store.VersionFromObjectKey(k)
+			if err == nil {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	}
+	return nil, lastErr
+}
+
+// loadMeta returns the newest metadata for key, cache-first with
+// replica failover (§4.5).
+func (c *Controller) loadMeta(ctx context.Context, key string) (*store.Meta, error) {
+	if m, ok := c.metaCache.Get(key); ok {
+		return m, nil
+	}
+	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	var lastErr error
+	for _, di := range placement {
+		cl := c.drives[di].pick()
+		c.chargeDriveIO(0)
+		val, _, err := cl.Get(ctx, store.MetaKey(key))
+		if errors.Is(err, kclient.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		if err != nil {
+			lastErr = err
+			continue // fail over to the next replica
+		}
+		m, err := store.UnmarshalMeta(val)
+		if err != nil {
+			return nil, err
+		}
+		c.metaCache.Put(key, m)
+		return m, nil
+	}
+	return nil, fmt.Errorf("core: all replicas failed reading meta %q: %w", key, lastErr)
+}
+
+// loadRecord returns the record of one object version, cache-first
+// with replica failover, verifying payload integrity.
+func (c *Controller) loadRecord(ctx context.Context, key string, version int64) (*store.Record, error) {
+	ck := string(store.ObjectKey(key, version))
+	if r, ok := c.objectCache.Get(ck); ok {
+		return r, nil
+	}
+	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	var lastErr error
+	for _, di := range placement {
+		cl := c.drives[di].pick()
+		c.chargeDriveIO(0)
+		val, _, err := cl.Get(ctx, store.ObjectKey(key, version))
+		if errors.Is(err, kclient.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %q version %d", ErrNotFound, key, version)
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.cost.MoveBytes(len(val))
+		rec, err := c.codec.DecodeRecord(val)
+		if err != nil {
+			return nil, err
+		}
+		if store.HashContent(rec.Payload) != rec.Meta.ContentHash {
+			return nil, store.ErrCorrupt
+		}
+		c.objectCache.Put(ck, rec)
+		return rec, nil
+	}
+	return nil, fmt.Errorf("core: all replicas failed reading %q v%d: %w", key, version, lastErr)
+}
+
+// chargeDriveIO charges the enclave tax of one drive round trip: two
+// asynchronous syscall hand-offs (send, receive) plus the payload
+// crossing the boundary.
+func (c *Controller) chargeDriveIO(payload int) {
+	c.cost.Syscall()
+	c.cost.Syscall()
+	if payload > 0 {
+		c.cost.MoveBytes(payload)
+	}
+}
+
+// checkPolicy enforces the object's associated policy for op. meta may
+// be nil (object does not exist yet): creation is not governed by any
+// object policy. nextVersion, when non-nil, fills the nextVersion
+// predicate.
+func (c *Controller) checkPolicy(ctx context.Context, op lang.Perm, sessionKey, key string, meta *store.Meta, nextVersion *int64, certs []*authority.Certificate) error {
+	if c.cfg.DisablePolicies || meta == nil || meta.PolicyID == "" {
+		return nil
+	}
+	prog, err := c.loadPolicy(ctx, meta.PolicyID)
+	if err != nil {
+		return err
+	}
+	req := &policy.Request{
+		Op:           op,
+		ObjectID:     key,
+		LogID:        LogKeyFor(key),
+		SessionKey:   sessionKey,
+		Certificates: certs,
+		Now:          c.clock(),
+	}
+	if nextVersion != nil {
+		req.NextVersion = *nextVersion
+		req.HasNextVersion = true
+	}
+	c.stats.add(func(s *Stats) { s.PolicyChecks++ })
+	dec, err := policy.Eval(prog, req, &objectSource{c: c, ctx: ctx})
+	if err != nil {
+		return err
+	}
+	if !dec.Allowed {
+		c.stats.add(func(s *Stats) { s.PolicyDenials++ })
+		return &DeniedError{Op: op.String(), Key: key, Reason: dec.Reason}
+	}
+	return nil
+}
+
+// objectSource adapts the controller's loaders to the interpreter's
+// view of stored objects. Lookups go through the same caches as
+// client requests, which is what makes content-based policies
+// affordable (§4.2).
+type objectSource struct {
+	c   *Controller
+	ctx context.Context
+}
+
+// Info implements policy.ObjectSource.
+func (o *objectSource) Info(id string) (policy.ObjectInfo, bool, error) {
+	meta, err := o.c.loadMeta(o.ctx, id)
+	if errors.Is(err, ErrNotFound) {
+		return policy.ObjectInfo{}, false, nil
+	}
+	if err != nil {
+		return policy.ObjectInfo{}, false, err
+	}
+	return policy.ObjectInfo{
+		ID:         id,
+		Version:    meta.Version,
+		Size:       meta.Size,
+		Hash:       meta.ContentHash,
+		PolicyHash: meta.PolicyHash,
+	}, true, nil
+}
+
+// InfoAt implements policy.ObjectSource.
+func (o *objectSource) InfoAt(id string, version int64) (policy.ObjectInfo, bool, error) {
+	rec, err := o.c.loadRecord(o.ctx, id, version)
+	if errors.Is(err, ErrNotFound) {
+		return policy.ObjectInfo{}, false, nil
+	}
+	if err != nil {
+		return policy.ObjectInfo{}, false, err
+	}
+	return policy.ObjectInfo{
+		ID:         id,
+		Version:    rec.Meta.Version,
+		Size:       rec.Meta.Size,
+		Hash:       rec.Meta.ContentHash,
+		PolicyHash: rec.Meta.PolicyHash,
+	}, true, nil
+}
+
+// Content implements policy.ObjectSource.
+func (o *objectSource) Content(id string, version int64) ([]byte, bool, error) {
+	rec, err := o.c.loadRecord(o.ctx, id, version)
+	if errors.Is(err, ErrNotFound) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return rec.Payload, true, nil
+}
+
+// PutPolicy compiles policy source, persists the compiled program on
+// the drives and returns its content-addressed identifier (§3.1:
+// compile, cache, persist).
+func (c *Controller) PutPolicy(ctx context.Context, src string) (string, error) {
+	prog, err := policy.CompileSource(src)
+	if err != nil {
+		return "", err
+	}
+	id := policyID(prog)
+	blob, err := prog.Marshal()
+	if err != nil {
+		return "", err
+	}
+	placement := store.Placement(id, len(c.drives), c.cfg.Replicas)
+	for _, di := range placement {
+		cl := c.drives[di].pick()
+		c.chargeDriveIO(len(blob))
+		// Content-addressed: rewriting the same id is idempotent.
+		if err := cl.Put(ctx, store.PolicyKey(id), blob, nil, []byte{1}, true); err != nil {
+			return "", fmt.Errorf("core: store policy on drive %s: %w", c.drives[di].name, err)
+		}
+	}
+	c.policyCache.Put(id, prog)
+	return id, nil
+}
+
+// GetPolicySource returns the canonical text of a stored policy —
+// clients auditing what a policy id means.
+func (c *Controller) GetPolicySource(ctx context.Context, id string) (string, error) {
+	prog, err := c.loadPolicy(ctx, id)
+	if err != nil {
+		return "", err
+	}
+	return prog.Source()
+}
+
+// loadPolicy returns a compiled policy by id, cache-first with
+// replica failover.
+func (c *Controller) loadPolicy(ctx context.Context, id string) (*policy.Program, error) {
+	if p, ok := c.policyCache.Get(id); ok {
+		return p, nil
+	}
+	placement := store.Placement(id, len(c.drives), c.cfg.Replicas)
+	var lastErr error
+	for _, di := range placement {
+		cl := c.drives[di].pick()
+		c.chargeDriveIO(0)
+		val, _, err := cl.Get(ctx, store.PolicyKey(id))
+		if errors.Is(err, kclient.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchPolicy, id)
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		prog, err := policy.Unmarshal(val)
+		if err != nil {
+			return nil, err
+		}
+		// Content addressing doubles as integrity: the stored program
+		// must hash back to its id.
+		if policyID(prog) != id {
+			return nil, fmt.Errorf("core: policy %q fails integrity check", id)
+		}
+		c.policyCache.Put(id, prog)
+		return prog, nil
+	}
+	return nil, fmt.Errorf("core: all replicas failed reading policy %q: %w", id, lastErr)
+}
+
+// verifyStored recomputes an object's integrity evidence for the
+// attestation-style verification interface (§1: clients can verify
+// storage operations): content hash and policy hash at a version.
+func (c *Controller) verifyStored(ctx context.Context, key string, version int64) (*store.Meta, error) {
+	rec, err := c.loadRecord(ctx, key, version)
+	if err != nil {
+		return nil, err
+	}
+	if sha256.Sum256(rec.Payload) != rec.Meta.ContentHash {
+		return nil, store.ErrCorrupt
+	}
+	m := rec.Meta
+	return &m, nil
+}

@@ -1,0 +1,519 @@
+package core
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/authority"
+	"repro/internal/store"
+	"repro/internal/tlsutil"
+)
+
+// RESTServer exposes the controller over the paper's REST interface
+// (§4.1): plain HTTPS with mutual TLS, no special client library
+// required. Clients are identified by the public key of their TLS
+// certificate; certified facts ride along in headers.
+type RESTServer struct {
+	ctl *Controller
+	mux *http.ServeMux
+
+	// InsecureIdentityHeader, when true, accepts the client identity
+	// from the X-Pesos-Identity header on connections without client
+	// certificates. Only for tests; never enable in production.
+	InsecureIdentityHeader bool
+}
+
+// CertHeader carries base64-encoded certified facts, repeatable.
+const CertHeader = "X-Pesos-Certificate"
+
+// NewREST builds the REST front end for a controller.
+func NewREST(ctl *Controller) *RESTServer {
+	s := &RESTServer{ctl: ctl, mux: http.NewServeMux()}
+	s.mux.HandleFunc("PUT /v1/objects/{key...}", s.handlePut)
+	s.mux.HandleFunc("POST /v1/objects/{key...}", s.handlePut)
+	s.mux.HandleFunc("GET /v1/objects/{key...}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/objects/{key...}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/versions/{key...}", s.handleVersions)
+	s.mux.HandleFunc("GET /v1/verify/{key...}", s.handleVerify)
+	s.mux.HandleFunc("POST /v1/repair/{key...}", s.handleRepair)
+	s.mux.HandleFunc("POST /v1/policies", s.handlePutPolicy)
+	s.mux.HandleFunc("GET /v1/policies/{id}", s.handleGetPolicy)
+	s.mux.HandleFunc("GET /v1/results/{op}", s.handleResult)
+	s.mux.HandleFunc("POST /v1/tx", s.handleTxCreate)
+	s.mux.HandleFunc("POST /v1/tx/{id}/read", s.handleTxRead)
+	s.mux.HandleFunc("POST /v1/tx/{id}/write", s.handleTxWrite)
+	s.mux.HandleFunc("POST /v1/tx/{id}/commit", s.handleTxCommit)
+	s.mux.HandleFunc("POST /v1/tx/{id}/abort", s.handleTxAbort)
+	s.mux.HandleFunc("GET /v1/tx/{id}/results", s.handleTxResults)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *RESTServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Each request costs syscall hand-offs through the shielded
+	// runtime (receive + send).
+	s.ctl.cost.Syscall()
+	defer s.ctl.cost.Syscall()
+	s.mux.ServeHTTP(w, r)
+}
+
+// session authenticates the request and returns its session context.
+func (s *RESTServer) session(r *http.Request) (*Session, error) {
+	if r.TLS != nil && len(r.TLS.PeerCertificates) > 0 {
+		fp, err := tlsutil.CertFingerprint(r.TLS.PeerCertificates[0])
+		if err != nil {
+			return nil, err
+		}
+		return s.ctl.Session(fp), nil
+	}
+	if s.InsecureIdentityHeader {
+		if id := r.Header.Get("X-Pesos-Identity"); id != "" {
+			return s.ctl.Session(id), nil
+		}
+	}
+	return nil, errors.New("client certificate required")
+}
+
+// certs decodes attached certified facts.
+func certsFrom(r *http.Request) ([]*authority.Certificate, error) {
+	hdrs := r.Header.Values(CertHeader)
+	if len(hdrs) == 0 {
+		return nil, nil
+	}
+	out := make([]*authority.Certificate, 0, len(hdrs))
+	for _, h := range hdrs {
+		raw, err := base64.StdEncoding.DecodeString(h)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s header: %w", CertHeader, err)
+		}
+		c, err := authority.UnmarshalCertificate(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func objectKeyFrom(r *http.Request) (string, error) {
+	key := r.PathValue("key")
+	if key == "" {
+		return "", errors.New("empty object key")
+	}
+	if strings.ContainsRune(key, 0) {
+		return "", errors.New("object keys must not contain NUL")
+	}
+	return key, nil
+}
+
+func (s *RESTServer) handlePut(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	key, err := objectKeyFrom(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	certs, err := certsFrom(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, store.MaxObjectSize+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if int64(len(body)) > store.MaxObjectSize {
+		httpError(w, http.StatusRequestEntityTooLarge, store.ErrTooLarge)
+		return
+	}
+	opts := PutOptions{PolicyID: r.URL.Query().Get("policy"), Certs: certs}
+	if v := r.URL.Query().Get("version"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad version: %w", err))
+			return
+		}
+		opts.Version, opts.HasVersion = n, true
+	}
+	if r.URL.Query().Get("async") != "" {
+		opID := sess.PutAsync(key, body, opts)
+		writeJSON(w, http.StatusOK, map[string]any{"op": opID})
+		return
+	}
+	ver, err := sess.Put(r.Context(), key, body, opts)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"version": ver})
+}
+
+func (s *RESTServer) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	key, err := objectKeyFrom(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	certs, err := certsFrom(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := GetOptions{Certs: certs}
+	if v := r.URL.Query().Get("version"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad version: %w", err))
+			return
+		}
+		opts.Version, opts.HasVersion = n, true
+	}
+	val, meta, err := sess.Get(r.Context(), key, opts)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("X-Pesos-Version", strconv.FormatInt(meta.Version, 10))
+	w.Header().Set("X-Pesos-Policy", meta.PolicyID)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(val)
+}
+
+func (s *RESTServer) handleDelete(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	key, err := objectKeyFrom(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	certs, err := certsFrom(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("async") != "" {
+		opID := sess.DeleteAsync(key, DeleteOptions{Certs: certs})
+		writeJSON(w, http.StatusOK, map[string]any{"op": opID})
+		return
+	}
+	if err := sess.Delete(r.Context(), key, DeleteOptions{Certs: certs}); err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": true})
+}
+
+func (s *RESTServer) handleVersions(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	key, err := objectKeyFrom(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	certs, err := certsFrom(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	vers, err := sess.ListVersions(r.Context(), key, certs)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"versions": vers})
+}
+
+func (s *RESTServer) handleVerify(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	key, err := objectKeyFrom(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ver := int64(0)
+	if v := r.URL.Query().Get("version"); v != "" {
+		if ver, err = strconv.ParseInt(v, 10, 64); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	meta, err := sess.Verify(r.Context(), key, ver)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"key":         meta.Key,
+		"version":     meta.Version,
+		"size":        meta.Size,
+		"contentHash": fmt.Sprintf("%x", meta.ContentHash),
+		"policy":      meta.PolicyID,
+		"policyHash":  fmt.Sprintf("%x", meta.PolicyHash),
+	})
+}
+
+func (s *RESTServer) handleRepair(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	key, err := objectKeyFrom(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	report, err := sess.Repair(r.Context(), key)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"key": report.Key, "versions": report.Versions, "restored": report.Restored,
+	})
+}
+
+func (s *RESTServer) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	src, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := sess.PutPolicy(r.Context(), string(src))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id})
+}
+
+func (s *RESTServer) handleGetPolicy(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.session(r); err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	src, err := s.ctl.GetPolicySource(r.Context(), r.PathValue("id"))
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, src)
+}
+
+func (s *RESTServer) handleResult(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	opID, err := strconv.ParseUint(r.PathValue("op"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, ok := sess.Result(opID)
+	if !ok {
+		httpError(w, http.StatusNotFound, errors.New("result unknown or aged out; re-issue the request"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"op": res.OpID, "done": res.Done, "error": res.Err, "version": res.Version,
+	})
+}
+
+func (s *RESTServer) handleTxCreate(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tx": sess.CreateTx()})
+}
+
+func (s *RESTServer) txID(r *http.Request) (uint64, error) {
+	return strconv.ParseUint(r.PathValue("id"), 10, 64)
+}
+
+func (s *RESTServer) handleTxRead(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	id, err := s.txID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		httpError(w, http.StatusBadRequest, errors.New("missing key parameter"))
+		return
+	}
+	if err := sess.AddRead(id, key); err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *RESTServer) handleTxWrite(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	id, err := s.txID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		httpError(w, http.StatusBadRequest, errors.New("missing key parameter"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, store.MaxObjectSize+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := sess.AddWrite(id, key, body); err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *RESTServer) handleTxCommit(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	id, err := s.txID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := sess.CommitTx(r.Context(), id); err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"committed": true})
+}
+
+func (s *RESTServer) handleTxAbort(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	id, err := s.txID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := sess.AbortTx(id); err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"aborted": true})
+}
+
+func (s *RESTServer) handleTxResults(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	id, err := s.txID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := sess.CheckResults(id)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": res})
+}
+
+func (s *RESTServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.session(r); err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	st := s.ctl.stats.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"puts": st.Puts, "gets": st.Gets, "deletes": st.Deletes,
+		"policyChecks": st.PolicyChecks, "policyDenials": st.PolicyDenials,
+		"txCommits": st.TxCommits, "txAborts": st.TxAborts,
+		"epcResident": s.ctl.epc.Resident(),
+		"epcFaults":   s.ctl.epc.Faults(),
+		"caches":      s.ctl.CacheStats(),
+	})
+}
+
+// statusFor maps controller errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrDenied):
+		return http.StatusForbidden
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoSuchPolicy), errors.Is(err, ErrNoSuchTx):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadVersion), errors.Is(err, ErrTxFinished):
+		return http.StatusConflict
+	case errors.Is(err, store.ErrTooLarge):
+		return http.StatusRequestEntityTooLarge
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]any{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

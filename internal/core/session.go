@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/authority"
+	"repro/internal/cache"
+	"repro/internal/store"
+)
+
+// Session is the per-client soft state the controller keeps (§3.1):
+// it is created when a client first connects (identified by its
+// certificate), persists past disconnects, and expires only after a
+// TTL. Asynchronous results are organized under the owning session.
+type Session struct {
+	ctl        *Controller
+	clientKey  string // certificate key fingerprint
+	createdAt  time.Time
+	lastActive atomic.Int64 // unix nanos
+
+	mu      sync.Mutex
+	txs     map[uint64]*txState
+	nextTx  uint64
+	stopped bool
+}
+
+// asyncState is the controller-wide asynchronous machinery: one
+// result window of the last 2048 operations (§4.1) and a worker pool
+// draining queued operations.
+type asyncState struct {
+	results *cache.ResultBuffer
+	queue   chan func()
+	wg      sync.WaitGroup
+	nextOp  atomic.Uint64
+}
+
+// ensureAsync lazily starts the async worker pool.
+func (c *Controller) ensureAsync() *asyncState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.async == nil {
+		n := c.cfg.AsyncWorkers
+		if n <= 0 {
+			n = 32
+		}
+		a := &asyncState{
+			results: cache.NewResultBuffer(0, c.epc, "result-buffer"),
+			queue:   make(chan func(), 4096),
+		}
+		for i := 0; i < n; i++ {
+			a.wg.Add(1)
+			go func() {
+				defer a.wg.Done()
+				for f := range a.queue {
+					f()
+				}
+			}()
+		}
+		c.async = a
+	}
+	return c.async
+}
+
+// Session returns (creating if needed) the session context for a
+// client key fingerprint. Reconnecting clients get their existing
+// context back while it lives (§3.1).
+func (c *Controller) Session(clientKey string) *Session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.sessions[clientKey]; ok {
+		s.lastActive.Store(time.Now().UnixNano())
+		return s
+	}
+	s := &Session{
+		ctl:       c,
+		clientKey: clientKey,
+		createdAt: time.Now(),
+		txs:       make(map[uint64]*txState),
+	}
+	s.lastActive.Store(time.Now().UnixNano())
+	c.sessions[clientKey] = s
+	// Each connected client costs a session object in enclave memory
+	// (30 KB default, §4.2).
+	c.epc.Alloc("sessions", 30<<10)
+	return s
+}
+
+// ExpireSessions drops sessions idle longer than the TTL, releasing
+// their enclave memory. The REST server calls this periodically.
+func (c *Controller) ExpireSessions() int {
+	ttl := c.cfg.SessionTTL
+	if ttl <= 0 {
+		ttl = 10 * time.Minute
+	}
+	cutoff := time.Now().Add(-ttl).UnixNano()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, s := range c.sessions {
+		if s.lastActive.Load() < cutoff {
+			s.stop()
+			delete(c.sessions, k)
+			c.epc.Free("sessions", 30<<10)
+			n++
+		}
+	}
+	return n
+}
+
+// ClientKey returns the session's owning key fingerprint.
+func (s *Session) ClientKey() string { return s.clientKey }
+
+func (s *Session) touch() { s.lastActive.Store(time.Now().UnixNano()) }
+
+func (s *Session) stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+	for id, tx := range s.txs {
+		if tx.lock != nil {
+			s.ctl.locks.Finish(tx.lock)
+		}
+		delete(s.txs, id)
+	}
+}
+
+// Put stores (or updates) an object synchronously, returning the new
+// version.
+func (s *Session) Put(ctx context.Context, key string, value []byte, opts PutOptions) (int64, error) {
+	s.touch()
+	return s.ctl.putObject(ctx, s.clientKey, key, value, opts)
+}
+
+// Get fetches an object (latest version unless opts selects one).
+func (s *Session) Get(ctx context.Context, key string, opts GetOptions) ([]byte, *store.Meta, error) {
+	s.touch()
+	return s.ctl.getObject(ctx, s.clientKey, key, opts)
+}
+
+// Delete removes an object and its history.
+func (s *Session) Delete(ctx context.Context, key string, opts DeleteOptions) error {
+	s.touch()
+	return s.ctl.deleteObject(ctx, s.clientKey, key, opts)
+}
+
+// ListVersions lists the stored versions of an object.
+func (s *Session) ListVersions(ctx context.Context, key string, certs []*authority.Certificate) ([]int64, error) {
+	s.touch()
+	return s.ctl.listVersions(ctx, s.clientKey, key, certs)
+}
+
+// PutPolicy compiles and stores a policy, returning its id.
+func (s *Session) PutPolicy(ctx context.Context, src string) (string, error) {
+	s.touch()
+	return s.ctl.PutPolicy(ctx, src)
+}
+
+// Verify returns the integrity-checked metadata of a stored version —
+// the client-facing attestation of stored objects and their policies.
+func (s *Session) Verify(ctx context.Context, key string, version int64) (*store.Meta, error) {
+	s.touch()
+	return s.ctl.verifyStored(ctx, key, version)
+}
+
+// PutAsync enqueues a put and immediately returns an operation id the
+// client can poll with Result (§4.1). The context is detached: the
+// operation outlives the initiating request.
+func (s *Session) PutAsync(key string, value []byte, opts PutOptions) uint64 {
+	s.touch()
+	a := s.ctl.ensureAsync()
+	opID := a.nextOp.Add(1)
+	a.results.Put(cache.Result{OpID: opID, Owner: s.clientKey, Done: false})
+	a.queue <- func() {
+		ver, err := s.ctl.putObject(context.Background(), s.clientKey, key, value, opts)
+		res := cache.Result{OpID: opID, Owner: s.clientKey, Done: true, Version: ver}
+		if err != nil {
+			res.Err = err.Error()
+		}
+		a.results.Put(res)
+	}
+	return opID
+}
+
+// DeleteAsync enqueues a delete, returning an operation id.
+func (s *Session) DeleteAsync(key string, opts DeleteOptions) uint64 {
+	s.touch()
+	a := s.ctl.ensureAsync()
+	opID := a.nextOp.Add(1)
+	a.results.Put(cache.Result{OpID: opID, Owner: s.clientKey, Done: false})
+	a.queue <- func() {
+		err := s.ctl.deleteObject(context.Background(), s.clientKey, key, opts)
+		res := cache.Result{OpID: opID, Owner: s.clientKey, Done: true}
+		if err != nil {
+			res.Err = err.Error()
+		}
+		a.results.Put(res)
+	}
+	return opID
+}
+
+// Result reports the outcome of an asynchronous operation. ok=false
+// means the id is unknown, aged out of the 2048-entry window, or
+// owned by a different client — in all cases the client must assume
+// the request may not have executed and re-issue it (§4.1).
+func (s *Session) Result(opID uint64) (cache.Result, bool) {
+	s.touch()
+	a := s.ctl.ensureAsync()
+	r, ok := a.results.Get(opID)
+	if !ok || r.Owner != s.clientKey {
+		return cache.Result{}, false
+	}
+	return r, true
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/authority"
+	"repro/internal/policy/lang"
+	"repro/internal/vll"
+)
+
+// Transaction errors.
+var (
+	ErrNoSuchTx   = errors.New("pesos: unknown transaction id")
+	ErrTxFinished = errors.New("pesos: transaction already committed or aborted")
+)
+
+// TxOpResult is the outcome of one operation inside a committed
+// transaction, retrievable with CheckResults (§4.4).
+type TxOpResult struct {
+	Key     string
+	Op      string // "read" or "write"
+	Value   []byte // read result
+	Version int64  // version read or written
+	Err     string // per-op failure (policy denial aborts the tx instead)
+}
+
+// txState buffers a transaction until commit (§4.2's transaction
+// buffer).
+type txState struct {
+	id       uint64
+	reads    []string
+	writes   map[string][]byte
+	writeSeq []string // declaration order for deterministic results
+	certs    []*authority.Certificate
+	lock     *vll.Tx
+	finished bool
+	results  []TxOpResult
+}
+
+// CreateTx opens a transaction and returns its id (§4.4: createTx).
+func (s *Session) CreateTx() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextTx++
+	id := s.nextTx
+	s.txs[id] = &txState{id: id, writes: make(map[string][]byte)}
+	return id
+}
+
+// AddRead declares a key the transaction will read (§4.4: addRead).
+func (s *Session) AddRead(txID uint64, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx, err := s.txLocked(txID)
+	if err != nil {
+		return err
+	}
+	tx.reads = append(tx.reads, key)
+	return nil
+}
+
+// AddWrite declares a key/value the transaction will write (§4.4:
+// addWrite). Declaring the same key again replaces the value.
+func (s *Session) AddWrite(txID uint64, key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx, err := s.txLocked(txID)
+	if err != nil {
+		return err
+	}
+	if _, seen := tx.writes[key]; !seen {
+		tx.writeSeq = append(tx.writeSeq, key)
+	}
+	tx.writes[key] = value
+	return nil
+}
+
+// AddCertificates attaches certified facts used for the policy checks
+// of every operation in the transaction.
+func (s *Session) AddCertificates(txID uint64, certs ...*authority.Certificate) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx, err := s.txLocked(txID)
+	if err != nil {
+		return err
+	}
+	tx.certs = append(tx.certs, certs...)
+	return nil
+}
+
+// AbortTx discards a transaction (§4.4: abortTx).
+func (s *Session) AbortTx(txID uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx, err := s.txLocked(txID)
+	if err != nil {
+		return err
+	}
+	tx.finished = true
+	if tx.lock != nil {
+		s.ctl.locks.Finish(tx.lock)
+	}
+	delete(s.txs, txID)
+	s.ctl.stats.add(func(st *Stats) { st.TxAborts++ })
+	return nil
+}
+
+// CommitTx executes the transaction with full isolation (§4.4:
+// commitTx): VLL locks its read/write sets, every operation passes
+// its policy check before any write is applied, then all writes go to
+// the drives. A policy denial or version conflict aborts the whole
+// transaction with no effects.
+//
+// Atomicity note: within one controller, VLL mutual exclusion makes
+// the commit atomic with respect to other transactions; durability of
+// partially-replicated writes after a controller crash is recovered
+// from replicas, as the paper's design relies on (§4.4: "we rely on
+// replication to recover from disk crashes").
+func (s *Session) CommitTx(ctx context.Context, txID uint64) error {
+	s.mu.Lock()
+	tx, err := s.txLocked(txID)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	tx.finished = true
+	readSet := append([]string(nil), tx.reads...)
+	writeSet := make([]string, 0, len(tx.writes))
+	writeSet = append(writeSet, tx.writeSeq...)
+	s.mu.Unlock()
+
+	// Reads of keys also written are served from the write set; they
+	// must not appear in both VLL sets.
+	readOnly := readSet[:0:0]
+	for _, k := range readSet {
+		if _, written := tx.writes[k]; !written {
+			readOnly = append(readOnly, k)
+		}
+	}
+	sort.Strings(readOnly)
+
+	lock, err := s.ctl.locks.Begin(readOnly, writeSet)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	tx.lock = lock
+	s.mu.Unlock()
+	if err := lock.Wait(ctx); err != nil {
+		s.ctl.locks.Finish(lock)
+		return err
+	}
+	defer s.ctl.locks.Finish(lock)
+
+	// Phase 1: policy checks for every operation, before any effect.
+	for _, k := range readOnly {
+		meta, err := s.ctl.loadMeta(ctx, k)
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			return s.txAbort(txID, err)
+		}
+		if meta != nil {
+			if err := s.ctl.checkPolicy(ctx, lang.PermRead, s.clientKey, k, meta, nil, tx.certs); err != nil {
+				return s.txAbort(txID, err)
+			}
+		}
+	}
+	type plannedWrite struct {
+		key  string
+		next int64
+	}
+	planned := make([]plannedWrite, 0, len(writeSet))
+	for _, k := range writeSet {
+		meta, err := s.ctl.loadMeta(ctx, k)
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			return s.txAbort(txID, err)
+		}
+		var next int64
+		if meta != nil {
+			next = meta.Version + 1
+		}
+		if err := s.ctl.checkPolicy(ctx, lang.PermUpdate, s.clientKey, k, meta, &next, tx.certs); err != nil {
+			return s.txAbort(txID, err)
+		}
+		planned = append(planned, plannedWrite{key: k, next: next})
+	}
+
+	// Phase 2: execute. Reads first (snapshot under the locks), then
+	// writes.
+	var results []TxOpResult
+	for _, k := range readOnly {
+		val, meta, err := s.ctl.getObject(ctx, s.clientKey, k, GetOptions{Certs: tx.certs})
+		r := TxOpResult{Key: k, Op: "read"}
+		if err != nil {
+			r.Err = err.Error()
+		} else {
+			r.Value = val
+			r.Version = meta.Version
+		}
+		results = append(results, r)
+	}
+	for _, pw := range planned {
+		ver, err := s.ctl.putObject(ctx, s.clientKey, pw.key, tx.writes[pw.key], PutOptions{
+			Version: pw.next, HasVersion: true, Certs: tx.certs,
+		})
+		r := TxOpResult{Key: pw.key, Op: "write", Version: ver}
+		if err != nil {
+			// Keys are locked, so a conflict here means replica
+			// failure; surface it and abort.
+			return s.txAbort(txID, fmt.Errorf("pesos: tx write %q: %w", pw.key, err))
+		}
+		results = append(results, r)
+	}
+
+	s.mu.Lock()
+	tx.results = results
+	s.mu.Unlock()
+	s.ctl.stats.add(func(st *Stats) { st.TxCommits++ })
+	return nil
+}
+
+// CheckResults returns the per-operation outcomes of a committed
+// transaction (§4.4: checkResults). The transaction stays queryable
+// until the session expires.
+func (s *Session) CheckResults(txID uint64) ([]TxOpResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx, ok := s.txs[txID]
+	if !ok {
+		return nil, ErrNoSuchTx
+	}
+	if !tx.finished {
+		return nil, fmt.Errorf("pesos: transaction %d not committed", txID)
+	}
+	return tx.results, nil
+}
+
+// txAbort releases the transaction after a failed commit, keeping the
+// failure queryable.
+func (s *Session) txAbort(txID uint64, cause error) error {
+	s.mu.Lock()
+	if tx, ok := s.txs[txID]; ok {
+		tx.results = append(tx.results, TxOpResult{Op: "abort", Err: cause.Error()})
+	}
+	s.mu.Unlock()
+	s.ctl.stats.add(func(st *Stats) { st.TxAborts++ })
+	return cause
+}
+
+// txLocked fetches a live transaction; caller holds s.mu.
+func (s *Session) txLocked(txID uint64) (*txState, error) {
+	tx, ok := s.txs[txID]
+	if !ok {
+		return nil, ErrNoSuchTx
+	}
+	if tx.finished {
+		return nil, ErrTxFinished
+	}
+	return tx, nil
+}

@@ -1,0 +1,142 @@
+// Package attest implements the remote-attestation and secret-
+// provisioning service Pesos bootstraps through (§3.1). It plays the
+// role of the Scone Configuration and Attestation Service (CAS): an
+// operator registers the expected enclave measurement together with
+// the runtime secrets (TLS key pair, drive credentials, object
+// encryption key); a starting controller presents a fresh quote and
+// receives the secrets only if the measurement matches and the quote
+// verifies against the platform's attestation key.
+package attest
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/enclave"
+)
+
+// Errors reported during attestation.
+var (
+	ErrUnknownMeasurement = errors.New("attest: measurement not registered")
+	ErrBadQuote           = errors.New("attest: quote verification failed")
+	ErrStaleNonce         = errors.New("attest: nonce unknown or reused")
+)
+
+// DriveCredential grants access to one Kinetic drive.
+type DriveCredential struct {
+	Address  string `json:"address"`
+	Identity string `json:"identity"`
+	Key      []byte `json:"key"`
+}
+
+// Secrets is the runtime bundle released to an attested controller.
+type Secrets struct {
+	// TLSCertPEM/TLSKeyPEM are the controller's REST serving identity.
+	TLSCertPEM []byte `json:"tls_cert_pem"`
+	TLSKeyPEM  []byte `json:"tls_key_pem"`
+	// Drives are the factory credentials used to take over each drive.
+	Drives []DriveCredential `json:"drives"`
+	// ObjectKey encrypts object payloads before they leave the enclave.
+	ObjectKey [32]byte `json:"object_key"`
+	// AdminSeed deterministically derives the per-drive Pesos admin
+	// accounts installed during takeover.
+	AdminSeed [32]byte `json:"admin_seed"`
+}
+
+// Marshal serializes the bundle (the service stores it sealed; tests
+// round-trip it).
+func (s *Secrets) Marshal() ([]byte, error) { return json.Marshal(s) }
+
+// UnmarshalSecrets parses a bundle.
+func UnmarshalSecrets(data []byte) (*Secrets, error) {
+	var s Secrets
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("attest: bad secrets bundle: %w", err)
+	}
+	return &s, nil
+}
+
+// Service is the attestation service.
+type Service struct {
+	platformKey *ecdsa.PublicKey
+
+	mu       sync.Mutex
+	expected map[enclave.Measurement]*Secrets
+	nonces   map[[32]byte]bool
+}
+
+// NewService creates a service trusting quotes signed by platformKey.
+func NewService(platformKey *ecdsa.PublicKey) *Service {
+	return &Service{
+		platformKey: platformKey,
+		expected:    make(map[enclave.Measurement]*Secrets),
+		nonces:      make(map[[32]byte]bool),
+	}
+}
+
+// Register associates secrets with an expected measurement.
+func (s *Service) Register(m enclave.Measurement, secrets *Secrets) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expected[m] = secrets
+}
+
+// Challenge issues a fresh nonce the enclave must bind in its quote's
+// report data, preventing replay of old quotes.
+func (s *Service) Challenge() ([32]byte, error) {
+	var n [32]byte
+	if _, err := rand.Read(n[:]); err != nil {
+		return n, err
+	}
+	s.mu.Lock()
+	s.nonces[n] = true
+	s.mu.Unlock()
+	return n, nil
+}
+
+// Attest verifies the quote and, on success, releases the secrets
+// registered for the quoted measurement. The quote's report data must
+// be SHA-256(nonce) for a nonce previously issued by Challenge.
+func (s *Service) Attest(q *enclave.Quote, nonce [32]byte) (*Secrets, error) {
+	s.mu.Lock()
+	ok := s.nonces[nonce]
+	delete(s.nonces, nonce) // single use
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrStaleNonce
+	}
+	want := sha256.Sum256(nonce[:])
+	if q == nil || q.ReportData != want {
+		return nil, fmt.Errorf("%w: report data does not bind nonce", ErrBadQuote)
+	}
+	if err := enclave.VerifyQuote(q, s.platformKey); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuote, err)
+	}
+	s.mu.Lock()
+	secrets, ok := s.expected[q.Measurement]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownMeasurement
+	}
+	return secrets, nil
+}
+
+// AttestEnclave runs the full client-side handshake for an in-process
+// enclave: challenge, quote generation binding the nonce, verification
+// and secret release. The controller bootstrap calls this.
+func (s *Service) AttestEnclave(e *enclave.Enclave) (*Secrets, error) {
+	nonce, err := s.Challenge()
+	if err != nil {
+		return nil, err
+	}
+	q, err := e.GenerateQuote(sha256.Sum256(nonce[:]))
+	if err != nil {
+		return nil, err
+	}
+	return s.Attest(q, nonce)
+}

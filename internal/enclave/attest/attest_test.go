@@ -1,0 +1,117 @@
+package attest
+
+import (
+	"crypto/sha256"
+	"errors"
+	"testing"
+
+	"repro/internal/enclave"
+)
+
+func setup(t *testing.T) (*enclave.Platform, *Service, *enclave.Enclave, *Secrets) {
+	t.Helper()
+	p, err := enclave.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.Launch([]byte("controller"), []byte("cfg"), 0)
+	svc := NewService(p.AttestationPublicKey())
+	secrets := &Secrets{}
+	secrets.ObjectKey[0] = 42
+	svc.Register(e.Measurement(), secrets)
+	return p, svc, e, secrets
+}
+
+func TestAttestHappyPath(t *testing.T) {
+	_, svc, e, want := setup(t)
+	got, err := svc.AttestEnclave(e)
+	if err != nil {
+		t.Fatalf("attest: %v", err)
+	}
+	if got.ObjectKey != want.ObjectKey {
+		t.Fatal("wrong secrets released")
+	}
+}
+
+func TestAttestRejectsUnknownMeasurement(t *testing.T) {
+	p, svc, _, _ := setup(t)
+	rogue := p.Launch([]byte("tampered"), []byte("cfg"), 0)
+	if _, err := svc.AttestEnclave(rogue); !errors.Is(err, ErrUnknownMeasurement) {
+		t.Fatalf("want unknown measurement, got %v", err)
+	}
+}
+
+func TestAttestRejectsForeignPlatform(t *testing.T) {
+	_, svc, e, _ := setup(t)
+	// Same measurement, different platform: signature check fails.
+	p2, _ := enclave.NewPlatform()
+	e2 := p2.Launch([]byte("controller"), []byte("cfg"), 0)
+	_ = e
+	nonce, _ := svc.Challenge()
+	q, _ := e2.GenerateQuote(sha256.Sum256(nonce[:]))
+	if _, err := svc.Attest(q, nonce); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("want bad quote, got %v", err)
+	}
+}
+
+func TestNonceSingleUse(t *testing.T) {
+	_, svc, e, _ := setup(t)
+	nonce, err := svc.Challenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := e.GenerateQuote(sha256.Sum256(nonce[:]))
+	if _, err := svc.Attest(q, nonce); err != nil {
+		t.Fatalf("first use: %v", err)
+	}
+	if _, err := svc.Attest(q, nonce); !errors.Is(err, ErrStaleNonce) {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+func TestUnissuedNonceRejected(t *testing.T) {
+	_, svc, e, _ := setup(t)
+	var fake [32]byte
+	fake[0] = 1
+	q, _ := e.GenerateQuote(sha256.Sum256(fake[:]))
+	if _, err := svc.Attest(q, fake); !errors.Is(err, ErrStaleNonce) {
+		t.Fatalf("unissued nonce: %v", err)
+	}
+}
+
+func TestQuoteMustBindNonce(t *testing.T) {
+	_, svc, e, _ := setup(t)
+	nonce, _ := svc.Challenge()
+	var wrong [32]byte
+	q, _ := e.GenerateQuote(wrong) // does not bind the nonce
+	if _, err := svc.Attest(q, nonce); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("unbound quote: %v", err)
+	}
+}
+
+func TestSecretsRoundTrip(t *testing.T) {
+	s := &Secrets{
+		TLSCertPEM: []byte("cert"),
+		TLSKeyPEM:  []byte("key"),
+		Drives: []DriveCredential{
+			{Address: "d0", Identity: "factory-admin", Key: []byte("asdfasdf")},
+		},
+	}
+	s.ObjectKey[3] = 7
+	s.AdminSeed[5] = 9
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSecrets(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ObjectKey != s.ObjectKey || got.AdminSeed != s.AdminSeed ||
+		len(got.Drives) != 1 || got.Drives[0].Address != "d0" {
+		t.Fatal("secrets round trip mismatch")
+	}
+	if _, err := UnmarshalSecrets([]byte("{bad")); err == nil {
+		t.Error("bad json accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package enclave
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeasurementDeterministic(t *testing.T) {
+	m1 := Measure([]byte("binary"), []byte("config"))
+	m2 := Measure([]byte("binary"), []byte("config"))
+	if m1 != m2 {
+		t.Fatal("measurement not deterministic")
+	}
+	if Measure([]byte("binary2"), []byte("config")) == m1 {
+		t.Fatal("different image, same measurement")
+	}
+	if Measure([]byte("binary"), []byte("config2")) == m1 {
+		t.Fatal("different config, same measurement")
+	}
+	// Length-prefixing prevents boundary confusion.
+	if Measure([]byte("ab"), []byte("c")) == Measure([]byte("a"), []byte("bc")) {
+		t.Fatal("image/config boundary ambiguous")
+	}
+}
+
+func TestQuoteVerify(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.Launch([]byte("img"), []byte("cfg"), 0)
+	var report [32]byte
+	report[0] = 7
+	q, err := e.GenerateQuote(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(q, p.AttestationPublicKey()); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+
+	// Tampered measurement.
+	bad := *q
+	bad.Measurement[0] ^= 1
+	if VerifyQuote(&bad, p.AttestationPublicKey()) == nil {
+		t.Error("tampered measurement verified")
+	}
+	// Tampered report data.
+	bad = *q
+	bad.ReportData[0] ^= 1
+	if VerifyQuote(&bad, p.AttestationPublicKey()) == nil {
+		t.Error("tampered report verified")
+	}
+	// Quote from a different platform does not verify here.
+	p2, _ := NewPlatform()
+	e2 := p2.Launch([]byte("img"), []byte("cfg"), 0)
+	q2, _ := e2.GenerateQuote(report)
+	if VerifyQuote(q2, p.AttestationPublicKey()) == nil {
+		t.Error("cross-platform quote verified")
+	}
+	if VerifyQuote(nil, p.AttestationPublicKey()) == nil {
+		t.Error("nil quote verified")
+	}
+}
+
+func TestSealKeyBinding(t *testing.T) {
+	p1, _ := NewPlatform()
+	p2, _ := NewPlatform()
+	e1 := p1.Launch([]byte("img"), []byte("cfg"), 0)
+	e1b := p1.Launch([]byte("img"), []byte("cfg"), 0)
+	e2 := p1.Launch([]byte("other"), []byte("cfg"), 0)
+	e3 := p2.Launch([]byte("img"), []byte("cfg"), 0)
+
+	if e1.SealKey() != e1b.SealKey() {
+		t.Error("same enclave, same platform: different seal keys")
+	}
+	if e1.SealKey() == e2.SealKey() {
+		t.Error("different measurement shares seal key")
+	}
+	if e1.SealKey() == e3.SealKey() {
+		t.Error("different platform shares seal key")
+	}
+}
+
+func TestEPCAccounting(t *testing.T) {
+	epc := NewEPC(1 << 20) // 1 MB budget
+	epc.Alloc("cache", 512<<10)
+	if epc.Resident() != 512<<10 {
+		t.Fatalf("resident = %d", epc.Resident())
+	}
+	// Within budget: no faults.
+	if f := epc.Touch(256 << 10); f != 0 {
+		t.Fatalf("faults within budget: %d", f)
+	}
+	// Overcommit: faults proportional to overcommit ratio.
+	epc.Alloc("cache", 1<<20) // resident 1.5 MB vs 1 MB budget
+	f := epc.Touch(300 << 10)
+	if f == 0 {
+		t.Fatal("no faults while overcommitted")
+	}
+	pages := uint64((300 << 10) / PageSize)
+	if f >= pages {
+		t.Fatalf("faults %d >= touched pages %d", f, pages)
+	}
+	if epc.Faults() != f {
+		t.Error("fault counter mismatch")
+	}
+	epc.Free("cache", 1<<20)
+	if f := epc.Touch(300 << 10); f != 0 {
+		t.Fatalf("faults after freeing: %d", f)
+	}
+	u := epc.Usage()
+	if u["cache"] != 512<<10 {
+		t.Errorf("usage[cache] = %d", u["cache"])
+	}
+	if NewEPC(0).Budget() != DefaultEPCBudget {
+		t.Error("default budget")
+	}
+}
+
+func TestCostModelDisabled(t *testing.T) {
+	c := DefaultCostModel(false, nil)
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		c.Syscall()
+		c.MoveBytes(4096)
+	}
+	if time.Since(start) > 50*time.Millisecond {
+		t.Error("disabled cost model burns time")
+	}
+	if c.Syscalls() != 0 {
+		t.Error("disabled model counted syscalls")
+	}
+}
+
+func TestCostModelCharges(t *testing.T) {
+	epc := NewEPC(1 << 20)
+	c := DefaultCostModel(true, epc)
+	before := time.Now()
+	for i := 0; i < 100; i++ {
+		c.Syscall()
+	}
+	elapsed := time.Since(before)
+	if c.Syscalls() != 100 {
+		t.Fatalf("syscalls = %d", c.Syscalls())
+	}
+	wantMin := 90 * c.SyscallTax
+	if elapsed < wantMin {
+		t.Errorf("spun %v, want at least %v", elapsed, wantMin)
+	}
+	if c.SpunNanos() == 0 {
+		t.Error("spun accounting missing")
+	}
+	// Faults charge extra when overcommitted.
+	epc.Alloc("x", 3<<20)
+	s0 := c.SpunNanos()
+	c.MoveBytes(1 << 20)
+	if c.SpunNanos() <= s0 {
+		t.Error("overcommitted move charged nothing")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	p, _ := NewPlatform()
+	var r Registry
+	e := p.Launch([]byte("a"), nil, 0)
+	r.Add(e)
+	if len(r.All()) != 1 || r.All()[0] != e {
+		t.Error("registry contents")
+	}
+}

@@ -1,0 +1,183 @@
+package enclave
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultEPCBudget is the usable enclave page cache on SGX v1
+// hardware: 96 MB of the 128 MB protected region (§2.1).
+const DefaultEPCBudget = 96 << 20
+
+// PageSize is the EPC page granularity.
+const PageSize = 4096
+
+// EPC accounts for enclave memory. Pesos restricts its caches and
+// buffers to the EPC budget (§4.2); allocations beyond the budget
+// succeed — the SGX kernel driver pages transparently — but every
+// access to overcommitted memory pays a paging penalty that the cost
+// model charges (paging is "2x–2000x" more expensive, §2.1).
+type EPC struct {
+	budget   int64
+	resident atomic.Int64
+	faults   atomic.Uint64
+
+	mu     sync.Mutex
+	labels map[string]int64 // per-subsystem accounting for GETLOG-style reporting
+}
+
+// NewEPC creates an accountant; budget <= 0 selects the default 96 MB.
+func NewEPC(budget int64) *EPC {
+	if budget <= 0 {
+		budget = DefaultEPCBudget
+	}
+	return &EPC{budget: budget, labels: make(map[string]int64)}
+}
+
+// Budget returns the configured usable EPC size in bytes.
+func (e *EPC) Budget() int64 { return e.budget }
+
+// Resident returns the bytes currently accounted.
+func (e *EPC) Resident() int64 { return e.resident.Load() }
+
+// Faults returns the cumulative simulated page faults.
+func (e *EPC) Faults() uint64 { return e.faults.Load() }
+
+// Alloc records n bytes of enclave memory charged to label.
+func (e *EPC) Alloc(label string, n int64) {
+	if n <= 0 {
+		return
+	}
+	e.resident.Add(n)
+	e.mu.Lock()
+	e.labels[label] += n
+	e.mu.Unlock()
+}
+
+// Free releases n bytes charged to label.
+func (e *EPC) Free(label string, n int64) {
+	if n <= 0 {
+		return
+	}
+	e.resident.Add(-n)
+	e.mu.Lock()
+	e.labels[label] -= n
+	e.mu.Unlock()
+}
+
+// Usage returns a snapshot of per-label byte counts.
+func (e *EPC) Usage() map[string]int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]int64, len(e.labels))
+	for k, v := range e.labels {
+		out[k] = v
+	}
+	return out
+}
+
+// Touch models accessing n bytes of enclave memory and returns the
+// number of page faults incurred. While resident memory fits the
+// budget there are none; beyond it, the probability a touched page is
+// swapped out equals the overcommit ratio.
+func (e *EPC) Touch(n int64) uint64 {
+	res := e.resident.Load()
+	if res <= e.budget || n <= 0 {
+		return 0
+	}
+	over := float64(res-e.budget) / float64(res)
+	pages := (n + PageSize - 1) / PageSize
+	f := uint64(float64(pages) * over)
+	if f > 0 {
+		e.faults.Add(f)
+	}
+	return f
+}
+
+// CostModel charges the runtime taxes of shielded execution. When
+// Enabled is false (the paper's "native" configuration) every charge
+// is free. Costs are paid by busy-spinning, not sleeping: enclave
+// transitions and page encryption burn CPU, and spinning preserves
+// the CPU-bound saturation behaviour of Figure 3.
+type CostModel struct {
+	// Enabled selects Pesos (true) vs native (false) mode.
+	Enabled bool
+	// SyscallTax is charged per syscall-equivalent hand-off through
+	// the asynchronous syscall queue (network send/recv, disk I/O
+	// submission). Scone's async interface makes this small but
+	// nonzero.
+	SyscallTax time.Duration
+	// PerByteTax models transparent memory encryption when objects
+	// cross the enclave boundary, charged per 4 KB page moved.
+	PageMoveTax time.Duration
+	// FaultTax is charged per EPC page fault reported by Touch.
+	FaultTax time.Duration
+
+	epc *EPC
+
+	syscalls atomic.Uint64
+	spun     atomic.Int64 // nanoseconds burned, for introspection
+}
+
+// DefaultCostModel returns the calibrated model used by benchmarks.
+// Calibration note: the taxes are set so the total shielded-execution
+// overhead is roughly 10–15 % of per-request service time in this
+// repository's substrate, matching the paper's relative gap
+// (85 kIOP/s Pesos vs 95 kIOP/s native, §6.2). The absolute values
+// are larger than raw SGX transition costs because the surrounding
+// substrate (Go TLS/HTTP over in-process pipes) is slower per request
+// than the paper's C prototype; preserving the ratio, not the
+// absolute nanoseconds, is what keeps every figure's shape.
+func DefaultCostModel(enabled bool, epc *EPC) *CostModel {
+	return &CostModel{
+		Enabled:     enabled,
+		SyscallTax:  10 * time.Microsecond,
+		PageMoveTax: 1500 * time.Nanosecond,
+		FaultTax:    25 * time.Microsecond,
+		epc:         epc,
+	}
+}
+
+// Syscalls returns the number of syscall-equivalents charged.
+func (c *CostModel) Syscalls() uint64 { return c.syscalls.Load() }
+
+// SpunNanos returns total simulated-overhead CPU time burned.
+func (c *CostModel) SpunNanos() int64 { return c.spun.Load() }
+
+// Syscall charges one asynchronous system call hand-off.
+func (c *CostModel) Syscall() {
+	if c == nil || !c.Enabled {
+		return
+	}
+	c.syscalls.Add(1)
+	c.spin(c.SyscallTax)
+}
+
+// MoveBytes charges for n bytes crossing the enclave boundary and for
+// any EPC faults touching them causes.
+func (c *CostModel) MoveBytes(n int) {
+	if c == nil || !c.Enabled || n <= 0 {
+		return
+	}
+	pages := (int64(n) + PageSize - 1) / PageSize
+	c.spin(time.Duration(pages) * c.PageMoveTax)
+	if c.epc != nil {
+		if f := c.epc.Touch(int64(n)); f > 0 {
+			c.spin(time.Duration(f) * c.FaultTax)
+		}
+	}
+}
+
+// spin burns approximately d of CPU time.
+func (c *CostModel) spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+		// Busy wait: models CPU consumed by enclave transitions,
+		// page encryption and the syscall-thread hand-off.
+	}
+	c.spun.Add(int64(d))
+}

@@ -1,0 +1,56 @@
+// Package seal implements enclave sealed storage: AES-256-GCM
+// authenticated encryption under a key derived from the platform's
+// fused secret and the enclave measurement. Sealed blobs written to
+// untrusted storage can only be opened by the identical enclave on
+// the identical platform.
+package seal
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+)
+
+// ErrTampered is returned when a sealed blob fails authentication.
+var ErrTampered = errors.New("seal: blob tampered or wrong enclave key")
+
+// Seal encrypts plaintext under key with additional authenticated
+// data. The returned blob is nonce || ciphertext.
+func Seal(key [32]byte, plaintext, aad []byte) ([]byte, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("seal: nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, plaintext, aad), nil
+}
+
+// Open decrypts a blob produced by Seal with the same key and aad.
+func Open(key [32]byte, blob, aad []byte) ([]byte, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < aead.NonceSize() {
+		return nil, ErrTampered
+	}
+	nonce, ct := blob[:aead.NonceSize()], blob[aead.NonceSize():]
+	pt, err := aead.Open(nil, nonce, ct, aad)
+	if err != nil {
+		return nil, ErrTampered
+	}
+	return pt, nil
+}
+
+func newAEAD(key [32]byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}

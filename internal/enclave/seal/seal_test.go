@@ -1,0 +1,70 @@
+package seal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	var key [32]byte
+	key[0] = 1
+	pt := []byte("secret state")
+	aad := []byte("context")
+	blob, err := Seal(key, pt, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(key, blob, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSealNonDeterministic(t *testing.T) {
+	var key [32]byte
+	b1, _ := Seal(key, []byte("x"), nil)
+	b2, _ := Seal(key, []byte("x"), nil)
+	if bytes.Equal(b1, b2) {
+		t.Fatal("sealing is deterministic (nonce reuse)")
+	}
+}
+
+func TestOpenFailures(t *testing.T) {
+	var key, otherKey [32]byte
+	otherKey[0] = 0xff
+	blob, _ := Seal(key, []byte("data"), []byte("aad"))
+
+	if _, err := Open(otherKey, blob, []byte("aad")); !errors.Is(err, ErrTampered) {
+		t.Error("wrong key accepted")
+	}
+	if _, err := Open(key, blob, []byte("other-aad")); !errors.Is(err, ErrTampered) {
+		t.Error("wrong aad accepted")
+	}
+	mut := append([]byte(nil), blob...)
+	mut[len(mut)-1] ^= 1
+	if _, err := Open(key, mut, []byte("aad")); !errors.Is(err, ErrTampered) {
+		t.Error("tampered blob accepted")
+	}
+	if _, err := Open(key, []byte("short"), nil); !errors.Is(err, ErrTampered) {
+		t.Error("truncated blob accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(key [32]byte, pt, aad []byte) bool {
+		blob, err := Seal(key, pt, aad)
+		if err != nil {
+			return false
+		}
+		got, err := Open(key, blob, aad)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,430 @@
+// Package kinetic implements a network-attached Kinetic key-value
+// drive: the trusted storage half of Pesos (§2.2). A Drive bundles an
+// ordered key-value store (the LevelDB equivalent inside the real
+// drive's SoC), user accounts with HMAC secrets and per-operation
+// permissions, a wire-protocol server terminating TLS inside the
+// "drive controller", an optional HDD service-time model, and the
+// device-to-device P2P copy operation.
+package kinetic
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kinetic/wire"
+)
+
+// DefaultAdminIdentity is the factory-installed account present on a
+// fresh drive, analogous to the well-known Kinetic demo identity. The
+// Pesos bootstrap replaces it (§3.1: the controller "removes all
+// existing user accounts").
+const DefaultAdminIdentity = "factory-admin"
+
+// DefaultAdminKey is the factory account's HMAC secret.
+var DefaultAdminKey = []byte("asdfasdf")
+
+// Stats counts drive activity; all fields are monotonically increasing.
+type Stats struct {
+	Gets      atomic.Uint64
+	Puts      atomic.Uint64
+	Deletes   atomic.Uint64
+	Ranges    atomic.Uint64
+	P2PPushes atomic.Uint64
+	Rejected  atomic.Uint64 // HMAC or permission failures
+}
+
+// Drive is one Kinetic device: store, accounts, media model, identity.
+type Drive struct {
+	name  string
+	store *skipList
+	media MediaModel
+	stats Stats
+
+	mu       sync.RWMutex
+	accounts map[string]wire.ACL
+	erasePIN []byte
+	locked   bool
+
+	// p2pDial lets the drive push objects to a peer drive without a
+	// third party relaying data (§4.5). Tests and the in-process
+	// cluster wire this to the peer's handler; the daemon dials TCP.
+	p2pDial func(peer string) (P2PTarget, error)
+}
+
+// P2PTarget is the destination interface for device-to-device copies.
+type P2PTarget interface {
+	// P2PPut stores key/value with the given version on the peer.
+	P2PPut(key, value, version []byte) error
+}
+
+// Config configures a new Drive.
+type Config struct {
+	// Name identifies the drive in logs and GETLOG output.
+	Name string
+	// Media is the service-time model; nil means SimMedia.
+	Media MediaModel
+	// ErasePIN protects the instant-secure-erase operation; empty
+	// means erase needs only the SECURITY permission.
+	ErasePIN []byte
+	// P2PDial resolves a peer address for P2P pushes.
+	P2PDial func(peer string) (P2PTarget, error)
+}
+
+// NewDrive creates a drive in factory state: a single well-known admin
+// account with full permissions, empty store.
+func NewDrive(cfg Config) *Drive {
+	if cfg.Media == nil {
+		cfg.Media = SimMedia{}
+	}
+	d := &Drive{
+		name:  cfg.Name,
+		store: newSkipList(),
+		media: cfg.Media,
+		accounts: map[string]wire.ACL{
+			DefaultAdminIdentity: {
+				Identity: DefaultAdminIdentity,
+				Key:      append([]byte(nil), DefaultAdminKey...),
+				Perms:    wire.PermAll,
+			},
+		},
+		erasePIN: cfg.ErasePIN,
+		p2pDial:  cfg.P2PDial,
+	}
+	return d
+}
+
+// Name returns the drive's configured name.
+func (d *Drive) Name() string { return d.name }
+
+// Stats exposes the drive's activity counters.
+func (d *Drive) Stats() *Stats { return &d.stats }
+
+// Media returns the drive's media model.
+func (d *Drive) Media() MediaModel { return d.media }
+
+// Len returns the number of stored keys.
+func (d *Drive) Len() int { return d.store.len() }
+
+// Accounts returns the identities currently installed (for tests and
+// the bootstrap verification step).
+func (d *Drive) Accounts() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.accounts))
+	for id := range d.accounts {
+		out = append(out, id)
+	}
+	return out
+}
+
+// lookupAccount returns the account for identity.
+func (d *Drive) lookupAccount(identity string) (wire.ACL, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	a, ok := d.accounts[identity]
+	return a, ok
+}
+
+// Handle executes one request message and returns the response. This
+// is the drive's state machine; the network server and the in-process
+// transport both funnel into it.
+func (d *Drive) Handle(req *wire.Message) *wire.Message {
+	resp := &wire.Message{Type: req.Type.Response(), Seq: req.Seq}
+	if !req.Type.IsRequest() {
+		resp.Type = wire.TNoopResponse
+		resp.Status = wire.StatusInvalidRequest
+		resp.StatusMsg = "not a request message"
+		return resp
+	}
+
+	acct, ok := d.lookupAccount(req.User)
+	if !ok {
+		d.stats.Rejected.Add(1)
+		resp.Status = wire.StatusNoSuchUser
+		resp.StatusMsg = fmt.Sprintf("unknown identity %q", req.User)
+		return resp
+	}
+	if !req.Verify(acct.Key) {
+		d.stats.Rejected.Add(1)
+		resp.Status = wire.StatusHMACFailure
+		resp.StatusMsg = "message authentication failed"
+		return resp
+	}
+	if d.isLocked() && req.Type != wire.TErase {
+		resp.Status = wire.StatusDeviceLocked
+		resp.StatusMsg = "device locked"
+		return resp
+	}
+
+	switch req.Type {
+	case wire.TGet:
+		d.handleGet(acct, req, resp)
+	case wire.TPut:
+		d.handlePut(acct, req, resp)
+	case wire.TDelete:
+		d.handleDelete(acct, req, resp)
+	case wire.TGetKeyRange:
+		d.handleRange(acct, req, resp)
+	case wire.TSecurity:
+		d.handleSecurity(acct, req, resp)
+	case wire.TErase:
+		d.handleErase(acct, req, resp)
+	case wire.TNoop, wire.TFlush:
+		// Flush is a no-op: the store is write-through already.
+	case wire.TP2PPush:
+		d.handleP2P(acct, req, resp)
+	case wire.TGetLog:
+		d.handleGetLog(acct, req, resp)
+	case wire.TGetVersion:
+		d.handleGetVersion(acct, req, resp)
+	default:
+		resp.Status = wire.StatusInvalidRequest
+		resp.StatusMsg = "unsupported operation"
+	}
+	return resp
+}
+
+func (d *Drive) handleGet(acct wire.ACL, req, resp *wire.Message) {
+	if !permitted(acct, wire.PermRead, resp) {
+		d.stats.Rejected.Add(1)
+		return
+	}
+	d.stats.Gets.Add(1)
+	d.waitMedia(OpRead, 0)
+	value, version, ok := d.store.get(req.Key)
+	if !ok {
+		resp.Status = wire.StatusNotFound
+		return
+	}
+	resp.Key = req.Key
+	resp.Value = value
+	resp.DBVersion = version
+}
+
+func (d *Drive) handlePut(acct wire.ACL, req, resp *wire.Message) {
+	if !permitted(acct, wire.PermWrite, resp) {
+		d.stats.Rejected.Add(1)
+		return
+	}
+	d.stats.Puts.Add(1)
+	if !req.Force {
+		_, cur, exists := d.store.get(req.Key)
+		if exists && !bytes.Equal(cur, req.DBVersion) {
+			resp.Status = wire.StatusVersionMismatch
+			resp.DBVersion = cur
+			return
+		}
+		if !exists && len(req.DBVersion) != 0 {
+			resp.Status = wire.StatusVersionMismatch
+			return
+		}
+	}
+	d.waitMedia(OpWrite, len(req.Value))
+	d.store.put(cloneKey(req.Key), cloneKey(req.Value), cloneKey(req.NewVersion))
+}
+
+func (d *Drive) handleDelete(acct wire.ACL, req, resp *wire.Message) {
+	if !permitted(acct, wire.PermDelete, resp) {
+		d.stats.Rejected.Add(1)
+		return
+	}
+	d.stats.Deletes.Add(1)
+	if !req.Force {
+		_, cur, exists := d.store.get(req.Key)
+		if !exists {
+			resp.Status = wire.StatusNotFound
+			return
+		}
+		if !bytes.Equal(cur, req.DBVersion) {
+			resp.Status = wire.StatusVersionMismatch
+			resp.DBVersion = cur
+			return
+		}
+	}
+	d.waitMedia(OpDelete, 0)
+	if !d.store.delete(req.Key) {
+		resp.Status = wire.StatusNotFound
+	}
+}
+
+func (d *Drive) handleRange(acct wire.ACL, req, resp *wire.Message) {
+	if !permitted(acct, wire.PermRange, resp) {
+		d.stats.Rejected.Add(1)
+		return
+	}
+	d.stats.Ranges.Add(1)
+	max := int(req.MaxReturned)
+	if max <= 0 || max > 800 {
+		max = 800 // Kinetic caps range responses
+	}
+	d.waitMedia(OpScan, 0)
+	d.store.scan(req.StartKey, req.EndKey, req.KeyInclusive, req.Reverse, max,
+		func(key, _, _ []byte) bool {
+			resp.Keys = append(resp.Keys, cloneKey(key))
+			return true
+		})
+}
+
+// handleSecurity replaces the entire account table, exactly the
+// takeover primitive the Pesos bootstrap needs: installing a new ACL
+// set without the old admin account locks everyone else out.
+func (d *Drive) handleSecurity(acct wire.ACL, req, resp *wire.Message) {
+	if !permitted(acct, wire.PermSecurity, resp) {
+		d.stats.Rejected.Add(1)
+		return
+	}
+	if len(req.ACLs) == 0 {
+		resp.Status = wire.StatusInvalidRequest
+		resp.StatusMsg = "refusing to install empty account table"
+		return
+	}
+	for _, a := range req.ACLs {
+		if a.Identity == "" || len(a.Key) < 8 {
+			resp.Status = wire.StatusInvalidRequest
+			resp.StatusMsg = "account needs identity and >=8 byte key"
+			return
+		}
+	}
+	d.mu.Lock()
+	d.accounts = make(map[string]wire.ACL, len(req.ACLs))
+	for _, a := range req.ACLs {
+		d.accounts[a.Identity] = wire.ACL{
+			Identity: a.Identity,
+			Key:      append([]byte(nil), a.Key...),
+			Perms:    a.Perms,
+		}
+	}
+	if len(req.Pin) > 0 {
+		d.erasePIN = append([]byte(nil), req.Pin...)
+	}
+	d.mu.Unlock()
+}
+
+func (d *Drive) handleErase(acct wire.ACL, req, resp *wire.Message) {
+	if !permitted(acct, wire.PermSecurity, resp) {
+		d.stats.Rejected.Add(1)
+		return
+	}
+	d.mu.RLock()
+	pin := d.erasePIN
+	d.mu.RUnlock()
+	if len(pin) > 0 && !bytes.Equal(pin, req.Pin) {
+		resp.Status = wire.StatusNotAuthorized
+		resp.StatusMsg = "bad erase PIN"
+		return
+	}
+	d.store.clear()
+	d.setLocked(false)
+}
+
+func (d *Drive) handleP2P(acct wire.ACL, req, resp *wire.Message) {
+	if !permitted(acct, wire.PermP2P, resp) {
+		d.stats.Rejected.Add(1)
+		return
+	}
+	if d.p2pDial == nil {
+		resp.Status = wire.StatusNotAttempted
+		resp.StatusMsg = "p2p not configured"
+		return
+	}
+	d.stats.P2PPushes.Add(1)
+	value, version, ok := d.store.get(req.Key)
+	if !ok {
+		resp.Status = wire.StatusNotFound
+		return
+	}
+	// The paper notes the P2P API's limited performance (§6.3): model
+	// it as a full read plus a peer write.
+	d.waitMedia(OpRead, len(value))
+	target, err := d.p2pDial(req.Peer)
+	if err != nil {
+		resp.Status = wire.StatusNotAttempted
+		resp.StatusMsg = err.Error()
+		return
+	}
+	if err := target.P2PPut(req.Key, value, version); err != nil {
+		resp.Status = wire.StatusInternalError
+		resp.StatusMsg = err.Error()
+	}
+}
+
+func (d *Drive) handleGetLog(acct wire.ACL, req, resp *wire.Message) {
+	if !permitted(acct, wire.PermGetLog, resp) {
+		d.stats.Rejected.Add(1)
+		return
+	}
+	resp.Log = map[string]string{
+		"name":    d.name,
+		"media":   d.media.Name(),
+		"keys":    fmt.Sprint(d.store.len()),
+		"bytes":   fmt.Sprint(d.store.sizeBytes()),
+		"gets":    fmt.Sprint(d.stats.Gets.Load()),
+		"puts":    fmt.Sprint(d.stats.Puts.Load()),
+		"deletes": fmt.Sprint(d.stats.Deletes.Load()),
+	}
+}
+
+func (d *Drive) handleGetVersion(acct wire.ACL, req, resp *wire.Message) {
+	if !permitted(acct, wire.PermRead, resp) {
+		d.stats.Rejected.Add(1)
+		return
+	}
+	_, version, ok := d.store.get(req.Key)
+	if !ok {
+		resp.Status = wire.StatusNotFound
+		return
+	}
+	resp.Key = req.Key
+	resp.DBVersion = version
+}
+
+// P2PPut implements P2PTarget so a Drive can be the direct destination
+// of another drive's push in in-process clusters.
+func (d *Drive) P2PPut(key, value, version []byte) error {
+	d.waitMedia(OpWrite, len(value))
+	d.store.put(cloneKey(key), cloneKey(value), cloneKey(version))
+	return nil
+}
+
+func (d *Drive) waitMedia(op OpKind, n int) {
+	if h, ok := d.media.(*HDDMedia); ok {
+		h.Wait(op, n)
+	}
+}
+
+func (d *Drive) isLocked() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.locked
+}
+
+func (d *Drive) setLocked(v bool) {
+	d.mu.Lock()
+	d.locked = v
+	d.mu.Unlock()
+}
+
+// permitted checks a permission bit and fills the response on failure.
+func permitted(acct wire.ACL, p wire.Permission, resp *wire.Message) bool {
+	if acct.Perms&p == 0 {
+		resp.Status = wire.StatusNotAuthorized
+		resp.StatusMsg = "permission denied"
+		return false
+	}
+	return true
+}
+
+func cloneKey(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// ErrStopped is returned by the server loop after Close.
+var ErrStopped = errors.New("kinetic: server stopped")

@@ -1,0 +1,257 @@
+package kinetic
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/kinetic/wire"
+)
+
+// signedReq builds and signs a request under the factory account.
+func signedReq(m *wire.Message) *wire.Message {
+	m.User = DefaultAdminIdentity
+	m.Sign(DefaultAdminKey)
+	return m
+}
+
+func TestDrivePutGetDelete(t *testing.T) {
+	d := NewDrive(Config{Name: "t0"})
+	resp := d.Handle(signedReq(&wire.Message{
+		Type: wire.TPut, Key: []byte("k"), Value: []byte("v"), NewVersion: []byte("1"), Force: true,
+	}))
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("put: %v %s", resp.Status, resp.StatusMsg)
+	}
+	resp = d.Handle(signedReq(&wire.Message{Type: wire.TGet, Key: []byte("k")}))
+	if resp.Status != wire.StatusOK || !bytes.Equal(resp.Value, []byte("v")) || !bytes.Equal(resp.DBVersion, []byte("1")) {
+		t.Fatalf("get: %+v", resp)
+	}
+	resp = d.Handle(signedReq(&wire.Message{Type: wire.TDelete, Key: []byte("k"), DBVersion: []byte("1")}))
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("delete: %v", resp.Status)
+	}
+	resp = d.Handle(signedReq(&wire.Message{Type: wire.TGet, Key: []byte("k")}))
+	if resp.Status != wire.StatusNotFound {
+		t.Fatalf("get after delete: %v", resp.Status)
+	}
+}
+
+func TestDriveVersionCAS(t *testing.T) {
+	d := NewDrive(Config{})
+	// Create with expected-absent (no DBVersion).
+	resp := d.Handle(signedReq(&wire.Message{
+		Type: wire.TPut, Key: []byte("k"), Value: []byte("v1"), NewVersion: []byte("a"),
+	}))
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("create: %v", resp.Status)
+	}
+	// Update with wrong expected version fails.
+	resp = d.Handle(signedReq(&wire.Message{
+		Type: wire.TPut, Key: []byte("k"), Value: []byte("v2"),
+		DBVersion: []byte("WRONG"), NewVersion: []byte("b"),
+	}))
+	if resp.Status != wire.StatusVersionMismatch {
+		t.Fatalf("cas mismatch: %v", resp.Status)
+	}
+	if !bytes.Equal(resp.DBVersion, []byte("a")) {
+		t.Fatalf("mismatch response should carry stored version, got %q", resp.DBVersion)
+	}
+	// Correct expected version succeeds.
+	resp = d.Handle(signedReq(&wire.Message{
+		Type: wire.TPut, Key: []byte("k"), Value: []byte("v2"),
+		DBVersion: []byte("a"), NewVersion: []byte("b"),
+	}))
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("cas update: %v", resp.Status)
+	}
+	// Creating over an existing key without version fails.
+	resp = d.Handle(signedReq(&wire.Message{
+		Type: wire.TPut, Key: []byte("k"), Value: []byte("v3"), NewVersion: []byte("c"),
+	}))
+	if resp.Status != wire.StatusVersionMismatch {
+		t.Fatalf("create over existing: %v", resp.Status)
+	}
+	// Force overrides.
+	resp = d.Handle(signedReq(&wire.Message{
+		Type: wire.TPut, Key: []byte("k"), Value: []byte("v3"), NewVersion: []byte("c"), Force: true,
+	}))
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("force put: %v", resp.Status)
+	}
+	// Delete with wrong version fails.
+	resp = d.Handle(signedReq(&wire.Message{Type: wire.TDelete, Key: []byte("k"), DBVersion: []byte("x")}))
+	if resp.Status != wire.StatusVersionMismatch {
+		t.Fatalf("delete wrong version: %v", resp.Status)
+	}
+}
+
+func TestDriveAuth(t *testing.T) {
+	d := NewDrive(Config{})
+	// Unknown user.
+	m := &wire.Message{Type: wire.TGet, Key: []byte("k"), User: "nobody"}
+	m.Sign([]byte("whatever"))
+	if resp := d.Handle(m); resp.Status != wire.StatusNoSuchUser {
+		t.Fatalf("unknown user: %v", resp.Status)
+	}
+	// Known user, wrong key.
+	m = &wire.Message{Type: wire.TGet, Key: []byte("k"), User: DefaultAdminIdentity}
+	m.Sign([]byte("wrong-secret"))
+	if resp := d.Handle(m); resp.Status != wire.StatusHMACFailure {
+		t.Fatalf("bad hmac: %v", resp.Status)
+	}
+	if d.Stats().Rejected.Load() != 2 {
+		t.Fatalf("rejected counter = %d, want 2", d.Stats().Rejected.Load())
+	}
+}
+
+func TestDrivePermissions(t *testing.T) {
+	d := NewDrive(Config{})
+	// Install a read-only account plus an admin.
+	resp := d.Handle(signedReq(&wire.Message{Type: wire.TSecurity, ACLs: []wire.ACL{
+		{Identity: "admin", Key: []byte("adminsecret1"), Perms: wire.PermAll},
+		{Identity: "reader", Key: []byte("readersecret"), Perms: wire.PermRead},
+	}}))
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("security: %v %s", resp.Status, resp.StatusMsg)
+	}
+
+	write := &wire.Message{Type: wire.TPut, Key: []byte("k"), Value: []byte("v"), Force: true, User: "reader"}
+	write.Sign([]byte("readersecret"))
+	if resp := d.Handle(write); resp.Status != wire.StatusNotAuthorized {
+		t.Fatalf("reader write: %v", resp.Status)
+	}
+
+	// The old factory account is gone.
+	old := signedReq(&wire.Message{Type: wire.TGet, Key: []byte("k")})
+	if resp := d.Handle(old); resp.Status != wire.StatusNoSuchUser {
+		t.Fatalf("factory account after takeover: %v", resp.Status)
+	}
+
+	read := &wire.Message{Type: wire.TGet, Key: []byte("k"), User: "reader"}
+	read.Sign([]byte("readersecret"))
+	if resp := d.Handle(read); resp.Status != wire.StatusNotFound {
+		t.Fatalf("reader read: %v", resp.Status)
+	}
+}
+
+func TestDriveSecurityValidation(t *testing.T) {
+	d := NewDrive(Config{})
+	resp := d.Handle(signedReq(&wire.Message{Type: wire.TSecurity}))
+	if resp.Status != wire.StatusInvalidRequest {
+		t.Fatalf("empty ACL set: %v", resp.Status)
+	}
+	resp = d.Handle(signedReq(&wire.Message{Type: wire.TSecurity, ACLs: []wire.ACL{
+		{Identity: "x", Key: []byte("short"), Perms: wire.PermAll},
+	}}))
+	if resp.Status != wire.StatusInvalidRequest {
+		t.Fatalf("weak key accepted: %v", resp.Status)
+	}
+}
+
+func TestDriveRange(t *testing.T) {
+	d := NewDrive(Config{})
+	for i := 0; i < 20; i++ {
+		d.Handle(signedReq(&wire.Message{
+			Type: wire.TPut, Key: []byte(fmt.Sprintf("k%02d", i)), Value: []byte("v"), Force: true,
+		}))
+	}
+	resp := d.Handle(signedReq(&wire.Message{
+		Type: wire.TGetKeyRange, StartKey: []byte("k05"), EndKey: []byte("k10"),
+		KeyInclusive: true, MaxReturned: 100,
+	}))
+	if resp.Status != wire.StatusOK || len(resp.Keys) != 6 {
+		t.Fatalf("range: %v, %d keys", resp.Status, len(resp.Keys))
+	}
+	if string(resp.Keys[0]) != "k05" || string(resp.Keys[5]) != "k10" {
+		t.Fatalf("range bounds: %q..%q", resp.Keys[0], resp.Keys[5])
+	}
+}
+
+func TestDriveEraseWithPIN(t *testing.T) {
+	d := NewDrive(Config{ErasePIN: []byte("1234")})
+	d.Handle(signedReq(&wire.Message{Type: wire.TPut, Key: []byte("k"), Value: []byte("v"), Force: true}))
+	resp := d.Handle(signedReq(&wire.Message{Type: wire.TErase, Pin: []byte("wrong")}))
+	if resp.Status != wire.StatusNotAuthorized {
+		t.Fatalf("erase wrong pin: %v", resp.Status)
+	}
+	resp = d.Handle(signedReq(&wire.Message{Type: wire.TErase, Pin: []byte("1234")}))
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("erase: %v", resp.Status)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("drive holds %d keys after erase", d.Len())
+	}
+}
+
+func TestDriveP2P(t *testing.T) {
+	peer := NewDrive(Config{Name: "peer"})
+	d := NewDrive(Config{Name: "src", P2PDial: func(name string) (P2PTarget, error) {
+		if name != "peer" {
+			return nil, fmt.Errorf("unknown peer %s", name)
+		}
+		return peer, nil
+	}})
+	d.Handle(signedReq(&wire.Message{
+		Type: wire.TPut, Key: []byte("k"), Value: []byte("replicated"), NewVersion: []byte("7"), Force: true,
+	}))
+	resp := d.Handle(signedReq(&wire.Message{Type: wire.TP2PPush, Key: []byte("k"), Peer: "peer"}))
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("p2p push: %v %s", resp.Status, resp.StatusMsg)
+	}
+	v, ver, ok := peer.store.get([]byte("k"))
+	if !ok || string(v) != "replicated" || string(ver) != "7" {
+		t.Fatalf("peer copy: %q/%q/%v", v, ver, ok)
+	}
+	// Pushing a missing key reports not found.
+	resp = d.Handle(signedReq(&wire.Message{Type: wire.TP2PPush, Key: []byte("nope"), Peer: "peer"}))
+	if resp.Status != wire.StatusNotFound {
+		t.Fatalf("p2p missing key: %v", resp.Status)
+	}
+}
+
+func TestDriveGetLogAndVersion(t *testing.T) {
+	d := NewDrive(Config{Name: "stats-drive"})
+	d.Handle(signedReq(&wire.Message{Type: wire.TPut, Key: []byte("k"), Value: []byte("v"), NewVersion: []byte("9"), Force: true}))
+	resp := d.Handle(signedReq(&wire.Message{Type: wire.TGetLog}))
+	if resp.Status != wire.StatusOK || resp.Log["name"] != "stats-drive" || resp.Log["keys"] != "1" {
+		t.Fatalf("getlog: %+v", resp.Log)
+	}
+	resp = d.Handle(signedReq(&wire.Message{Type: wire.TGetVersion, Key: []byte("k")}))
+	if resp.Status != wire.StatusOK || !bytes.Equal(resp.DBVersion, []byte("9")) {
+		t.Fatalf("getversion: %v %q", resp.Status, resp.DBVersion)
+	}
+}
+
+func TestDriveRejectsNonRequests(t *testing.T) {
+	d := NewDrive(Config{})
+	resp := d.Handle(signedReq(&wire.Message{Type: wire.TGetResponse}))
+	if resp.Status != wire.StatusInvalidRequest {
+		t.Fatalf("response-typed message: %v", resp.Status)
+	}
+}
+
+func TestHDDMediaModel(t *testing.T) {
+	h := NewHDDMedia(1.0)
+	small := h.ServiceTime(OpRead, 0)
+	large := h.ServiceTime(OpRead, 1<<20)
+	if large <= small {
+		t.Fatal("transfer time should grow with size")
+	}
+	w := h.ServiceTime(OpWrite, 0)
+	if w <= small {
+		t.Fatal("writes should cost more than reads")
+	}
+	// Roughly 1 kIOP/s serial: service time near 1 ms.
+	if small < 500e3 || small > 2e6 { // 0.5ms..2ms in ns
+		t.Fatalf("positioning time %v outside HDD envelope", small)
+	}
+	// Scaled model shrinks proportionally.
+	hs := NewHDDMedia(0.1)
+	if got := hs.ServiceTime(OpRead, 0); got >= small {
+		t.Fatalf("scaled service %v not smaller than %v", got, small)
+	}
+	if (SimMedia{}).ServiceTime(OpWrite, 1024) != 0 {
+		t.Fatal("sim media should be free")
+	}
+}

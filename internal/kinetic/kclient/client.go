@@ -1,0 +1,346 @@
+// Package kclient is the Kinetic drive client library used by the
+// Pesos controller, replacing Seagate's C client (§3.1, §4.3). It
+// decouples requests from responses with a pending-request table and a
+// reader goroutine — the ring-buffer/thread-pool structure the paper
+// describes — so many operations can be in flight on one connection.
+package kclient
+
+import (
+	"bufio"
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kinetic/wire"
+)
+
+// Errors returned by the client, mapping drive status codes.
+var (
+	ErrNotFound        = errors.New("kinetic: key not found")
+	ErrVersionMismatch = errors.New("kinetic: version mismatch")
+	ErrNotAuthorized   = errors.New("kinetic: not authorized")
+	ErrClosed          = errors.New("kinetic: client closed")
+)
+
+// StatusError wraps a non-OK drive status not covered by a sentinel.
+type StatusError struct {
+	Code wire.StatusCode
+	Msg  string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("kinetic: drive status %s: %s", e.Code, e.Msg)
+}
+
+// statusToError maps a response status to a Go error.
+func statusToError(m *wire.Message) error {
+	switch m.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusNotFound:
+		return ErrNotFound
+	case wire.StatusVersionMismatch:
+		return ErrVersionMismatch
+	case wire.StatusNotAuthorized, wire.StatusHMACFailure, wire.StatusNoSuchUser:
+		return fmt.Errorf("%w: %s (%s)", ErrNotAuthorized, m.StatusMsg, m.Status)
+	default:
+		return &StatusError{Code: m.Status, Msg: m.StatusMsg}
+	}
+}
+
+// Dialer opens a byte stream to a drive; it abstracts TCP, TLS and the
+// in-memory transport.
+type Dialer func(ctx context.Context) (net.Conn, error)
+
+// TCPDialer dials addr, wrapping the stream in TLS when cfg != nil.
+func TCPDialer(addr string, cfg *tls.Config) Dialer {
+	return func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if cfg == nil {
+			return conn, nil
+		}
+		tc := tls.Client(conn, cfg)
+		if err := tc.HandshakeContext(ctx); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		return tc, nil
+	}
+}
+
+// Credentials authenticate the client to the drive.
+type Credentials struct {
+	Identity string
+	Key      []byte
+}
+
+// Client is a connection to one drive.
+type Client struct {
+	dial  Dialer
+	creds Credentials
+
+	mu      sync.Mutex
+	conn    net.Conn
+	w       *bufio.Writer
+	pending map[uint64]chan *wire.Message
+	closed  bool
+
+	seq atomic.Uint64
+}
+
+// Dial connects to a drive and starts the response reader.
+func Dial(ctx context.Context, dial Dialer, creds Credentials) (*Client, error) {
+	conn, err := dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		dial:    dial,
+		creds:   creds,
+		conn:    conn,
+		w:       bufio.NewWriterSize(conn, 64<<10),
+		pending: make(map[uint64]chan *wire.Message),
+	}
+	go c.readLoop(conn)
+	return c, nil
+}
+
+// SetCredentials switches the identity used for subsequent requests
+// (the bootstrap switches from the factory account to the Pesos admin
+// account on the same connection).
+func (c *Client) SetCredentials(creds Credentials) {
+	c.mu.Lock()
+	c.creds = creds
+	c.mu.Unlock()
+}
+
+func (c *Client) readLoop(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		resp := new(wire.Message)
+		if err := wire.ReadFrame(r, resp); err != nil {
+			c.failAll(conn)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.Seq]
+		delete(c.pending, resp.Seq)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// failAll unblocks every pending call after a connection failure. It
+// only clears the client's connection if it is still the failed one —
+// a racing reconnect may already have installed a fresh connection.
+func (c *Client) failAll(failed net.Conn) {
+	c.mu.Lock()
+	pending := c.pending
+	c.pending = make(map[uint64]chan *wire.Message)
+	if c.conn == failed {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// roundTrip signs req, sends it, and waits for the matching response.
+func (c *Client) roundTrip(ctx context.Context, req *wire.Message) (*wire.Message, error) {
+	req.Seq = c.seq.Add(1)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.conn == nil {
+		// Reconnect lazily after a connection failure.
+		conn, err := c.dial(ctx)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		c.conn = conn
+		c.w = bufio.NewWriterSize(conn, 64<<10)
+		go c.readLoop(conn)
+	}
+	req.User = c.creds.Identity
+	req.Sign(c.creds.Key)
+	ch := make(chan *wire.Message, 1)
+	c.pending[req.Seq] = ch
+	err := wire.WriteFrame(c.w, req)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	if err != nil {
+		delete(c.pending, req.Seq)
+		// Drop the dead connection so the next call redials.
+		if c.conn != nil {
+			c.conn.Close()
+			c.conn = nil
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.mu.Unlock()
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, errors.New("kinetic: connection lost")
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, req.Seq)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Get fetches value and stored version for key.
+func (c *Client) Get(ctx context.Context, key []byte) (value, version []byte, err error) {
+	resp, err := c.roundTrip(ctx, &wire.Message{Type: wire.TGet, Key: key})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := statusToError(resp); err != nil {
+		return nil, nil, err
+	}
+	return resp.Value, resp.DBVersion, nil
+}
+
+// Put stores key/value. dbVersion must match the stored version (nil
+// for create); newVersion is installed. force skips the check.
+func (c *Client) Put(ctx context.Context, key, value, dbVersion, newVersion []byte, force bool) error {
+	resp, err := c.roundTrip(ctx, &wire.Message{
+		Type: wire.TPut, Key: key, Value: value,
+		DBVersion: dbVersion, NewVersion: newVersion, Force: force,
+	})
+	if err != nil {
+		return err
+	}
+	return statusToError(resp)
+}
+
+// Delete removes key; dbVersion must match unless force.
+func (c *Client) Delete(ctx context.Context, key, dbVersion []byte, force bool) error {
+	resp, err := c.roundTrip(ctx, &wire.Message{
+		Type: wire.TDelete, Key: key, DBVersion: dbVersion, Force: force,
+	})
+	if err != nil {
+		return err
+	}
+	return statusToError(resp)
+}
+
+// GetKeyRange lists up to max keys in [start, end]; empty end means to
+// the last key. startInclusive includes start itself.
+func (c *Client) GetKeyRange(ctx context.Context, start, end []byte, startInclusive, reverse bool, max int) ([][]byte, error) {
+	resp, err := c.roundTrip(ctx, &wire.Message{
+		Type: wire.TGetKeyRange, StartKey: start, EndKey: end,
+		KeyInclusive: startInclusive, Reverse: reverse, MaxReturned: uint32(max),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusToError(resp); err != nil {
+		return nil, err
+	}
+	return resp.Keys, nil
+}
+
+// GetVersion fetches only the stored version of key.
+func (c *Client) GetVersion(ctx context.Context, key []byte) ([]byte, error) {
+	resp, err := c.roundTrip(ctx, &wire.Message{Type: wire.TGetVersion, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusToError(resp); err != nil {
+		return nil, err
+	}
+	return resp.DBVersion, nil
+}
+
+// SetSecurity replaces the drive's account table, optionally setting
+// an erase PIN. The issuing identity needs the SECURITY permission.
+func (c *Client) SetSecurity(ctx context.Context, acls []wire.ACL, pin []byte) error {
+	resp, err := c.roundTrip(ctx, &wire.Message{Type: wire.TSecurity, ACLs: acls, Pin: pin})
+	if err != nil {
+		return err
+	}
+	return statusToError(resp)
+}
+
+// InstantErase wipes the drive.
+func (c *Client) InstantErase(ctx context.Context, pin []byte) error {
+	resp, err := c.roundTrip(ctx, &wire.Message{Type: wire.TErase, Pin: pin})
+	if err != nil {
+		return err
+	}
+	return statusToError(resp)
+}
+
+// Noop verifies connectivity and credentials.
+func (c *Client) Noop(ctx context.Context) error {
+	resp, err := c.roundTrip(ctx, &wire.Message{Type: wire.TNoop})
+	if err != nil {
+		return err
+	}
+	return statusToError(resp)
+}
+
+// Flush forces buffered writes to media.
+func (c *Client) Flush(ctx context.Context) error {
+	resp, err := c.roundTrip(ctx, &wire.Message{Type: wire.TFlush})
+	if err != nil {
+		return err
+	}
+	return statusToError(resp)
+}
+
+// P2PPush asks the drive to copy key directly to the peer drive.
+func (c *Client) P2PPush(ctx context.Context, key []byte, peer string) error {
+	resp, err := c.roundTrip(ctx, &wire.Message{Type: wire.TP2PPush, Key: key, Peer: peer})
+	if err != nil {
+		return err
+	}
+	return statusToError(resp)
+}
+
+// GetLog returns drive status and statistics.
+func (c *Client) GetLog(ctx context.Context) (map[string]string, error) {
+	resp, err := c.roundTrip(ctx, &wire.Message{Type: wire.TGetLog})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusToError(resp); err != nil {
+		return nil, err
+	}
+	return resp.Log, nil
+}
+
+// Close tears down the connection; pending calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}

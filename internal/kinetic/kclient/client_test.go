@@ -1,0 +1,211 @@
+package kclient
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/kinetic"
+	"repro/internal/kinetic/wire"
+	"repro/internal/netx"
+)
+
+// startDrive serves a fresh drive over the in-memory network and
+// returns a connected client with factory credentials.
+func startDrive(t *testing.T) (*kinetic.Drive, *Client) {
+	t.Helper()
+	drive := kinetic.NewDrive(kinetic.Config{Name: "t"})
+	ln := netx.NewListener("drive")
+	srv := kinetic.Serve(drive, ln, nil)
+	t.Cleanup(func() { srv.Close(); ln.Close() })
+	cl, err := Dial(context.Background(),
+		func(ctx context.Context) (net.Conn, error) { return ln.DialContext(ctx) },
+		Credentials{Identity: kinetic.DefaultAdminIdentity, Key: kinetic.DefaultAdminKey})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return drive, cl
+}
+
+func TestClientPutGetDelete(t *testing.T) {
+	_, cl := startDrive(t)
+	ctx := context.Background()
+	if err := cl.Put(ctx, []byte("k"), []byte("v"), nil, []byte("1"), false); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	v, ver, err := cl.Get(ctx, []byte("k"))
+	if err != nil || !bytes.Equal(v, []byte("v")) || !bytes.Equal(ver, []byte("1")) {
+		t.Fatalf("get: %q %q %v", v, ver, err)
+	}
+	gv, err := cl.GetVersion(ctx, []byte("k"))
+	if err != nil || !bytes.Equal(gv, []byte("1")) {
+		t.Fatalf("getversion: %q %v", gv, err)
+	}
+	if err := cl.Delete(ctx, []byte("k"), []byte("1"), false); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, _, err := cl.Get(ctx, []byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get deleted: %v", err)
+	}
+}
+
+func TestClientVersionMismatch(t *testing.T) {
+	_, cl := startDrive(t)
+	ctx := context.Background()
+	if err := cl.Put(ctx, []byte("k"), []byte("v"), nil, []byte("1"), false); err != nil {
+		t.Fatal(err)
+	}
+	err := cl.Put(ctx, []byte("k"), []byte("v2"), []byte("WRONG"), []byte("2"), false)
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("want version mismatch, got %v", err)
+	}
+}
+
+func TestClientRange(t *testing.T) {
+	_, cl := startDrive(t)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if err := cl.Put(ctx, []byte(fmt.Sprintf("k%02d", i)), []byte("v"), nil, nil, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := cl.GetKeyRange(ctx, []byte("k03"), []byte("k07"), true, false, 100)
+	if err != nil || len(keys) != 5 {
+		t.Fatalf("range: %d keys, %v", len(keys), err)
+	}
+}
+
+func TestClientSecurityAndCredentialSwitch(t *testing.T) {
+	drive, cl := startDrive(t)
+	ctx := context.Background()
+	newKey := []byte("new-admin-secret")
+	err := cl.SetSecurity(ctx, []wire.ACL{
+		{Identity: "pesos-admin", Key: newKey, Perms: wire.PermAll},
+	}, nil)
+	if err != nil {
+		t.Fatalf("set security: %v", err)
+	}
+	// Old credentials no longer work.
+	if err := cl.Noop(ctx); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("noop with stale creds: %v", err)
+	}
+	// Switching credentials on the same connection recovers.
+	cl.SetCredentials(Credentials{Identity: "pesos-admin", Key: newKey})
+	if err := cl.Noop(ctx); err != nil {
+		t.Fatalf("noop with new creds: %v", err)
+	}
+	if got := drive.Accounts(); len(got) != 1 || got[0] != "pesos-admin" {
+		t.Fatalf("accounts after takeover: %v", got)
+	}
+}
+
+func TestClientEraseAndLog(t *testing.T) {
+	drive, cl := startDrive(t)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := cl.Put(ctx, []byte(fmt.Sprintf("k%d", i)), []byte("v"), nil, nil, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log, err := cl.GetLog(ctx)
+	if err != nil || log["keys"] != "5" {
+		t.Fatalf("getlog: %v %v", log, err)
+	}
+	if err := cl.InstantErase(ctx, nil); err != nil {
+		t.Fatalf("erase: %v", err)
+	}
+	if drive.Len() != 0 {
+		t.Fatalf("%d keys after erase", drive.Len())
+	}
+	if err := cl.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}
+
+// TestClientConcurrentPipelining exercises many in-flight requests on
+// one connection — the decoupled request/response design of §4.3.
+func TestClientConcurrentPipelining(t *testing.T) {
+	_, cl := startDrive(t)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := []byte(fmt.Sprintf("w%d-k%d", w, i))
+				if err := cl.Put(ctx, key, []byte("v"), nil, nil, true); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := cl.Get(ctx, key); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClientReconnectAfterConnLoss(t *testing.T) {
+	drive := kinetic.NewDrive(kinetic.Config{Name: "t"})
+	ln := netx.NewListener("drive")
+	srv := kinetic.Serve(drive, ln, nil)
+	defer srv.Close()
+	defer ln.Close()
+
+	var mu sync.Mutex
+	var conns []net.Conn
+	dial := func(ctx context.Context) (net.Conn, error) {
+		c, err := ln.DialContext(ctx)
+		if err == nil {
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+		}
+		return c, err
+	}
+	cl, err := Dial(context.Background(), dial,
+		Credentials{Identity: kinetic.DefaultAdminIdentity, Key: kinetic.DefaultAdminKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	if err := cl.Put(ctx, []byte("k"), []byte("v"), nil, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the connection from underneath the client.
+	mu.Lock()
+	conns[0].Close()
+	mu.Unlock()
+	// The next call may fail once, then the lazy reconnect recovers.
+	var got []byte
+	for attempt := 0; attempt < 3; attempt++ {
+		if got, _, err = cl.Get(ctx, []byte("k")); err == nil {
+			break
+		}
+	}
+	if err != nil || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("after reconnect: %q %v", got, err)
+	}
+}
+
+func TestClientClosedErrors(t *testing.T) {
+	_, cl := startDrive(t)
+	cl.Close()
+	if err := cl.Noop(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("after close: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package kinetic
+
+import (
+	"bufio"
+	"crypto/tls"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/kinetic/wire"
+)
+
+// Server exposes a Drive over a net.Listener, speaking the framed wire
+// protocol. When a TLS config is supplied, the channel terminates
+// inside the drive controller as on real Kinetic hardware, presenting
+// the drive's unique X.509 identity.
+type Server struct {
+	drive *Drive
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve wraps ln (optionally in TLS) and serves drive until Close.
+// It returns immediately; the accept loop runs in the background.
+func Serve(drive *Drive, ln net.Listener, tlsCfg *tls.Config) *Server {
+	if tlsCfg != nil {
+		ln = tls.NewListener(ln, tlsCfg)
+	}
+	s := &Server{drive: drive, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Drive returns the served drive.
+func (s *Server) Drive() *Drive { return s.drive }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	var wmu sync.Mutex
+	for {
+		var req wire.Message
+		if err := wire.ReadFrame(r, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrClosedPipe) {
+				log.Printf("kinetic[%s]: read: %v", s.drive.Name(), err)
+			}
+			return
+		}
+		// Each request is handled in its own goroutine so slow media
+		// operations don't head-of-line block the connection; the
+		// client correlates responses by sequence number. This mirrors
+		// the real drive's internal thread pool.
+		s.wg.Add(1)
+		go func(req wire.Message) {
+			defer s.wg.Done()
+			resp := s.drive.Handle(&req)
+			wmu.Lock()
+			defer wmu.Unlock()
+			if err := wire.WriteFrame(w, resp); err != nil {
+				return
+			}
+			w.Flush()
+		}(req)
+	}
+}
+
+// Close stops accepting, closes all connections and waits for
+// in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}

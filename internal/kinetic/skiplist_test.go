@@ -1,0 +1,208 @@
+package kinetic
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkipListBasic(t *testing.T) {
+	s := newSkipList()
+	if _, _, ok := s.get([]byte("missing")); ok {
+		t.Fatal("get on empty list succeeded")
+	}
+	s.put([]byte("a"), []byte("1"), []byte("v1"))
+	s.put([]byte("b"), []byte("2"), nil)
+	v, ver, ok := s.get([]byte("a"))
+	if !ok || string(v) != "1" || string(ver) != "v1" {
+		t.Fatalf("get a = %q/%q/%v", v, ver, ok)
+	}
+	if s.len() != 2 {
+		t.Fatalf("len = %d, want 2", s.len())
+	}
+
+	// Replace updates in place.
+	s.put([]byte("a"), []byte("1-new"), []byte("v2"))
+	v, ver, _ = s.get([]byte("a"))
+	if string(v) != "1-new" || string(ver) != "v2" {
+		t.Fatalf("after replace: %q/%q", v, ver)
+	}
+	if s.len() != 2 {
+		t.Fatalf("len after replace = %d, want 2", s.len())
+	}
+
+	if !s.delete([]byte("a")) {
+		t.Fatal("delete existing failed")
+	}
+	if s.delete([]byte("a")) {
+		t.Fatal("double delete succeeded")
+	}
+	if s.len() != 1 {
+		t.Fatalf("len after delete = %d", s.len())
+	}
+}
+
+func TestSkipListByteAccounting(t *testing.T) {
+	s := newSkipList()
+	s.put([]byte("key"), make([]byte, 100), []byte("v"))
+	want := int64(3 + 100 + 1)
+	if s.sizeBytes() != want {
+		t.Fatalf("bytes = %d, want %d", s.sizeBytes(), want)
+	}
+	s.put([]byte("key"), make([]byte, 10), []byte("v"))
+	want = int64(3 + 10 + 1)
+	if s.sizeBytes() != want {
+		t.Fatalf("bytes after shrink = %d, want %d", s.sizeBytes(), want)
+	}
+	s.delete([]byte("key"))
+	if s.sizeBytes() != 0 {
+		t.Fatalf("bytes after delete = %d, want 0", s.sizeBytes())
+	}
+}
+
+func TestSkipListOrderedScan(t *testing.T) {
+	s := newSkipList()
+	keys := []string{"m", "a", "z", "c", "q", "b"}
+	for _, k := range keys {
+		s.put([]byte(k), []byte("v"+k), nil)
+	}
+	var got []string
+	s.scan([]byte("a"), []byte("z"), true, false, 0, func(k, v, ver []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+
+	// Exclusive start skips an exact match.
+	got = nil
+	s.scan([]byte("a"), []byte("z"), false, false, 0, func(k, v, ver []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if got[0] != "b" {
+		t.Fatalf("exclusive scan starts at %q, want b", got[0])
+	}
+
+	// Max bounds the result.
+	got = nil
+	s.scan([]byte("a"), nil, true, false, 3, func(k, v, ver []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("bounded scan returned %d keys", len(got))
+	}
+
+	// Reverse order.
+	got = nil
+	s.scan([]byte("a"), []byte("z"), true, true, 2, func(k, v, ver []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 2 || got[0] != "z" || got[1] != "q" {
+		t.Fatalf("reverse scan = %v", got)
+	}
+}
+
+func TestSkipListClear(t *testing.T) {
+	s := newSkipList()
+	for i := 0; i < 100; i++ {
+		s.put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"), nil)
+	}
+	s.clear()
+	if s.len() != 0 || s.sizeBytes() != 0 {
+		t.Fatalf("after clear: len=%d bytes=%d", s.len(), s.sizeBytes())
+	}
+	if _, _, ok := s.get([]byte("k000")); ok {
+		t.Fatal("get after clear succeeded")
+	}
+}
+
+// TestSkipListMatchesMap is a property test: a random operation
+// sequence applied to the skiplist and to a reference map must agree.
+func TestSkipListMatchesMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := newSkipList()
+		ref := map[string]string{}
+		for i, op := range ops {
+			key := fmt.Sprintf("k%02d", op%37)
+			switch op % 3 {
+			case 0:
+				val := fmt.Sprintf("v%d", i)
+				s.put([]byte(key), []byte(val), nil)
+				ref[key] = val
+			case 1:
+				got, _, ok := s.get([]byte(key))
+				want, exists := ref[key]
+				if ok != exists || (ok && string(got) != want) {
+					return false
+				}
+			case 2:
+				_, exists := ref[key]
+				if s.delete([]byte(key)) != exists {
+					return false
+				}
+				delete(ref, key)
+			}
+		}
+		if s.len() != len(ref) {
+			return false
+		}
+		// Ordered scan must return exactly the reference keys sorted.
+		var got []string
+		s.scan(nil, nil, true, false, 0, func(k, v, ver []byte) bool {
+			got = append(got, string(k))
+			return true
+		})
+		want := make([]string, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		return fmt.Sprint(got) == fmt.Sprint(want) && sort.StringsAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkipListConcurrent(t *testing.T) {
+	s := newSkipList()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 2000; i++ {
+				k := []byte(fmt.Sprintf("w%d-k%d", w, rnd.Intn(100)))
+				switch rnd.Intn(3) {
+				case 0:
+					s.put(k, []byte("v"), nil)
+				case 1:
+					s.get(k)
+				case 2:
+					s.delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Ordering invariant holds after concurrent mutation.
+	var prev []byte
+	s.scan(nil, nil, true, false, 0, func(k, v, ver []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Errorf("order violated: %q >= %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		return true
+	})
+}

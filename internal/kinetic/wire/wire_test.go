@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		Type:       TPut,
+		Seq:        42,
+		User:       "pesos-admin",
+		Key:        []byte("m\x00greeting"),
+		Value:      []byte("hello world"),
+		DBVersion:  []byte{0, 0, 0, 1},
+		NewVersion: []byte{0, 0, 0, 2},
+		Force:      true,
+		Sync:       SyncWriteBack,
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	msgs := []*Message{
+		sampleMessage(),
+		{Type: TGet, Seq: 1, User: "u", Key: []byte("k")},
+		{Type: TGetKeyRange, StartKey: []byte("a"), EndKey: []byte("z"),
+			MaxReturned: 100, Reverse: true, KeyInclusive: true},
+		{Type: TSecurity, ACLs: []ACL{
+			{Identity: "admin", Key: []byte("secretsecret"), Perms: PermAll},
+			{Identity: "reader", Key: []byte("readerkey123"), Perms: PermRead | PermRange},
+		}, Pin: []byte("pin")},
+		{Type: TGetLogResponse, Log: map[string]string{"keys": "10", "name": "d0"}},
+		{Type: TPutResponse, Seq: 9, Status: StatusVersionMismatch, StatusMsg: "conflict"},
+		{Type: TP2PPush, Key: []byte("k"), Peer: "kinetic-1"},
+		{Type: TNoop},
+	}
+	for _, m := range msgs {
+		data := m.Marshal()
+		var got Message
+		if err := got.Unmarshal(data); err != nil {
+			t.Fatalf("unmarshal %v: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(*m, got) {
+			t.Errorf("round trip %v:\n got %+v\nwant %+v", m.Type, got, *m)
+		}
+	}
+}
+
+func TestHMACSignVerify(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	m := sampleMessage()
+	m.Sign(key)
+	if !m.Verify(key) {
+		t.Fatal("verify failed for signed message")
+	}
+	if m.Verify([]byte("wrong key wrong key")) {
+		t.Fatal("verify passed with wrong key")
+	}
+
+	// Any field mutation invalidates the HMAC.
+	tampered := *m
+	tampered.Value = []byte("evil")
+	if tampered.Verify(key) {
+		t.Fatal("verify passed after value tampering")
+	}
+	tampered = *m
+	tampered.Seq++
+	if tampered.Verify(key) {
+		t.Fatal("verify passed after seq tampering")
+	}
+	tampered = *m
+	tampered.User = "someone-else"
+	if tampered.Verify(key) {
+		t.Fatal("verify passed after user tampering")
+	}
+}
+
+func TestHMACSurvivesTransport(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	m := sampleMessage()
+	m.Sign(key)
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	var got Message
+	if err := ReadFrame(bufio.NewReader(&buf), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Verify(key) {
+		t.Fatal("HMAC did not survive framing")
+	}
+}
+
+func TestFrameRejectsBadMagic(t *testing.T) {
+	var got Message
+	err := ReadFrame(bufio.NewReader(bytes.NewReader([]byte{'X', 0, 0, 0, 1, 0})), &got)
+	if err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	hdr := []byte{Magic, 0xFF, 0xFF, 0xFF, 0xFF}
+	var got Message
+	if err := ReadFrame(bufio.NewReader(bytes.NewReader(hdr)), &got); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	m := &Message{Type: TPut, Value: make([]byte, MaxMessageSize+1)}
+	if err := WriteFrame(&bytes.Buffer{}, m); err == nil {
+		t.Fatal("oversized message written")
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	data := sampleMessage().Marshal()
+	for i := 1; i < len(data); i++ {
+		var m Message
+		// Truncations must error or at worst decode fewer fields;
+		// they must never panic.
+		_ = m.Unmarshal(data[:i])
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		garbage := make([]byte, rnd.Intn(200))
+		rnd.Read(garbage)
+		var m Message
+		_ = m.Unmarshal(garbage) // must not panic
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seq uint64, user string, key, value, dbv, nv []byte, force bool) bool {
+		m := &Message{Type: TPut, Seq: seq, User: user, Key: key, Value: value,
+			DBVersion: dbv, NewVersion: nv, Force: force}
+		var got Message
+		if err := got.Unmarshal(m.Marshal()); err != nil {
+			return false
+		}
+		// nil and empty slices are equivalent on the wire.
+		norm := func(b []byte) []byte {
+			if len(b) == 0 {
+				return nil
+			}
+			return b
+		}
+		return got.Seq == m.Seq && got.User == m.User && got.Force == m.Force &&
+			bytes.Equal(norm(got.Key), norm(m.Key)) &&
+			bytes.Equal(norm(got.Value), norm(m.Value)) &&
+			bytes.Equal(norm(got.DBVersion), norm(m.DBVersion)) &&
+			bytes.Equal(norm(got.NewVersion), norm(m.NewVersion))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResponsePairing(t *testing.T) {
+	reqs := []MessageType{TGet, TPut, TDelete, TGetKeyRange, TSecurity, TErase,
+		TNoop, TFlush, TP2PPush, TGetLog, TGetVersion}
+	for _, r := range reqs {
+		if !r.IsRequest() {
+			t.Errorf("%v should be a request", r)
+		}
+		resp := r.Response()
+		if resp != r+1 {
+			t.Errorf("%v response = %v, want %v", r, resp, r+1)
+		}
+		if resp.IsRequest() {
+			t.Errorf("%v should not be a request", resp)
+		}
+	}
+	if TGetResponse.Response() != TInvalid {
+		t.Error("response of a response should be invalid")
+	}
+}
+
+func TestStatusAndTypeStrings(t *testing.T) {
+	for s := StatusOK; s <= StatusDeviceLocked; s++ {
+		if s.String() == "" {
+			t.Errorf("status %d has empty string", s)
+		}
+	}
+	if StatusCode(200).String() == "" {
+		t.Error("unknown status has empty string")
+	}
+	if TGet.String() != "GET" || MessageType(99).String() == "" {
+		t.Error("type strings broken")
+	}
+}

@@ -1,0 +1,83 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/policy/lang"
+)
+
+// Microbenchmarks for the policy engine hot paths: compilation is the
+// policy-upload path, evaluation is on every request (§3.2 step 6).
+
+const benchVersionedSrc = `update :- objId(this, o) and currVersion(o, cV) and nextVersion(cV + 1)
+	or objId(this, NULL) and nextVersion(0)
+read :- sessionKeyIs(U)`
+
+func BenchmarkCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileSource(benchVersionedSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalUnmarshal(b *testing.B) {
+	prog, err := CompileSource(benchVersionedSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, _ := prog.Marshal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalSessionKey(b *testing.B) {
+	prog, err := CompileSource("read :- sessionKeyIs(k'aa') or sessionKeyIs(k'bb') or sessionKeyIs(k'cc')")
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &Request{Op: lang.PermRead, SessionKey: "cc"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := Eval(prog, req, nil)
+		if err != nil || !d.Allowed {
+			b.Fatal("eval failed")
+		}
+	}
+}
+
+func BenchmarkEvalVersioned(b *testing.B) {
+	prog, err := CompileSource(benchVersionedSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	objs := newBenchObjects()
+	req := &Request{Op: lang.PermUpdate, ObjectID: "obj", NextVersion: 8, HasNextVersion: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := Eval(prog, req, objs)
+		if err != nil || !d.Allowed {
+			b.Fatal("eval failed")
+		}
+	}
+}
+
+type benchObjects struct{ info ObjectInfo }
+
+func newBenchObjects() *benchObjects {
+	return &benchObjects{info: ObjectInfo{ID: "obj", Version: 7, Size: 1024}}
+}
+
+func (o *benchObjects) Info(string) (ObjectInfo, bool, error) { return o.info, true, nil }
+func (o *benchObjects) InfoAt(_ string, v int64) (ObjectInfo, bool, error) {
+	i := o.info
+	i.Version = v
+	return i, true, nil
+}
+func (o *benchObjects) Content(string, int64) ([]byte, bool, error) {
+	return []byte("read('obj', k'aa')"), true, nil
+}

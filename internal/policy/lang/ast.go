@@ -1,0 +1,185 @@
+// Package lang implements the textual front end of the Pesos policy
+// language (§3.3): lexer, parser and abstract syntax tree. Clients
+// submit policies in this human-readable form; the compiler package
+// lowers the AST to the compact binary format the interpreter runs.
+//
+// Grammar (EBNF):
+//
+//	policy     = permission { permission } .
+//	permission = perm ":-" condition [ "." ] .
+//	perm       = "read" | "update" | "delete" | "destroy" .
+//	condition  = clause { or clause } .           // disjunctive normal form
+//	clause     = predicate { and predicate } .
+//	predicate  = ident "(" [ args ] ")" .
+//	args       = arg { "," arg } .
+//	arg        = literal | variable [ addop int ] | int addop variable
+//	           | ident "(" [ args ] ")"           // tuple pattern
+//	           | "this" | "THIS" | "log" | "LOG" | "null" | "NULL" .
+//	literal    = int | string | "h'" hex "'" | "k'" hex "'" .
+//	and        = "∧" | "&&" | "&" | "and" | "," (inside conditions) .
+//	or         = "∨" | "||" | "|" | "or" .
+//	addop      = "+" | "-" .
+//
+// Variables start with an uppercase letter (§3.3); identifiers with a
+// lowercase letter. Strings use single or double quotes.
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/policy/value"
+)
+
+// Perm identifies one of the three controlled operations.
+type Perm uint8
+
+// Permissions. The paper's examples use both "delete" and "destroy";
+// they are the same permission.
+const (
+	PermRead Perm = iota
+	PermUpdate
+	PermDelete
+	NumPerms
+)
+
+// String implements fmt.Stringer.
+func (p Perm) String() string {
+	switch p {
+	case PermRead:
+		return "read"
+	case PermUpdate:
+		return "update"
+	case PermDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Perm(%d)", uint8(p))
+	}
+}
+
+// Policy is the parsed form: a condition per granted permission.
+// A nil condition means the permission is never granted.
+type Policy struct {
+	Conditions [NumPerms]*Condition
+}
+
+// Condition is a disjunction of clauses.
+type Condition struct {
+	Clauses []*Clause
+}
+
+// Clause is a conjunction of predicates.
+type Clause struct {
+	Preds []*Pred
+}
+
+// Pred is one predicate application.
+type Pred struct {
+	Name string
+	Args []*Arg
+	Pos  Pos
+}
+
+// ArgKind discriminates argument forms.
+type ArgKind uint8
+
+// Argument kinds.
+const (
+	AVal   ArgKind = iota // literal value
+	AVar                  // variable reference
+	AExpr                 // variable ± integer constant
+	ATuple                // tuple pattern with nested args
+	AThis                 // the accessed object designator
+	ALog                  // the paired log object designator (MAL)
+	ANull                 // the "object absent" marker
+)
+
+// Arg is one predicate argument.
+type Arg struct {
+	Kind ArgKind
+	Val  value.V // AVal
+	Var  string  // AVar, AExpr
+	Add  int64   // AExpr: Var + Add
+
+	TupleName string // ATuple
+	TupleArgs []*Arg // ATuple
+
+	Pos Pos
+}
+
+// Pos is a source location for error messages.
+type Pos struct {
+	Line, Col int
+}
+
+// String implements fmt.Stringer.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// String renders the policy back to (canonical) source text.
+func (pol *Policy) String() string {
+	var b strings.Builder
+	for p := PermRead; p < NumPerms; p++ {
+		c := pol.Conditions[p]
+		if c == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%s :- %s\n", p, c)
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (c *Condition) String() string {
+	parts := make([]string, len(c.Clauses))
+	for i, cl := range c.Clauses {
+		parts[i] = cl.String()
+	}
+	return strings.Join(parts, " or ")
+}
+
+// String implements fmt.Stringer.
+func (c *Clause) String() string {
+	parts := make([]string, len(c.Preds))
+	for i, p := range c.Preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// String implements fmt.Stringer.
+func (p *Pred) String() string {
+	parts := make([]string, len(p.Args))
+	for i, a := range p.Args {
+		parts[i] = a.String()
+	}
+	return p.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// String implements fmt.Stringer.
+func (a *Arg) String() string {
+	switch a.Kind {
+	case AVal:
+		return a.Val.String()
+	case AVar:
+		return a.Var
+	case AExpr:
+		if a.Add < 0 {
+			return fmt.Sprintf("%s - %d", a.Var, -a.Add)
+		}
+		return fmt.Sprintf("%s + %d", a.Var, a.Add)
+	case ATuple:
+		parts := make([]string, len(a.TupleArgs))
+		for i, t := range a.TupleArgs {
+			parts[i] = t.String()
+		}
+		return a.TupleName + "(" + strings.Join(parts, ", ") + ")"
+	case AThis:
+		return "this"
+	case ALog:
+		return "log"
+	case ANull:
+		return "null"
+	default:
+		return "<badarg>"
+	}
+}

@@ -1,0 +1,308 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind uint8
+
+const (
+	tEOF tokenKind = iota
+	tIdent
+	tVariable
+	tInt
+	tString
+	tHashLit
+	tKeyLit
+	tLParen
+	tRParen
+	tComma
+	tTurnstile // :-
+	tAnd
+	tOr
+	tPlus
+	tMinus
+	tDot
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return "identifier"
+	case tVariable:
+		return "variable"
+	case tInt:
+		return "integer"
+	case tString:
+		return "string"
+	case tHashLit:
+		return "hash literal"
+	case tKeyLit:
+		return "key literal"
+	case tLParen:
+		return "'('"
+	case tRParen:
+		return "')'"
+	case tComma:
+		return "','"
+	case tTurnstile:
+		return "':-'"
+	case tAnd:
+		return "'and'"
+	case tOr:
+		return "'or'"
+	case tPlus:
+		return "'+'"
+	case tMinus:
+		return "'-'"
+	case tDot:
+		return "'.'"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  Pos
+}
+
+// SyntaxError reports a lexical or parse failure with its position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("policy:%s: %s", e.Pos, e.Msg)
+}
+
+// lexer turns policy source into tokens. It is the hand-written
+// replacement for the Flex scanner the paper's prototype uses.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(pos Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return token{kind: tEOF, pos: pos}, nil
+	}
+	c := l.src[l.off]
+	switch {
+	case c == '(':
+		l.advance(1)
+		return token{tLParen, "(", pos}, nil
+	case c == ')':
+		l.advance(1)
+		return token{tRParen, ")", pos}, nil
+	case c == ',':
+		l.advance(1)
+		return token{tComma, ",", pos}, nil
+	case c == '.':
+		l.advance(1)
+		return token{tDot, ".", pos}, nil
+	case c == '+':
+		l.advance(1)
+		return token{tPlus, "+", pos}, nil
+	case c == ':':
+		if strings.HasPrefix(l.src[l.off:], ":-") {
+			l.advance(2)
+			return token{tTurnstile, ":-", pos}, nil
+		}
+		return token{}, l.errorf(pos, "unexpected ':'")
+	case c == '&':
+		if strings.HasPrefix(l.src[l.off:], "&&") {
+			l.advance(2)
+		} else {
+			l.advance(1)
+		}
+		return token{tAnd, "and", pos}, nil
+	case c == '|':
+		if strings.HasPrefix(l.src[l.off:], "||") {
+			l.advance(2)
+		} else {
+			l.advance(1)
+		}
+		return token{tOr, "or", pos}, nil
+	case c == '\'' || c == '"':
+		return l.lexString(pos, rune(c))
+	case c == '-' || (c >= '0' && c <= '9'):
+		return l.lexInt(pos)
+	case c == 'h' && l.peekAt(1) == '\'':
+		return l.lexHexLit(pos, tHashLit)
+	case c == 'k' && l.peekAt(1) == '\'':
+		return l.lexHexLit(pos, tKeyLit)
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	switch r {
+	case '∧':
+		l.advance(len("∧"))
+		return token{tAnd, "and", pos}, nil
+	case '∨':
+		l.advance(len("∨"))
+		return token{tOr, "or", pos}, nil
+	}
+	if isIdentStart(r) {
+		return l.lexIdent(pos)
+	}
+	return token{}, l.errorf(pos, "unexpected character %q", r)
+}
+
+func (l *lexer) lexIdent(pos Pos) (token, error) {
+	start := l.off
+	for l.off < len(l.src) {
+		r, sz := utf8.DecodeRuneInString(l.src[l.off:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.advance(sz)
+	}
+	text := l.src[start:l.off]
+	switch text {
+	case "and", "AND":
+		return token{tAnd, "and", pos}, nil
+	case "or", "OR":
+		return token{tOr, "or", pos}, nil
+	}
+	first, _ := utf8.DecodeRuneInString(text)
+	if unicode.IsUpper(first) {
+		// Reserved designators are recognised case-insensitively by
+		// the parser; everything else uppercase is a variable.
+		return token{tVariable, text, pos}, nil
+	}
+	return token{tIdent, text, pos}, nil
+}
+
+func (l *lexer) lexInt(pos Pos) (token, error) {
+	start := l.off
+	if l.src[l.off] == '-' {
+		l.advance(1)
+		if l.off >= len(l.src) || l.src[l.off] < '0' || l.src[l.off] > '9' {
+			return token{tMinus, "-", pos}, nil
+		}
+	}
+	for l.off < len(l.src) && l.src[l.off] >= '0' && l.src[l.off] <= '9' {
+		l.advance(1)
+	}
+	return token{tInt, l.src[start:l.off], pos}, nil
+}
+
+func (l *lexer) lexString(pos Pos, quote rune) (token, error) {
+	l.advance(1) // opening quote
+	var b strings.Builder
+	for l.off < len(l.src) {
+		r, sz := utf8.DecodeRuneInString(l.src[l.off:])
+		if r == quote {
+			l.advance(sz)
+			return token{tString, b.String(), pos}, nil
+		}
+		if r == '\\' && l.off+sz < len(l.src) {
+			l.advance(sz)
+			e, esz := utf8.DecodeRuneInString(l.src[l.off:])
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteRune(e)
+			}
+			l.advance(esz)
+			continue
+		}
+		if r == '\n' {
+			return token{}, l.errorf(pos, "unterminated string")
+		}
+		b.WriteRune(r)
+		l.advance(sz)
+	}
+	return token{}, l.errorf(pos, "unterminated string")
+}
+
+// lexHexLit scans h'...' and k'...' literals.
+func (l *lexer) lexHexLit(pos Pos, kind tokenKind) (token, error) {
+	l.advance(2) // h' or k'
+	start := l.off
+	for l.off < len(l.src) && l.src[l.off] != '\'' {
+		c := l.src[l.off]
+		if !isHex(c) {
+			return token{}, l.errorf(pos, "invalid hex digit %q in literal", c)
+		}
+		l.advance(1)
+	}
+	if l.off >= len(l.src) {
+		return token{}, l.errorf(pos, "unterminated hex literal")
+	}
+	text := l.src[start:l.off]
+	l.advance(1) // closing quote
+	return token{kind, text, pos}, nil
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '%' || (c == '/' && l.peekAt(1) == '/') || c == '#':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.off < len(l.src); i++ {
+		if l.src[l.off] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.off++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

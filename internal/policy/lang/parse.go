@@ -1,0 +1,344 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/policy/value"
+)
+
+// Parse parses policy source text into an AST. It is the hand-written
+// replacement for the Bison grammar in the paper's prototype.
+func Parse(src string) (*Policy, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	pol := &Policy{}
+	seen := false
+	for p.tok.kind != tEOF {
+		perm, cond, err := p.parsePermission()
+		if err != nil {
+			return nil, err
+		}
+		if pol.Conditions[perm] != nil {
+			// Multiple declarations of the same permission OR together.
+			pol.Conditions[perm].Clauses = append(pol.Conditions[perm].Clauses, cond.Clauses...)
+		} else {
+			pol.Conditions[perm] = cond
+		}
+		seen = true
+	}
+	if !seen {
+		return nil, &SyntaxError{Pos: Pos{1, 1}, Msg: "policy declares no permissions"}
+	}
+	return pol, nil
+}
+
+// ParseValue parses a single literal or tuple of literals in policy
+// syntax — the format of objSays log entries and certified facts.
+func ParseValue(src string) (value.V, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return value.V{}, err
+	}
+	arg, err := p.parseArg()
+	if err != nil {
+		return value.V{}, err
+	}
+	if p.tok.kind != tEOF {
+		return value.V{}, p.errorf("trailing input after value")
+	}
+	v, ok := argToValue(arg)
+	if !ok {
+		return value.V{}, p.errorf("not a ground value (contains variables)")
+	}
+	return v, nil
+}
+
+// argToValue converts a fully-ground argument to a value.
+func argToValue(a *Arg) (value.V, bool) {
+	switch a.Kind {
+	case AVal:
+		return a.Val, true
+	case ATuple:
+		args := make([]value.V, len(a.TupleArgs))
+		for i, t := range a.TupleArgs {
+			v, ok := argToValue(t)
+			if !ok {
+				return value.V{}, false
+			}
+			args[i] = v
+		}
+		return value.Tup(a.TupleName, args...), true
+	default:
+		return value.V{}, false
+	}
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errorf("expected %s, found %s %q", k, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) parsePermission() (Perm, *Condition, error) {
+	t, err := p.expect(tIdent)
+	if err != nil {
+		return 0, nil, err
+	}
+	var perm Perm
+	switch strings.ToLower(t.text) {
+	case "read":
+		perm = PermRead
+	case "update", "write":
+		perm = PermUpdate
+	case "delete", "destroy":
+		perm = PermDelete
+	default:
+		return 0, nil, &SyntaxError{Pos: t.pos,
+			Msg: fmt.Sprintf("unknown permission %q (want read, update or delete)", t.text)}
+	}
+	if _, err := p.expect(tTurnstile); err != nil {
+		return 0, nil, err
+	}
+	cond, err := p.parseCondition()
+	if err != nil {
+		return 0, nil, err
+	}
+	if p.tok.kind == tDot {
+		if err := p.advance(); err != nil {
+			return 0, nil, err
+		}
+	}
+	return perm, cond, nil
+}
+
+func (p *parser) parseCondition() (*Condition, error) {
+	cond := &Condition{}
+	for {
+		clause, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		cond.Clauses = append(cond.Clauses, clause)
+		if p.tok.kind != tOr {
+			return cond, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseClause() (*Clause, error) {
+	clause := &Clause{}
+	for {
+		pred, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		clause.Preds = append(clause.Preds, pred)
+		if p.tok.kind != tAnd {
+			return clause, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parsePred() (*Pred, error) {
+	t, err := p.expect(tIdent)
+	if err != nil {
+		return nil, err
+	}
+	pred := &Pred{Name: t.text, Pos: t.pos}
+	if _, err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tRParen {
+		return pred, p.advance()
+	}
+	for {
+		arg, err := p.parseArg()
+		if err != nil {
+			return nil, err
+		}
+		pred.Args = append(pred.Args, arg)
+		if p.tok.kind == tComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	_, err = p.expect(tRParen)
+	return pred, err
+}
+
+func (p *parser) parseArg() (*Arg, error) {
+	pos := p.tok.pos
+	switch p.tok.kind {
+	case tInt:
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer literal %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Arg{Kind: AVal, Val: value.Int(n), Pos: pos}, nil
+
+	case tString:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// A string literal followed by '(' is a quoted tuple name, the
+		// paper's 'ts'(tskey) form.
+		if p.tok.kind == tLParen {
+			return p.parseTuplePattern(s, pos)
+		}
+		return &Arg{Kind: AVal, Val: value.Str(s), Pos: pos}, nil
+
+	case tHashLit:
+		v, err := value.ParseHash(p.tok.text)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Arg{Kind: AVal, Val: v, Pos: pos}, nil
+
+	case tKeyLit:
+		v := value.PubKey(strings.ToLower(p.tok.text))
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Arg{Kind: AVal, Val: v, Pos: pos}, nil
+
+	case tVariable:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch name {
+		case "THIS", "This":
+			return &Arg{Kind: AThis, Pos: pos}, nil
+		case "LOG", "Log":
+			return &Arg{Kind: ALog, Pos: pos}, nil
+		case "NULL", "Null":
+			return &Arg{Kind: ANull, Pos: pos}, nil
+		}
+		return p.maybeExpr(name, pos)
+
+	case tIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tLParen {
+			return p.parseTuplePattern(name, pos)
+		}
+		switch name {
+		case "this":
+			return &Arg{Kind: AThis, Pos: pos}, nil
+		case "log":
+			return &Arg{Kind: ALog, Pos: pos}, nil
+		case "null", "nil":
+			return &Arg{Kind: ANull, Pos: pos}, nil
+		}
+		// Bare lowercase identifiers act as variables too; the paper
+		// writes objId(this, o) with lowercase o.
+		return p.maybeExpr(name, pos)
+
+	default:
+		return nil, p.errorf("expected argument, found %s %q", p.tok.kind, p.tok.text)
+	}
+}
+
+// maybeExpr parses an optional "± int" suffix after a variable.
+func (p *parser) maybeExpr(name string, pos Pos) (*Arg, error) {
+	switch p.tok.kind {
+	case tPlus, tMinus:
+		neg := p.tok.kind == tMinus
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(tInt)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %q", t.text)
+		}
+		if neg {
+			n = -n
+		}
+		return &Arg{Kind: AExpr, Var: name, Add: n, Pos: pos}, nil
+	case tInt:
+		// "v -1" lexes the minus into the integer literal.
+		if strings.HasPrefix(p.tok.text, "-") {
+			n, err := strconv.ParseInt(p.tok.text, 10, 64)
+			if err != nil {
+				return nil, p.errorf("bad integer %q", p.tok.text)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &Arg{Kind: AExpr, Var: name, Add: n, Pos: pos}, nil
+		}
+	}
+	return &Arg{Kind: AVar, Var: name, Pos: pos}, nil
+}
+
+func (p *parser) parseTuplePattern(name string, pos Pos) (*Arg, error) {
+	if _, err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	arg := &Arg{Kind: ATuple, TupleName: name, Pos: pos}
+	if p.tok.kind == tRParen {
+		return arg, p.advance()
+	}
+	for {
+		sub, err := p.parseArg()
+		if err != nil {
+			return nil, err
+		}
+		arg.TupleArgs = append(arg.TupleArgs, sub)
+		if p.tok.kind == tComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	_, err := p.expect(tRParen)
+	return arg, err
+}

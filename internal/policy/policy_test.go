@@ -1,0 +1,457 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/authority"
+	"repro/internal/policy/lang"
+	"repro/internal/policy/value"
+)
+
+func mustCompile(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return p
+}
+
+// fakeObjects is an in-memory ObjectSource.
+type fakeObjects struct {
+	infos    map[string][]ObjectInfo // per version, index = version
+	contents map[string][]string
+}
+
+func newFakeObjects() *fakeObjects {
+	return &fakeObjects{infos: map[string][]ObjectInfo{}, contents: map[string][]string{}}
+}
+
+func (f *fakeObjects) add(id, content string) {
+	v := int64(len(f.infos[id]))
+	var h [32]byte
+	copy(h[:], fmt.Sprintf("%s@%d", id, v))
+	f.infos[id] = append(f.infos[id], ObjectInfo{
+		ID: id, Version: v, Size: int64(len(content)), Hash: h,
+	})
+	f.contents[id] = append(f.contents[id], content)
+}
+
+func (f *fakeObjects) Info(id string) (ObjectInfo, bool, error) {
+	vs := f.infos[id]
+	if len(vs) == 0 {
+		return ObjectInfo{}, false, nil
+	}
+	return vs[len(vs)-1], true, nil
+}
+
+func (f *fakeObjects) InfoAt(id string, version int64) (ObjectInfo, bool, error) {
+	vs := f.infos[id]
+	if version < 0 || version >= int64(len(vs)) {
+		return ObjectInfo{}, false, nil
+	}
+	return vs[version], true, nil
+}
+
+func (f *fakeObjects) Content(id string, version int64) ([]byte, bool, error) {
+	cs := f.contents[id]
+	if version < 0 || version >= int64(len(cs)) {
+		return nil, false, nil
+	}
+	return []byte(cs[version]), true, nil
+}
+
+func evalReq(t *testing.T, prog *Program, req *Request, objs ObjectSource) Decision {
+	t.Helper()
+	d, err := Eval(prog, req, objs)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return d
+}
+
+func TestSessionKeyIs(t *testing.T) {
+	prog := mustCompile(t, "read :- sessionKeyIs(k'aa') or sessionKeyIs(k'bb')")
+	for _, tc := range []struct {
+		key  string
+		want bool
+	}{{"aa", true}, {"bb", true}, {"cc", false}} {
+		d := evalReq(t, prog, &Request{Op: lang.PermRead, SessionKey: tc.key}, nil)
+		if d.Allowed != tc.want {
+			t.Errorf("key %s: allowed=%v, want %v", tc.key, d.Allowed, tc.want)
+		}
+	}
+	// No update permission granted at all.
+	d := evalReq(t, prog, &Request{Op: lang.PermUpdate, SessionKey: "aa"}, nil)
+	if d.Allowed {
+		t.Error("update allowed without permission line")
+	}
+	if d.Reason == "" {
+		t.Error("denial must carry a reason")
+	}
+}
+
+func TestSessionKeyVariableBinds(t *testing.T) {
+	// sessionKeyIs(U) binds U; eq then compares it.
+	prog := mustCompile(t, "read :- sessionKeyIs(U) and eq(U, k'aa')")
+	if !evalReq(t, prog, &Request{Op: lang.PermRead, SessionKey: "aa"}, nil).Allowed {
+		t.Error("aa denied")
+	}
+	if evalReq(t, prog, &Request{Op: lang.PermRead, SessionKey: "xx"}, nil).Allowed {
+		t.Error("xx allowed")
+	}
+}
+
+func TestRelationalPredicates(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"read :- eq(1, 1)", true},
+		{"read :- eq(1, 2)", false},
+		{"read :- lt(1, 2)", true},
+		{"read :- lt(2, 2)", false},
+		{"read :- le(2, 2)", true},
+		{"read :- gt(3, 2)", true},
+		{"read :- ge(2, 3)", false},
+		{"read :- eq('a', 'a')", true},
+		{"read :- lt('a', 'b')", true},
+		{"read :- lt('a', 1)", false}, // incomparable fails the clause
+		{"read :- eq(X, 5) and eq(X, 5)", true},
+		{"read :- eq(X, 5) and eq(X, 6)", false},
+		{"read :- eq(X, 5) and gt(X, 4)", true},
+		{"read :- eq(X, 5) and eq(X + 1, 6)", true},
+		{"read :- eq(X, 5) and eq(X - 1, 4)", true},
+	}
+	for _, tc := range cases {
+		prog := mustCompile(t, tc.src)
+		d := evalReq(t, prog, &Request{Op: lang.PermRead}, nil)
+		if d.Allowed != tc.want {
+			t.Errorf("%q: allowed=%v, want %v", tc.src, d.Allowed, tc.want)
+		}
+	}
+}
+
+func TestObjIdAndNull(t *testing.T) {
+	objs := newFakeObjects()
+	objs.add("exists", "content")
+	prog := mustCompile(t, "update :- objId(this, NULL) and nextVersion(0) or objId(this, O) and eq(O, 'exists')")
+
+	// Existing object: second clause matches via objId binding.
+	d := evalReq(t, prog, &Request{Op: lang.PermUpdate, ObjectID: "exists"}, objs)
+	if !d.Allowed || d.Clause != 1 {
+		t.Errorf("existing: %+v", d)
+	}
+	// Absent object: creation clause with nextVersion 0.
+	d = evalReq(t, prog, &Request{Op: lang.PermUpdate, ObjectID: "absent",
+		NextVersion: 0, HasNextVersion: true}, objs)
+	if !d.Allowed || d.Clause != 0 {
+		t.Errorf("absent: %+v", d)
+	}
+	// Absent object with nonzero version: denied.
+	d = evalReq(t, prog, &Request{Op: lang.PermUpdate, ObjectID: "absent",
+		NextVersion: 3, HasNextVersion: true}, objs)
+	if d.Allowed {
+		t.Error("absent with v3 allowed")
+	}
+}
+
+func TestVersionedStorePolicy(t *testing.T) {
+	src := `update :- objId(this, o) and currVersion(o, cV) and nextVersion(cV + 1)
+	             or objId(this, NULL) and nextVersion(0)`
+	prog := mustCompile(t, src)
+	objs := newFakeObjects()
+	objs.add("doc", "v0")
+	objs.add("doc", "v1") // current version 1
+
+	try := func(obj string, next int64) bool {
+		return evalReq(t, prog, &Request{Op: lang.PermUpdate, ObjectID: obj,
+			NextVersion: next, HasNextVersion: true}, objs).Allowed
+	}
+	if !try("doc", 2) {
+		t.Error("correct next version denied")
+	}
+	if try("doc", 1) || try("doc", 3) || try("doc", 0) {
+		t.Error("wrong next version allowed")
+	}
+	if !try("new", 0) {
+		t.Error("creation at 0 denied")
+	}
+	if try("new", 1) {
+		t.Error("creation at 1 allowed")
+	}
+	// Without a nextVersion argument, updates are denied.
+	if evalReq(t, prog, &Request{Op: lang.PermUpdate, ObjectID: "doc"}, objs).Allowed {
+		t.Error("version-less update allowed")
+	}
+}
+
+func TestObjMetaPredicates(t *testing.T) {
+	objs := newFakeObjects()
+	objs.add("o", "0123456789") // size 10, version 0
+	objs.add("o", "01234")      // size 5, version 1
+
+	// objSize with explicit version.
+	prog := mustCompile(t, "read :- objSize(this, 0, S) and eq(S, 10)")
+	if !evalReq(t, prog, &Request{Op: lang.PermRead, ObjectID: "o"}, objs).Allowed {
+		t.Error("size at v0")
+	}
+	// Unbound version binds to latest.
+	prog = mustCompile(t, "read :- objSize(this, V, S) and eq(V, 1) and eq(S, 5)")
+	if !evalReq(t, prog, &Request{Op: lang.PermRead, ObjectID: "o"}, objs).Allowed {
+		t.Error("size at latest")
+	}
+	// objHash binds and compares.
+	prog = mustCompile(t, "read :- objHash(this, 0, H) and objHash(this, 0, H)")
+	if !evalReq(t, prog, &Request{Op: lang.PermRead, ObjectID: "o"}, objs).Allowed {
+		t.Error("hash self-consistency")
+	}
+	prog = mustCompile(t, "read :- objHash(this, 0, H) and objHash(this, 1, H)")
+	if evalReq(t, prog, &Request{Op: lang.PermRead, ObjectID: "o"}, objs).Allowed {
+		t.Error("different versions share hash")
+	}
+	// Missing object or version fails.
+	prog = mustCompile(t, "read :- objSize(this, 7, S)")
+	if evalReq(t, prog, &Request{Op: lang.PermRead, ObjectID: "o"}, objs).Allowed {
+		t.Error("missing version allowed")
+	}
+}
+
+func TestObjSays(t *testing.T) {
+	objs := newFakeObjects()
+	objs.add("o", "data")
+	objs.add("o.log", "write('o', k'aa')")
+	objs.add("o.log", "read('o', k'aa')") // latest = read intent
+
+	prog := mustCompile(t, "read :- objId(this, O) and sessionKeyIs(U) and objSays(log, V, read(O, U))")
+	req := &Request{Op: lang.PermRead, ObjectID: "o", LogID: "o.log", SessionKey: "aa"}
+	if !evalReq(t, prog, req, objs).Allowed {
+		t.Error("matching latest intent denied")
+	}
+	// Different client: latest entry names aa, not bb.
+	req.SessionKey = "bb"
+	if evalReq(t, prog, req, objs).Allowed {
+		t.Error("intent for other client accepted")
+	}
+	// Explicit version pins the older write intent.
+	prog = mustCompile(t, "read :- objSays(log, 0, write('o', K))")
+	req.SessionKey = "aa"
+	if !evalReq(t, prog, req, objs).Allowed {
+		t.Error("explicit version intent denied")
+	}
+	// Non-value content never says anything.
+	objs.add("junk.log", "this is not a tuple at all }}}")
+	prog = mustCompile(t, "read :- objSays(log, V, anything(X))")
+	req2 := &Request{Op: lang.PermRead, ObjectID: "junk", LogID: "junk.log"}
+	if evalReq(t, prog, req2, objs).Allowed {
+		t.Error("junk content satisfied objSays")
+	}
+}
+
+func TestCertificateSays(t *testing.T) {
+	ts, err := authority.New("time-server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1_750_000_000, 0)
+	cert, err := ts.Sign(authority.TimeFact(now), now, [32]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := fmt.Sprintf("read :- certificateSays(k'%s', 300, 'time'(T)) and ge(T, %d)",
+		ts.Fingerprint(), now.Unix()-10)
+	prog := mustCompile(t, src)
+	req := &Request{Op: lang.PermRead, Now: now, Certificates: []*authority.Certificate{cert}}
+	if !evalReq(t, prog, req, nil).Allowed {
+		t.Error("valid fresh certificate denied")
+	}
+
+	// Stale certificate outside the freshness window.
+	req.Now = now.Add(10 * time.Minute)
+	if evalReq(t, prog, req, nil).Allowed {
+		t.Error("stale certificate accepted")
+	}
+
+	// Tampered fact.
+	bad := *cert
+	bad.Fact = value.Tup("time", value.Int(9_999_999_999))
+	req = &Request{Op: lang.PermRead, Now: now, Certificates: []*authority.Certificate{&bad}}
+	if evalReq(t, prog, req, nil).Allowed {
+		t.Error("tampered certificate accepted")
+	}
+
+	// Wrong authority.
+	other, _ := authority.New("rogue")
+	otherCert, _ := other.Sign(authority.TimeFact(now), now, [32]byte{})
+	req = &Request{Op: lang.PermRead, Now: now, Certificates: []*authority.Certificate{otherCert}}
+	if evalReq(t, prog, req, nil).Allowed {
+		t.Error("wrong authority accepted")
+	}
+
+	// No certificates attached.
+	req = &Request{Op: lang.PermRead, Now: now}
+	if evalReq(t, prog, req, nil).Allowed {
+		t.Error("no certificate accepted")
+	}
+}
+
+func TestCertificateChain(t *testing.T) {
+	ca, _ := authority.New("ca")
+	ts, _ := authority.New("ts")
+	now := time.Unix(1_750_000_000, 0)
+	delegation, _ := ca.Sign(authority.DelegationFact("ts", ts.KeyValue()), now, [32]byte{})
+	timeCert, _ := ts.Sign(authority.TimeFact(now), now, [32]byte{})
+
+	// The §5.2 chain: CA delegates to a time server, whose key is a
+	// variable bound from the first certificate.
+	src := fmt.Sprintf(
+		"update :- certificateSays(k'%s', 'ts'(TSKey)) and certificateSays(TSKey, 300, 'time'(T)) and ge(T, %d)",
+		ca.Fingerprint(), now.Unix()-100)
+	prog := mustCompile(t, src)
+
+	req := &Request{Op: lang.PermUpdate, Now: now,
+		Certificates: []*authority.Certificate{delegation, timeCert}}
+	if !evalReq(t, prog, req, nil).Allowed {
+		t.Error("valid chain denied")
+	}
+	// Certificate order must not matter (backtracking).
+	req.Certificates = []*authority.Certificate{timeCert, delegation}
+	if !evalReq(t, prog, req, nil).Allowed {
+		t.Error("chain order dependent")
+	}
+	// Time cert from an undelegated server fails the chain.
+	rogue, _ := authority.New("rogue")
+	rogueTime, _ := rogue.Sign(authority.TimeFact(now), now, [32]byte{})
+	req.Certificates = []*authority.Certificate{delegation, rogueTime}
+	if evalReq(t, prog, req, nil).Allowed {
+		t.Error("undelegated time server accepted")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"read :- noSuchPredicate(1)",
+		"read :- eq(1)",          // wrong arity
+		"read :- eq(1, 2, 3)",    // wrong arity
+		"read :- sessionKeyIs()", // wrong arity
+		"read :- objSays(this, 1)",
+	}
+	for _, src := range bad {
+		if _, err := CompileSource(src); err == nil {
+			t.Errorf("compiled bad policy %q", src)
+		}
+	}
+	var ce *CompileError
+	_, err := CompileSource("read :- bogus(1)")
+	if !errors.As(err, &ce) {
+		t.Errorf("error type %T, want *CompileError", err)
+	}
+}
+
+func TestProgramMarshalRoundTrip(t *testing.T) {
+	srcs := []string{
+		"read :- sessionKeyIs(k'aa')",
+		"update :- objId(this, o) and currVersion(o, cV) and nextVersion(cV + 1) or objId(this, NULL) and nextVersion(0)",
+		"read :- certificateSays(K, 60, 'time'(T)) and ge(T, 100)\nupdate :- eq(X, 'str') and objHash(this, V, H)",
+	}
+	for _, src := range srcs {
+		p1 := mustCompile(t, src)
+		data, err := p1.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if p1.Hash() != p2.Hash() {
+			t.Errorf("hash changed across marshal round trip for %q", src)
+		}
+	}
+}
+
+func TestDecompileRoundTrip(t *testing.T) {
+	srcs := []string{
+		"read :- sessionKeyIs(k'aa') or sessionKeyIs(k'bb')\nupdate :- sessionKeyIs(k'aa')",
+		"update :- objId(this, O) and currVersion(O, CV) and nextVersion(CV + 1) or objId(this, NULL) and nextVersion(0)",
+		"read :- objSays(log, LV, read(O, U)) and eq(O, 'x')",
+	}
+	for _, src := range srcs {
+		p1 := mustCompile(t, src)
+		text, err := p1.Source()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := CompileSource(text)
+		if err != nil {
+			t.Fatalf("recompile decompiled %q: %v", text, err)
+		}
+		if p1.Hash() != p2.Hash() {
+			t.Errorf("decompile round trip changed hash:\n%s\nvs\n%s", src, text)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not a program")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Corrupt every byte of a valid program: must error or produce a
+	// structurally valid program, never panic.
+	p := mustCompile(t, "read :- eq(X, 5) and sessionKeyIs(k'aa')")
+	data, _ := p.Marshal()
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		_, _ = Unmarshal(mut)
+	}
+}
+
+func TestEvalBudget(t *testing.T) {
+	// A policy with many certificate choice points against many
+	// certificates explodes; the step budget must stop it.
+	ts, _ := authority.New("t")
+	now := time.Now()
+	var certs []*authority.Certificate
+	for i := 0; i < 40; i++ {
+		c, _ := ts.Sign(value.Tup("fact", value.Int(int64(i))), now, [32]byte{})
+		certs = append(certs, c)
+	}
+	var preds []string
+	for i := 0; i < 8; i++ {
+		preds = append(preds, fmt.Sprintf("certificateSays(A%d, 'fact'(X%d))", i, i))
+	}
+	preds = append(preds, "eq(1, 2)") // force exhaustive backtracking
+	prog := mustCompile(t, "read :- "+strings.Join(preds, " and "))
+	_, err := Eval(prog, &Request{Op: lang.PermRead, Now: now, Certificates: certs}, nil)
+	if !errors.Is(err, ErrEvalBudget) {
+		t.Fatalf("want budget error, got %v", err)
+	}
+}
+
+func TestQuickVersionPolicy(t *testing.T) {
+	// Property: under the versioned policy, exactly next == curr+1 is
+	// allowed for existing objects.
+	prog := mustCompile(t, "update :- objId(this, o) and currVersion(o, cV) and nextVersion(cV + 1)")
+	objs := newFakeObjects()
+	for i := 0; i < 10; i++ {
+		objs.add("k", fmt.Sprintf("v%d", i)) // current version 9
+	}
+	f := func(next int64) bool {
+		d, err := Eval(prog, &Request{Op: lang.PermUpdate, ObjectID: "k",
+			NextVersion: next, HasNextVersion: true}, objs)
+		if err != nil {
+			return false
+		}
+		return d.Allowed == (next == 10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

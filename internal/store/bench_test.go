@@ -1,0 +1,51 @@
+package store
+
+import "testing"
+
+// Microbenchmarks for the record codec: every object put/get crosses
+// this path (§2.2 payload encryption).
+
+func benchRecord(size int) *Record {
+	m := sampleMeta()
+	m.Size = int64(size)
+	return &Record{Meta: m, Payload: make([]byte, size)}
+}
+
+func BenchmarkEncodeRecord1K(b *testing.B)  { benchEncode(b, 1024, true) }
+func BenchmarkEncodeRecord64K(b *testing.B) { benchEncode(b, 64<<10, true) }
+func BenchmarkEncodePlain1K(b *testing.B)   { benchEncode(b, 1024, false) }
+
+func benchEncode(b *testing.B, size int, enc bool) {
+	var key [32]byte
+	c, err := NewCodec(key, enc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := benchRecord(size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeRecord(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeRecord1K(b *testing.B) {
+	var key [32]byte
+	c, _ := NewCodec(key, true)
+	blob, _ := c.EncodeRecord(benchRecord(1024))
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DecodeRecord(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Placement("user000000012345", 16, 3)
+	}
+}

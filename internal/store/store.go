@@ -1,0 +1,285 @@
+// Package store defines Pesos' persistent object layout on Kinetic
+// drives: versioned object records with authenticated-encrypted
+// payloads (AES-256-GCM, §2.2), object metadata (version, size,
+// content hash, associated policy — the inputs of Table 1's object
+// predicates), the on-drive key scheme, and the deterministic
+// replication placement of §4.5.
+package store
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// Errors.
+var (
+	ErrCorrupt  = errors.New("store: record corrupt or tampered")
+	ErrBadKey   = errors.New("store: malformed storage key")
+	ErrTooLarge = errors.New("store: object exceeds 1 MB limit")
+)
+
+// MaxObjectSize is the Kinetic value-size limit the controller's
+// message buffers are sized for (§4.2).
+const MaxObjectSize = 1 << 20
+
+// Meta is per-object, per-version metadata persisted alongside the
+// payload and exposed to the policy interpreter.
+type Meta struct {
+	Key         string
+	Version     int64
+	Size        int64
+	ContentHash [32]byte // SHA-256 of the plaintext payload
+	PolicyID    string   // identifier of the associated policy ("" = none)
+	PolicyHash  [32]byte // hash of the compiled policy program
+}
+
+// Marshal encodes the metadata.
+func (m *Meta) Marshal() []byte {
+	buf := appendLenPrefixed(nil, []byte(m.Key))
+	buf = binary.AppendVarint(buf, m.Version)
+	buf = binary.AppendVarint(buf, m.Size)
+	buf = append(buf, m.ContentHash[:]...)
+	buf = appendLenPrefixed(buf, []byte(m.PolicyID))
+	buf = append(buf, m.PolicyHash[:]...)
+	return buf
+}
+
+// UnmarshalMeta decodes metadata.
+func UnmarshalMeta(data []byte) (*Meta, error) {
+	var m Meta
+	key, data, err := readLenPrefixed(data)
+	if err != nil {
+		return nil, err
+	}
+	m.Key = string(key)
+	var n int
+	m.Version, n = binary.Varint(data)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	data = data[n:]
+	m.Size, n = binary.Varint(data)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	data = data[n:]
+	if len(data) < 32 {
+		return nil, ErrCorrupt
+	}
+	copy(m.ContentHash[:], data)
+	data = data[32:]
+	pid, data, err := readLenPrefixed(data)
+	if err != nil {
+		return nil, err
+	}
+	m.PolicyID = string(pid)
+	if len(data) < 32 {
+		return nil, ErrCorrupt
+	}
+	copy(m.PolicyHash[:], data)
+	return &m, nil
+}
+
+// Codec encrypts and authenticates object payloads before they leave
+// the enclave. Disabling encryption (the paper's §6.2 encryption-
+// overhead experiment) still authenticates nothing and stores
+// plaintext, so the comparison isolates pure crypto cost.
+type Codec struct {
+	aead    cipher.AEAD
+	enabled bool
+}
+
+// NewCodec creates a codec from the attestation-provisioned object
+// key. enabled=false stores plaintext (baseline configuration).
+func NewCodec(key [32]byte, enabled bool) (*Codec, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &Codec{aead: aead, enabled: enabled}, nil
+}
+
+// Enabled reports whether payload encryption is on.
+func (c *Codec) Enabled() bool { return c.enabled }
+
+// Record is one stored object version: metadata plus payload.
+type Record struct {
+	Meta    Meta
+	Payload []byte
+}
+
+// recordVersion tags the record encoding.
+const (
+	recPlain     byte = 1
+	recEncrypted byte = 2
+)
+
+// EncodeRecord serializes and (if enabled) encrypts a record for
+// storage on a drive. The metadata is bound as additional
+// authenticated data, so swapping payloads between versions or keys
+// is detected at decode time.
+func (c *Codec) EncodeRecord(rec *Record) ([]byte, error) {
+	if int64(len(rec.Payload)) > MaxObjectSize {
+		return nil, ErrTooLarge
+	}
+	metaBytes := rec.Meta.Marshal()
+	var buf []byte
+	if !c.enabled {
+		buf = append(buf, recPlain)
+		buf = appendLenPrefixed(buf, metaBytes)
+		return append(buf, rec.Payload...), nil
+	}
+	buf = append(buf, recEncrypted)
+	buf = appendLenPrefixed(buf, metaBytes)
+	nonce := make([]byte, c.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("store: nonce: %w", err)
+	}
+	buf = append(buf, nonce...)
+	return c.aead.Seal(buf, nonce, rec.Payload, metaBytes), nil
+}
+
+// DecodeRecord parses and (if needed) decrypts a stored record.
+func (c *Codec) DecodeRecord(data []byte) (*Record, error) {
+	if len(data) < 1 {
+		return nil, ErrCorrupt
+	}
+	kind := data[0]
+	metaBytes, rest, err := readLenPrefixed(data[1:])
+	if err != nil {
+		return nil, err
+	}
+	meta, err := UnmarshalMeta(metaBytes)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case recPlain:
+		return &Record{Meta: *meta, Payload: append([]byte(nil), rest...)}, nil
+	case recEncrypted:
+		ns := c.aead.NonceSize()
+		if len(rest) < ns {
+			return nil, ErrCorrupt
+		}
+		nonce, ct := rest[:ns], rest[ns:]
+		pt, err := c.aead.Open(nil, nonce, ct, metaBytes)
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		return &Record{Meta: *meta, Payload: pt}, nil
+	default:
+		return nil, ErrCorrupt
+	}
+}
+
+// HashContent computes the content hash stored in metadata.
+func HashContent(payload []byte) [32]byte { return sha256.Sum256(payload) }
+
+// On-drive key layout. Object names are arbitrary byte strings from
+// clients; the controller namespaces them:
+//
+//	m\x00<key>                 latest metadata record
+//	o\x00<key>\x00<ver be64>   object record at a version
+//	p\x00<policyID>            compiled policy program
+//
+// The big-endian version suffix makes GetKeyRange enumerate versions
+// in order, which the versioned-store use case relies on (§5.3).
+const (
+	nsMeta   = 'm'
+	nsObject = 'o'
+	nsPolicy = 'p'
+	sep      = 0x00
+)
+
+// MetaKey returns the drive key of an object's latest-metadata record.
+func MetaKey(key string) []byte {
+	out := make([]byte, 0, len(key)+2)
+	out = append(out, nsMeta, sep)
+	return append(out, key...)
+}
+
+// ObjectKey returns the drive key of an object version's record.
+func ObjectKey(key string, version int64) []byte {
+	out := make([]byte, 0, len(key)+11)
+	out = append(out, nsObject, sep)
+	out = append(out, key...)
+	out = append(out, sep)
+	var v [8]byte
+	binary.BigEndian.PutUint64(v[:], uint64(version))
+	return append(out, v[:]...)
+}
+
+// ObjectKeyRange returns the [start, end] drive-key range spanning all
+// versions of an object.
+func ObjectKeyRange(key string) (start, end []byte) {
+	return ObjectKey(key, 0), ObjectKey(key, int64(^uint64(0)>>1))
+}
+
+// VersionFromObjectKey extracts key and version from an object drive key.
+func VersionFromObjectKey(driveKey []byte) (string, int64, error) {
+	if len(driveKey) < 11 || driveKey[0] != nsObject || driveKey[1] != sep {
+		return "", 0, ErrBadKey
+	}
+	body := driveKey[2:]
+	if len(body) < 9 || body[len(body)-9] != sep {
+		return "", 0, ErrBadKey
+	}
+	key := string(body[:len(body)-9])
+	ver := binary.BigEndian.Uint64(body[len(body)-8:])
+	return key, int64(ver), nil
+}
+
+// PolicyKey returns the drive key storing a compiled policy.
+func PolicyKey(id string) []byte {
+	out := make([]byte, 0, len(id)+2)
+	out = append(out, nsPolicy, sep)
+	return append(out, id...)
+}
+
+// Placement computes the drives holding an object under the paper's
+// deterministic scheme (§4.5): the primary is hash(key) mod nDrives;
+// replicas follow on the next drives in order. replicas is the total
+// copy count (1 = no replication). The returned list has no
+// duplicates and at most nDrives entries.
+func Placement(key string, nDrives, replicas int) []int {
+	if nDrives <= 0 {
+		return nil
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > nDrives {
+		replicas = nDrives
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	primary := int(h.Sum64() % uint64(nDrives))
+	out := make([]int, replicas)
+	for i := range out {
+		out[i] = (primary + i) % nDrives
+	}
+	return out
+}
+
+func appendLenPrefixed(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func readLenPrefixed(data []byte) ([]byte, []byte, error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < l {
+		return nil, nil, ErrCorrupt
+	}
+	return data[n : n+int(l)], data[n+int(l):], nil
+}

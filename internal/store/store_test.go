@@ -1,0 +1,267 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func testCodec(t *testing.T, enabled bool) *Codec {
+	t.Helper()
+	var key [32]byte
+	key[0] = 1
+	c, err := NewCodec(key, enabled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func sampleMeta() Meta {
+	var h, ph [32]byte
+	h[0], ph[0] = 1, 2
+	return Meta{Key: "obj", Version: 3, Size: 5, ContentHash: h, PolicyID: "pid", PolicyHash: ph}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	m := sampleMeta()
+	got, err := UnmarshalMeta(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != m {
+		t.Fatalf("round trip: %+v vs %+v", got, m)
+	}
+	// Empty policy id works too.
+	m.PolicyID = ""
+	got, err = UnmarshalMeta(m.Marshal())
+	if err != nil || got.PolicyID != "" {
+		t.Fatal("empty policy id round trip")
+	}
+}
+
+func TestMetaUnmarshalGarbage(t *testing.T) {
+	m := sampleMeta()
+	data := m.Marshal()
+	for i := 0; i < len(data); i++ {
+		_, _ = UnmarshalMeta(data[:i]) // must not panic
+	}
+	if _, err := UnmarshalMeta(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestRecordEncryptedRoundTrip(t *testing.T) {
+	c := testCodec(t, true)
+	rec := &Record{Meta: sampleMeta(), Payload: []byte("payload bytes")}
+	blob, err := c.EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, rec.Payload) {
+		t.Fatal("payload visible in encrypted record")
+	}
+	got, err := c.DecodeRecord(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, rec.Payload) || got.Meta != rec.Meta {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestRecordPlainRoundTrip(t *testing.T) {
+	c := testCodec(t, false)
+	rec := &Record{Meta: sampleMeta(), Payload: []byte("plain payload")}
+	blob, err := c.EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(blob, rec.Payload) {
+		t.Fatal("plain codec should not encrypt")
+	}
+	got, err := c.DecodeRecord(blob)
+	if err != nil || !bytes.Equal(got.Payload, rec.Payload) {
+		t.Fatal("plain round trip")
+	}
+}
+
+func TestRecordTamperDetection(t *testing.T) {
+	c := testCodec(t, true)
+	rec := &Record{Meta: sampleMeta(), Payload: []byte("payload")}
+	blob, _ := c.EncodeRecord(rec)
+	for _, i := range []int{1, len(blob) / 2, len(blob) - 1} {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0xff
+		if _, err := c.DecodeRecord(mut); err == nil {
+			t.Errorf("tampering at byte %d undetected", i)
+		}
+	}
+	// Wrong key fails.
+	var otherKey [32]byte
+	otherKey[0] = 9
+	c2, _ := NewCodec(otherKey, true)
+	if _, err := c2.DecodeRecord(blob); !errors.Is(err, ErrCorrupt) {
+		t.Error("wrong key accepted")
+	}
+}
+
+func TestRecordMetaBinding(t *testing.T) {
+	// Swapping the metadata of two encrypted records must fail AEAD:
+	// the meta is authenticated data.
+	c := testCodec(t, true)
+	r1 := &Record{Meta: sampleMeta(), Payload: []byte("one")}
+	m2 := sampleMeta()
+	m2.Version = 99
+	r2 := &Record{Meta: m2, Payload: []byte("two")}
+	b1, _ := c.EncodeRecord(r1)
+	b2, _ := c.EncodeRecord(r2)
+
+	// Graft r2's meta header onto r1's ciphertext.
+	meta2 := m2.Marshal()
+	_ = meta2
+	// Decode b1 and b2 normally first (sanity).
+	if _, err := c.DecodeRecord(b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DecodeRecord(b2); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-splice: header of b2 + tail of b1.
+	m1len := len(b1) - len([]byte("one")) - 16 - 12 // rough; instead rebuild precisely:
+	_ = m1len
+	spliced := spliceMeta(t, b2, b1)
+	if _, err := c.DecodeRecord(spliced); err == nil {
+		t.Error("meta swap undetected")
+	}
+}
+
+// spliceMeta builds kind||metaOf(a)||cipherOf(b).
+func spliceMeta(t *testing.T, a, b []byte) []byte {
+	t.Helper()
+	metaA, _, err := readLenPrefixed(a[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cipherB, err := readLenPrefixed(b[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := []byte{a[0]}
+	out = appendLenPrefixed(out, metaA)
+	return append(out, cipherB...)
+}
+
+func TestRecordSizeLimit(t *testing.T) {
+	c := testCodec(t, true)
+	rec := &Record{Meta: sampleMeta(), Payload: make([]byte, MaxObjectSize+1)}
+	if _, err := c.EncodeRecord(rec); !errors.Is(err, ErrTooLarge) {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestKeyLayout(t *testing.T) {
+	mk := MetaKey("obj")
+	ok0 := ObjectKey("obj", 0)
+	ok7 := ObjectKey("obj", 7)
+	pk := PolicyKey("pid")
+	if bytes.Equal(mk, ok0) || bytes.Equal(ok0, pk) {
+		t.Fatal("namespaces collide")
+	}
+	if bytes.Compare(ok0, ok7) >= 0 {
+		t.Fatal("version ordering broken")
+	}
+	key, ver, err := VersionFromObjectKey(ok7)
+	if err != nil || key != "obj" || ver != 7 {
+		t.Fatalf("parse object key: %q %d %v", key, ver, err)
+	}
+	if _, _, err := VersionFromObjectKey(mk); err == nil {
+		t.Fatal("meta key parsed as object key")
+	}
+	start, end := ObjectKeyRange("obj")
+	if bytes.Compare(start, ok0) > 0 || bytes.Compare(end, ok7) < 0 {
+		t.Fatal("range does not span versions")
+	}
+	// Range of one object must not include another object's keys.
+	other := ObjectKey("obj2", 3)
+	if bytes.Compare(other, start) >= 0 && bytes.Compare(other, end) <= 0 {
+		t.Fatal("range leaks into other objects")
+	}
+}
+
+func TestVersionOrderingQuick(t *testing.T) {
+	f := func(key string, a, b uint32) bool {
+		ka := ObjectKey(key, int64(a))
+		kb := ObjectKey(key, int64(b))
+		switch {
+		case a < b:
+			return bytes.Compare(ka, kb) < 0
+		case a > b:
+			return bytes.Compare(ka, kb) > 0
+		default:
+			return bytes.Equal(ka, kb)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	// Deterministic.
+	p1 := Placement("key", 5, 3)
+	p2 := Placement("key", 5, 3)
+	if len(p1) != 3 || fmtInts(p1) != fmtInts(p2) {
+		t.Fatalf("placement not deterministic: %v vs %v", p1, p2)
+	}
+	// Consecutive drives from the primary.
+	for i := 1; i < len(p1); i++ {
+		if p1[i] != (p1[i-1]+1)%5 {
+			t.Fatalf("replicas not consecutive: %v", p1)
+		}
+	}
+	// Replicas never exceed drives; no duplicates.
+	p := Placement("key", 2, 5)
+	if len(p) != 2 || p[0] == p[1] {
+		t.Fatalf("clamped placement: %v", p)
+	}
+	if Placement("key", 0, 1) != nil {
+		t.Fatal("zero drives should yield nil")
+	}
+	if got := Placement("key", 3, 0); len(got) != 1 {
+		t.Fatalf("replicas<1 should clamp to 1: %v", got)
+	}
+}
+
+func TestPlacementSpreads(t *testing.T) {
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		counts[Placement(fmt.Sprintf("user%012d", i), 4, 1)[0]]++
+	}
+	for d, c := range counts {
+		if c < 600 || c > 1400 {
+			t.Errorf("drive %d got %d/4000 primaries; placement skewed", d, c)
+		}
+	}
+}
+
+func fmtInts(v []int) string {
+	out := ""
+	for _, x := range v {
+		out += string(rune('0'+x%10)) + ","
+	}
+	return out
+}
+
+func TestHashContent(t *testing.T) {
+	h1 := HashContent([]byte("a"))
+	h2 := HashContent([]byte("b"))
+	if h1 == h2 {
+		t.Fatal("hash collision on trivial input")
+	}
+	if h1 != HashContent([]byte("a")) {
+		t.Fatal("hash not deterministic")
+	}
+}

@@ -1,0 +1,153 @@
+package testbed
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/tlsutil"
+)
+
+// apiStatus extracts the HTTP status of a client error, 0 if none.
+func apiStatus(err error) int {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status
+	}
+	return 0
+}
+
+func TestRESTErrorMapping(t *testing.T) {
+	c, err := Start(Options{Drives: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, _, err := c.NewClient("tester")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// 404 for a missing object.
+	_, _, err = cl.Get(ctx, "missing", client.GetOptions{})
+	if apiStatus(err) != http.StatusNotFound {
+		t.Errorf("missing object: %v", err)
+	}
+	// 404 for an unknown policy id on put.
+	_, err = cl.Put(ctx, "k", []byte("v"), client.PutOptions{PolicyID: "nope"})
+	if apiStatus(err) != http.StatusNotFound {
+		t.Errorf("unknown policy: %v", err)
+	}
+	// 409 for version conflicts.
+	if _, err := cl.Put(ctx, "k", []byte("v"), client.PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Put(ctx, "k", []byte("v"), client.PutOptions{Version: 9, HasVersion: true})
+	if apiStatus(err) != http.StatusConflict {
+		t.Errorf("version conflict: %v", err)
+	}
+	// 400 for malformed policies.
+	_, err = cl.PutPolicy(ctx, "read :- nonsense(")
+	if apiStatus(err) != http.StatusBadRequest {
+		t.Errorf("bad policy: %v", err)
+	}
+	// 403 surfaces as ErrDenied (tested throughout); also check the
+	// status is preserved in the message path by a denied delete.
+	pid, err := cl.PutPolicy(ctx, "read :- sessionKeyIs(U)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put(ctx, "sealed", []byte("x"), client.PutOptions{PolicyID: pid}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Delete(ctx, "sealed", false); !errors.Is(err, client.ErrDenied) {
+		t.Errorf("denied delete: %v", err)
+	}
+	// NUL bytes in keys are rejected before touching the store.
+	_, err = cl.Put(ctx, "bad\x00key", []byte("v"), client.PutOptions{})
+	if apiStatus(err) != http.StatusBadRequest {
+		t.Errorf("NUL key: %v", err)
+	}
+}
+
+func TestRESTPolicyAudit(t *testing.T) {
+	c, err := Start(Options{Drives: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, _, err := c.NewClient("auditor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	src := "read :- sessionKeyIs(k'abcd')\n"
+	pid, err := cl.PutPolicy(ctx, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := cl.GetPolicy(ctx, pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "sessionKeyIs(k'abcd')") {
+		t.Errorf("audited policy text: %q", text)
+	}
+	// Policy ids are content addressed: re-uploading returns the same id.
+	pid2, err := cl.PutPolicy(ctx, src)
+	if err != nil || pid2 != pid {
+		t.Errorf("content addressing: %s vs %s (%v)", pid, pid2, err)
+	}
+	if _, err := cl.GetPolicy(ctx, "unknown"); apiStatus(err) != http.StatusNotFound {
+		t.Errorf("unknown policy fetch: %v", err)
+	}
+}
+
+func TestRESTVerifyEndpoint(t *testing.T) {
+	c, err := Start(Options{Drives: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, _, err := c.NewClient("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := cl.Put(ctx, "k", []byte("content"), client.PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl.Verify(ctx, "k", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != int64(len("content")) || len(info.ContentHash) != 64 {
+		t.Errorf("verify info: %+v", info)
+	}
+}
+
+func TestRESTRejectsAnonymous(t *testing.T) {
+	c, err := Start(Options{Drives: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A client without a certificate fails the TLS handshake (mutual
+	// TLS) — the request never reaches the handler.
+	anon := client.New(client.Config{
+		BaseURL: "https://pesos",
+		TLS:     tlsutil.ClientConfig(nil, c.CA.Pool(), "pesos"),
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			return c.restLn.DialContext(ctx)
+		},
+	})
+	_, _, err = anon.Get(context.Background(), "k", client.GetOptions{})
+	if err == nil {
+		t.Fatal("anonymous client served")
+	}
+}

@@ -1,0 +1,245 @@
+package testbed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/authority"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/usecases"
+)
+
+// testClock is a controllable trusted time source.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// TestTimeCapsuleUseCase reproduces §5.2: reads only after the release
+// date, attested by a certified time chain.
+func TestTimeCapsuleUseCase(t *testing.T) {
+	clock := &testClock{now: time.Unix(1_750_000_000, 0)}
+	c, err := Start(Options{Drives: 1, Enclave: true, Clock: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	ca, _ := authority.New("root")
+	ts, _ := authority.New("timeserver")
+	delegation, _ := ca.Sign(authority.DelegationFact("ts", ts.KeyValue()), clock.Now(), [32]byte{})
+
+	owner, ownerID, err := c.NewClient("owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := clock.Now().Add(24 * time.Hour)
+	pid, err := owner.PutPolicy(ctx, usecases.TimeCapsule(ca.Fingerprint(), release.Unix(), 300, Fingerprint(ownerID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.Put(ctx, "capsule", []byte("secret"), client.PutOptions{PolicyID: pid}); err != nil {
+		t.Fatal(err)
+	}
+
+	timeCert := func() *authority.Certificate {
+		cert, err := ts.Sign(authority.TimeFact(clock.Now()), clock.Now(), [32]byte{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cert
+	}
+
+	// Before release.
+	_, _, err = owner.Get(ctx, "capsule", client.GetOptions{
+		Certs: []*authority.Certificate{delegation, timeCert()}})
+	if !errors.Is(err, client.ErrDenied) {
+		t.Fatalf("read before release: %v", err)
+	}
+	// After release with a fresh certificate.
+	clock.Advance(25 * time.Hour)
+	val, _, err := owner.Get(ctx, "capsule", client.GetOptions{
+		Certs: []*authority.Certificate{delegation, timeCert()}})
+	if err != nil || string(val) != "secret" {
+		t.Fatalf("read after release: %q %v", val, err)
+	}
+	// Stale certificate fails freshness.
+	stale := timeCert()
+	clock.Advance(time.Hour)
+	_, _, err = owner.Get(ctx, "capsule", client.GetOptions{
+		Certs: []*authority.Certificate{delegation, stale}})
+	if !errors.Is(err, client.ErrDenied) {
+		t.Fatalf("stale cert: %v", err)
+	}
+}
+
+// TestStorageLeaseUseCase: no updates before the lease expires (§5.2).
+func TestStorageLeaseUseCase(t *testing.T) {
+	clock := &testClock{now: time.Unix(1_750_000_000, 0)}
+	c, err := Start(Options{Drives: 1, Clock: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	ca, _ := authority.New("root")
+	ts, _ := authority.New("timeserver")
+	delegation, _ := ca.Sign(authority.DelegationFact("ts", ts.KeyValue()), clock.Now(), [32]byte{})
+
+	cl, _, err := c.NewClient("archiver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expiry := clock.Now().Add(time.Hour)
+	pid, err := cl.PutPolicy(ctx, usecases.StorageLease(ca.Fingerprint(), expiry.Unix(), 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put(ctx, "record", []byte("immutable until lease end"), client.PutOptions{PolicyID: pid}); err != nil {
+		t.Fatal(err)
+	}
+	certs := func() []*authority.Certificate {
+		tc, _ := ts.Sign(authority.TimeFact(clock.Now()), clock.Now(), [32]byte{})
+		return []*authority.Certificate{delegation, tc}
+	}
+	// Reads are open to authenticated clients.
+	if _, _, err := cl.Get(ctx, "record", client.GetOptions{}); err != nil {
+		t.Fatalf("read during lease: %v", err)
+	}
+	// Updates before expiry are denied even with valid time evidence.
+	if _, err := cl.Put(ctx, "record", []byte("overwrite"), client.PutOptions{Certs: certs()}); !errors.Is(err, client.ErrDenied) {
+		t.Fatalf("update during lease: %v", err)
+	}
+	clock.Advance(2 * time.Hour)
+	if _, err := cl.Put(ctx, "record", []byte("new content"), client.PutOptions{Certs: certs()}); err != nil {
+		t.Fatalf("update after lease: %v", err)
+	}
+}
+
+// TestMALUseCase reproduces §5.4 end to end over REST.
+func TestMALUseCase(t *testing.T) {
+	c, err := Start(Options{Drives: 1, Enclave: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	cl, id, err := c.NewClient("auditor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := Fingerprint(id)
+
+	malID, err := cl.PutPolicy(ctx, usecases.MAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	verID, err := cl.PutPolicy(ctx, usecases.Versioned())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "record"
+	logKey := core.LogKeyFor(key)
+
+	// Create the log (version 0 = first write intent) and the object.
+	if _, err := cl.Put(ctx, logKey, []byte(usecases.WriteIntent(key, me)),
+		client.PutOptions{PolicyID: verID, Version: 0, HasVersion: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put(ctx, key, []byte("v0"),
+		client.PutOptions{PolicyID: malID, Version: 0, HasVersion: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unlogged read denied (latest entry is a write intent).
+	if _, _, err := cl.Get(ctx, key, client.GetOptions{}); !errors.Is(err, client.ErrDenied) {
+		t.Fatalf("unlogged read: %v", err)
+	}
+	// Logged read passes.
+	if _, err := cl.Put(ctx, logKey, []byte(usecases.ReadIntent(key, me)),
+		client.PutOptions{Version: 1, HasVersion: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Get(ctx, key, client.GetOptions{}); err != nil {
+		t.Fatalf("logged read: %v", err)
+	}
+	// Unlogged write denied; after a write intent it passes.
+	if _, err := cl.Put(ctx, key, []byte("v1"), client.PutOptions{Version: 1, HasVersion: true}); !errors.Is(err, client.ErrDenied) {
+		t.Fatalf("unlogged write: %v", err)
+	}
+	if _, err := cl.Put(ctx, logKey, []byte(usecases.WriteIntent(key, me)),
+		client.PutOptions{Version: 2, HasVersion: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put(ctx, key, []byte("v1"), client.PutOptions{Version: 1, HasVersion: true}); err != nil {
+		t.Fatalf("logged write: %v", err)
+	}
+
+	// Another client cannot piggyback on this client's intent.
+	other, otherID, err := c.NewClient("intruder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = otherID
+	if _, _, err := other.Get(ctx, key, client.GetOptions{}); !errors.Is(err, client.ErrDenied) {
+		t.Fatalf("intruder read: %v", err)
+	}
+
+	// The log's own versioned policy prevents rewriting history.
+	if _, err := cl.Put(ctx, logKey, []byte("forged"), client.PutOptions{Version: 1, HasVersion: true}); err == nil {
+		t.Fatal("log history rewritten")
+	}
+	// The audit trail is complete.
+	vers, err := cl.ListVersions(ctx, logKey)
+	if err != nil || len(vers) != 3 {
+		t.Fatalf("audit trail: %v %v", vers, err)
+	}
+}
+
+// TestVersionedOwnedUseCase: privileged history access (§5.3).
+func TestVersionedOwnedUseCase(t *testing.T) {
+	c, err := Start(Options{Drives: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	owner, ownerID, _ := c.NewClient("owner")
+	stranger, _, _ := c.NewClient("stranger")
+
+	pid, err := owner.PutPolicy(ctx, usecases.VersionedOwned(Fingerprint(ownerID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3; i++ {
+		if _, err := owner.Put(ctx, "doc", []byte(fmt.Sprintf("v%d", i)),
+			client.PutOptions{PolicyID: pid, Version: i, HasVersion: true}); err != nil {
+			t.Fatalf("put v%d: %v", i, err)
+		}
+	}
+	if _, _, err := stranger.Get(ctx, "doc", client.GetOptions{}); !errors.Is(err, client.ErrDenied) {
+		t.Fatalf("stranger read: %v", err)
+	}
+	val, _, err := owner.Get(ctx, "doc", client.GetOptions{Version: 1, HasVersion: true})
+	if err != nil || string(val) != "v1" {
+		t.Fatalf("owner history read: %q %v", val, err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package tlsutil creates the X.509 material Pesos depends on: a
+// certificate authority, per-drive identity certificates, controller
+// serving certificates, and client certificates whose public keys
+// identify principals in the policy language (sessionKeyIs).
+//
+// All keys are ECDSA P-256. Certificates are self-contained in memory;
+// nothing is written to disk unless the caller asks.
+package tlsutil
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/hex"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// CA is a certificate authority able to issue leaf certificates for
+// drives, controllers and clients.
+type CA struct {
+	Cert *x509.Certificate
+	Key  *ecdsa.PrivateKey
+	// DER is the raw certificate, handy for building pools.
+	DER []byte
+}
+
+// Identity bundles a leaf certificate with its private key, ready to
+// be used as a tls.Certificate on either side of a connection.
+type Identity struct {
+	Cert *x509.Certificate
+	Key  *ecdsa.PrivateKey
+	DER  []byte
+	// Chain carries the issuing CA DER so peers can verify.
+	Chain [][]byte
+}
+
+// NewCA creates a self-signed certificate authority valid for ten
+// years with the given common name.
+func NewCA(commonName string) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("tlsutil: generate CA key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          newSerial(),
+		Subject:               pkix.Name{CommonName: commonName, Organization: []string{"Pesos"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(10 * 365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("tlsutil: create CA cert: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{Cert: cert, Key: key, DER: der}, nil
+}
+
+// IssueServer issues a serving certificate for the given DNS names and
+// IP addresses. Used by drives and by the controller's REST endpoint.
+func (ca *CA) IssueServer(commonName string, hosts ...string) (*Identity, error) {
+	return ca.issue(commonName, hosts, x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth)
+}
+
+// IssueClient issues a client certificate. The certificate's public
+// key is the principal identity used by sessionKeyIs in policies.
+func (ca *CA) IssueClient(commonName string) (*Identity, error) {
+	return ca.issue(commonName, nil, x509.ExtKeyUsageClientAuth)
+}
+
+func (ca *CA) issue(commonName string, hosts []string, usages ...x509.ExtKeyUsage) (*Identity, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("tlsutil: generate key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: newSerial(),
+		Subject:      pkix.Name{CommonName: commonName, Organization: []string{"Pesos"}},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(5 * 365 * 24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:  usages,
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.Cert, &key.PublicKey, ca.Key)
+	if err != nil {
+		return nil, fmt.Errorf("tlsutil: issue %s: %w", commonName, err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &Identity{Cert: cert, Key: key, DER: der, Chain: [][]byte{ca.DER}}, nil
+}
+
+// TLSCertificate converts the identity into a tls.Certificate
+// including the CA chain.
+func (id *Identity) TLSCertificate() tls.Certificate {
+	return tls.Certificate{
+		Certificate: append([][]byte{id.DER}, id.Chain...),
+		PrivateKey:  id.Key,
+	}
+}
+
+// Pool returns a certificate pool containing only this CA.
+func (ca *CA) Pool() *x509.CertPool {
+	p := x509.NewCertPool()
+	p.AddCert(ca.Cert)
+	return p
+}
+
+// KeyFingerprint returns the canonical identity of a public key: the
+// hex SHA-256 of its PKIX (SubjectPublicKeyInfo) encoding. Policies
+// name principals by this fingerprint.
+func KeyFingerprint(pub *ecdsa.PublicKey) string {
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		// P-256 keys always marshal; treat failure as a programming error.
+		panic("tlsutil: marshal public key: " + err.Error())
+	}
+	sum := sha256.Sum256(der)
+	return hex.EncodeToString(sum[:])
+}
+
+// CertFingerprint returns the key fingerprint of a certificate's
+// public key, or an error if the key is not ECDSA.
+func CertFingerprint(cert *x509.Certificate) (string, error) {
+	pub, ok := cert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return "", errors.New("tlsutil: certificate key is not ECDSA")
+	}
+	return KeyFingerprint(pub), nil
+}
+
+// ServerConfig builds a mutually authenticated TLS server config: the
+// server presents id, clients must present certificates signed by
+// clientCA.
+func ServerConfig(id *Identity, clientCA *x509.CertPool) *tls.Config {
+	return &tls.Config{
+		Certificates: []tls.Certificate{id.TLSCertificate()},
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+		ClientCAs:    clientCA,
+		MinVersion:   tls.VersionTLS12,
+	}
+}
+
+// ServerOnlyConfig builds a TLS server config that authenticates the
+// server but not the client — the Kinetic drive configuration, where
+// client authentication happens per-message via account HMACs.
+func ServerOnlyConfig(id *Identity) *tls.Config {
+	return &tls.Config{
+		Certificates: []tls.Certificate{id.TLSCertificate()},
+		MinVersion:   tls.VersionTLS12,
+	}
+}
+
+// ClientConfig builds a client config presenting id and trusting
+// serverCA. serverName must match the server certificate.
+func ClientConfig(id *Identity, serverCA *x509.CertPool, serverName string) *tls.Config {
+	cfg := &tls.Config{
+		RootCAs:    serverCA,
+		ServerName: serverName,
+		MinVersion: tls.VersionTLS12,
+	}
+	if id != nil {
+		cfg.Certificates = []tls.Certificate{id.TLSCertificate()}
+	}
+	return cfg
+}
+
+// EncodePEM renders the identity as certificate + key PEM blocks.
+func (id *Identity) EncodePEM() (certPEM, keyPEM []byte, err error) {
+	certPEM = pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: id.DER})
+	kb, err := x509.MarshalECPrivateKey(id.Key)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyPEM = pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: kb})
+	return certPEM, keyPEM, nil
+}
+
+func newSerial() *big.Int {
+	limit := new(big.Int).Lsh(big.NewInt(1), 128)
+	n, err := rand.Int(rand.Reader, limit)
+	if err != nil {
+		panic("tlsutil: serial: " + err.Error())
+	}
+	return n
+}

@@ -1,0 +1,131 @@
+package tlsutil
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"net"
+	"testing"
+
+	"repro/internal/netx"
+)
+
+func TestCAIssueAndVerify(t *testing.T) {
+	ca, err := NewCA("test-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ca.IssueServer("server", "localhost", "127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srv.Cert.DNSNames) != 1 || len(srv.Cert.IPAddresses) != 1 {
+		t.Errorf("hosts: %v %v", srv.Cert.DNSNames, srv.Cert.IPAddresses)
+	}
+	// Issued certificates chain to the CA.
+	opts := x509.VerifyOptions{Roots: ca.Pool()}
+	if _, err := srv.Cert.Verify(opts); err != nil {
+		t.Fatalf("verify chain: %v", err)
+	}
+	// A different CA does not verify it.
+	other, _ := NewCA("other")
+	if _, err := srv.Cert.Verify(x509.VerifyOptions{Roots: other.Pool()}); err == nil {
+		t.Fatal("foreign CA verified the cert")
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	ca, _ := NewCA("ca")
+	id, _ := ca.IssueClient("alice")
+	fp1 := KeyFingerprint(&id.Key.PublicKey)
+	fp2, err := CertFingerprint(id.Cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatal("key and cert fingerprints differ")
+	}
+	if len(fp1) != 64 {
+		t.Fatalf("fingerprint length %d", len(fp1))
+	}
+	key2, _ := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if KeyFingerprint(&key2.PublicKey) == fp1 {
+		t.Fatal("distinct keys share fingerprint")
+	}
+}
+
+func TestMutualTLSHandshake(t *testing.T) {
+	ca, _ := NewCA("ca")
+	srvID, _ := ca.IssueServer("pesos", "pesos")
+	cliID, _ := ca.IssueClient("alice")
+
+	ln := netx.NewListener("pesos")
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		tconn := tls.Server(conn, ServerConfig(srvID, ca.Pool()))
+		err = tconn.Handshake()
+		if err == nil {
+			certs := tconn.ConnectionState().PeerCertificates
+			if len(certs) == 0 || certs[0].Subject.CommonName != "alice" {
+				err = errNoPeer
+			}
+		}
+		done <- err
+	}()
+	raw, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tconn := tls.Client(raw, ClientConfig(cliID, ca.Pool(), "pesos"))
+	if err := tconn.Handshake(); err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server handshake: %v", err)
+	}
+}
+
+var errNoPeer = net.ErrClosed
+
+func TestServerRejectsNoClientCert(t *testing.T) {
+	ca, _ := NewCA("ca")
+	srvID, _ := ca.IssueServer("pesos", "pesos")
+	ln := netx.NewListener("pesos")
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		tls.Server(conn, ServerConfig(srvID, ca.Pool())).Handshake()
+		conn.Close()
+	}()
+	raw, _ := ln.Dial()
+	tconn := tls.Client(raw, ClientConfig(nil, ca.Pool(), "pesos"))
+	if err := tconn.Handshake(); err == nil {
+		// The failure may surface on first read instead of handshake.
+		if _, err := tconn.Read(make([]byte, 1)); err == nil {
+			t.Fatal("mutual TLS accepted a certificate-less client")
+		}
+	}
+}
+
+func TestPEMRoundTrip(t *testing.T) {
+	ca, _ := NewCA("ca")
+	id, _ := ca.IssueServer("s", "localhost")
+	certPEM, keyPEM, err := id.EncodePEM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tls.X509KeyPair(certPEM, keyPEM); err != nil {
+		t.Fatalf("PEM pair unusable: %v", err)
+	}
+}

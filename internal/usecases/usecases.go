@@ -1,0 +1,106 @@
+// Package usecases provides the policy templates for the four
+// real-world storage scenarios of §5 — content server, time-based
+// storage, versioned store, and mandatory access logging (MAL) — as
+// reusable policy-source builders. The examples, the integration
+// tests and the benchmark harness all instantiate these.
+package usecases
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ContentServer builds the per-object access-control-list policy of
+// §5.1: named clients (by key fingerprint) may read, update, delete.
+// Empty lists produce no permission line, denying the operation to
+// everyone.
+func ContentServer(readers, writers, deleters []string) string {
+	var b strings.Builder
+	writePerm(&b, "read", readers)
+	writePerm(&b, "update", writers)
+	writePerm(&b, "delete", deleters)
+	return b.String()
+}
+
+func writePerm(b *strings.Builder, perm string, keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("sessionKeyIs(k'%s')", k)
+	}
+	fmt.Fprintf(b, "%s :- %s\n", perm, strings.Join(parts, " or "))
+}
+
+// TimeCapsule builds the §5.2 time-based policy: the object may be
+// read only after release (a unix timestamp), attested by a time
+// certificate from a time server whose key the certificate authority
+// caKey has delegated via a 'ts' tuple. freshness is the maximum
+// certificate age in seconds. owner may always update; nobody
+// deletes.
+func TimeCapsule(caKey string, release int64, freshness int64, owner string) string {
+	return fmt.Sprintf(
+		"read :- certificateSays(k'%[1]s', 'ts'(TSKey)) and certificateSays(TSKey, %[3]d, 'time'(T)) and ge(T, %[2]d)\n"+
+			"update :- sessionKeyIs(k'%[4]s')\n",
+		caKey, release, freshness, owner)
+}
+
+// StorageLease builds the inverse §5.2 policy: no updates before a
+// legally mandated lease expires, reads open to anyone authenticated.
+func StorageLease(caKey string, expiry int64, freshness int64) string {
+	return fmt.Sprintf(
+		"read :- sessionKeyIs(U)\n"+
+			"update :- certificateSays(k'%[1]s', 'ts'(TSKey)) and certificateSays(TSKey, %[3]d, 'time'(T)) and ge(T, %[2]d)\n",
+		caKey, expiry, freshness)
+}
+
+// Versioned builds the §5.3 version-storage policy: an update must
+// carry exactly the next version index, with an exception allowing
+// creation at version 0. Reads are open to authenticated clients.
+func Versioned() string {
+	return "read :- sessionKeyIs(U)\n" +
+		"update :- objId(this, O) and currVersion(O, CV) and nextVersion(CV + 1)" +
+		" or objId(this, NULL) and nextVersion(0)\n"
+}
+
+// VersionedOwned is Versioned with reads and updates limited to one
+// principal (privileged-history semantics, §5.3).
+func VersionedOwned(owner string) string {
+	return fmt.Sprintf(
+		"read :- sessionKeyIs(k'%[1]s')\n"+
+			"update :- sessionKeyIs(k'%[1]s') and objId(this, O) and currVersion(O, CV) and nextVersion(CV + 1)"+
+			" or sessionKeyIs(k'%[1]s') and objId(this, NULL) and nextVersion(0)\n",
+		owner)
+}
+
+// MAL builds the §5.4 mandatory-access-logging policy: every read and
+// update requires the paired log object's most recent entry to be a
+// matching intent tuple naming this object and the acting client.
+// The log object itself carries the Versioned policy, preserving the
+// append-only history of intents.
+//
+// Log entries are policy-language tuples written as object content:
+//
+//	read intent:  read('objkey', k'clientfingerprint')
+//	write intent: write('objkey', k'clientfingerprint')
+func MAL() string {
+	return "read :- objId(this, O) and sessionKeyIs(U) and objSays(log, LV, read(O, U))\n" +
+		"update :- objId(this, O) and sessionKeyIs(U) and objSays(log, LV, write(O, U))" +
+		" or objId(this, NULL) and nextVersion(0)\n"
+}
+
+// ReadIntent renders the log entry a client must append before
+// reading a MAL-protected object.
+func ReadIntent(objKey, clientFP string) string {
+	return fmt.Sprintf("read('%s', k'%s')", escape(objKey), clientFP)
+}
+
+// WriteIntent renders the log entry required before writing.
+func WriteIntent(objKey, clientFP string) string {
+	return fmt.Sprintf("write('%s', k'%s')", escape(objKey), clientFP)
+}
+
+func escape(s string) string {
+	return strings.ReplaceAll(s, "'", "\\'")
+}

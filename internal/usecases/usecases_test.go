@@ -1,0 +1,54 @@
+package usecases
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/policy/lang"
+)
+
+// Every template must compile. Semantics are covered by the policy
+// interpreter tests and the testbed integration tests; here we pin
+// the templates themselves.
+func TestTemplatesCompile(t *testing.T) {
+	fp := strings.Repeat("ab", 32)
+	srcs := map[string]string{
+		"content-server": ContentServer([]string{fp, fp}, []string{fp}, []string{fp}),
+		"time-capsule":   TimeCapsule(fp, 1750000000, 300, fp),
+		"storage-lease":  StorageLease(fp, 1750000000, 300),
+		"versioned":      Versioned(),
+		"versioned-own":  VersionedOwned(fp),
+		"mal":            MAL(),
+	}
+	for name, src := range srcs {
+		if _, err := policy.CompileSource(src); err != nil {
+			t.Errorf("%s does not compile: %v\n%s", name, err, src)
+		}
+	}
+}
+
+func TestContentServerOmitsEmptyPerms(t *testing.T) {
+	src := ContentServer([]string{strings.Repeat("ab", 32)}, nil, nil)
+	if strings.Contains(src, "update") || strings.Contains(src, "delete") {
+		t.Errorf("empty permissions emitted: %s", src)
+	}
+	prog, err := policy.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Perms[1]) != 0 || len(prog.Perms[2]) != 0 {
+		t.Error("update/delete clauses present")
+	}
+}
+
+func TestIntentsParseAsValues(t *testing.T) {
+	fp := strings.Repeat("cd", 32)
+	for _, intent := range []string{ReadIntent("obj", fp), WriteIntent("ob'j", fp)} {
+		// Intents must be valid policy-language values: they are what
+		// objSays parses out of log objects.
+		if _, err := lang.ParseValue(intent); err != nil {
+			t.Errorf("intent %q does not parse: %v", intent, err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package vll
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func BenchmarkUncontendedTx(b *testing.B) {
+	m := NewManager()
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := m.Begin(nil, []string{keys[i%len(keys)]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tx.Free() {
+			b.Fatal("blocked")
+		}
+		m.Finish(tx)
+	}
+}
+
+func BenchmarkContendedTx(b *testing.B) {
+	m := NewManager()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		for pb.Next() {
+			tx, err := m.Begin(nil, []string{"hot"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Wait(ctx); err != nil {
+				b.Fatal(err)
+			}
+			m.Finish(tx)
+		}
+	})
+}

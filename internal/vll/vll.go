@@ -1,0 +1,276 @@
+// Package vll implements the lock manager behind Pesos' ACID
+// transaction interface (§4.4): a variant of VLL ("very lightweight
+// locking", Ren, Thomson & Abadi, VLDB 2015) adapted to a key-value
+// store. Unlike the array-based original designed for in-memory
+// databases, this variant keeps a small hash map of only the keys
+// that currently have lock holders, since just a fraction of the key
+// space is accessed transactionally.
+//
+// Protocol: a transaction declares its full read and write sets up
+// front. Begin atomically increments per-key counters; if the
+// transaction is the sole holder of every lock it needs, it is free
+// and may execute immediately. Otherwise it is blocked and waits in
+// the transaction queue. When a transaction finishes, its counters
+// are decremented and it leaves the queue; a blocked transaction that
+// reaches the front of the queue can always run, because every
+// transaction that could conflict with it entered the queue earlier
+// and has since left (the VLL head lemma).
+package vll
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors.
+var (
+	ErrFinished = errors.New("vll: transaction already finished")
+	ErrOverlap  = errors.New("vll: key appears in both read and write set")
+)
+
+// TxState describes a transaction's lifecycle.
+type TxState uint8
+
+// Transaction states.
+const (
+	StateBlocked TxState = iota
+	StateFree
+	StateDone
+)
+
+// Tx is one transaction's lock context.
+type Tx struct {
+	id     uint64
+	reads  []string
+	writes []string
+	state  TxState
+	ready  chan struct{} // closed when the tx becomes free
+	mgr    *Manager
+	elem   int // position hint; maintained by the manager
+}
+
+// ID returns the transaction's id.
+func (t *Tx) ID() uint64 { return t.id }
+
+// ReadSet returns the declared read keys.
+func (t *Tx) ReadSet() []string { return t.reads }
+
+// WriteSet returns the declared write keys.
+func (t *Tx) WriteSet() []string { return t.writes }
+
+// counters is the per-key lock word: Cx exclusive holders, Cs shared.
+type counters struct {
+	cx, cs int
+}
+
+// Manager is the VLL lock manager.
+type Manager struct {
+	mu     sync.Mutex
+	locks  map[string]*counters
+	queue  []*Tx // all live transactions, arrival order
+	nextID uint64
+
+	blockedHW int // high-water mark of blocked transactions, for stats
+}
+
+// NewManager creates an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{locks: make(map[string]*counters)}
+}
+
+// Begin registers a transaction with the given read and write sets and
+// acquires its lock counters. The returned Tx is either immediately
+// free (Wait returns at once) or blocked until it reaches the queue
+// front. Duplicate keys within a set are allowed; a key in both sets
+// is an error (declare it write-only — writes imply read access).
+func (m *Manager) Begin(reads, writes []string) (*Tx, error) {
+	wset := make(map[string]bool, len(writes))
+	for _, k := range writes {
+		wset[k] = true
+	}
+	for _, k := range reads {
+		if wset[k] {
+			return nil, fmt.Errorf("%w: %q", ErrOverlap, k)
+		}
+	}
+	reads = dedup(reads)
+	writes = dedup(writes)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	tx := &Tx{
+		id:     m.nextID,
+		reads:  reads,
+		writes: writes,
+		ready:  make(chan struct{}),
+		mgr:    m,
+	}
+	free := true
+	for _, k := range writes {
+		c := m.lockWord(k)
+		c.cx++
+		if c.cx > 1 || c.cs > 0 {
+			free = false
+		}
+	}
+	for _, k := range reads {
+		c := m.lockWord(k)
+		c.cs++
+		if c.cx > 0 {
+			free = false
+		}
+	}
+	m.queue = append(m.queue, tx)
+	if free {
+		tx.state = StateFree
+		close(tx.ready)
+	} else {
+		tx.state = StateBlocked
+		if n := m.countBlocked(); n > m.blockedHW {
+			m.blockedHW = n
+		}
+	}
+	return tx, nil
+}
+
+// Wait blocks until the transaction may execute.
+func (t *Tx) Wait(ctx context.Context) error {
+	select {
+	case <-t.ready:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Free reports whether the transaction may execute now.
+func (t *Tx) Free() bool {
+	select {
+	case <-t.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// Finish releases the transaction's locks and unblocks the queue
+// front if it can now run. Safe to call exactly once per transaction
+// (commit and abort both end here).
+func (m *Manager) Finish(tx *Tx) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if tx.state == StateDone {
+		return ErrFinished
+	}
+	wasBlocked := tx.state == StateBlocked
+	tx.state = StateDone
+	if wasBlocked {
+		close(tx.ready) // never ran; unblock any waiter so it sees Done
+	}
+	for _, k := range tx.writes {
+		m.unlockWord(k, true)
+	}
+	for _, k := range tx.reads {
+		m.unlockWord(k, false)
+	}
+	// Drop finished transactions from the queue head and let a blocked
+	// transaction that reached the front run.
+	for i, q := range m.queue {
+		if q == tx {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			break
+		}
+	}
+	m.promoteHead()
+	return nil
+}
+
+// promoteHead unblocks the queue head if blocked: by the VLL lemma,
+// every conflicting transaction arrived earlier and has finished.
+// Caller holds the lock.
+func (m *Manager) promoteHead() {
+	if len(m.queue) == 0 {
+		return
+	}
+	head := m.queue[0]
+	if head.state == StateBlocked {
+		head.state = StateFree
+		close(head.ready)
+	}
+}
+
+// Live returns the number of active transactions.
+func (m *Manager) Live() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// BlockedHighWater returns the maximum number of simultaneously
+// blocked transactions observed.
+func (m *Manager) BlockedHighWater() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.blockedHW
+}
+
+// LockedKeys returns the number of keys with live lock words (the
+// "small data structure for storing keys and locks" the paper's
+// variant maintains instead of VLL's fixed array).
+func (m *Manager) LockedKeys() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.locks)
+}
+
+func (m *Manager) lockWord(k string) *counters {
+	c, ok := m.locks[k]
+	if !ok {
+		c = &counters{}
+		m.locks[k] = c
+	}
+	return c
+}
+
+func (m *Manager) unlockWord(k string, exclusive bool) {
+	c, ok := m.locks[k]
+	if !ok {
+		return
+	}
+	if exclusive {
+		c.cx--
+	} else {
+		c.cs--
+	}
+	if c.cx <= 0 && c.cs <= 0 {
+		delete(m.locks, k) // keep the map small
+	}
+}
+
+func (m *Manager) countBlocked() int {
+	n := 0
+	for _, q := range m.queue {
+		if q.state == StateBlocked {
+			n++
+		}
+	}
+	return n
+}
+
+func dedup(keys []string) []string {
+	if len(keys) < 2 {
+		return keys
+	}
+	seen := make(map[string]bool, len(keys))
+	out := keys[:0:0]
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package vll
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNonConflictingRunImmediately(t *testing.T) {
+	m := NewManager()
+	t1, err := m.Begin([]string{"a"}, []string{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := m.Begin([]string{"c"}, []string{"d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !t1.Free() || !t2.Free() {
+		t.Fatal("non-conflicting transactions blocked")
+	}
+	m.Finish(t1)
+	m.Finish(t2)
+	if m.Live() != 0 || m.LockedKeys() != 0 {
+		t.Fatalf("leftover state: live=%d keys=%d", m.Live(), m.LockedKeys())
+	}
+}
+
+func TestWriteWriteConflictBlocks(t *testing.T) {
+	m := NewManager()
+	t1, _ := m.Begin(nil, []string{"k"})
+	t2, _ := m.Begin(nil, []string{"k"})
+	if !t1.Free() {
+		t.Fatal("first writer blocked")
+	}
+	if t2.Free() {
+		t.Fatal("second writer not blocked")
+	}
+	m.Finish(t1)
+	// t2 is now at the queue head and must be promoted.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := t2.Wait(ctx); err != nil {
+		t.Fatalf("t2 never promoted: %v", err)
+	}
+	m.Finish(t2)
+}
+
+func TestSharedReadersDoNotConflict(t *testing.T) {
+	m := NewManager()
+	t1, _ := m.Begin([]string{"k"}, nil)
+	t2, _ := m.Begin([]string{"k"}, nil)
+	if !t1.Free() || !t2.Free() {
+		t.Fatal("concurrent readers blocked")
+	}
+	// A writer behind readers blocks.
+	t3, _ := m.Begin(nil, []string{"k"})
+	if t3.Free() {
+		t.Fatal("writer ran with live readers")
+	}
+	m.Finish(t1)
+	m.Finish(t2)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := t3.Wait(ctx); err != nil {
+		t.Fatalf("writer never promoted: %v", err)
+	}
+	m.Finish(t3)
+}
+
+func TestReaderBehindWriterBlocks(t *testing.T) {
+	m := NewManager()
+	w, _ := m.Begin(nil, []string{"k"})
+	r, _ := m.Begin([]string{"k"}, nil)
+	if r.Free() {
+		t.Fatal("reader ran under exclusive lock")
+	}
+	m.Finish(w)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := r.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	m.Finish(r)
+}
+
+func TestOverlapRejected(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Begin([]string{"k"}, []string{"k"}); !errors.Is(err, ErrOverlap) {
+		t.Fatalf("overlap: %v", err)
+	}
+}
+
+func TestDoubleFinish(t *testing.T) {
+	m := NewManager()
+	tx, _ := m.Begin(nil, []string{"k"})
+	if err := m.Finish(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Finish(tx); !errors.Is(err, ErrFinished) {
+		t.Fatalf("double finish: %v", err)
+	}
+}
+
+func TestDuplicateKeysInSet(t *testing.T) {
+	m := NewManager()
+	tx, _ := m.Begin([]string{"a", "a"}, []string{"b", "b"})
+	if !tx.Free() {
+		t.Fatal("dedup failed")
+	}
+	m.Finish(tx)
+	if m.LockedKeys() != 0 {
+		t.Fatalf("leaked lock words: %d", m.LockedKeys())
+	}
+}
+
+func TestWaitContextCancel(t *testing.T) {
+	m := NewManager()
+	t1, _ := m.Begin(nil, []string{"k"})
+	t2, _ := m.Begin(nil, []string{"k"})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := t2.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("wait: %v", err)
+	}
+	m.Finish(t2) // abandoning a blocked tx releases its counters
+	m.Finish(t1)
+	if m.LockedKeys() != 0 {
+		t.Fatal("leaked locks after cancel")
+	}
+}
+
+// TestFIFOFairness: a blocked transaction at the head runs before
+// later arrivals on the same key.
+func TestFIFOFairness(t *testing.T) {
+	m := NewManager()
+	first, _ := m.Begin(nil, []string{"k"})
+	second, _ := m.Begin(nil, []string{"k"})
+	third, _ := m.Begin(nil, []string{"k"})
+	m.Finish(first)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := second.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if third.Free() {
+		t.Fatal("third ran before second finished")
+	}
+	m.Finish(second)
+	if err := third.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	m.Finish(third)
+}
+
+// TestSerializationStress: concurrent increments through exclusive
+// locks must not lose updates.
+func TestSerializationStress(t *testing.T) {
+	m := NewManager()
+	var counter int64 // protected by the "counter" VLL lock, not atomics
+	var wg sync.WaitGroup
+	const workers, iters = 16, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tx, err := m.Begin(nil, []string{"counter"})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tx.Wait(context.Background()); err != nil {
+					t.Error(err)
+					return
+				}
+				counter++ // exclusive section
+				m.Finish(tx)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d (lost updates)", counter, workers*iters)
+	}
+	if m.Live() != 0 || m.LockedKeys() != 0 {
+		t.Fatal("leftover lock state")
+	}
+	if m.BlockedHighWater() == 0 {
+		t.Error("stress never blocked anything — test is too weak")
+	}
+}
+
+// TestMixedKeysStress: random multi-key transactions maintain
+// exclusivity per key.
+func TestMixedKeysStress(t *testing.T) {
+	m := NewManager()
+	holders := make([]atomic.Int32, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				k1 := fmt.Sprint((w + i) % 8)
+				k2 := fmt.Sprint((w + i + 3) % 8)
+				if k1 == k2 {
+					k2 = fmt.Sprint((w + i + 4) % 8)
+				}
+				tx, err := m.Begin(nil, []string{k1, k2})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tx.Wait(context.Background()); err != nil {
+					t.Error(err)
+					return
+				}
+				for _, k := range []string{k1, k2} {
+					idx := int(k[0] - '0')
+					if holders[idx].Add(1) != 1 {
+						t.Errorf("two exclusive holders on key %s", k)
+					}
+				}
+				for _, k := range []string{k1, k2} {
+					holders[int(k[0]-'0')].Add(-1)
+				}
+				m.Finish(tx)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

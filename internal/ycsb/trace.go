@@ -1,0 +1,85 @@
+package ycsb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Trace persistence: the paper's workload generator "creates
+// YCSB-based traces and stores them persistently before running the
+// experiment" (§6.1). The format is one operation per line —
+// "READ user000000000042" — so traces diff cleanly and can be
+// inspected or replayed by external tools.
+
+// WriteTrace streams ops to w in the textual trace format.
+func WriteTrace(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range ops {
+		if _, err := fmt.Fprintf(bw, "%s %s\n", op.Type, op.Key); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		typ, key, ok := strings.Cut(text, " ")
+		if !ok {
+			return nil, fmt.Errorf("ycsb: trace line %d: missing key", line)
+		}
+		var op Op
+		switch typ {
+		case "READ":
+			op.Type = OpRead
+		case "UPDATE":
+			op.Type = OpUpdate
+		case "INSERT":
+			op.Type = OpInsert
+		default:
+			return nil, fmt.Errorf("ycsb: trace line %d: unknown op %q", line, typ)
+		}
+		op.Key = strings.TrimSpace(key)
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// SaveTrace writes ops to a file.
+func SaveTrace(path string, ops []Op) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, ops); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads a trace file.
+func LoadTrace(path string) ([]Op, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

@@ -1,0 +1,63 @@
+package ycsb
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	_, ops := gen(t, WorkloadD, 200, 1000, 3)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("len %d vs %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: %v vs %v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	_, ops := gen(t, WorkloadA, 100, 500, 1)
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	if err := SaveTrace(path, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("len %d vs %d", len(got), len(ops))
+	}
+}
+
+func TestTraceCommentsAndBlanks(t *testing.T) {
+	in := "# header comment\n\nREAD user1\n  UPDATE user2  \n"
+	ops, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 || ops[0].Type != OpRead || ops[1].Key != "user2" {
+		t.Fatalf("ops: %+v", ops)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("FROB user1\n")); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader("READ\n")); err == nil {
+		t.Error("missing key accepted")
+	}
+}

@@ -1,0 +1,284 @@
+// Package ycsb reimplements the YCSB core workload generator (Cooper
+// et al., SoCC 2010) used throughout the paper's evaluation (§6.1):
+// stock workloads A–D with their key-popularity distributions and
+// read/write mixes, generated as replayable traces. The paper
+// generates traces ahead of time and replays them against Pesos; the
+// benchmark harness does the same.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpType is a trace operation type.
+type OpType uint8
+
+// Operation types.
+const (
+	OpRead OpType = iota
+	OpUpdate
+	OpInsert
+)
+
+// String implements fmt.Stringer.
+func (t OpType) String() string {
+	switch t {
+	case OpRead:
+		return "READ"
+	case OpUpdate:
+		return "UPDATE"
+	case OpInsert:
+		return "INSERT"
+	default:
+		return fmt.Sprintf("OpType(%d)", uint8(t))
+	}
+}
+
+// Op is one trace entry.
+type Op struct {
+	Type OpType
+	Key  string
+}
+
+// Workload names a stock YCSB workload.
+type Workload uint8
+
+// Stock workloads (§6.1: "YCSB comes with four stock workloads (A–D)").
+const (
+	// WorkloadA: update heavy, 50/50 read/update, zipfian.
+	WorkloadA Workload = iota
+	// WorkloadB: read mostly, 95/5 read/update, zipfian.
+	WorkloadB
+	// WorkloadC: read only, zipfian.
+	WorkloadC
+	// WorkloadD: read latest, 95/5 read/insert, latest distribution.
+	WorkloadD
+)
+
+// String implements fmt.Stringer.
+func (w Workload) String() string {
+	switch w {
+	case WorkloadA:
+		return "A"
+	case WorkloadB:
+		return "B"
+	case WorkloadC:
+		return "C"
+	case WorkloadD:
+		return "D"
+	default:
+		return fmt.Sprintf("Workload(%d)", uint8(w))
+	}
+}
+
+// Config parameterizes trace generation.
+type Config struct {
+	Workload Workload
+	// RecordCount is the number of unique objects (paper: 100,000).
+	RecordCount int
+	// OperationCount is the trace length (paper: 100,000).
+	OperationCount int
+	// Seed makes traces reproducible.
+	Seed int64
+	// ZipfianConstant is the skew (YCSB default 0.99).
+	ZipfianConstant float64
+}
+
+// Key renders record index i as a YCSB-style key.
+func Key(i int) string { return fmt.Sprintf("user%012d", i) }
+
+// Generate produces the load phase key list and the operation trace.
+func Generate(cfg Config) (loadKeys []string, ops []Op, err error) {
+	if cfg.RecordCount <= 0 || cfg.OperationCount < 0 {
+		return nil, nil, fmt.Errorf("ycsb: bad config %+v", cfg)
+	}
+	zc := cfg.ZipfianConstant
+	if zc == 0 {
+		zc = 0.99
+	}
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+
+	loadKeys = make([]string, cfg.RecordCount)
+	for i := range loadKeys {
+		loadKeys[i] = Key(i)
+	}
+
+	var readP float64
+	var insert bool
+	switch cfg.Workload {
+	case WorkloadA:
+		readP = 0.5
+	case WorkloadB:
+		readP = 0.95
+	case WorkloadC:
+		readP = 1.0
+	case WorkloadD:
+		readP = 0.95
+		insert = true
+	default:
+		return nil, nil, fmt.Errorf("ycsb: unknown workload %v", cfg.Workload)
+	}
+
+	var chooser keyChooser
+	if cfg.Workload == WorkloadD {
+		chooser = newLatestChooser(cfg.RecordCount, zc, rnd)
+	} else {
+		chooser = newScrambledZipfian(cfg.RecordCount, zc, rnd)
+	}
+
+	ops = make([]Op, 0, cfg.OperationCount)
+	nextInsert := cfg.RecordCount
+	for i := 0; i < cfg.OperationCount; i++ {
+		r := rnd.Float64()
+		switch {
+		case insert && r >= readP:
+			ops = append(ops, Op{Type: OpInsert, Key: Key(nextInsert)})
+			chooser.grow()
+			nextInsert++
+		case r < readP:
+			ops = append(ops, Op{Type: OpRead, Key: Key(chooser.next())})
+		default:
+			ops = append(ops, Op{Type: OpUpdate, Key: Key(chooser.next())})
+		}
+	}
+	return loadKeys, ops, nil
+}
+
+// keyChooser selects record indexes under a popularity distribution.
+type keyChooser interface {
+	next() int
+	grow() // a record was inserted
+}
+
+// zipfian implements Gray et al.'s incremental zipfian generator, the
+// same algorithm YCSB uses.
+type zipfian struct {
+	items          int
+	base           int
+	constant       float64
+	theta          float64
+	zeta2theta     float64
+	alpha          float64
+	zetan          float64
+	eta            float64
+	countForZeta   int
+	allowItemCount bool
+	rnd            *rand.Rand
+}
+
+func newZipfian(items int, constant float64, rnd *rand.Rand) *zipfian {
+	z := &zipfian{items: items, constant: constant, theta: constant, rnd: rnd}
+	z.zeta2theta = zetaStatic(2, constant)
+	z.alpha = 1.0 / (1.0 - z.theta)
+	z.zetan = zetaStatic(items, constant)
+	z.countForZeta = items
+	z.eta = (1 - math.Pow(2.0/float64(items), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+func zetaStatic(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), theta)
+	}
+	return sum
+}
+
+func (z *zipfian) next() int {
+	u := z.rnd.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return z.base
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return z.base + 1
+	}
+	return z.base + int(float64(z.items)*math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+func (z *zipfian) grow() {
+	// Incremental zeta recomputation, as in YCSB's
+	// ZipfianGenerator.nextInt when itemcount grows.
+	z.items++
+	z.zetan += 1.0 / math.Pow(float64(z.items), z.theta)
+	z.countForZeta = z.items
+	z.eta = (1 - math.Pow(2.0/float64(z.items), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+}
+
+// scrambledZipfian spreads the zipfian head across the key space with
+// a hash, exactly like YCSB's ScrambledZipfianGenerator: hot keys are
+// scattered, not clustered at index 0.
+type scrambledZipfian struct {
+	z     *zipfian
+	items int
+}
+
+func newScrambledZipfian(items int, constant float64, rnd *rand.Rand) *scrambledZipfian {
+	return &scrambledZipfian{z: newZipfian(items, constant, rnd), items: items}
+}
+
+func (s *scrambledZipfian) next() int {
+	v := s.z.next()
+	return int(fnvHash64(uint64(v)) % uint64(s.items))
+}
+
+func (s *scrambledZipfian) grow() {
+	s.items++
+	s.z.grow()
+}
+
+// latestChooser skews towards recently inserted records (workload D).
+type latestChooser struct {
+	z     *zipfian
+	items int
+}
+
+func newLatestChooser(items int, constant float64, rnd *rand.Rand) *latestChooser {
+	return &latestChooser{z: newZipfian(items, constant, rnd), items: items}
+}
+
+func (l *latestChooser) next() int {
+	off := l.z.next()
+	idx := l.items - 1 - off
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}
+
+func (l *latestChooser) grow() {
+	l.items++
+	l.z.grow()
+}
+
+// fnvHash64 is YCSB's FNV-1a 64-bit hash used for scrambling.
+func fnvHash64(v uint64) uint64 {
+	const (
+		offset = 0xCBF29CE484222325
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		octet := v & 0xff
+		v >>= 8
+		h ^= octet
+		h *= prime
+	}
+	return h
+}
+
+// Payload generates a deterministic pseudo-random value of n bytes
+// for record key material; deterministic so replays and verification
+// agree.
+func Payload(key string, n int) []byte {
+	out := make([]byte, n)
+	seed := int64(fnvHash64(uint64(len(key))))
+	for _, c := range []byte(key) {
+		seed = seed*31 + int64(c)
+	}
+	r := rand.New(rand.NewSource(seed))
+	r.Read(out)
+	return out
+}
