@@ -188,3 +188,18 @@ func BenchmarkAblation(b *testing.B) {
 		b.ReportMetric(t.Rows[len(t.Rows)-1].Values[idx], "native-kIOPS")
 	}
 }
+
+// BenchmarkFigBatchReplication regenerates the replication-engine
+// comparison (serial-singleton vs atomic batched-parallel writes).
+func BenchmarkFigBatchReplication(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.FigBatchReplication(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPeak(b, t, "Batched IOP/s", "batched-IOPS")
+		reportPeak(b, t, "Serial IOP/s", "serial-IOPS")
+		reportPeak(b, t, "Speedup x", "speedup")
+	}
+}

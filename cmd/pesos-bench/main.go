@@ -9,7 +9,9 @@
 //
 // Figures: 3 (throughput vs clients), 4 (latency vs clients),
 // 5 (disk scaling), 6 (payload size), enc (§6.2 encryption overhead),
-// 7 (replication), 8 (policy cache), 9 (versioned store), 10 (MAL).
+// 7 (replication), 8 (policy cache), 9 (versioned store), 10 (MAL),
+// ablation (security-layer cost), repl (serial vs batched-parallel
+// replication engines).
 package main
 
 import (
@@ -22,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10 or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl or all")
 	paper := flag.Bool("paper", false, "use the paper's full experiment scale (minutes per figure)")
 	flag.Parse()
 
@@ -46,6 +48,7 @@ func main() {
 		{"9", bench.Fig9Versioned},
 		{"10", bench.Fig10MAL},
 		{"ablation", bench.Ablation},
+		{"repl", bench.FigBatchReplication},
 	}
 
 	ran := false

@@ -121,6 +121,33 @@ func (c *Cache[K, V]) Put(k K, v V) {
 	c.evictOver()
 }
 
+// PutIf inserts k if absent; when k is present it replaces the value
+// only if keep(current) returns true. The check and the replacement
+// are one atomic step under the cache lock, so racing readers cannot
+// clobber a newer value published by a writer (stale cache fills are
+// dropped instead of installed).
+func (c *Cache[K, V]) PutIf(k K, v V, keep func(cur V) bool) {
+	size := c.sizeOf(v)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick()
+	if old, ok := c.entries[k]; ok {
+		if !keep(old.val) {
+			return
+		}
+		c.account(size - old.size)
+		old.val = v
+		old.size = size
+		if old.freq < 1<<30 {
+			old.freq++
+		}
+	} else {
+		c.entries[k] = &entry[V]{val: v, size: size, freq: 1}
+		c.account(size)
+	}
+	c.evictOver()
+}
+
 // Remove deletes k if present.
 func (c *Cache[K, V]) Remove(k K) {
 	c.mu.Lock()

@@ -75,6 +75,11 @@ type Config struct {
 	// DisablePolicies turns policy enforcement off entirely — the
 	// "without policy checking" baseline of §6.4.
 	DisablePolicies bool
+	// SerialReplication selects the legacy write path: a serial loop
+	// of independent object and meta puts per replica, instead of one
+	// atomic batch per replica fanned out concurrently. Kept as the
+	// measured baseline for the replication benchmark.
+	SerialReplication bool
 
 	// Enclave is the trusted execution environment; nil runs the
 	// controller "native" (no attestation, no overhead model).
@@ -367,13 +372,18 @@ func (c *Controller) Close() error {
 	return nil
 }
 
-// writeLock returns the mutation lock stripe for a key.
-func (c *Controller) writeLock(key string) *sync.Mutex {
+// stripeIndex returns the mutation lock stripe a key hashes to.
+func stripeIndex(key string) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
 		h = (h ^ uint32(key[i])) * 16777619
 	}
-	return &c.writeLocks[h&255]
+	return int(h & 255)
+}
+
+// writeLock returns the mutation lock stripe for a key.
+func (c *Controller) writeLock(key string) *sync.Mutex {
+	return &c.writeLocks[stripeIndex(key)]
 }
 
 // programSize estimates a compiled policy's resident footprint.

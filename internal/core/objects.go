@@ -124,30 +124,16 @@ func (c *Controller) putObject(ctx context.Context, sessionKey, key string, valu
 	if err != nil {
 		return 0, err
 	}
-	metaRec := newMeta.Marshal()
 
-	// Write-through to every replica; the operation succeeds only if
-	// all replicas persist (§4.5).
-	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
-	for _, di := range placement {
-		cl := c.drives[di].pick()
-		c.chargeDriveIO(len(blob))
-		if err := cl.Put(ctx, store.ObjectKey(key, next), blob, nil, encodeVer(next), true); err != nil {
-			return 0, fmt.Errorf("core: write object to drive %s: %w", c.drives[di].name, err)
-		}
-		var prev []byte
-		if meta != nil {
-			prev = encodeVer(meta.Version)
-		}
-		c.chargeDriveIO(len(metaRec))
-		err := cl.Put(ctx, store.MetaKey(key), metaRec, prev, encodeVer(next), false)
-		if errors.Is(err, kclient.ErrVersionMismatch) {
-			c.metaCache.Remove(key)
-			return 0, fmt.Errorf("%w: concurrent update detected", ErrBadVersion)
-		}
-		if err != nil {
-			return 0, fmt.Errorf("core: write meta to drive %s: %w", c.drives[di].name, err)
-		}
+	// Write-through to every replica (§4.5): one atomic batch per
+	// replica drive carrying the object record and the metadata record
+	// together, all replicas concurrently. See replicate.go.
+	w := &replicaWrite{key: key, next: next, blob: blob, metaRec: newMeta.Marshal()}
+	if meta != nil {
+		w.prev = encodeVer(meta.Version)
+	}
+	if err := c.writeThrough(ctx, w); err != nil {
+		return 0, err
 	}
 
 	c.metaCache.Put(key, newMeta)
@@ -193,32 +179,22 @@ func (c *Controller) deleteObject(ctx context.Context, sessionKey, key string, o
 	if err := c.checkPolicy(ctx, lang.PermDelete, sessionKey, key, meta, nil, opts.Certs); err != nil {
 		return err
 	}
+	// One batched delete stream per replica, all replicas concurrently;
+	// each stream's first batch leads with the CAS-guarded metadata
+	// delete so a concurrent update rejects the destruction before any
+	// version record is lost (see deleteReplica).
 	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
-	start, end := store.ObjectKeyRange(key)
-	for _, di := range placement {
-		cl := c.drives[di].pick()
-		c.chargeDriveIO(0)
-		keys, err := cl.GetKeyRange(ctx, start, end, true, false, 0)
-		if err != nil {
-			return err
+	err = c.fanout(placement, func(di int) error {
+		return c.deleteReplica(ctx, di, key, meta.Version)
+	})
+	if err != nil {
+		// Some replicas may already have destroyed records (and the
+		// metadata leads each batch stream): drop every cache entry so
+		// readers observe drive state, not the deleted object.
+		for v := int64(0); v <= meta.Version; v++ {
+			c.objectCache.Remove(string(store.ObjectKey(key, v)))
 		}
-		for _, k := range keys {
-			c.chargeDriveIO(0)
-			if err := cl.Delete(ctx, k, nil, true); err != nil && !errors.Is(err, kclient.ErrNotFound) {
-				return err
-			}
-			c.objectCache.Remove(string(k))
-		}
-		c.chargeDriveIO(0)
-		if err := cl.Delete(ctx, store.MetaKey(key), encodeVer(meta.Version), false); err != nil {
-			if errors.Is(err, kclient.ErrVersionMismatch) {
-				c.metaCache.Remove(key)
-				return fmt.Errorf("%w: concurrent update during delete", ErrBadVersion)
-			}
-			if !errors.Is(err, kclient.ErrNotFound) {
-				return err
-			}
-		}
+		return c.replicationFailed(err, key)
 	}
 	c.metaCache.Remove(key)
 	c.stats.add(func(s *Stats) { s.Deletes++ })
@@ -259,14 +235,15 @@ func (c *Controller) listVersions(ctx context.Context, sessionKey, key string, c
 }
 
 // loadMeta returns the newest metadata for key, cache-first with
-// replica failover (§4.5).
+// parallel first-wins replica failover (§4.5): every replica is asked
+// concurrently and the first healthy answer wins. A malformed copy on
+// one replica fails over instead of failing the read.
 func (c *Controller) loadMeta(ctx context.Context, key string) (*store.Meta, error) {
 	if m, ok := c.metaCache.Get(key); ok {
 		return m, nil
 	}
 	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
-	var lastErr error
-	for _, di := range placement {
+	m, err := readFirstWins(ctx, placement, func(ctx context.Context, di int) (*store.Meta, error) {
 		cl := c.drives[di].pick()
 		c.chargeDriveIO(0)
 		val, _, err := cl.Get(ctx, store.MetaKey(key))
@@ -274,29 +251,34 @@ func (c *Controller) loadMeta(ctx context.Context, key string) (*store.Meta, err
 			return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
 		}
 		if err != nil {
-			lastErr = err
-			continue // fail over to the next replica
-		}
-		m, err := store.UnmarshalMeta(val)
-		if err != nil {
 			return nil, err
 		}
-		c.metaCache.Put(key, m)
-		return m, nil
+		return store.UnmarshalMeta(val)
+	})
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: all replicas failed reading meta %q: %w", key, err)
 	}
-	return nil, fmt.Errorf("core: all replicas failed reading meta %q: %w", key, lastErr)
+	// Publish only if newer: a slow reader must not clobber a later
+	// version a concurrent writer published while this read was in
+	// flight.
+	c.metaCache.PutIf(key, m, func(cur *store.Meta) bool { return cur.Version < m.Version })
+	return m, nil
 }
 
 // loadRecord returns the record of one object version, cache-first
-// with replica failover, verifying payload integrity.
+// with parallel first-wins replica failover, verifying payload
+// integrity. A corrupt copy on one replica fails over to a healthy
+// one instead of failing the read.
 func (c *Controller) loadRecord(ctx context.Context, key string, version int64) (*store.Record, error) {
 	ck := string(store.ObjectKey(key, version))
 	if r, ok := c.objectCache.Get(ck); ok {
 		return r, nil
 	}
 	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
-	var lastErr error
-	for _, di := range placement {
+	rec, err := readFirstWins(ctx, placement, func(ctx context.Context, di int) (*store.Record, error) {
 		cl := c.drives[di].pick()
 		c.chargeDriveIO(0)
 		val, _, err := cl.Get(ctx, store.ObjectKey(key, version))
@@ -304,8 +286,7 @@ func (c *Controller) loadRecord(ctx context.Context, key string, version int64) 
 			return nil, fmt.Errorf("%w: %q version %d", ErrNotFound, key, version)
 		}
 		if err != nil {
-			lastErr = err
-			continue
+			return nil, err
 		}
 		c.cost.MoveBytes(len(val))
 		rec, err := c.codec.DecodeRecord(val)
@@ -315,10 +296,16 @@ func (c *Controller) loadRecord(ctx context.Context, key string, version int64) 
 		if store.HashContent(rec.Payload) != rec.Meta.ContentHash {
 			return nil, store.ErrCorrupt
 		}
-		c.objectCache.Put(ck, rec)
 		return rec, nil
+	})
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: all replicas failed reading %q v%d: %w", key, version, err)
 	}
-	return nil, fmt.Errorf("core: all replicas failed reading %q v%d: %w", key, version, lastErr)
+	c.objectCache.Put(ck, rec)
+	return rec, nil
 }
 
 // chargeDriveIO charges the enclave tax of one drive round trip: two
@@ -438,14 +425,20 @@ func (c *Controller) PutPolicy(ctx context.Context, src string) (string, error) 
 	if err != nil {
 		return "", err
 	}
+	// Policies fan out to all placement replicas concurrently like any
+	// other write-through operation.
 	placement := store.Placement(id, len(c.drives), c.cfg.Replicas)
-	for _, di := range placement {
+	err = c.fanout(placement, func(di int) error {
 		cl := c.drives[di].pick()
 		c.chargeDriveIO(len(blob))
 		// Content-addressed: rewriting the same id is idempotent.
 		if err := cl.Put(ctx, store.PolicyKey(id), blob, nil, []byte{1}, true); err != nil {
-			return "", fmt.Errorf("core: store policy on drive %s: %w", c.drives[di].name, err)
+			return fmt.Errorf("core: store policy on drive %s: %w", c.drives[di].name, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return "", err
 	}
 	c.policyCache.Put(id, prog)
 	return id, nil

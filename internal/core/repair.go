@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"repro/internal/kinetic/kclient"
 	"repro/internal/policy/lang"
 	"repro/internal/store"
 )
@@ -29,7 +31,8 @@ func (c *Controller) repairObject(ctx context.Context, sessionKey, key string) (
 	lock.Lock()
 	defer lock.Unlock()
 
-	meta, err := c.loadMeta(ctx, key)
+	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	meta, err := c.loadMetaNewest(ctx, key, placement)
 	if err != nil {
 		return nil, err
 	}
@@ -37,7 +40,6 @@ func (c *Controller) repairObject(ctx context.Context, sessionKey, key string) (
 		return nil, err
 	}
 
-	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
 	report := &RepairReport{Key: key}
 	metaRec := meta.Marshal()
 
@@ -82,6 +84,45 @@ func (c *Controller) repairObject(ctx context.Context, sessionKey, key string) (
 		report.Restored++
 	}
 	return report, nil
+}
+
+// loadMetaNewest reads every replica's metadata record and returns the
+// highest version found, updating the cache. Repair must converge to
+// the newest surviving copy: trusting the cache or whichever replica
+// answers first could elect a degraded replica's stale metadata and
+// roll healthy replicas back.
+func (c *Controller) loadMetaNewest(ctx context.Context, key string, placement []int) (*store.Meta, error) {
+	var newest *store.Meta
+	var sawNotFound bool
+	var lastErr error
+	for _, di := range placement {
+		cl := c.drives[di].pick()
+		c.chargeDriveIO(0)
+		val, _, err := cl.Get(ctx, store.MetaKey(key))
+		if errors.Is(err, kclient.ErrNotFound) {
+			sawNotFound = true
+			continue
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		m, err := store.UnmarshalMeta(val)
+		if err != nil {
+			continue // corrupt copy; another replica may be healthy
+		}
+		if newest == nil || m.Version > newest.Version {
+			newest = m
+		}
+	}
+	if newest == nil {
+		if sawNotFound {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		return nil, fmt.Errorf("core: all replicas failed reading meta %q: %w", key, lastErr)
+	}
+	c.metaCache.Put(key, newest)
+	return newest, nil
 }
 
 // healthyRecord fetches one verifiable copy of a version record.

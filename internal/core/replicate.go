@@ -1,0 +1,412 @@
+// Replication engine: atomic batched writes fanned out to every
+// placement replica concurrently (§3.2 steps 4–7, §4.5).
+//
+// The write path commits an object record *and* its metadata record to
+// every replica. Doing that as independent round trips has two costs:
+// latency grows as replicas × 2 RTT, and a failure between the two
+// puts strands an object version without its metadata (or worse, fresh
+// metadata pointing at a missing record). Here each replica instead
+// receives ONE atomic batch carrying both records — the drive applies
+// all sub-operations or none — and all replicas are written
+// concurrently, so write-through latency is the maximum replica RTT
+// rather than the sum, and object/meta can never diverge on a drive.
+//
+// Reads get the dual treatment: parallel first-wins failover, where
+// every replica is asked concurrently and the first healthy answer
+// wins, instead of trying replicas one by one.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/kinetic/kclient"
+	"repro/internal/kinetic/wire"
+	"repro/internal/store"
+)
+
+// fanout runs fn against every placement drive concurrently and waits
+// for all of them. The operation succeeds only if every replica
+// succeeds (the paper's write-through replication, §4.5); individual
+// failures are aggregated so errors.Is still matches sentinels like
+// kclient.ErrVersionMismatch.
+func (c *Controller) fanout(placement []int, fn func(di int) error) error {
+	if len(placement) == 1 {
+		return fn(placement[0])
+	}
+	errs := make([]error, len(placement))
+	var wg sync.WaitGroup
+	for i, di := range placement {
+		wg.Add(1)
+		go func(i, di int) {
+			defer wg.Done()
+			errs[i] = fn(di)
+		}(i, di)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// readFirstWins asks every placement replica concurrently and returns
+// the first successful answer, cancelling the stragglers. A replica
+// reporting not-found is only believed once every replica has answered
+// and none failed outright — a degraded replica that lost a record
+// (pre-repair) must not shadow a healthy copy, and an unreachable
+// replica means "don't know", so a mixed not-found/error outcome
+// surfaces the error rather than affirming absence.
+//
+// Trade-off: every cache-miss read occupies all replicas' media
+// (hedging is not free); the caches in front of these loaders are
+// what keeps that affordable. If replicated read-heavy workloads with
+// poor cache locality become the bottleneck, the next refinement is a
+// primary-first hedge with a short timeout.
+func readFirstWins[T any](ctx context.Context, placement []int, read func(ctx context.Context, di int) (T, error)) (T, error) {
+	var zero T
+	if len(placement) == 1 {
+		return read(ctx, placement[0])
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		val T
+		err error
+	}
+	ch := make(chan result, len(placement))
+	for _, di := range placement {
+		go func(di int) {
+			v, err := read(rctx, di)
+			ch <- result{v, err}
+		}(di)
+	}
+	var notFound, lastErr error
+	for range placement {
+		r := <-ch
+		if r.err == nil {
+			return r.val, nil
+		}
+		switch {
+		case errors.Is(r.err, ErrNotFound):
+			notFound = r.err
+		case errors.Is(r.err, context.Canceled) && ctx.Err() == nil:
+			// A straggler cancelled after the winner returned; never
+			// the answer. (Unreachable in practice — we return on the
+			// first success — but cheap to classify correctly.)
+		default:
+			lastErr = r.err
+		}
+	}
+	if notFound != nil && lastErr == nil {
+		return zero, notFound
+	}
+	return zero, lastErr
+}
+
+// replicaWrite is one key's worth of a replicated write: the object
+// record and the metadata record that must commit together.
+type replicaWrite struct {
+	key     string
+	next    int64
+	prev    []byte // meta CAS token; nil on creation
+	blob    []byte // encoded object record
+	metaRec []byte // marshalled metadata
+}
+
+// batchOps renders the write as the atomic sub-operation pair every
+// replica receives: object record first (content-addressed by version,
+// forced), then the metadata record guarded by compare-and-swap
+// against concurrent controllers.
+func (w *replicaWrite) batchOps() []wire.BatchOp {
+	return []wire.BatchOp{
+		{Op: wire.BatchPut, Key: store.ObjectKey(w.key, w.next), Value: w.blob,
+			NewVersion: encodeVer(w.next), Force: true},
+		{Op: wire.BatchPut, Key: store.MetaKey(w.key), Value: w.metaRec,
+			DBVersion: w.prev, NewVersion: encodeVer(w.next)},
+	}
+}
+
+// putReplicas commits one write to all placement replicas: one atomic
+// batch per replica drive, all replicas concurrently. Latency is the
+// slowest replica's single round trip — 2 round trips × replicas in
+// the serial-singleton scheme collapse to 1 × max.
+func (c *Controller) putReplicas(ctx context.Context, w *replicaWrite, placement []int) error {
+	ops := w.batchOps()
+	payload := len(w.blob) + len(w.metaRec)
+	return c.fanout(placement, func(di int) error {
+		cl := c.drives[di].pick()
+		c.chargeDriveIO(payload)
+		if err := cl.Batch(ctx, ops); err != nil {
+			return fmt.Errorf("core: batched write %q to drive %s: %w", w.key, c.drives[di].name, err)
+		}
+		return nil
+	})
+}
+
+// putReplicasSerial is the seed's write path — a serial loop of
+// independent object and meta puts per replica — kept as the measured
+// baseline for the replication benchmark and selectable with
+// Config.SerialReplication. It has the failure window the batched path
+// closes: a crash between the two puts strands an object record
+// without metadata.
+func (c *Controller) putReplicasSerial(ctx context.Context, w *replicaWrite, placement []int) error {
+	for _, di := range placement {
+		cl := c.drives[di].pick()
+		c.chargeDriveIO(len(w.blob))
+		if err := cl.Put(ctx, store.ObjectKey(w.key, w.next), w.blob, nil, encodeVer(w.next), true); err != nil {
+			return fmt.Errorf("core: write object to drive %s: %w", c.drives[di].name, err)
+		}
+		c.chargeDriveIO(len(w.metaRec))
+		if err := cl.Put(ctx, store.MetaKey(w.key), w.metaRec, w.prev, encodeVer(w.next), false); err != nil {
+			return fmt.Errorf("core: write meta to drive %s: %w", c.drives[di].name, err)
+		}
+	}
+	return nil
+}
+
+// replicationFailed maps a replication error for the client and drops
+// the affected keys' cached metadata: a partial failure may have
+// advanced (or destroyed) state on some replicas past what the cache
+// holds, so readers must re-read drive state; a metadata CAS conflict
+// becomes the client-visible version error.
+func (c *Controller) replicationFailed(err error, keys ...string) error {
+	if err == nil {
+		return nil
+	}
+	for _, k := range keys {
+		c.metaCache.Remove(k)
+	}
+	if errors.Is(err, kclient.ErrVersionMismatch) {
+		return fmt.Errorf("%w: concurrent update detected", ErrBadVersion)
+	}
+	return err
+}
+
+// writeThrough dispatches a replicated write through the configured
+// engine.
+func (c *Controller) writeThrough(ctx context.Context, w *replicaWrite) error {
+	placement := store.Placement(w.key, len(c.drives), c.cfg.Replicas)
+	var err error
+	if c.cfg.SerialReplication {
+		err = c.putReplicasSerial(ctx, w, placement)
+	} else {
+		err = c.putReplicas(ctx, w, placement)
+	}
+	return c.replicationFailed(err, w.key)
+}
+
+// deleteReplica removes every stored version of key plus its metadata
+// on one drive, batched: the metadata delete leads the first batch so
+// its compare-and-swap guard rejects the whole destruction if a
+// concurrent controller bumped the object — before any record is lost
+// (the serial scheme only noticed after the records were gone).
+func (c *Controller) deleteReplica(ctx context.Context, di int, key string, metaVer int64) error {
+	cl := c.drives[di].pick()
+	start, end := store.ObjectKeyRange(key)
+	c.chargeDriveIO(0)
+	keys, err := cl.GetKeyRange(ctx, start, end, true, false, 0)
+	if err != nil {
+		return err
+	}
+	ops := make([]wire.BatchOp, 0, len(keys)+1)
+	ops = append(ops, wire.BatchOp{Op: wire.BatchDelete, Key: store.MetaKey(key), DBVersion: encodeVer(metaVer)})
+	for _, k := range keys {
+		ops = append(ops, wire.BatchOp{Op: wire.BatchDelete, Key: k, Force: true})
+	}
+	metaPending := true
+	for len(ops) > 0 {
+		n := min(len(ops), wire.MaxBatchOps)
+		c.chargeDriveIO(0)
+		err := cl.Batch(ctx, ops[:n])
+		if metaPending && err != nil {
+			var be *kclient.BatchError
+			if errors.As(err, &be) && be.Index == 0 && errors.Is(err, kclient.ErrNotFound) {
+				// This replica already lost its metadata (degraded
+				// pre-repair state): drop the guard and still collect
+				// the version records.
+				ops = ops[1:]
+				metaPending = false
+				continue
+			}
+		}
+		if err != nil {
+			return err
+		}
+		metaPending = false
+		ops = ops[n:]
+	}
+	for _, k := range keys {
+		c.objectCache.Remove(string(k))
+	}
+	return nil
+}
+
+// lockStripes acquires the per-key mutation stripes for a set of keys
+// in deterministic order (deduplicated, sorted) so multi-key commits
+// cannot deadlock against each other or single-key writers. The
+// returned function releases them in reverse order.
+func (c *Controller) lockStripes(keys []string) (unlock func()) {
+	seen := make(map[int]bool, len(keys))
+	idx := make([]int, 0, len(keys))
+	for _, k := range keys {
+		if i := stripeIndex(k); !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		c.writeLocks[i].Lock()
+	}
+	return func() {
+		for j := len(idx) - 1; j >= 0; j-- {
+			c.writeLocks[idx[j]].Unlock()
+		}
+	}
+}
+
+// txWrite is one planned transactional write: the key, its planned
+// next version, the current metadata (nil on creation) and the new
+// payload.
+type txWrite struct {
+	key   string
+	next  int64
+	meta  *store.Meta
+	value []byte
+}
+
+// commitTxWrites stages, persists and publishes a transaction's write
+// set. Policy checks and version planning already happened under the
+// VLL locks; this encodes every record, takes the per-key mutation
+// stripes (so non-transactional writers serialize against the commit),
+// pushes the batches through commitWrites and finally publishes the
+// new versions to the caches.
+func (c *Controller) commitTxWrites(ctx context.Context, writes []txWrite) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	staged := make([]*replicaWrite, 0, len(writes))
+	newMetas := make([]*store.Meta, 0, len(writes))
+	keys := make([]string, 0, len(writes))
+	for _, tw := range writes {
+		if int64(len(tw.value)) > store.MaxObjectSize {
+			return fmt.Errorf("pesos: tx write %q: %w", tw.key, store.ErrTooLarge)
+		}
+		c.cost.MoveBytes(len(tw.value)) // payload crosses into the enclave
+		newMeta := &store.Meta{
+			Key:         tw.key,
+			Version:     tw.next,
+			Size:        int64(len(tw.value)),
+			ContentHash: store.HashContent(tw.value),
+		}
+		if tw.meta != nil {
+			// Transactional writes keep the object's policy; the stored
+			// hash is authoritative for the unchanged program.
+			newMeta.PolicyID = tw.meta.PolicyID
+			newMeta.PolicyHash = tw.meta.PolicyHash
+		}
+		blob, err := c.codec.EncodeRecord(&store.Record{Meta: *newMeta, Payload: tw.value})
+		if err != nil {
+			return err
+		}
+		w := &replicaWrite{key: tw.key, next: tw.next, blob: blob, metaRec: newMeta.Marshal()}
+		if tw.meta != nil {
+			w.prev = encodeVer(tw.meta.Version)
+		}
+		staged = append(staged, w)
+		newMetas = append(newMetas, newMeta)
+		keys = append(keys, tw.key)
+	}
+
+	unlock := c.lockStripes(keys)
+	err := c.commitWrites(ctx, staged)
+	if err == nil {
+		// Publish under the stripe locks, like putObject: a concurrent
+		// writer must not interleave a newer cache entry between our
+		// drive commit and our cache publish.
+		for i, w := range staged {
+			c.metaCache.Put(w.key, newMetas[i])
+			c.objectCache.Put(string(store.ObjectKey(w.key, w.next)),
+				&store.Record{Meta: *newMetas[i], Payload: writes[i].value})
+		}
+	}
+	unlock()
+	if err != nil {
+		return fmt.Errorf("pesos: tx commit: %w", err)
+	}
+	n := uint64(len(writes))
+	c.stats.add(func(s *Stats) { s.Puts += n })
+	return nil
+}
+
+// commitWrites persists a transaction's write set: the writes are
+// grouped by placement drive so each drive receives as few atomic
+// batches as possible (object+meta pairs never split across batches),
+// and the per-drive batch streams run concurrently. Policy checks and
+// version planning happened under the VLL locks in CommitTx; the meta
+// compare-and-swap tokens remain as the cross-controller backstop.
+func (c *Controller) commitWrites(ctx context.Context, writes []*replicaWrite) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	if c.cfg.SerialReplication {
+		for _, w := range writes {
+			if err := c.writeThrough(ctx, w); err != nil {
+				return fmt.Errorf("pesos: tx write %q: %w", w.key, err)
+			}
+		}
+		return nil
+	}
+
+	// Group the sub-operation pairs per drive.
+	type driveBatch struct {
+		ops     []wire.BatchOp
+		payload int
+	}
+	perDrive := make(map[int]*driveBatch)
+	for _, w := range writes {
+		for _, di := range store.Placement(w.key, len(c.drives), c.cfg.Replicas) {
+			b := perDrive[di]
+			if b == nil {
+				b = &driveBatch{}
+				perDrive[di] = b
+			}
+			b.ops = append(b.ops, w.batchOps()...)
+			b.payload += len(w.blob) + len(w.metaRec)
+		}
+	}
+	drives := make([]int, 0, len(perDrive))
+	for di := range perDrive {
+		drives = append(drives, di)
+	}
+	err := c.fanout(drives, func(di int) error {
+		b := perDrive[di]
+		cl := c.drives[di].pick()
+		// Chunk on the batch-op cap and the frame size, keeping each
+		// object+meta pair in one atomic message.
+		ops := b.ops
+		for len(ops) > 0 {
+			n, bytes := 0, 0
+			for n < len(ops) && n+2 <= wire.MaxBatchOps {
+				sz := len(ops[n].Value) + len(ops[n+1].Value)
+				if n > 0 && bytes+sz > store.MaxObjectSize {
+					break
+				}
+				bytes += sz
+				n += 2
+			}
+			c.chargeDriveIO(bytes)
+			if err := cl.Batch(ctx, ops[:n]); err != nil {
+				return fmt.Errorf("core: tx batch to drive %s: %w", c.drives[di].name, err)
+			}
+			ops = ops[n:]
+		}
+		return nil
+	})
+	keys := make([]string, len(writes))
+	for i, w := range writes {
+		keys[i] = w.key
+	}
+	return c.replicationFailed(err, keys...)
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/authority"
 	"repro/internal/policy/lang"
+	"repro/internal/store"
 	"repro/internal/vll"
 )
 
@@ -170,6 +171,7 @@ func (s *Session) CommitTx(ctx context.Context, txID uint64) error {
 	type plannedWrite struct {
 		key  string
 		next int64
+		meta *store.Meta // nil on creation
 	}
 	planned := make([]plannedWrite, 0, len(writeSet))
 	for _, k := range writeSet {
@@ -184,7 +186,7 @@ func (s *Session) CommitTx(ctx context.Context, txID uint64) error {
 		if err := s.ctl.checkPolicy(ctx, lang.PermUpdate, s.clientKey, k, meta, &next, tx.certs); err != nil {
 			return s.txAbort(txID, err)
 		}
-		planned = append(planned, plannedWrite{key: k, next: next})
+		planned = append(planned, plannedWrite{key: k, next: next, meta: meta})
 	}
 
 	// Phase 2: execute. Reads first (snapshot under the locks), then
@@ -201,17 +203,24 @@ func (s *Session) CommitTx(ctx context.Context, txID uint64) error {
 		}
 		results = append(results, r)
 	}
+	// Writes commit as one batch stream per placement drive (all
+	// drives concurrently) instead of sequential singleton puts per
+	// key: the object and metadata records of every write stay paired
+	// inside atomic wire messages, and a transaction touching many
+	// keys pays max-of-replica latency, not a sum over keys.
+	staged := make([]txWrite, 0, len(planned))
 	for _, pw := range planned {
-		ver, err := s.ctl.putObject(ctx, s.clientKey, pw.key, tx.writes[pw.key], PutOptions{
-			Version: pw.next, HasVersion: true, Certs: tx.certs,
+		staged = append(staged, txWrite{
+			key: pw.key, next: pw.next, meta: pw.meta, value: tx.writes[pw.key],
 		})
-		r := TxOpResult{Key: pw.key, Op: "write", Version: ver}
-		if err != nil {
-			// Keys are locked, so a conflict here means replica
-			// failure; surface it and abort.
-			return s.txAbort(txID, fmt.Errorf("pesos: tx write %q: %w", pw.key, err))
-		}
-		results = append(results, r)
+	}
+	if err := s.ctl.commitTxWrites(ctx, staged); err != nil {
+		// Keys are VLL-locked, so a failure here means replica failure
+		// or an out-of-band writer; surface it and abort.
+		return s.txAbort(txID, err)
+	}
+	for _, pw := range planned {
+		results = append(results, TxOpResult{Key: pw.key, Op: "write", Version: pw.next})
 	}
 
 	s.mu.Lock()

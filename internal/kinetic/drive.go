@@ -34,6 +34,10 @@ type Stats struct {
 	Ranges    atomic.Uint64
 	P2PPushes atomic.Uint64
 	Rejected  atomic.Uint64 // HMAC or permission failures
+	// Batches counts TBatch requests; BatchOps their sub-operations.
+	// Batch sub-operations are not double-counted in Puts/Deletes.
+	Batches  atomic.Uint64
+	BatchOps atomic.Uint64
 }
 
 // Drive is one Kinetic device: store, accounts, media model, identity.
@@ -42,6 +46,11 @@ type Drive struct {
 	store *skipList
 	media MediaModel
 	stats Stats
+
+	// storeMu serializes check-then-act mutations (CAS validation plus
+	// apply) so single operations and atomic batches can never
+	// interleave between a version check and the write it guards.
+	storeMu sync.Mutex
 
 	mu       sync.RWMutex
 	accounts map[string]wire.ACL
@@ -172,6 +181,8 @@ func (d *Drive) Handle(req *wire.Message) *wire.Message {
 		d.handleSecurity(acct, req, resp)
 	case wire.TErase:
 		d.handleErase(acct, req, resp)
+	case wire.TBatch:
+		d.handleBatch(acct, req, resp)
 	case wire.TNoop, wire.TFlush:
 		// Flush is a no-op: the store is write-through already.
 	case wire.TP2PPush:
@@ -204,23 +215,55 @@ func (d *Drive) handleGet(acct wire.ACL, req, resp *wire.Message) {
 	resp.DBVersion = version
 }
 
+// checkPutCAS validates a put's compare-and-swap precondition against
+// the current store state, filling resp on failure. Caller holds
+// storeMu.
+func (d *Drive) checkPutCAS(key, dbVersion []byte, force bool, resp *wire.Message) bool {
+	if force {
+		return true
+	}
+	_, cur, exists := d.store.get(key)
+	if exists && !bytes.Equal(cur, dbVersion) {
+		resp.Status = wire.StatusVersionMismatch
+		resp.DBVersion = cur
+		return false
+	}
+	if !exists && len(dbVersion) != 0 {
+		resp.Status = wire.StatusVersionMismatch
+		return false
+	}
+	return true
+}
+
+// checkDeleteCAS validates a delete's precondition. Caller holds
+// storeMu.
+func (d *Drive) checkDeleteCAS(key, dbVersion []byte, force bool, resp *wire.Message) bool {
+	if force {
+		return true
+	}
+	_, cur, exists := d.store.get(key)
+	if !exists {
+		resp.Status = wire.StatusNotFound
+		return false
+	}
+	if !bytes.Equal(cur, dbVersion) {
+		resp.Status = wire.StatusVersionMismatch
+		resp.DBVersion = cur
+		return false
+	}
+	return true
+}
+
 func (d *Drive) handlePut(acct wire.ACL, req, resp *wire.Message) {
 	if !permitted(acct, wire.PermWrite, resp) {
 		d.stats.Rejected.Add(1)
 		return
 	}
 	d.stats.Puts.Add(1)
-	if !req.Force {
-		_, cur, exists := d.store.get(req.Key)
-		if exists && !bytes.Equal(cur, req.DBVersion) {
-			resp.Status = wire.StatusVersionMismatch
-			resp.DBVersion = cur
-			return
-		}
-		if !exists && len(req.DBVersion) != 0 {
-			resp.Status = wire.StatusVersionMismatch
-			return
-		}
+	d.storeMu.Lock()
+	defer d.storeMu.Unlock()
+	if !d.checkPutCAS(req.Key, req.DBVersion, req.Force, resp) {
+		return
 	}
 	d.waitMedia(OpWrite, len(req.Value))
 	d.store.put(cloneKey(req.Key), cloneKey(req.Value), cloneKey(req.NewVersion))
@@ -232,21 +275,83 @@ func (d *Drive) handleDelete(acct wire.ACL, req, resp *wire.Message) {
 		return
 	}
 	d.stats.Deletes.Add(1)
-	if !req.Force {
-		_, cur, exists := d.store.get(req.Key)
-		if !exists {
-			resp.Status = wire.StatusNotFound
-			return
-		}
-		if !bytes.Equal(cur, req.DBVersion) {
-			resp.Status = wire.StatusVersionMismatch
-			resp.DBVersion = cur
-			return
-		}
+	d.storeMu.Lock()
+	defer d.storeMu.Unlock()
+	if !d.checkDeleteCAS(req.Key, req.DBVersion, req.Force, resp) {
+		return
 	}
 	d.waitMedia(OpDelete, 0)
 	if !d.store.delete(req.Key) {
 		resp.Status = wire.StatusNotFound
+	}
+}
+
+// handleBatch applies a sequence of sub-operations atomically: every
+// sub-operation is validated — permissions first, then compare-and-swap
+// versions under the store lock — before any is applied, and the whole
+// batch pays a single amortized media wait. A drive can therefore never
+// expose a state where some sub-operations took effect and others did
+// not; this is what keeps an object record and its metadata record from
+// diverging on replica failures (§3.2 steps 4–7).
+func (d *Drive) handleBatch(acct wire.ACL, req, resp *wire.Message) {
+	if len(req.Batch) == 0 || len(req.Batch) > wire.MaxBatchOps {
+		resp.Status = wire.StatusInvalidRequest
+		resp.StatusMsg = fmt.Sprintf("batch needs 1..%d sub-operations, got %d",
+			wire.MaxBatchOps, len(req.Batch))
+		return
+	}
+	// Permissions for every sub-operation before touching the store.
+	for i, op := range req.Batch {
+		perm := wire.PermWrite
+		if op.Op == wire.BatchDelete {
+			perm = wire.PermDelete
+		} else if op.Op != wire.BatchPut {
+			resp.Status = wire.StatusInvalidRequest
+			resp.StatusMsg = fmt.Sprintf("unknown batch sub-operation %d", op.Op)
+			resp.BatchFailed = true
+			resp.FailedIndex = uint32(i)
+			return
+		}
+		if !permitted(acct, perm, resp) {
+			d.stats.Rejected.Add(1)
+			resp.BatchFailed = true
+			resp.FailedIndex = uint32(i)
+			return
+		}
+	}
+	d.stats.Batches.Add(1)
+
+	d.storeMu.Lock()
+	defer d.storeMu.Unlock()
+	// Validate all sub-operations against the pre-batch state; the
+	// first failure rejects the whole batch with no effects.
+	totalBytes := 0
+	for i, op := range req.Batch {
+		ok := false
+		switch op.Op {
+		case wire.BatchPut:
+			ok = d.checkPutCAS(op.Key, op.DBVersion, op.Force, resp)
+		case wire.BatchDelete:
+			ok = d.checkDeleteCAS(op.Key, op.DBVersion, op.Force, resp)
+		}
+		if !ok {
+			resp.BatchFailed = true
+			resp.FailedIndex = uint32(i)
+			return
+		}
+		totalBytes += len(op.Value)
+	}
+	// One amortized media wait: the sub-operations commit in a single
+	// write pass instead of one positioning delay each.
+	d.waitMedia(OpWrite, totalBytes)
+	for _, op := range req.Batch {
+		d.stats.BatchOps.Add(1)
+		switch op.Op {
+		case wire.BatchPut:
+			d.store.put(cloneKey(op.Key), cloneKey(op.Value), cloneKey(op.NewVersion))
+		case wire.BatchDelete:
+			d.store.delete(op.Key)
+		}
 	}
 }
 
@@ -316,7 +421,11 @@ func (d *Drive) handleErase(acct wire.ACL, req, resp *wire.Message) {
 		resp.StatusMsg = "bad erase PIN"
 		return
 	}
+	// The erase is a store mutation like any other: it must not land
+	// between an atomic batch's validation and its apply.
+	d.storeMu.Lock()
 	d.store.clear()
+	d.storeMu.Unlock()
 	d.setLocked(false)
 }
 
@@ -382,8 +491,12 @@ func (d *Drive) handleGetVersion(acct wire.ACL, req, resp *wire.Message) {
 }
 
 // P2PPut implements P2PTarget so a Drive can be the direct destination
-// of another drive's push in in-process clusters.
+// of another drive's push in in-process clusters. It takes the store
+// lock like every other mutation so a push cannot interleave inside an
+// atomic batch's validate-then-apply window.
 func (d *Drive) P2PPut(key, value, version []byte) error {
+	d.storeMu.Lock()
+	defer d.storeMu.Unlock()
 	d.waitMedia(OpWrite, len(value))
 	d.store.put(cloneKey(key), cloneKey(value), cloneKey(version))
 	return nil

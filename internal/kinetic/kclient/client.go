@@ -236,6 +236,40 @@ func (c *Client) Put(ctx context.Context, key, value, dbVersion, newVersion []by
 	return statusToError(resp)
 }
 
+// BatchError identifies the sub-operation that caused an atomic batch
+// rejection. errors.Is sees through it to the underlying sentinel
+// (e.g. ErrVersionMismatch).
+type BatchError struct {
+	Index int // index into the submitted sub-operation slice
+	Err   error
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("kinetic: batch sub-op %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// Batch submits a sequence of sub-operations the drive applies
+// atomically: either every sub-operation takes effect or none does,
+// with all permission and version checks performed up front. One round
+// trip replaces one per operation.
+func (c *Client) Batch(ctx context.Context, ops []wire.BatchOp) error {
+	resp, err := c.roundTrip(ctx, &wire.Message{Type: wire.TBatch, Batch: ops})
+	if err != nil {
+		return err
+	}
+	if err := statusToError(resp); err != nil {
+		if resp.BatchFailed {
+			return &BatchError{Index: int(resp.FailedIndex), Err: err}
+		}
+		return err
+	}
+	return nil
+}
+
 // Delete removes key; dbVersion must match unless force.
 func (c *Client) Delete(ctx context.Context, key, dbVersion []byte, force bool) error {
 	resp, err := c.roundTrip(ctx, &wire.Message{

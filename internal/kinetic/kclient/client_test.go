@@ -209,3 +209,62 @@ func TestClientClosedErrors(t *testing.T) {
 		t.Fatalf("after close: %v", err)
 	}
 }
+
+func TestClientBatch(t *testing.T) {
+	drive, cl := startDrive(t)
+	ctx := context.Background()
+	err := cl.Batch(ctx, []wire.BatchOp{
+		{Op: wire.BatchPut, Key: []byte("obj"), Value: []byte("payload"), NewVersion: []byte("1"), Force: true},
+		{Op: wire.BatchPut, Key: []byte("meta"), Value: []byte("m"), NewVersion: []byte("1")},
+	})
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if drive.Len() != 2 {
+		t.Fatalf("drive holds %d keys, want 2", drive.Len())
+	}
+
+	// A stale CAS on the second sub-op rejects the whole batch and
+	// reports the failing index through BatchError.
+	err = cl.Batch(ctx, []wire.BatchOp{
+		{Op: wire.BatchPut, Key: []byte("obj2"), Value: []byte("p2"), NewVersion: []byte("2"), Force: true},
+		{Op: wire.BatchPut, Key: []byte("meta"), Value: []byte("m2"), DBVersion: []byte("stale"), NewVersion: []byte("2")},
+	})
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("stale batch: %v, want ErrVersionMismatch", err)
+	}
+	var be *BatchError
+	if !errors.As(err, &be) || be.Index != 1 {
+		t.Fatalf("batch error index: %v", err)
+	}
+	if _, _, err := cl.Get(ctx, []byte("obj2")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("rejected batch left residue: %v", err)
+	}
+}
+
+func TestClientBatchPipelining(t *testing.T) {
+	// Batches share the pending-table pipeline: many in flight on one
+	// connection, correlated by sequence number.
+	_, cl := startDrive(t)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			errCh <- cl.Batch(ctx, []wire.BatchOp{
+				{Op: wire.BatchPut, Key: []byte("o/" + key), Value: []byte(key), NewVersion: []byte("1"), Force: true},
+				{Op: wire.BatchPut, Key: []byte("m/" + key), Value: []byte(key), NewVersion: []byte("1"), Force: true},
+			})
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatalf("pipelined batch: %v", err)
+		}
+	}
+}

@@ -62,6 +62,8 @@ const (
 	TGetLogResponse   MessageType = 21
 	TGetVersion       MessageType = 22
 	TGetVersionResp   MessageType = 23
+	TBatch            MessageType = 24
+	TBatchResp        MessageType = 25
 )
 
 // Response reports the response type paired with a request type, or
@@ -90,6 +92,7 @@ func (t MessageType) String() string {
 		TP2PPush: "P2PPUSH", TP2PPushResponse: "P2PPUSH_RESPONSE",
 		TGetLog: "GETLOG", TGetLogResponse: "GETLOG_RESPONSE",
 		TGetVersion: "GETVERSION", TGetVersionResp: "GETVERSION_RESPONSE",
+		TBatch: "BATCH", TBatchResp: "BATCH_RESPONSE",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -164,6 +167,43 @@ type ACL struct {
 	Perms    Permission // granted operations
 }
 
+// BatchOpKind selects the operation of one batch sub-operation.
+type BatchOpKind uint8
+
+// Batch sub-operation kinds.
+const (
+	BatchPut BatchOpKind = iota
+	BatchDelete
+)
+
+// String implements fmt.Stringer.
+func (k BatchOpKind) String() string {
+	switch k {
+	case BatchPut:
+		return "PUT"
+	case BatchDelete:
+		return "DELETE"
+	default:
+		return fmt.Sprintf("BatchOpKind(%d)", uint8(k))
+	}
+}
+
+// MaxBatchOps caps the sub-operations of one TBatch message, mirroring
+// the real Kinetic protocol's START_BATCH/END_BATCH operation limit.
+const MaxBatchOps = 64
+
+// BatchOp is one sub-operation of a TBatch request. The drive applies
+// the whole sequence atomically: every sub-operation is validated
+// (permissions and compare-and-swap versions) before any takes effect.
+type BatchOp struct {
+	Op         BatchOpKind
+	Key        []byte
+	Value      []byte // puts only
+	DBVersion  []byte // stored version for compare-and-swap
+	NewVersion []byte // version to install on put
+	Force      bool   // ignore version check
+}
+
 // SyncMode selects Kinetic write durability semantics.
 type SyncMode uint8
 
@@ -206,6 +246,13 @@ type Message struct {
 
 	Log map[string]string // GETLOG response payload (device stats)
 
+	// Batch carries the sub-operations of a TBatch request.
+	Batch []BatchOp
+	// BatchFailed marks a TBatchResp whose FailedIndex identifies the
+	// sub-operation that caused the (atomic) rejection.
+	BatchFailed bool
+	FailedIndex uint32
+
 	HMAC []byte // authentication tag, set by Sign
 }
 
@@ -233,6 +280,9 @@ const (
 	fPeer
 	fLogEntry
 	fHMAC
+	// New tags append after fHMAC so existing encodings stay stable.
+	fBatchEntry
+	fFailedIndex
 )
 
 // Marshal encodes m, including its HMAC field if present.
@@ -311,6 +361,14 @@ func (m *Message) marshalBody(buf []byte) []byte {
 		entry := appendField(nil, 1, []byte(k))
 		entry = appendField(entry, 2, []byte(v))
 		buf = appendField(buf, fLogEntry, entry)
+	}
+	for _, op := range m.Batch {
+		buf = appendField(buf, fBatchEntry, marshalBatchOp(op))
+	}
+	if m.BatchFailed {
+		var fi [4]byte
+		binary.BigEndian.PutUint32(fi[:], m.FailedIndex)
+		buf = appendField(buf, fFailedIndex, fi[:])
 	}
 	return buf
 }
@@ -393,6 +451,18 @@ func (m *Message) Unmarshal(data []byte) error {
 				return err
 			}
 			m.Log[k] = v
+		case fBatchEntry:
+			op, err := unmarshalBatchOp(val)
+			if err != nil {
+				return err
+			}
+			m.Batch = append(m.Batch, op)
+		case fFailedIndex:
+			if len(val) != 4 {
+				return errors.New("wire: bad failedIndex field")
+			}
+			m.BatchFailed = true
+			m.FailedIndex = binary.BigEndian.Uint32(val)
 		case fHMAC:
 			m.HMAC = cloneBytes(val)
 		default:
@@ -482,6 +552,63 @@ func unmarshalACL(data []byte) (ACL, error) {
 		}
 	}
 	return a, nil
+}
+
+// Batch sub-operation field tags (nested TLV inside fBatchEntry).
+const (
+	bOp uint8 = iota + 1
+	bKey
+	bValue
+	bDBVersion
+	bNewVersion
+	bForce
+)
+
+func marshalBatchOp(op BatchOp) []byte {
+	buf := appendField(nil, bOp, []byte{byte(op.Op)})
+	buf = appendField(buf, bKey, op.Key)
+	if len(op.Value) > 0 {
+		buf = appendField(buf, bValue, op.Value)
+	}
+	if len(op.DBVersion) > 0 {
+		buf = appendField(buf, bDBVersion, op.DBVersion)
+	}
+	if len(op.NewVersion) > 0 {
+		buf = appendField(buf, bNewVersion, op.NewVersion)
+	}
+	if op.Force {
+		buf = appendField(buf, bForce, []byte{1})
+	}
+	return buf
+}
+
+func unmarshalBatchOp(data []byte) (BatchOp, error) {
+	var op BatchOp
+	for len(data) > 0 {
+		tag, val, rest, err := readField(data)
+		if err != nil {
+			return op, err
+		}
+		data = rest
+		switch tag {
+		case bOp:
+			if len(val) != 1 {
+				return op, errors.New("wire: bad batch op kind")
+			}
+			op.Op = BatchOpKind(val[0])
+		case bKey:
+			op.Key = cloneBytes(val)
+		case bValue:
+			op.Value = cloneBytes(val)
+		case bDBVersion:
+			op.DBVersion = cloneBytes(val)
+		case bNewVersion:
+			op.NewVersion = cloneBytes(val)
+		case bForce:
+			op.Force = len(val) == 1 && val[0] == 1
+		}
+	}
+	return op, nil
 }
 
 func unmarshalLogEntry(data []byte) (string, string, error) {

@@ -195,3 +195,79 @@ func TestStatusAndTypeStrings(t *testing.T) {
 		t.Error("type strings broken")
 	}
 }
+
+func sampleBatch() *Message {
+	return &Message{
+		Type: TBatch,
+		Seq:  7,
+		User: "pesos-admin",
+		Batch: []BatchOp{
+			{Op: BatchPut, Key: []byte("o\x00k\x00v1"), Value: []byte("payload"),
+				NewVersion: []byte{0, 0, 0, 1}, Force: true},
+			{Op: BatchPut, Key: []byte("m\x00k"), Value: []byte("meta"),
+				DBVersion: []byte{0, 0, 0, 0}, NewVersion: []byte{0, 0, 0, 1}},
+			{Op: BatchDelete, Key: []byte("o\x00k\x00v0"), DBVersion: []byte{9}},
+		},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	msgs := []*Message{
+		sampleBatch(),
+		{Type: TBatchResp, Seq: 7, Status: StatusVersionMismatch,
+			StatusMsg: "conflict", BatchFailed: true, FailedIndex: 1},
+		{Type: TBatchResp, Seq: 8, Status: StatusNotAuthorized,
+			BatchFailed: true, FailedIndex: 0}, // index 0 must survive
+	}
+	for _, m := range msgs {
+		var got Message
+		if err := got.Unmarshal(m.Marshal()); err != nil {
+			t.Fatalf("unmarshal %v: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(*m, got) {
+			t.Errorf("round trip %v:\n got %+v\nwant %+v", m.Type, got, *m)
+		}
+	}
+}
+
+func TestBatchHMACCoversSubOps(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	m := sampleBatch()
+	m.Sign(key)
+	if !m.Verify(key) {
+		t.Fatal("verify failed for signed batch")
+	}
+	// Tampering with any sub-operation invalidates the HMAC.
+	tampered := *m
+	tampered.Batch = append([]BatchOp(nil), m.Batch...)
+	tampered.Batch[1].Value = []byte("evil meta")
+	if tampered.Verify(key) {
+		t.Fatal("verify passed after sub-op tampering")
+	}
+	tampered = *m
+	tampered.Batch = m.Batch[:2] // dropping a sub-op must be detected
+	if tampered.Verify(key) {
+		t.Fatal("verify passed after sub-op removal")
+	}
+	tampered = *m
+	tampered.Batch = append([]BatchOp(nil), m.Batch...)
+	tampered.Batch[0], tampered.Batch[1] = tampered.Batch[1], tampered.Batch[0]
+	if tampered.Verify(key) {
+		t.Fatal("verify passed after sub-op reordering")
+	}
+}
+
+func TestBatchResponsePairing(t *testing.T) {
+	if !TBatch.IsRequest() {
+		t.Error("TBatch should be a request")
+	}
+	if TBatch.Response() != TBatchResp {
+		t.Errorf("TBatch response = %v, want %v", TBatch.Response(), TBatchResp)
+	}
+	if TBatchResp.IsRequest() {
+		t.Error("TBatchResp should not be a request")
+	}
+	if TBatch.String() != "BATCH" || TBatchResp.String() != "BATCH_RESPONSE" {
+		t.Error("batch type strings broken")
+	}
+}

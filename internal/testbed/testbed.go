@@ -47,6 +47,10 @@ type Options struct {
 	PlaintextPayloads bool
 	// DisablePolicies turns enforcement off (baseline of §6.4).
 	DisablePolicies bool
+	// SerialReplication selects the legacy serial-singleton write path
+	// (the replication benchmark's baseline) instead of atomic batches
+	// fanned out to all replicas concurrently.
+	SerialReplication bool
 	// DriveTLS enables TLS on controller↔drive links (default true —
 	// set PlainDriveLinks to disable for microbenchmarks isolating
 	// controller CPU).
@@ -170,6 +174,7 @@ func Start(opts Options) (*Cluster, error) {
 		Replicas:           opts.Replicas,
 		Encrypt:            !opts.PlaintextPayloads,
 		DisablePolicies:    opts.DisablePolicies,
+		SerialReplication:  opts.SerialReplication,
 		TakeOver:           true,
 		PolicyCacheEntries: opts.PolicyCacheEntries,
 		PolicyCacheBytes:   opts.PolicyCacheBytes,

@@ -158,9 +158,37 @@ func TestFIFOFairness(t *testing.T) {
 }
 
 // TestSerializationStress: concurrent increments through exclusive
-// locks must not lose updates.
+// locks must not lose updates. Contention is forced deterministically
+// up front — the old version asserted BlockedHighWater() > 0 after the
+// stress loop, which raced on machines fast enough to drain every
+// worker without overlap.
 func TestSerializationStress(t *testing.T) {
 	m := NewManager()
+
+	// Deterministic contention: hold the counter lock, then prove a
+	// second acquirer blocks until the holder finishes.
+	holder, err := m.Begin(nil, []string{"counter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := m.Begin(nil, []string{"counter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.Free() {
+		t.Fatal("second acquirer ran under a held exclusive lock")
+	}
+	if m.BlockedHighWater() == 0 {
+		t.Fatal("blocked transaction not counted in high-water mark")
+	}
+	m.Finish(holder)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := blocked.Wait(ctx); err != nil {
+		t.Fatalf("blocked acquirer never promoted: %v", err)
+	}
+	m.Finish(blocked)
+
 	var counter int64 // protected by the "counter" VLL lock, not atomics
 	var wg sync.WaitGroup
 	const workers, iters = 16, 50
@@ -189,9 +217,6 @@ func TestSerializationStress(t *testing.T) {
 	}
 	if m.Live() != 0 || m.LockedKeys() != 0 {
 		t.Fatal("leftover lock state")
-	}
-	if m.BlockedHighWater() == 0 {
-		t.Error("stress never blocked anything — test is too weak")
 	}
 }
 
