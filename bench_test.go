@@ -203,3 +203,16 @@ func BenchmarkFigBatchReplication(b *testing.B) {
 		reportPeak(b, t, "Speedup x", "speedup")
 	}
 }
+
+// BenchmarkFigScanWorkloadE regenerates the scan figure (YCSB
+// workload E short ranges over the v2 Scan API).
+func BenchmarkFigScanWorkloadE(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.FigScanWorkloadE(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPeak(b, t, "Pesos Sim kIOP/s", "pesos-scan-kIOPS")
+	}
+}

@@ -11,7 +11,8 @@
 // 5 (disk scaling), 6 (payload size), enc (§6.2 encryption overhead),
 // 7 (replication), 8 (policy cache), 9 (versioned store), 10 (MAL),
 // ablation (security-layer cost), repl (serial vs batched-parallel
-// replication engines).
+// replication engines), scan (YCSB-E short ranges over the v2 Scan
+// API).
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan or all")
 	paper := flag.Bool("paper", false, "use the paper's full experiment scale (minutes per figure)")
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 		{"10", bench.Fig10MAL},
 		{"ablation", bench.Ablation},
 		{"repl", bench.FigBatchReplication},
+		{"scan", bench.FigScanWorkloadE},
 	}
 
 	ran := false

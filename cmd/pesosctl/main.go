@@ -10,12 +10,19 @@
 //	put <key> [<file|->]          store an object (value from file or stdin)
 //	get <key>                     print an object
 //	del <key>                     delete an object
+//	ls [<prefix>]                 list readable objects (v2, paginated)
 //	versions <key>                list stored versions
 //	verify <key> <version>        print integrity evidence
 //	repair <key>                  restore missing/corrupt replicas (§4.5)
 //	policy-put <file|->           compile + store a policy, print its id
 //	policy-get <id>               print a stored policy's canonical text
 //	status                        controller statistics
+//
+// ls walks the listing page by page through the v2 pagination tokens
+// (-limit sets the page size, -pages caps how many pages to fetch,
+// -token resumes from a printed token; -l adds version, size and
+// policy columns). The listing is policy-filtered server-side: it
+// shows only objects this client may read.
 package main
 
 import (
@@ -39,6 +46,10 @@ func main() {
 	caFile := flag.String("cacert", "", "controller CA certificate PEM")
 	policyID := flag.String("policy", "", "policy id to attach on put")
 	version := flag.Int64("version", -1, "explicit version for put/get")
+	limit := flag.Int("limit", 100, "ls: page size")
+	pages := flag.Int("pages", 0, "ls: max pages to fetch (0 = all)")
+	long := flag.Bool("l", false, "ls: long listing (version, size, policy)")
+	token := flag.String("token", "", "ls: resume from a pagination token")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -99,6 +110,32 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("deleted %q\n", args[1])
+	case "ls":
+		opts := client.ListOptions{Limit: *limit, Token: *token}
+		if len(args) > 1 {
+			opts.Prefix = args[1]
+		}
+		for page := 0; ; page++ {
+			p, err := cl.List(ctx, opts)
+			if err != nil {
+				fatal(err)
+			}
+			for _, e := range p.Entries {
+				if *long {
+					fmt.Printf("%-12d %-10d %-16.16s %s\n", e.Version, e.Size, policyLabel(e.PolicyID), string(e.Key))
+				} else {
+					fmt.Println(string(e.Key))
+				}
+			}
+			if p.NextToken == "" {
+				break
+			}
+			if *pages > 0 && page+1 >= *pages {
+				fmt.Fprintf(os.Stderr, "pesosctl: more results; resume with -token %s\n", p.NextToken)
+				break
+			}
+			opts.Token = p.NextToken
+		}
 	case "versions":
 		need(args, 2, "versions <key>")
 		vers, err := cl.ListVersions(ctx, args[1])
@@ -172,6 +209,14 @@ func readInput(args []string, i int) []byte {
 		fatal(err)
 	}
 	return data
+}
+
+// policyLabel abbreviates a policy id for the long listing.
+func policyLabel(id string) string {
+	if id == "" {
+		return "-"
+	}
+	return id
 }
 
 func need(args []string, n int, usage string) {

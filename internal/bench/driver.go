@@ -269,6 +269,13 @@ func (d *Driver) execute(ctx context.Context, cl *client.Client, fp string, op y
 	case ycsb.OpRead:
 		_, _, err := cl.Get(ctx, op.Key, client.GetOptions{})
 		return err
+	case ycsb.OpScan:
+		// Workload E: one v2 List page of ScanLen records starting at
+		// the trace key (YCSB's "scan short ranges"). An empty page is
+		// legitimate — the trace's concurrent inserts may not have
+		// landed yet when a scan targets the keyspace tail.
+		_, err := cl.List(ctx, client.ListOptions{Start: op.Key, Limit: op.ScanLen})
+		return err
 	case ycsb.OpUpdate, ycsb.OpInsert:
 		switch cfg.Mode {
 		case ModeVersioned:

@@ -77,6 +77,41 @@ func TestVersionedReplay(t *testing.T) {
 	}
 }
 
+// TestWorkloadEReplay runs the scan-heavy workload E end to end over
+// the v2 Scan API: 95 % short range scans against a replicated
+// multi-drive cluster, no operation may fail.
+func TestWorkloadEReplay(t *testing.T) {
+	cluster, err := testbed.Start(testbed.Options{Drives: 2, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	d, err := NewDriver(cluster, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, ops, err := ycsb.Generate(ycsb.Config{
+		Workload: ycsb.WorkloadE, RecordCount: 80, OperationCount: 200, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(keys, 256, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := d.Replay(ReplayConfig{Ops: ops, ValueSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Errors != 0 {
+		t.Fatalf("%d errors during workload E replay", m.Errors)
+	}
+	// The controller actually served scan pages.
+	if st := cluster.Controller.Stats().Snapshot(); st.Scans == 0 {
+		t.Fatal("no scans reached the controller")
+	}
+}
+
 func versionedSrcForTest() string {
 	return "read :- sessionKeyIs(U)\n" +
 		"update :- objId(this, O) and currVersion(O, CV) and nextVersion(CV + 1)" +

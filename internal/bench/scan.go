@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/testbed"
+	"repro/internal/ycsb"
+)
+
+// FigScanWorkloadE measures the scan-heavy workload class the v2
+// Scan API opens (YCSB workload E: 95 % short range scans, 5 %
+// inserts). Every scan is a policy-filtered multi-drive merge, so the
+// figure reports both configurations of the §6 methodology — native
+// and Pesos (enclave) — across client counts, plus the average
+// records returned per scan as a sanity column.
+func FigScanWorkloadE(s Scale) (*Table, error) {
+	t := &Table{
+		Name: "Scan", Title: "YCSB-E short-range scans (v2 Scan API, 1 KB records)",
+		XLabel:  "clients",
+		Columns: []string{"Native Sim kIOP/s", "Pesos Sim kIOP/s", "Native mean ms", "Pesos mean ms"},
+	}
+	// Scans touch up to 100 records each; shrink the trace so a full
+	// sweep stays in the quick-scale budget.
+	ops := s.OpCount / 10
+	if ops < 500 {
+		ops = 500
+	}
+	for _, nc := range s.ClientSteps {
+		row := Row{X: fmt.Sprint(nc)}
+		var kiops, lat []float64
+		for _, enclaveOn := range []bool{false, true} {
+			m, err := runWorkloadE(enclaveOn, nc, s.RecordCount, ops)
+			if err != nil {
+				return nil, fmt.Errorf("scan enclave=%v c=%d: %w", enclaveOn, nc, err)
+			}
+			kiops = append(kiops, m.KIOPS)
+			lat = append(lat, float64(m.Mean)/float64(time.Millisecond))
+		}
+		row.Values = append(row.Values, kiops[0], kiops[1], lat[0], lat[1])
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// runWorkloadE loads a keyspace and replays a workload E trace.
+func runWorkloadE(enclaveOn bool, clients, records, opCount int) (*Metrics, error) {
+	cluster, err := testbed.Start(testbed.Options{Drives: 2, Replicas: 2, Enclave: enclaveOn})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	d, err := NewDriver(cluster, clients)
+	if err != nil {
+		return nil, err
+	}
+	keys, trace, err := ycsb.Generate(ycsb.Config{
+		Workload:       ycsb.WorkloadE,
+		RecordCount:    records,
+		OperationCount: opCount,
+		Seed:           7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Load(keys, 1024, nil); err != nil {
+		return nil, err
+	}
+	return d.Replay(ReplayConfig{Ops: trace, ValueSize: 1024})
+}

@@ -15,9 +15,11 @@ const DefaultResultCapacity = 2048
 type Result struct {
 	OpID    uint64
 	Owner   string // client key fingerprint that issued the operation
+	Key     string // object key the operation targeted
 	Done    bool
 	Err     string // empty on success
-	Version int64  // resulting object version for puts
+	Code    string // machine-readable error taxonomy code, "" on success
+	Version int64  // resulting object version for puts and deletes
 }
 
 // ResultBuffer keeps the outcomes of the most recent asynchronous

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 
 	"repro/internal/authority"
 	"repro/internal/core"
@@ -30,14 +31,20 @@ type Client struct {
 	http *http.Client
 }
 
-// APIError is a non-2xx response from the controller.
+// APIError is a non-2xx response from the controller. Code carries
+// the v2 machine-readable taxonomy ("" on v1 endpoints, which only
+// return a message).
 type APIError struct {
 	Status int
+	Code   string
 	Msg    string
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("pesos client: HTTP %d [%s]: %s", e.Status, e.Code, e.Msg)
+	}
 	return fmt.Sprintf("pesos client: HTTP %d: %s", e.Status, e.Msg)
 }
 
@@ -379,21 +386,53 @@ func (c *Client) do(req *http.Request, out any) error {
 }
 
 func decodeError(resp *http.Response) error {
+	// v1 bodies are {"error": "message"}; v2 bodies are
+	// {"error": {"code": ..., "message": ...}}. Sniff the shape.
 	var e struct {
-		Error string `json:"error"`
+		Error json.RawMessage `json:"error"`
 	}
 	json.NewDecoder(resp.Body).Decode(&e)
-	if e.Error == "" {
-		e.Error = resp.Status
+	apiErr := &APIError{Status: resp.StatusCode}
+	if len(e.Error) > 0 {
+		var wire struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		}
+		if e.Error[0] == '{' && json.Unmarshal(e.Error, &wire) == nil {
+			apiErr.Code, apiErr.Msg = wire.Code, wire.Message
+		} else {
+			json.Unmarshal(e.Error, &apiErr.Msg)
+		}
 	}
-	apiErr := &APIError{Status: resp.StatusCode, Msg: e.Error}
+	if apiErr.Msg == "" {
+		apiErr.Msg = resp.Status
+	}
 	if resp.StatusCode == http.StatusForbidden {
-		return fmt.Errorf("%w: %s", ErrDenied, e.Error)
+		return fmt.Errorf("%w: %s", ErrDenied, apiErr.Msg)
 	}
 	return apiErr
 }
 
-// escapeKey preserves '/' in object keys while escaping the rest.
+// escapeKey renders an object key as one URL path segment that
+// round-trips through the server's mux for every key the API accepts:
+// slashes, percent signs, non-UTF-8 bytes, and dot segments ("..",
+// "a/../b") included. url.PathEscape is not enough — it leaves '.'
+// bare, and a key like ".." would be path-cleaned away before routing
+// — so everything outside the unreserved set is percent-encoded.
 func escapeKey(key string) string {
-	return url.PathEscape(key)
+	const upperhex = "0123456789ABCDEF"
+	var b strings.Builder
+	b.Grow(len(key))
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '~' {
+			b.WriteByte(c)
+			continue
+		}
+		b.WriteByte('%')
+		b.WriteByte(upperhex[c>>4])
+		b.WriteByte(upperhex[c&15])
+	}
+	return b.String()
 }

@@ -1,0 +1,291 @@
+// The /v2 client surface: scan/list with pagination, multi-key batch
+// operations, streaming puts and gets of arbitrarily large objects,
+// and the unified OpResult shape for every mutation (async included —
+// it is an option on the call, not a separate method family).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/authority"
+	"repro/internal/core"
+)
+
+// OpError is the machine-readable error of one v2 operation.
+type OpError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements error.
+func (e *OpError) Error() string {
+	return fmt.Sprintf("pesos client: [%s] %s", e.Code, e.Message)
+}
+
+// OpResult is the outcome of one v2 mutation. Version is int64 for
+// puts and deletes alike (v1 delete reported uint64 op ids; v2
+// unifies the version type). Op is set when the operation ran async.
+type OpResult struct {
+	Key     core.JSONKey `json:"key"`
+	Version int64        `json:"version"`
+	Op      uint64       `json:"op,omitempty"`
+	Err     *OpError     `json:"error,omitempty"`
+}
+
+// PutOp stores an object through /v2, returning the unified result.
+// With opts.Async the call returns immediately and the result carries
+// the operation id to poll with ResultOp.
+func (c *Client) PutOp(ctx context.Context, key string, value []byte, opts PutOptions) (OpResult, error) {
+	return c.putV2(ctx, key, bytes.NewReader(value), opts)
+}
+
+// PutStream stores an object of unknown size from r through /v2.
+// Values above the 1 MB inline limit are chunked server-side; there
+// is no client-visible size cap besides the server's stream budget.
+// Streaming is incompatible with Async (the server must see the whole
+// body within the request).
+func (c *Client) PutStream(ctx context.Context, key string, r io.Reader, opts PutOptions) (OpResult, error) {
+	if opts.Async {
+		return OpResult{}, errors.New("pesos client: streaming put cannot be async")
+	}
+	return c.putV2(ctx, key, r, opts)
+}
+
+func (c *Client) putV2(ctx context.Context, key string, body io.Reader, opts PutOptions) (OpResult, error) {
+	q := url.Values{}
+	if opts.PolicyID != "" {
+		q.Set("policy", opts.PolicyID)
+	}
+	if opts.HasVersion {
+		q.Set("version", strconv.FormatInt(opts.Version, 10))
+	}
+	if opts.Async {
+		q.Set("async", "1")
+	}
+	req, err := c.newRequest(ctx, http.MethodPut, "/v2/objects/"+escapeKey(key), q, body, opts.Certs)
+	if err != nil {
+		return OpResult{}, err
+	}
+	return c.doOpResult(req)
+}
+
+// DeleteOp removes an object through /v2; the result's Version is the
+// destroyed head version.
+func (c *Client) DeleteOp(ctx context.Context, key string, async bool, certs ...*authority.Certificate) (OpResult, error) {
+	q := url.Values{}
+	if async {
+		q.Set("async", "1")
+	}
+	req, err := c.newRequest(ctx, http.MethodDelete, "/v2/objects/"+escapeKey(key), q, nil, certs)
+	if err != nil {
+		return OpResult{}, err
+	}
+	return c.doOpResult(req)
+}
+
+// doOpResult executes a request whose body is an OpResult regardless
+// of status: per-op failures land in OpResult.Err (with the taxonomy
+// code), transport failures in the error.
+func (c *Client) doOpResult(req *http.Request) (OpResult, error) {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return OpResult{}, err
+	}
+	defer resp.Body.Close()
+	var out OpResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return OpResult{}, fmt.Errorf("pesos client: HTTP %d with undecodable body: %w", resp.StatusCode, err)
+	}
+	return out, nil
+}
+
+// GetStream opens an object for reading through /v2. The returned
+// reader streams the payload (chunked objects included); the caller
+// must Close it. An integrity failure mid-object surfaces as a read
+// error before EOF — the server aborts the connection rather than
+// completing a corrupt transfer.
+func (c *Client) GetStream(ctx context.Context, key string, opts GetOptions) (io.ReadCloser, *ObjectMeta, error) {
+	q := url.Values{}
+	if opts.HasVersion {
+		q.Set("version", strconv.FormatInt(opts.Version, 10))
+	}
+	req, err := c.newRequest(ctx, http.MethodGet, "/v2/objects/"+escapeKey(key), q, nil, opts.Certs)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, nil, decodeError(resp)
+	}
+	ver, _ := strconv.ParseInt(resp.Header.Get("X-Pesos-Version"), 10, 64)
+	meta := &ObjectMeta{Version: ver, PolicyID: resp.Header.Get("X-Pesos-Policy")}
+	return resp.Body, meta, nil
+}
+
+// ResultOp polls an async v2 operation. ok=false means the result
+// aged out of the window and the request must be re-issued.
+func (c *Client) ResultOp(ctx context.Context, opID uint64) (res OpResult, done, ok bool, err error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v2/results/"+strconv.FormatUint(opID, 10), nil, nil, nil)
+	if err != nil {
+		return OpResult{}, false, false, err
+	}
+	var out struct {
+		Done   bool     `json:"done"`
+		Result OpResult `json:"result"`
+	}
+	err = c.do(req, &out)
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+		return OpResult{}, false, false, nil
+	}
+	if err != nil {
+		return OpResult{}, false, false, err
+	}
+	return out.Result, out.Done, true, nil
+}
+
+// ListOptions parameterizes one page of a listing.
+type ListOptions struct {
+	// Prefix restricts the listing ("" lists everything readable).
+	Prefix string
+	// Start begins the listing at the first key >= Start.
+	Start string
+	// Limit caps entries per page (0 = server default).
+	Limit int
+	// Token resumes a listing from a previous page's NextToken.
+	Token string
+	Certs []*authority.Certificate
+}
+
+// ListEntry is one listed object.
+type ListEntry struct {
+	Key      core.JSONKey `json:"key"`
+	Version  int64        `json:"version"`
+	Size     int64        `json:"size"`
+	PolicyID string       `json:"policy"`
+}
+
+// ListPage is one page of a listing; NextToken is empty once the
+// listing is exhausted.
+type ListPage struct {
+	Entries   []ListEntry `json:"entries"`
+	NextToken string      `json:"nextToken"`
+}
+
+// List fetches one page of the policy-filtered object listing.
+func (c *Client) List(ctx context.Context, opts ListOptions) (*ListPage, error) {
+	q := url.Values{}
+	if opts.Prefix != "" {
+		q.Set("prefix", opts.Prefix)
+	}
+	if opts.Start != "" {
+		q.Set("start", opts.Start)
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.Token != "" {
+		q.Set("token", opts.Token)
+	}
+	req, err := c.newRequest(ctx, http.MethodGet, "/v2/objects", q, nil, opts.Certs)
+	if err != nil {
+		return nil, err
+	}
+	var out ListPage
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ListAll drains a listing from the current position, following
+// pagination tokens until exhaustion.
+func (c *Client) ListAll(ctx context.Context, opts ListOptions) ([]ListEntry, error) {
+	var all []ListEntry
+	for {
+		page, err := c.List(ctx, opts)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, page.Entries...)
+		if page.NextToken == "" {
+			return all, nil
+		}
+		opts.Token = page.NextToken
+	}
+}
+
+// BatchGetResult is one read outcome of a batch get.
+type BatchGetResult struct {
+	Key      core.JSONKey `json:"key"`
+	Value    []byte       `json:"value"`
+	Version  int64        `json:"version"`
+	PolicyID string       `json:"policy"`
+	Err      *OpError     `json:"error,omitempty"`
+}
+
+// BatchGet reads many objects in one request, with per-op results in
+// request order.
+func (c *Client) BatchGet(ctx context.Context, keys []string, certs ...*authority.Certificate) ([]BatchGetResult, error) {
+	wireKeys := make([]core.JSONKey, len(keys))
+	for i, k := range keys {
+		wireKeys[i] = core.JSONKey(k)
+	}
+	body, err := json.Marshal(map[string]any{"keys": wireKeys})
+	if err != nil {
+		return nil, err
+	}
+	req, err := c.newRequest(ctx, http.MethodPost, "/v2/batch/get", nil, bytes.NewReader(body), certs)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Results []BatchGetResult `json:"results"`
+	}
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// BatchPutOp is one write of a batch put.
+type BatchPutOp struct {
+	Key        core.JSONKey `json:"key"`
+	Value      []byte       `json:"value"`
+	Version    int64        `json:"version,omitempty"`
+	HasVersion bool         `json:"hasVersion,omitempty"`
+	PolicyID   string       `json:"policy,omitempty"`
+}
+
+// BatchPut writes many objects in one request. Each op succeeds or
+// fails independently (version rules, policy checks); the surviving
+// writes commit through one atomic batch stream per drive.
+func (c *Client) BatchPut(ctx context.Context, ops []BatchPutOp, certs ...*authority.Certificate) ([]OpResult, error) {
+	body, err := json.Marshal(map[string]any{"ops": ops})
+	if err != nil {
+		return nil, err
+	}
+	req, err := c.newRequest(ctx, http.MethodPost, "/v2/batch/put", nil, bytes.NewReader(body), certs)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Results []OpResult `json:"results"`
+	}
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}

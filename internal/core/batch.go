@@ -1,0 +1,189 @@
+// Multi-key operations of the v2 API. BatchPut rides the atomic batch
+// replication engine: the whole request's surviving writes are grouped
+// into one batch stream per placement drive and fanned out to all
+// drives concurrently (commitWrites), so a request touching N keys
+// pays max-of-replica latency instead of N sequential round trips.
+// Results are per-operation: one OpResult per submitted op, in order.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/authority"
+	"repro/internal/store"
+)
+
+// MaxBatchRequestOps caps the operations of one v2 batch request.
+const MaxBatchRequestOps = 256
+
+// BatchPutOp is one write of a v2 batch put. Keys ride as JSONKey so
+// binary keys survive the JSON request body.
+type BatchPutOp struct {
+	Key   JSONKey `json:"key"`
+	Value []byte  `json:"value"`
+	// Version, when HasVersion, is the explicit next version (same
+	// semantics as PutOptions).
+	Version    int64 `json:"version,omitempty"`
+	HasVersion bool  `json:"hasVersion,omitempty"`
+	// PolicyID attaches (or changes to) a stored policy.
+	PolicyID string `json:"policy,omitempty"`
+}
+
+// BatchGetResult is one read outcome of a v2 batch get.
+type BatchGetResult struct {
+	Key      JSONKey    `json:"key"`
+	Value    []byte     `json:"value,omitempty"`
+	Version  int64      `json:"version"`
+	PolicyID string     `json:"policy,omitempty"`
+	Err      *WireError `json:"error,omitempty"`
+}
+
+// BatchGet reads many objects, each under its own policy check, with
+// per-op results in request order. Reads run concurrently (they share
+// the caches and the parallel replica failover of point reads).
+func (s *Session) BatchGet(ctx context.Context, keys []string, certs []*authority.Certificate) ([]BatchGetResult, error) {
+	s.touch()
+	if len(keys) > MaxBatchRequestOps {
+		return nil, fmt.Errorf("%w: batch of %d exceeds %d ops", ErrInvalidArgument, len(keys), MaxBatchRequestOps)
+	}
+	results := make([]BatchGetResult, len(keys))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, batchParallelism(len(keys)))
+	for i, key := range keys {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, key string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i].Key = JSONKey(key)
+			if err := validBatchKey(key); err != nil {
+				results[i].Err = wireError(err)
+				return
+			}
+			val, meta, err := s.ctl.getObject(ctx, s.clientKey, key, GetOptions{Certs: certs})
+			if err != nil {
+				results[i].Err = wireError(err)
+				return
+			}
+			results[i].Value = val
+			results[i].Version = meta.Version
+			results[i].PolicyID = meta.PolicyID
+		}(i, key)
+	}
+	wg.Wait()
+	s.ctl.stats.add(func(st *Stats) { st.BatchOps += uint64(len(keys)) })
+	return results, nil
+}
+
+// BatchPut writes many objects with per-op results in request order.
+// Each op is planned independently — version rules and policy checks
+// that fail mark only that op — and the surviving writes commit
+// together through the per-drive atomic batch streams. A replication
+// failure during commit fails every surviving op (the commit is one
+// fan-out), never a silent subset.
+func (s *Session) BatchPut(ctx context.Context, ops []BatchPutOp, certs []*authority.Certificate) ([]OpResult, error) {
+	s.touch()
+	return s.ctl.batchPut(ctx, s.clientKey, ops, certs)
+}
+
+func (c *Controller) batchPut(ctx context.Context, sessionKey string, ops []BatchPutOp, certs []*authority.Certificate) ([]OpResult, error) {
+	if len(ops) > MaxBatchRequestOps {
+		return nil, fmt.Errorf("%w: batch of %d exceeds %d ops", ErrInvalidArgument, len(ops), MaxBatchRequestOps)
+	}
+	results := make([]OpResult, len(ops))
+
+	// Take every touched stripe up front (deduplicated, ordered — see
+	// lockStripes) so the whole batch plans and commits under a
+	// consistent view, serialized against single-key writers.
+	keys := make([]string, 0, len(ops))
+	seen := make(map[string]bool, len(ops))
+	for i, op := range ops {
+		key := string(op.Key)
+		results[i].Key = op.Key
+		if err := validBatchKey(key); err != nil {
+			results[i].Err = wireError(err)
+			continue
+		}
+		if seen[key] {
+			// Two writes to one key in a batch have no defined order;
+			// reject the duplicate rather than guessing.
+			results[i].Err = wireError(fmt.Errorf("%w: duplicate key %q in batch", ErrInvalidArgument, key))
+			continue
+		}
+		seen[key] = true
+		keys = append(keys, key)
+	}
+	unlock := c.lockStripes(keys)
+	defer unlock()
+
+	type stagedOp struct {
+		idx int
+		w   *replicaWrite
+		rec *store.Record
+	}
+	var staged []stagedOp
+	for i, op := range ops {
+		if results[i].Err != nil {
+			continue
+		}
+		opts := PutOptions{
+			PolicyID: op.PolicyID, Version: op.Version, HasVersion: op.HasVersion, Certs: certs,
+		}
+		w, rec, err := c.stageWrite(ctx, sessionKey, string(op.Key), op.Value, opts)
+		if err != nil {
+			results[i].Err = wireError(err)
+			continue
+		}
+		results[i].Version = w.next
+		staged = append(staged, stagedOp{idx: i, w: w, rec: rec})
+	}
+
+	if len(staged) > 0 {
+		writes := make([]*replicaWrite, len(staged))
+		for i, sw := range staged {
+			writes[i] = sw.w
+		}
+		if err := c.commitWrites(ctx, writes); err != nil {
+			// One fan-out failed; every surviving op shares its fate
+			// (commitWrites already dropped the affected cache entries).
+			for _, sw := range staged {
+				results[sw.idx].Version = 0
+				results[sw.idx].Err = wireError(err)
+			}
+		} else {
+			for _, sw := range staged {
+				c.publishWrite(sw.rec)
+			}
+			n := uint64(len(staged))
+			c.stats.add(func(st *Stats) { st.Puts += n })
+		}
+	}
+	c.stats.add(func(st *Stats) { st.BatchOps += uint64(len(ops)) })
+	return results, nil
+}
+
+// validBatchKey applies the REST boundary's key rules to batch bodies
+// (which bypass the URL path).
+func validBatchKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("%w: empty object key", ErrInvalidArgument)
+	}
+	if strings.ContainsRune(key, 0) {
+		return fmt.Errorf("%w: object keys must not contain NUL", ErrInvalidArgument)
+	}
+	return nil
+}
+
+// batchParallelism bounds concurrent point reads of a batch get.
+func batchParallelism(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > 16 {
+		return 16
+	}
+	return n
+}

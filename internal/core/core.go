@@ -9,6 +9,7 @@ package core
 
 import (
 	"context"
+	"crypto/cipher"
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/hex"
@@ -109,6 +110,11 @@ type Config struct {
 	// 0 selects 32.
 	AsyncWorkers int
 
+	// MaxStreamBytes caps the total size of one streamed (chunked)
+	// object; 0 selects 256 MB. Inline objects stay bounded by the
+	// Kinetic value limit (store.MaxObjectSize).
+	MaxStreamBytes int64
+
 	// SessionTTL expires idle session contexts; 0 selects 10 minutes.
 	SessionTTL time.Duration
 
@@ -131,6 +137,12 @@ type Controller struct {
 	policyCache *cache.Cache[string, *policy.Program]
 	objectCache *cache.Cache[string, *store.Record]
 	metaCache   *cache.Cache[string, *store.Meta]
+
+	// scanTokens seals v2 pagination tokens (see scan.go).
+	scanTokens cipher.AEAD
+
+	// streamLocks serialize streamed uploads per key (see stream.go).
+	streamLocks keyedLocks
 
 	locks *vll.Manager
 	async *asyncState
@@ -155,6 +167,10 @@ type Stats struct {
 	Puts          uint64
 	Gets          uint64
 	Deletes       uint64
+	Scans         uint64 // v2 scan pages served
+	ScanFiltered  uint64 // scan entries suppressed by policy
+	BatchOps      uint64 // operations carried by v2 batch requests
+	Streams       uint64 // chunked streamed reads + writes
 	PolicyChecks  uint64
 	PolicyDenials uint64
 	TxCommits     uint64
@@ -167,6 +183,8 @@ func (s *Stats) Snapshot() Stats {
 	defer s.mu.Unlock()
 	return Stats{
 		Puts: s.Puts, Gets: s.Gets, Deletes: s.Deletes,
+		Scans: s.Scans, ScanFiltered: s.ScanFiltered,
+		BatchOps: s.BatchOps, Streams: s.Streams,
 		PolicyChecks: s.PolicyChecks, PolicyDenials: s.PolicyDenials,
 		TxCommits: s.TxCommits, TxAborts: s.TxAborts,
 	}
@@ -229,6 +247,9 @@ func New(ctx context.Context, cfg Config) (*Controller, error) {
 
 	var err error
 	if c.codec, err = store.NewCodec(c.secrets.ObjectKey, cfg.Encrypt); err != nil {
+		return nil, err
+	}
+	if err := c.initScanTokens(); err != nil {
 		return nil, err
 	}
 

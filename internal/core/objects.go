@@ -26,6 +26,9 @@ type PutOptions struct {
 	HasVersion bool
 	// Certs are certified external facts attached to the request.
 	Certs []*authority.Certificate
+	// Async defers execution: the unified call shape returns an
+	// operation id to poll instead of blocking (v2; §4.1).
+	Async bool
 }
 
 // GetOptions modifies a get request.
@@ -40,6 +43,8 @@ type GetOptions struct {
 // DeleteOptions modifies a delete request.
 type DeleteOptions struct {
 	Certs []*authority.Certificate
+	// Async defers execution, as in PutOptions.
+	Async bool
 }
 
 // encodeVer renders a version as the Kinetic compare-and-swap token
@@ -50,29 +55,18 @@ func encodeVer(v int64) []byte {
 	return b[:]
 }
 
-// putObject is the write path (§3.2 steps 4–7): policy check, record
-// encoding, write-through to every replica, cache update.
-func (c *Controller) putObject(ctx context.Context, sessionKey, key string, value []byte, opts PutOptions) (int64, error) {
-	if int64(len(value)) > store.MaxObjectSize {
-		return 0, store.ErrTooLarge
-	}
-	c.cost.MoveBytes(len(value)) // request payload crosses into the enclave
-
-	// Serialize mutations of this key: concurrent version-less puts
-	// become last-writer-wins instead of surfacing CAS conflicts, and
-	// record/meta writes of different versions can never interleave.
-	lock := c.writeLock(key)
-	lock.Lock()
-	defer lock.Unlock()
-
-	meta, err := c.loadMeta(ctx, key)
+// planVersion applies the write-path preamble shared by every mutation
+// shape (single put, batch put, streamed put): load current metadata,
+// determine the next version, enforce the dense-monotonic version rule
+// and the object's update policy. Callers hold the key's write lock.
+func (c *Controller) planVersion(ctx context.Context, sessionKey, key string, opts PutOptions) (meta *store.Meta, next int64, err error) {
+	meta, err = c.loadMeta(ctx, key)
 	if err != nil && !errors.Is(err, ErrNotFound) {
-		return 0, err
+		return nil, 0, err
 	}
 
 	// Determine the next version: explicit from the client, else
 	// current+1 (0 for creation).
-	var next int64
 	switch {
 	case opts.HasVersion:
 		next = opts.Version
@@ -84,21 +78,25 @@ func (c *Controller) putObject(ctx context.Context, sessionKey, key string, valu
 	// Base integrity rule, independent of policies: versions are
 	// dense and monotonic.
 	if meta != nil && next != meta.Version+1 {
-		return 0, fmt.Errorf("%w: object at version %d, put requests %d",
+		return nil, 0, fmt.Errorf("%w: object at version %d, put requests %d",
 			ErrBadVersion, meta.Version, next)
 	}
 	if meta == nil && next != 0 {
-		return 0, fmt.Errorf("%w: creation must use version 0, got %d", ErrBadVersion, next)
+		return nil, 0, fmt.Errorf("%w: creation must use version 0, got %d", ErrBadVersion, next)
 	}
 
 	// Policy check: an existing object's policy governs updates,
 	// including policy changes (§3.1).
 	if err := c.checkPolicy(ctx, lang.PermUpdate, sessionKey, key, meta, &next, opts.Certs); err != nil {
-		return 0, err
+		return nil, 0, err
 	}
+	return meta, next, nil
+}
 
-	// Resolve the policy for the new version.
-	newPolicyID := opts.PolicyID
+// resolvePolicy determines the policy (id and hash) the new version
+// carries: the requested one, else the current version's.
+func (c *Controller) resolvePolicy(ctx context.Context, meta *store.Meta, requested string) (string, [32]byte, error) {
+	newPolicyID := requested
 	if newPolicyID == "" && meta != nil {
 		newPolicyID = meta.PolicyID
 	}
@@ -106,9 +104,31 @@ func (c *Controller) putObject(ctx context.Context, sessionKey, key string, valu
 	if newPolicyID != "" {
 		prog, err := c.loadPolicy(ctx, newPolicyID)
 		if err != nil {
-			return 0, err
+			return "", policyHash, err
 		}
 		policyHash = prog.Hash()
+	}
+	return newPolicyID, policyHash, nil
+}
+
+// stageWrite runs the full write plan for one key — version planning,
+// policy checks, record encoding — and returns the staged replica
+// write plus the record to publish on success. Callers hold the key's
+// write lock and are responsible for committing the stage and then
+// publishing it.
+func (c *Controller) stageWrite(ctx context.Context, sessionKey, key string, value []byte, opts PutOptions) (*replicaWrite, *store.Record, error) {
+	if int64(len(value)) > store.MaxObjectSize {
+		return nil, nil, store.ErrTooLarge
+	}
+	c.cost.MoveBytes(len(value)) // request payload crosses into the enclave
+
+	meta, next, err := c.planVersion(ctx, sessionKey, key, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	newPolicyID, policyHash, err := c.resolvePolicy(ctx, meta, opts.PolicyID)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	newMeta := &store.Meta{
@@ -122,24 +142,48 @@ func (c *Controller) putObject(ctx context.Context, sessionKey, key string, valu
 	rec := &store.Record{Meta: *newMeta, Payload: value}
 	blob, err := c.codec.EncodeRecord(rec)
 	if err != nil {
+		return nil, nil, err
+	}
+	w := &replicaWrite{key: key, next: next, blob: blob, metaRec: newMeta.Marshal()}
+	if meta != nil {
+		w.prev = encodeVer(meta.Version)
+	}
+	return w, rec, nil
+}
+
+// publishWrite installs a committed write in the caches. Callers hold
+// the key's write lock.
+func (c *Controller) publishWrite(rec *store.Record) {
+	m := rec.Meta
+	c.metaCache.Put(m.Key, &m)
+	c.objectCache.Put(string(store.ObjectKey(m.Key, m.Version)), rec)
+}
+
+// putObject is the write path (§3.2 steps 4–7): policy check, record
+// encoding, write-through to every replica, cache update.
+func (c *Controller) putObject(ctx context.Context, sessionKey, key string, value []byte, opts PutOptions) (int64, error) {
+	// Serialize mutations of this key: concurrent version-less puts
+	// become last-writer-wins instead of surfacing CAS conflicts, and
+	// record/meta writes of different versions can never interleave.
+	lock := c.writeLock(key)
+	lock.Lock()
+	defer lock.Unlock()
+
+	w, rec, err := c.stageWrite(ctx, sessionKey, key, value, opts)
+	if err != nil {
 		return 0, err
 	}
 
 	// Write-through to every replica (§4.5): one atomic batch per
 	// replica drive carrying the object record and the metadata record
 	// together, all replicas concurrently. See replicate.go.
-	w := &replicaWrite{key: key, next: next, blob: blob, metaRec: newMeta.Marshal()}
-	if meta != nil {
-		w.prev = encodeVer(meta.Version)
-	}
 	if err := c.writeThrough(ctx, w); err != nil {
 		return 0, err
 	}
 
-	c.metaCache.Put(key, newMeta)
-	c.objectCache.Put(string(store.ObjectKey(key, next)), rec)
+	c.publishWrite(rec)
 	c.stats.add(func(s *Stats) { s.Puts++ })
-	return next, nil
+	return w.next, nil
 }
 
 // getObject is the read path (§3.2 step 5: policy first, then data,
@@ -160,24 +204,32 @@ func (c *Controller) getObject(ctx context.Context, sessionKey, key string, opts
 	if err != nil {
 		return nil, nil, err
 	}
+	if rec.Meta.Chunks > 0 {
+		// Streamed objects exceed the buffered message budget; the
+		// caller must use the v2 streaming read path.
+		return nil, nil, fmt.Errorf("%w: %q v%d is %d bytes; use the streaming read API",
+			ErrStreamedObject, key, version, rec.Meta.Size)
+	}
 	c.cost.MoveBytes(len(rec.Payload)) // response payload leaves the enclave
 	c.stats.add(func(s *Stats) { s.Gets++ })
 	m := rec.Meta
 	return rec.Payload, &m, nil
 }
 
-// deleteObject removes an object and its whole version history.
-func (c *Controller) deleteObject(ctx context.Context, sessionKey, key string, opts DeleteOptions) error {
+// deleteObject removes an object and its whole version history
+// (including any streamed chunk records), returning the destroyed
+// head version.
+func (c *Controller) deleteObject(ctx context.Context, sessionKey, key string, opts DeleteOptions) (int64, error) {
 	lock := c.writeLock(key)
 	lock.Lock()
 	defer lock.Unlock()
 
 	meta, err := c.loadMeta(ctx, key)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if err := c.checkPolicy(ctx, lang.PermDelete, sessionKey, key, meta, nil, opts.Certs); err != nil {
-		return err
+		return 0, err
 	}
 	// One batched delete stream per replica, all replicas concurrently;
 	// each stream's first batch leads with the CAS-guarded metadata
@@ -194,11 +246,11 @@ func (c *Controller) deleteObject(ctx context.Context, sessionKey, key string, o
 		for v := int64(0); v <= meta.Version; v++ {
 			c.objectCache.Remove(string(store.ObjectKey(key, v)))
 		}
-		return c.replicationFailed(err, key)
+		return 0, c.replicationFailed(err, key)
 	}
 	c.metaCache.Remove(key)
 	c.stats.add(func(s *Stats) { s.Deletes++ })
-	return nil
+	return meta.Version, nil
 }
 
 // listVersions enumerates an object's stored versions (privileged
@@ -292,6 +344,14 @@ func (c *Controller) loadRecord(ctx context.Context, key string, version int64) 
 		rec, err := c.codec.DecodeRecord(val)
 		if err != nil {
 			return nil, err
+		}
+		// Chunk stubs carry no inline payload; their content hash spans
+		// the streamed chunks and is verified by the streaming reader.
+		if rec.Meta.Chunks > 0 {
+			if len(rec.Payload) != 0 {
+				return nil, store.ErrCorrupt
+			}
+			return rec, nil
 		}
 		if store.HashContent(rec.Payload) != rec.Meta.ContentHash {
 			return nil, store.ErrCorrupt
@@ -496,7 +556,12 @@ func (c *Controller) verifyStored(ctx context.Context, key string, version int64
 	if err != nil {
 		return nil, err
 	}
-	if sha256.Sum256(rec.Payload) != rec.Meta.ContentHash {
+	if rec.Meta.Chunks > 0 {
+		// Streamed version: the hash spans the chunk records.
+		if err := c.verifyChunks(ctx, &rec.Meta); err != nil {
+			return nil, err
+		}
+	} else if sha256.Sum256(rec.Payload) != rec.Meta.ContentHash {
 		return nil, store.ErrCorrupt
 	}
 	m := rec.Meta

@@ -1,0 +1,242 @@
+// Unified Op/Result model of the v2 API: every mutation resolves to a
+// typed OpResult, errors carry a machine-readable code with a fixed
+// HTTP mapping, and asynchronous execution is an option on the same
+// call shape instead of a parallel code path. The v1 REST surface is a
+// thin compatibility shim translating these results back to its legacy
+// JSON shapes.
+package core
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"unicode/utf8"
+
+	"repro/internal/cache"
+	"repro/internal/store"
+)
+
+// JSONKey carries an object key through JSON bodies. Object keys are
+// arbitrary byte strings (NUL excluded), but JSON strings must be
+// valid UTF-8 — Go's encoder silently substitutes U+FFFD otherwise,
+// mangling binary keys. A JSONKey marshals as a plain string when the
+// key is valid UTF-8 and as {"b64": "..."} otherwise; both shapes
+// unmarshal. There is no ambiguity: a key is never a JSON object.
+type JSONKey string
+
+// MarshalJSON implements json.Marshaler.
+func (k JSONKey) MarshalJSON() ([]byte, error) {
+	if utf8.ValidString(string(k)) {
+		return json.Marshal(string(k))
+	}
+	return json.Marshal(map[string]string{"b64": base64.StdEncoding.EncodeToString([]byte(k))})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (k *JSONKey) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '{' {
+		var o struct {
+			B64 string `json:"b64"`
+		}
+		if err := json.Unmarshal(data, &o); err != nil {
+			return err
+		}
+		b, err := base64.StdEncoding.DecodeString(o.B64)
+		if err != nil {
+			return err
+		}
+		*k = JSONKey(b)
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	*k = JSONKey(s)
+	return nil
+}
+
+// ErrorCode is the machine-readable error taxonomy of the v2 API.
+// Codes are stable wire contract; messages are diagnostics.
+type ErrorCode string
+
+// Error codes.
+const (
+	CodeNone            ErrorCode = ""
+	CodeDenied          ErrorCode = "denied"
+	CodeNotFound        ErrorCode = "not_found"
+	CodeNoSuchPolicy    ErrorCode = "no_such_policy"
+	CodeNoSuchTx        ErrorCode = "no_such_tx"
+	CodeVersionConflict ErrorCode = "version_conflict"
+	CodeTxFinished      ErrorCode = "tx_finished"
+	CodeTooLarge        ErrorCode = "too_large"
+	CodeStreamedObject  ErrorCode = "streamed_object"
+	CodeCorrupt         ErrorCode = "corrupt"
+	CodeBadToken        ErrorCode = "bad_token"
+	CodeInvalidArgument ErrorCode = "invalid_argument"
+	CodeUnauthenticated ErrorCode = "unauthenticated"
+	CodeUnavailable     ErrorCode = "unavailable"
+	CodeInternal        ErrorCode = "internal"
+)
+
+// Additional sentinels introduced by the v2 surface.
+var (
+	// ErrBadToken rejects malformed or foreign pagination tokens.
+	ErrBadToken = errors.New("pesos: invalid pagination token")
+	// ErrStreamTooLarge rejects streamed uploads above the configured
+	// cap (Config.MaxStreamBytes).
+	ErrStreamTooLarge = errors.New("pesos: streamed object exceeds size cap")
+	// ErrStreamedObject marks a buffered read of a chunked object:
+	// the object exists but must be read through the streaming API.
+	ErrStreamedObject = errors.New("pesos: object is streamed (chunked)")
+	// ErrInvalidArgument rejects malformed requests (empty keys, bad
+	// parameters) before they reach the store.
+	ErrInvalidArgument = errors.New("pesos: invalid argument")
+)
+
+// CodeFor classifies an error under the taxonomy.
+func CodeFor(err error) ErrorCode {
+	switch {
+	case err == nil:
+		return CodeNone
+	case errors.Is(err, ErrDenied):
+		return CodeDenied
+	case errors.Is(err, ErrNotFound):
+		return CodeNotFound
+	case errors.Is(err, ErrNoSuchPolicy):
+		return CodeNoSuchPolicy
+	case errors.Is(err, ErrNoSuchTx):
+		return CodeNoSuchTx
+	case errors.Is(err, ErrBadVersion):
+		return CodeVersionConflict
+	case errors.Is(err, ErrTxFinished):
+		return CodeTxFinished
+	case errors.Is(err, store.ErrTooLarge), errors.Is(err, ErrStreamTooLarge):
+		return CodeTooLarge
+	case errors.Is(err, ErrStreamedObject):
+		return CodeStreamedObject
+	case errors.Is(err, store.ErrCorrupt):
+		return CodeCorrupt
+	case errors.Is(err, ErrBadToken):
+		return CodeBadToken
+	case errors.Is(err, ErrInvalidArgument):
+		return CodeInvalidArgument
+	case errors.Is(err, ErrClosed):
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
+}
+
+// HTTPStatus maps a code to its HTTP status.
+func (c ErrorCode) HTTPStatus() int {
+	switch c {
+	case CodeNone:
+		return http.StatusOK
+	case CodeDenied:
+		return http.StatusForbidden
+	case CodeNotFound, CodeNoSuchPolicy, CodeNoSuchTx:
+		return http.StatusNotFound
+	case CodeVersionConflict, CodeTxFinished:
+		return http.StatusConflict
+	case CodeTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeStreamedObject:
+		// The read itself is well-formed; the representation just
+		// cannot be produced by the buffered surface.
+		return http.StatusUnprocessableEntity
+	case CodeBadToken, CodeInvalidArgument:
+		return http.StatusBadRequest
+	case CodeUnauthenticated:
+		return http.StatusUnauthorized
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// WireError is the machine-readable error carried in v2 responses and
+// per-operation results.
+type WireError struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// Error implements error.
+func (e *WireError) Error() string { return string(e.Code) + ": " + e.Message }
+
+// wireError converts an error for the wire, nil for nil.
+func wireError(err error) *WireError {
+	if err == nil {
+		return nil
+	}
+	return &WireError{Code: CodeFor(err), Message: err.Error()}
+}
+
+// OpResult is the outcome of one v2 mutation. Version is the version
+// written (put) or destroyed (delete) — int64 everywhere, closing the
+// v1 inconsistency where delete op ids were uint64. For asynchronous
+// execution OpID names the deferred operation and Version is not yet
+// meaningful; poll with Session.Result.
+type OpResult struct {
+	Key     JSONKey    `json:"key"`
+	Version int64      `json:"version"`
+	OpID    uint64     `json:"op,omitempty"`
+	Err     *WireError `json:"error,omitempty"`
+}
+
+// Failed reports whether the operation failed.
+func (r OpResult) Failed() bool { return r.Err != nil }
+
+// PutOp stores or updates one object through the unified v2 call
+// shape. Async defers execution and returns an operation id in the
+// result instead of a version.
+func (s *Session) PutOp(ctx context.Context, key string, value []byte, opts PutOptions) OpResult {
+	s.touch()
+	if opts.Async {
+		return OpResult{Key: JSONKey(key), OpID: s.PutAsync(key, value, opts)}
+	}
+	ver, err := s.ctl.putObject(ctx, s.clientKey, key, value, opts)
+	return OpResult{Key: JSONKey(key), Version: ver, Err: wireError(err)}
+}
+
+// DeleteOp removes one object (and its whole version history) through
+// the unified v2 call shape, reporting the destroyed head version.
+func (s *Session) DeleteOp(ctx context.Context, key string, opts DeleteOptions) OpResult {
+	s.touch()
+	if opts.Async {
+		return OpResult{Key: JSONKey(key), OpID: s.DeleteAsync(key, opts)}
+	}
+	ver, err := s.ctl.deleteObject(ctx, s.clientKey, key, opts)
+	return OpResult{Key: JSONKey(key), Version: ver, Err: wireError(err)}
+}
+
+// ResultOp reports an asynchronous operation's outcome as an OpResult
+// plus a completion flag. ok=false means the id is unknown, aged out
+// of the result window, or owned by a different client — re-issue the
+// request (§4.1).
+func (s *Session) ResultOp(opID uint64) (res OpResult, done, ok bool) {
+	r, ok := s.Result(opID)
+	if !ok {
+		return OpResult{}, false, false
+	}
+	return asyncOpResult(r), r.Done, true
+}
+
+// asyncOpResult converts a buffered async result.
+func asyncOpResult(r cache.Result) OpResult {
+	out := OpResult{Key: JSONKey(r.Key), OpID: r.OpID, Version: r.Version}
+	if r.Done && r.Err != "" {
+		// The original error chain is gone (results are buffered as
+		// strings); the taxonomy code was classified when the result
+		// was stored.
+		out.Err = &WireError{Code: ErrorCode(r.Code), Message: r.Err}
+		if out.Err.Code == CodeNone {
+			out.Err.Code = CodeInternal
+		}
+	}
+	return out
+}

@@ -66,6 +66,13 @@ func (c *Controller) repairObject(ctx context.Context, sessionKey, key string) (
 			}
 			report.Restored++
 		}
+		// Streamed versions: the record is a chunk stub; its chunk
+		// records need the same convergence.
+		if rec, err := c.codec.DecodeRecord(blob); err == nil && rec.Meta.Chunks > 0 {
+			if err := c.repairChunks(ctx, key, v, rec.Meta.Chunks, placement, report); err != nil {
+				return report, err
+			}
+		}
 	}
 	// Restore metadata replicas.
 	for _, di := range placement {
@@ -142,13 +149,64 @@ func (c *Controller) healthyRecord(ctx context.Context, key string, v int64, pla
 }
 
 // recordHealthy verifies a raw drive record decodes and matches its
-// content hash.
+// content hash. Chunk stubs (streamed versions) are healthy when they
+// decode with no inline payload; their content hash spans the chunk
+// records, verified separately.
 func (c *Controller) recordHealthy(blob []byte) bool {
 	rec, err := c.codec.DecodeRecord(blob)
 	if err != nil {
 		return false
 	}
+	if rec.Meta.Chunks > 0 {
+		return len(rec.Payload) == 0
+	}
 	return store.HashContent(rec.Payload) == rec.Meta.ContentHash
+}
+
+// repairChunks re-establishes the replication invariant for the chunk
+// records of one streamed version.
+func (c *Controller) repairChunks(ctx context.Context, key string, v, chunks int64, placement []int, report *RepairReport) error {
+	for idx := int64(0); idx < chunks; idx++ {
+		dk := store.ChunkKey(key, v, idx)
+		wantID := store.ChunkID(key, v, idx)
+		var blob []byte
+		for _, di := range placement {
+			cl := c.drives[di].pick()
+			c.chargeDriveIO(0)
+			cur, _, err := cl.Get(ctx, dk)
+			if err == nil && c.chunkHealthy(cur, wantID) {
+				blob = cur
+				break
+			}
+		}
+		if blob == nil {
+			continue // no surviving copy; reads of this version fail, as before repair
+		}
+		for _, di := range placement {
+			cl := c.drives[di].pick()
+			c.chargeDriveIO(0)
+			cur, _, err := cl.Get(ctx, dk)
+			if err == nil && c.chunkHealthy(cur, wantID) {
+				continue
+			}
+			c.chargeDriveIO(len(blob))
+			if err := cl.Put(ctx, dk, blob, nil, encodeVer(v), true); err != nil {
+				return fmt.Errorf("core: repair %q v%d chunk %d on %s: %w", key, v, idx, c.drives[di].name, err)
+			}
+			report.Restored++
+		}
+	}
+	return nil
+}
+
+// chunkHealthy verifies a raw chunk record against its authenticated
+// chunk id and hash.
+func (c *Controller) chunkHealthy(blob []byte, wantID string) bool {
+	rec, err := c.codec.DecodeRecord(blob)
+	if err != nil {
+		return false
+	}
+	return rec.Meta.Key == wantID && store.HashContent(rec.Payload) == rec.Meta.ContentHash
 }
 
 // Repair re-replicates an object across its placement drives. See

@@ -196,19 +196,25 @@ func (c *Controller) writeThrough(ctx context.Context, w *replicaWrite) error {
 	return c.replicationFailed(err, w.key)
 }
 
-// deleteReplica removes every stored version of key plus its metadata
-// on one drive, batched: the metadata delete leads the first batch so
-// its compare-and-swap guard rejects the whole destruction if a
+// deleteReplica removes every stored version of key — object records
+// and streamed chunk records — plus its metadata on one drive,
+// batched: the metadata delete leads the first batch so its
+// compare-and-swap guard rejects the whole destruction if a
 // concurrent controller bumped the object — before any record is lost
 // (the serial scheme only noticed after the records were gone).
 func (c *Controller) deleteReplica(ctx context.Context, di int, key string, metaVer int64) error {
 	cl := c.drives[di].pick()
 	start, end := store.ObjectKeyRange(key)
-	c.chargeDriveIO(0)
-	keys, err := cl.GetKeyRange(ctx, start, end, true, false, 0)
+	keys, err := c.rangeAll(ctx, cl, start, end)
 	if err != nil {
 		return err
 	}
+	cstart, cend := store.ChunkKeyRange(key)
+	chunkKeys, err := c.rangeAll(ctx, cl, cstart, cend)
+	if err != nil {
+		return err
+	}
+	keys = append(keys, chunkKeys...)
 	ops := make([]wire.BatchOp, 0, len(keys)+1)
 	ops = append(ops, wire.BatchOp{Op: wire.BatchDelete, Key: store.MetaKey(key), DBVersion: encodeVer(metaVer)})
 	for _, k := range keys {
@@ -241,6 +247,30 @@ func (c *Controller) deleteReplica(ctx context.Context, di int, key string, meta
 	}
 	return nil
 }
+
+// rangeAll drains a drive key range past the drive's per-response cap
+// (Kinetic drives return at most 800 keys per GetKeyRange), looping
+// with an exclusive-start continuation until the range is exhausted.
+func (c *Controller) rangeAll(ctx context.Context, cl *kclient.Client, start, end []byte) ([][]byte, error) {
+	var out [][]byte
+	inclusive := true
+	for {
+		c.chargeDriveIO(0)
+		keys, err := cl.GetKeyRange(ctx, start, end, inclusive, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, keys...)
+		if len(keys) < driveRangeCap {
+			return out, nil
+		}
+		start, inclusive = keys[len(keys)-1], false
+	}
+}
+
+// driveRangeCap mirrors the drive-side GetKeyRange response cap; a
+// response this full may have been truncated.
+const driveRangeCap = 800
 
 // lockStripes acquires the per-key mutation stripes for a set of keys
 // in deterministic order (deduplicated, sorted) so multi-key commits

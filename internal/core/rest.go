@@ -52,6 +52,7 @@ func NewREST(ctl *Controller) *RESTServer {
 	s.mux.HandleFunc("POST /v1/tx/{id}/abort", s.handleTxAbort)
 	s.mux.HandleFunc("GET /v1/tx/{id}/results", s.handleTxResults)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.registerV2()
 	return s
 }
 
@@ -113,6 +114,8 @@ func objectKeyFrom(r *http.Request) (string, error) {
 	return key, nil
 }
 
+// handlePut is the v1 shim over the unified put entry point: same
+// controller path as /v2, legacy response shapes.
 func (s *RESTServer) handlePut(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.session(r)
 	if err != nil {
@@ -129,16 +132,15 @@ func (s *RESTServer) handlePut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, store.MaxObjectSize+1))
+	body, err := readLimit(r.Body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, statusFor(err), err)
 		return
 	}
-	if int64(len(body)) > store.MaxObjectSize {
-		httpError(w, http.StatusRequestEntityTooLarge, store.ErrTooLarge)
-		return
+	opts := PutOptions{
+		PolicyID: r.URL.Query().Get("policy"), Certs: certs,
+		Async: r.URL.Query().Get("async") != "",
 	}
-	opts := PutOptions{PolicyID: r.URL.Query().Get("policy"), Certs: certs}
 	if v := r.URL.Query().Get("version"); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
@@ -147,19 +149,19 @@ func (s *RESTServer) handlePut(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Version, opts.HasVersion = n, true
 	}
-	if r.URL.Query().Get("async") != "" {
-		opID := sess.PutAsync(key, body, opts)
-		writeJSON(w, http.StatusOK, map[string]any{"op": opID})
-		return
+	res := sess.PutOp(r.Context(), key, body, opts)
+	switch {
+	case res.Err != nil:
+		httpError(w, res.Err.Code.HTTPStatus(), errors.New(res.Err.Message))
+	case opts.Async:
+		writeJSON(w, http.StatusOK, map[string]any{"op": res.OpID})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"version": res.Version})
 	}
-	ver, err := sess.Put(r.Context(), key, body, opts)
-	if err != nil {
-		httpError(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"version": ver})
 }
 
+// handleGet is the v1 shim over the streaming read entry point, so v1
+// clients transparently read chunked objects too.
 func (s *RESTServer) handleGet(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.session(r)
 	if err != nil {
@@ -185,7 +187,7 @@ func (s *RESTServer) handleGet(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Version, opts.HasVersion = n, true
 	}
-	val, meta, err := sess.Get(r.Context(), key, opts)
+	meta, send, err := sess.GetStream(r.Context(), key, opts)
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
@@ -193,10 +195,14 @@ func (s *RESTServer) handleGet(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Pesos-Version", strconv.FormatInt(meta.Version, 10))
 	w.Header().Set("X-Pesos-Policy", meta.PolicyID)
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(meta.Size, 10))
 	w.WriteHeader(http.StatusOK)
-	w.Write(val)
+	if err := send(w); err != nil {
+		panic(http.ErrAbortHandler) // integrity failure mid-stream
+	}
 }
 
+// handleDelete is the v1 shim over the unified delete entry point.
 func (s *RESTServer) handleDelete(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.session(r)
 	if err != nil {
@@ -213,16 +219,16 @@ func (s *RESTServer) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if r.URL.Query().Get("async") != "" {
-		opID := sess.DeleteAsync(key, DeleteOptions{Certs: certs})
-		writeJSON(w, http.StatusOK, map[string]any{"op": opID})
-		return
+	opts := DeleteOptions{Certs: certs, Async: r.URL.Query().Get("async") != ""}
+	res := sess.DeleteOp(r.Context(), key, opts)
+	switch {
+	case res.Err != nil:
+		httpError(w, res.Err.Code.HTTPStatus(), errors.New(res.Err.Message))
+	case opts.Async:
+		writeJSON(w, http.StatusOK, map[string]any{"op": res.OpID})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": true})
 	}
-	if err := sess.Delete(r.Context(), key, DeleteOptions{Certs: certs}); err != nil {
-		httpError(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"deleted": true})
 }
 
 func (s *RESTServer) handleVersions(w http.ResponseWriter, r *http.Request) {
@@ -409,9 +415,9 @@ func (s *RESTServer) handleTxWrite(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("missing key parameter"))
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, store.MaxObjectSize+1))
+	body, err := readLimit(r.Body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, statusFor(err), err)
 		return
 	}
 	if err := sess.AddWrite(id, key, body); err != nil {
@@ -484,6 +490,8 @@ func (s *RESTServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := s.ctl.stats.Snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"puts": st.Puts, "gets": st.Gets, "deletes": st.Deletes,
+		"scans": st.Scans, "scanFiltered": st.ScanFiltered,
+		"batchOps": st.BatchOps, "streams": st.Streams,
 		"policyChecks": st.PolicyChecks, "policyDenials": st.PolicyDenials,
 		"txCommits": st.TxCommits, "txAborts": st.TxAborts,
 		"epcResident": s.ctl.epc.Resident(),
@@ -492,20 +500,22 @@ func (s *RESTServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// statusFor maps controller errors to HTTP status codes.
+// statusFor maps controller errors to HTTP status codes through the
+// v2 error taxonomy, so v1 and v2 can never disagree on a status.
 func statusFor(err error) int {
-	switch {
-	case errors.Is(err, ErrDenied):
-		return http.StatusForbidden
-	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoSuchPolicy), errors.Is(err, ErrNoSuchTx):
-		return http.StatusNotFound
-	case errors.Is(err, ErrBadVersion), errors.Is(err, ErrTxFinished):
-		return http.StatusConflict
-	case errors.Is(err, store.ErrTooLarge):
-		return http.StatusRequestEntityTooLarge
-	default:
-		return http.StatusInternalServerError
+	return CodeFor(err).HTTPStatus()
+}
+
+// readLimit buffers a request body up to the inline value limit.
+func readLimit(body io.Reader) ([]byte, error) {
+	b, err := io.ReadAll(io.LimitReader(body, store.MaxObjectSize+1))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidArgument, err)
 	}
+	if int64(len(b)) > store.MaxObjectSize {
+		return nil, store.ErrTooLarge
+	}
+	return b, nil
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

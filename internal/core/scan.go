@@ -1,0 +1,354 @@
+// Scan engine of the v2 API: prefix/range listing over the object
+// namespace with opaque pagination tokens. GetKeyRange — dead weight
+// above the drive layer until now — fans out across every drive
+// concurrently; the per-drive sorted key streams are merge-
+// deduplicated under the placement map, and every page is policy-
+// filtered server-side so callers never observe keys they cannot
+// read (the OPA lesson: enumeration must be policy-aware at the
+// server, never client-side).
+package core
+
+import (
+	"bytes"
+	"context"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/authority"
+	"repro/internal/policy/lang"
+	"repro/internal/store"
+)
+
+// Scan page size bounds.
+const (
+	DefaultScanLimit = 100
+	MaxScanLimit     = 512
+)
+
+// ScanOptions parameterizes one page of a listing.
+type ScanOptions struct {
+	// Prefix restricts the listing to keys with this prefix ("" lists
+	// everything readable).
+	Prefix string
+	// Start, when set, begins the listing at the first key >= Start
+	// (within the prefix). Ignored when Token resumes a listing.
+	Start string
+	// Limit caps the entries per page (0 selects DefaultScanLimit,
+	// values above MaxScanLimit are clamped).
+	Limit int
+	// Token resumes a listing after a previous page. Tokens are
+	// opaque: the resume position is sealed under an enclave-derived
+	// key, so a token never discloses key material — in particular not
+	// a policy-denied key the engine skipped at a page boundary.
+	Token string
+	// Certs are certified facts for the per-object policy checks.
+	Certs []*authority.Certificate
+}
+
+// ScanEntry is one listed object: its key and current metadata. Keys
+// ride as JSONKey so binary (non-UTF-8) keys survive the JSON body.
+type ScanEntry struct {
+	Key      JSONKey `json:"key"`
+	Version  int64   `json:"version"`
+	Size     int64   `json:"size"`
+	PolicyID string  `json:"policy,omitempty"`
+}
+
+// ScanPage is one page of a listing. NextToken is empty when the
+// listing is known to be exhausted.
+type ScanPage struct {
+	Entries   []ScanEntry `json:"entries"`
+	NextToken string      `json:"nextToken,omitempty"`
+}
+
+// Scan lists readable objects, one page per call.
+func (s *Session) Scan(ctx context.Context, opts ScanOptions) (*ScanPage, error) {
+	s.touch()
+	return s.ctl.scanObjects(ctx, s.clientKey, opts)
+}
+
+// scanObjects serves one page. Per merged key the newest metadata is
+// fetched cache-first (the same loader as point reads, so hot listings
+// ride the key cache) and the object's policy decides visibility.
+func (c *Controller) scanObjects(ctx context.Context, sessionKey string, opts ScanOptions) (*ScanPage, error) {
+	if strings.ContainsRune(opts.Prefix, 0) || strings.ContainsRune(opts.Start, 0) {
+		return nil, fmt.Errorf("%w: scan bounds must not contain NUL", ErrInvalidArgument)
+	}
+	limit := opts.Limit
+	if limit <= 0 {
+		limit = DefaultScanLimit
+	}
+	if limit > MaxScanLimit {
+		limit = MaxScanLimit
+	}
+	lower, inclusive := opts.Prefix, true
+	if opts.Start > lower {
+		lower = opts.Start
+	}
+	if opts.Token != "" {
+		resume, err := c.unsealScanToken(opts.Token, opts.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		if resume >= lower {
+			lower, inclusive = resume, false
+		}
+	}
+	_, rangeEnd := store.MetaKeyRange(opts.Prefix)
+
+	page := &ScanPage{Entries: []ScanEntry{}}
+	cursor := store.MetaKey(lower)
+	var filtered uint64
+	defer func() {
+		c.stats.add(func(st *Stats) { st.Scans++; st.ScanFiltered += filtered })
+	}()
+	for {
+		merged, advance, exhausted, err := c.scanRound(ctx, cursor, inclusive, rangeEnd, limit+1)
+		if err != nil {
+			return nil, err
+		}
+		if len(merged) == 0 && exhausted {
+			return page, nil
+		}
+		// Warm the key cache for the whole candidate batch in parallel
+		// (bounded), so the serial filter loop below pays cache hits
+		// instead of one replica round trip per key.
+		c.prefetchMetas(ctx, merged)
+		for _, key := range merged {
+			// The drive range's inclusive end can admit the first key
+			// past the prefix; drop boundary noise here.
+			if !strings.HasPrefix(key, opts.Prefix) {
+				continue
+			}
+			meta, err := c.loadMeta(ctx, key)
+			if errors.Is(err, ErrNotFound) {
+				continue // deleted since the drives reported it
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := c.checkPolicy(ctx, lang.PermRead, sessionKey, key, meta, nil, opts.Certs); err != nil {
+				if errors.Is(err, ErrDenied) {
+					filtered++
+					continue
+				}
+				return nil, err
+			}
+			page.Entries = append(page.Entries, ScanEntry{
+				Key: JSONKey(key), Version: meta.Version, Size: meta.Size, PolicyID: meta.PolicyID,
+			})
+			if len(page.Entries) == limit {
+				// More candidates may remain (in this round or on the
+				// drives): hand back a resume token positioned on the
+				// last *returned* key. Denied keys past it are
+				// re-examined — and re-suppressed — next page, so no
+				// page boundary ever leaks one.
+				page.NextToken = c.sealScanToken(opts.Prefix, key)
+				return page, nil
+			}
+		}
+		if exhausted {
+			return page, nil
+		}
+		// Resume past the completeness horizon: every key at or below
+		// it has been merged and examined this round (even ones the
+		// placement filter dropped, which is what keeps the cursor
+		// advancing over stale artifacts).
+		cursor, inclusive = advance, false
+	}
+}
+
+// scanRound asks every drive for its next batch of metadata keys in
+// [cursor, rangeEnd] and merges them. Because each drive truncates its
+// response independently, merged keys are only trustworthy up to the
+// smallest last-key among truncated drives (the completeness horizon);
+// keys beyond it are dropped and re-fetched next round. advance is the
+// horizon — the drive key up to which this round is complete — for the
+// caller's cursor. Up to Replicas-1 drive failures are tolerated:
+// every object then still has a surviving replica reporting it.
+func (c *Controller) scanRound(ctx context.Context, cursor []byte, inclusive bool, rangeEnd []byte, want int) (keys []string, advance []byte, exhausted bool, err error) {
+	fetch := want
+	if fetch > driveRangeCap {
+		fetch = driveRangeCap
+	}
+	type driveKeys struct {
+		di        int
+		keys      [][]byte
+		truncated bool
+		err       error
+	}
+	results := make([]driveKeys, len(c.drives))
+	err = c.fanout(allDrives(len(c.drives)), func(di int) error {
+		cl := c.drives[di].pick()
+		c.chargeDriveIO(0)
+		ks, err := cl.GetKeyRange(ctx, cursor, rangeEnd, inclusive, false, fetch)
+		results[di] = driveKeys{di: di, keys: ks, truncated: len(ks) >= fetch, err: err}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, false, err
+	}
+
+	failures := 0
+	var lastErr error
+	var horizon []byte // smallest last-key among truncated drives
+	// The placement-sanity filter uses drive bitmasks; past 64 drives
+	// it is skipped (1<<65 would silently drop live keys) — dedup and
+	// the metadata load still keep the listing correct.
+	maskable := len(c.drives) <= 64
+	reporters := make(map[string]uint64)
+	for _, r := range results {
+		if r.err != nil {
+			failures++
+			lastErr = r.err
+			continue
+		}
+		if r.truncated {
+			last := r.keys[len(r.keys)-1]
+			if horizon == nil || bytes.Compare(last, horizon) < 0 {
+				horizon = last
+			}
+		}
+		for _, dk := range r.keys {
+			if len(dk) < 2 {
+				continue
+			}
+			if maskable {
+				reporters[string(dk)] |= 1 << uint(r.di)
+			} else {
+				reporters[string(dk)] = 1
+			}
+		}
+	}
+	if failures > 0 && failures >= c.cfg.Replicas {
+		return nil, nil, false, fmt.Errorf("core: scan cannot guarantee coverage, %d drives failed: %w", failures, lastErr)
+	}
+	for dk, mask := range reporters {
+		if horizon != nil && bytes.Compare([]byte(dk), horizon) > 0 {
+			delete(reporters, dk) // beyond the completeness horizon
+			continue
+		}
+		key := dk[2:] // strip the metadata namespace prefix
+		// Placement sanity: a key reported only by drives outside its
+		// placement is a stale artifact (e.g. of a drive-set change),
+		// not a live object.
+		if maskable && mask&placementMask(key, len(c.drives), c.cfg.Replicas) == 0 {
+			delete(reporters, dk)
+		}
+	}
+	keys = make([]string, 0, len(reporters))
+	for dk := range reporters {
+		keys = append(keys, dk[2:])
+	}
+	sort.Strings(keys)
+	return keys, horizon, horizon == nil, nil
+}
+
+// prefetchMetas loads candidate keys' metadata concurrently (bounded),
+// errors ignored — the caller's serial loop re-loads from cache and
+// handles failures per key.
+func (c *Controller) prefetchMetas(ctx context.Context, keys []string) {
+	if len(keys) < 2 {
+		return
+	}
+	sem := make(chan struct{}, batchParallelism(len(keys)))
+	var wg sync.WaitGroup
+	for _, key := range keys {
+		if _, ok := c.metaCache.Get(key); ok {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(key string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			_, _ = c.loadMeta(ctx, key)
+		}(key)
+	}
+	wg.Wait()
+}
+
+// placementMask is the drive bitmask of a key's placement.
+func placementMask(key string, nDrives, replicas int) uint64 {
+	var m uint64
+	for _, di := range store.Placement(key, nDrives, replicas) {
+		m |= 1 << uint(di)
+	}
+	return m
+}
+
+// allDrives enumerates every drive index (scans must consult all
+// drives: placement spreads keys across the whole set).
+func allDrives(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Pagination tokens. A token is the resume key plus the listing's
+// prefix, sealed with AES-GCM under a key derived from the attested
+// object key. Sealing keeps tokens opaque (no key material leaks, not
+// even of policy-denied keys the page skipped) and self-
+// authenticating (a tampered token fails open, ErrBadToken). Tokens
+// carry a position, not a snapshot: listings resumed under concurrent
+// writes stay valid and serve the keys now present past the position.
+
+const scanTokenInfo = "pesos-scan-token-v1"
+
+// initScanTokens derives the token sealing key; called at bootstrap.
+func (c *Controller) initScanTokens() error {
+	mac := hmac.New(sha256.New, c.secrets.ObjectKey[:])
+	mac.Write([]byte(scanTokenInfo))
+	block, err := aes.NewCipher(mac.Sum(nil))
+	if err != nil {
+		return err
+	}
+	c.scanTokens, err = cipher.NewGCM(block)
+	return err
+}
+
+// sealScanToken builds the opaque resume token for a position.
+func (c *Controller) sealScanToken(prefix, resume string) string {
+	plain := make([]byte, 0, len(prefix)+len(resume)+1)
+	plain = append(plain, prefix...)
+	plain = append(plain, 0) // keys and prefixes never contain NUL
+	plain = append(plain, resume...)
+	nonce := make([]byte, c.scanTokens.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		// Entropy failure: returning no token truncates pagination
+		// instead of minting a forgeable one.
+		return ""
+	}
+	sealed := c.scanTokens.Seal(nonce, nonce, plain, nil)
+	return base64.RawURLEncoding.EncodeToString(sealed)
+}
+
+// unsealScanToken authenticates a token and returns its resume key.
+// The token must belong to a listing with the same prefix.
+func (c *Controller) unsealScanToken(token, prefix string) (string, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil || len(raw) < c.scanTokens.NonceSize() {
+		return "", ErrBadToken
+	}
+	ns := c.scanTokens.NonceSize()
+	plain, err := c.scanTokens.Open(nil, raw[:ns], raw[ns:], nil)
+	if err != nil {
+		return "", ErrBadToken
+	}
+	p, resume, ok := strings.Cut(string(plain), "\x00")
+	if !ok || p != prefix {
+		return "", fmt.Errorf("%w: token belongs to a different listing", ErrBadToken)
+	}
+	return resume, nil
+}

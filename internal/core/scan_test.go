@@ -1,0 +1,266 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// collectPages drains a listing with the given page size, asserting
+// per-page invariants, and returns every entry in order.
+func collectPages(t *testing.T, s *Session, opts ScanOptions) []ScanEntry {
+	t.Helper()
+	ctx := context.Background()
+	var all []ScanEntry
+	for pages := 0; ; pages++ {
+		if pages > 1000 {
+			t.Fatal("scan does not terminate")
+		}
+		page, err := s.Scan(ctx, opts)
+		if err != nil {
+			t.Fatalf("scan page %d: %v", pages, err)
+		}
+		if opts.Limit > 0 && len(page.Entries) > opts.Limit {
+			t.Fatalf("page %d has %d entries, limit %d", pages, len(page.Entries), opts.Limit)
+		}
+		all = append(all, page.Entries...)
+		if page.NextToken == "" {
+			return all
+		}
+		opts.Token = page.NextToken
+	}
+}
+
+func TestScanMergedReplicasExactlyOnceNewestVersion(t *testing.T) {
+	h := newHarness(t, 3, func(c *Config) { c.Replicas = 2 })
+	s := h.ctl.Session("alice")
+	ctx := context.Background()
+
+	const n = 25
+	want := make(map[string]int64)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("obj/%03d", i)
+		if _, err := s.Put(ctx, key, []byte("v0"), PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = 0
+		// Give every third key extra versions: the scan must report the
+		// newest, exactly once, despite two replicas listing it.
+		for v := int64(1); v <= int64(i%3); v++ {
+			if _, err := s.Put(ctx, key, []byte("v"), PutOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			want[key] = v
+		}
+	}
+	// Drop the meta cache so the scan's metadata loads hit the drives.
+	h.ctl.metaCache.Clear()
+
+	entries := collectPages(t, s, ScanOptions{Prefix: "obj/", Limit: 7})
+	if len(entries) != n {
+		t.Fatalf("scan returned %d entries, want %d", len(entries), n)
+	}
+	seen := make(map[string]bool)
+	prev := ""
+	for _, e := range entries {
+		k := string(e.Key)
+		if seen[k] {
+			t.Errorf("key %q returned more than once", k)
+		}
+		seen[k] = true
+		if k <= prev {
+			t.Errorf("entries out of order: %q after %q", k, prev)
+		}
+		prev = k
+		if want[k] != e.Version {
+			t.Errorf("key %q at version %d, want newest %d", k, e.Version, want[k])
+		}
+	}
+}
+
+func TestScanPolicyFilterNeverLeaksAcrossPages(t *testing.T) {
+	h := newHarness(t, 2, func(c *Config) { c.Replicas = 2 })
+	owner := h.ctl.Session("aa")
+	other := h.ctl.Session("bb")
+	ctx := context.Background()
+
+	sealed, err := h.ctl.PutPolicy(ctx, "read :- sessionKeyIs(k'aa')\nupdate :- sessionKeyIs(k'aa')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	denied := make(map[string]bool)
+	const n = 30
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("doc/%03d", i)
+		opts := PutOptions{}
+		if i%3 == 0 { // every third key is unreadable for bob
+			opts.PolicyID = sealed
+			denied[key] = true
+		}
+		if _, err := owner.Put(ctx, key, []byte("x"), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A tiny page size forces page boundaries to land on and around
+	// denied keys; none may leak on any page.
+	entries := collectPages(t, other, ScanOptions{Prefix: "doc/", Limit: 2})
+	if wantVisible := n - len(denied); len(entries) != wantVisible {
+		t.Fatalf("bob sees %d entries, want %d", len(entries), wantVisible)
+	}
+	for _, e := range entries {
+		if denied[string(e.Key)] {
+			t.Errorf("policy-denied key %q leaked to bob", e.Key)
+		}
+	}
+	// The owner still sees everything.
+	if entries := collectPages(t, owner, ScanOptions{Prefix: "doc/", Limit: 4}); len(entries) != n {
+		t.Fatalf("alice sees %d entries, want %d", len(entries), n)
+	}
+	st := h.ctl.stats.Snapshot()
+	if st.ScanFiltered == 0 {
+		t.Error("ScanFiltered counter not incremented")
+	}
+}
+
+func TestScanTokensValidUnderConcurrentWrites(t *testing.T) {
+	h := newHarness(t, 2, func(c *Config) { c.Replicas = 2 })
+	s := h.ctl.Session("w")
+	ctx := context.Background()
+
+	for i := 0; i < 10; i++ {
+		if _, err := s.Put(ctx, fmt.Sprintf("k/%02d", i), []byte("v"), PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page1, err := s.Scan(ctx, ScanOptions{Prefix: "k/", Limit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page1.Entries) != 4 || page1.NextToken == "" {
+		t.Fatalf("page1: %d entries, token %q", len(page1.Entries), page1.NextToken)
+	}
+
+	// Concurrent mutations between pages: an insert past the cursor, an
+	// insert before it, a delete past it, and an update past it.
+	if _, err := s.Put(ctx, "k/055", []byte("new"), PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(ctx, "k/00a", []byte("new"), PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(ctx, "k/07", DeleteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(ctx, "k/08", []byte("v1"), PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	rest := collectPages(t, s, ScanOptions{Prefix: "k/", Limit: 4, Token: page1.NextToken})
+	got := make(map[string]int64)
+	for _, e := range append(page1.Entries, rest...) {
+		if _, dup := got[string(e.Key)]; dup {
+			t.Errorf("key %q served twice across pages", e.Key)
+		}
+		got[string(e.Key)] = e.Version
+	}
+	// Keys after the resume position reflect the concurrent writes.
+	if _, ok := got["k/055"]; !ok {
+		t.Error("insert past the cursor not visible to the resumed listing")
+	}
+	if _, ok := got["k/07"]; ok {
+		t.Error("deleted key still served by the resumed listing")
+	}
+	if got["k/08"] != 1 {
+		t.Errorf("updated key served at version %d, want 1", got["k/08"])
+	}
+	// All surviving original keys are present.
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k/%02d", i)
+		if i == 7 {
+			continue
+		}
+		if _, ok := got[key]; !ok {
+			t.Errorf("original key %q missing from paginated listing", key)
+		}
+	}
+}
+
+func TestScanPrefixStartAndLimits(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	s := h.ctl.Session("w")
+	ctx := context.Background()
+	for _, k := range []string{"a/1", "a/2", "ab", "b/1", "a"} {
+		if _, err := s.Put(ctx, k, []byte("v"), PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := collectPages(t, s, ScanOptions{Prefix: "a/"})
+	if len(entries) != 2 || entries[0].Key != "a/1" || entries[1].Key != "a/2" {
+		t.Fatalf("prefix a/ returned %+v", entries)
+	}
+	// Prefix "a" also matches "a", "ab" — but never "b/1".
+	if entries := collectPages(t, s, ScanOptions{Prefix: "a"}); len(entries) != 4 {
+		t.Fatalf("prefix a returned %+v", entries)
+	}
+	// Start inside the prefix skips earlier keys ("a" and "a/1" sort
+	// before "a/2"; "ab" after).
+	entries = collectPages(t, s, ScanOptions{Prefix: "a", Start: "a/2"})
+	if len(entries) != 2 || entries[0].Key != "a/2" || entries[1].Key != "ab" {
+		t.Fatalf("start a/2 returned %+v", entries)
+	}
+	// Empty prefix lists everything.
+	if entries := collectPages(t, s, ScanOptions{}); len(entries) != 5 {
+		t.Fatalf("full listing returned %+v", entries)
+	}
+}
+
+func TestScanRejectsBadTokens(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	s := h.ctl.Session("w")
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if _, err := s.Put(ctx, fmt.Sprintf("t/%d", i), []byte("v"), PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Scan(ctx, ScanOptions{Token: "garbage!!"}); !errors.Is(err, ErrBadToken) {
+		t.Errorf("garbage token: %v", err)
+	}
+	page, err := s.Scan(ctx, ScanOptions{Prefix: "t/", Limit: 2})
+	if err != nil || page.NextToken == "" {
+		t.Fatalf("page: %v token %q", err, page.NextToken)
+	}
+	// A token is bound to its listing's prefix.
+	if _, err := s.Scan(ctx, ScanOptions{Prefix: "other/", Token: page.NextToken}); !errors.Is(err, ErrBadToken) {
+		t.Errorf("cross-prefix token: %v", err)
+	}
+	// Tampering breaks authentication.
+	tampered := []byte(page.NextToken)
+	tampered[len(tampered)/2] ^= 0x41
+	if _, err := s.Scan(ctx, ScanOptions{Prefix: "t/", Token: string(tampered)}); !errors.Is(err, ErrBadToken) {
+		t.Errorf("tampered token: %v", err)
+	}
+}
+
+func TestScanSurvivesReplicaFailure(t *testing.T) {
+	h := newHarness(t, 3, func(c *Config) { c.Replicas = 2 })
+	s := h.ctl.Session("w")
+	ctx := context.Background()
+	const n = 12
+	for i := 0; i < n; i++ {
+		if _, err := s.Put(ctx, fmt.Sprintf("f/%02d", i), []byte("v"), PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.ctl.metaCache.Clear()
+	// One dead drive out of three with two replicas per key: every key
+	// still has a live replica, so the listing must stay complete.
+	h.servers[1].Close()
+	h.lns[1].Close()
+	entries := collectPages(t, s, ScanOptions{Prefix: "f/", Limit: 5})
+	if len(entries) != n {
+		t.Fatalf("scan with one dead drive returned %d entries, want %d", len(entries), n)
+	}
+}

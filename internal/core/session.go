@@ -140,10 +140,12 @@ func (s *Session) Get(ctx context.Context, key string, opts GetOptions) ([]byte,
 	return s.ctl.getObject(ctx, s.clientKey, key, opts)
 }
 
-// Delete removes an object and its history.
+// Delete removes an object and its history. The v1-compatible shape
+// drops the destroyed version; DeleteOp reports it.
 func (s *Session) Delete(ctx context.Context, key string, opts DeleteOptions) error {
 	s.touch()
-	return s.ctl.deleteObject(ctx, s.clientKey, key, opts)
+	_, err := s.ctl.deleteObject(ctx, s.clientKey, key, opts)
+	return err
 }
 
 // ListVersions lists the stored versions of an object.
@@ -172,12 +174,14 @@ func (s *Session) PutAsync(key string, value []byte, opts PutOptions) uint64 {
 	s.touch()
 	a := s.ctl.ensureAsync()
 	opID := a.nextOp.Add(1)
-	a.results.Put(cache.Result{OpID: opID, Owner: s.clientKey, Done: false})
+	a.results.Put(cache.Result{OpID: opID, Owner: s.clientKey, Key: key, Done: false})
 	a.queue <- func() {
+		opts := opts
+		opts.Async = false
 		ver, err := s.ctl.putObject(context.Background(), s.clientKey, key, value, opts)
-		res := cache.Result{OpID: opID, Owner: s.clientKey, Done: true, Version: ver}
+		res := cache.Result{OpID: opID, Owner: s.clientKey, Key: key, Done: true, Version: ver}
 		if err != nil {
-			res.Err = err.Error()
+			res.Err, res.Code = err.Error(), string(CodeFor(err))
 		}
 		a.results.Put(res)
 	}
@@ -189,12 +193,14 @@ func (s *Session) DeleteAsync(key string, opts DeleteOptions) uint64 {
 	s.touch()
 	a := s.ctl.ensureAsync()
 	opID := a.nextOp.Add(1)
-	a.results.Put(cache.Result{OpID: opID, Owner: s.clientKey, Done: false})
+	a.results.Put(cache.Result{OpID: opID, Owner: s.clientKey, Key: key, Done: false})
 	a.queue <- func() {
-		err := s.ctl.deleteObject(context.Background(), s.clientKey, key, opts)
-		res := cache.Result{OpID: opID, Owner: s.clientKey, Done: true}
+		opts := opts
+		opts.Async = false
+		ver, err := s.ctl.deleteObject(context.Background(), s.clientKey, key, opts)
+		res := cache.Result{OpID: opID, Owner: s.clientKey, Key: key, Done: true, Version: ver}
 		if err != nil {
-			res.Err = err.Error()
+			res.Err, res.Code = err.Error(), string(CodeFor(err))
 		}
 		a.results.Put(res)
 	}

@@ -37,6 +37,12 @@ type Meta struct {
 	ContentHash [32]byte // SHA-256 of the plaintext payload
 	PolicyID    string   // identifier of the associated policy ("" = none)
 	PolicyHash  [32]byte // hash of the compiled policy program
+	// Chunks is the number of chunk records holding the payload when
+	// the object was written through the v2 streaming path and exceeds
+	// MaxObjectSize. 0 means the payload lives inline in the version's
+	// object record. The field is encoded as an optional trailing
+	// varint, so records written before it existed decode as inline.
+	Chunks int64
 }
 
 // Marshal encodes the metadata.
@@ -47,6 +53,9 @@ func (m *Meta) Marshal() []byte {
 	buf = append(buf, m.ContentHash[:]...)
 	buf = appendLenPrefixed(buf, []byte(m.PolicyID))
 	buf = append(buf, m.PolicyHash[:]...)
+	if m.Chunks > 0 {
+		buf = binary.AppendVarint(buf, m.Chunks)
+	}
 	return buf
 }
 
@@ -83,6 +92,13 @@ func UnmarshalMeta(data []byte) (*Meta, error) {
 		return nil, ErrCorrupt
 	}
 	copy(m.PolicyHash[:], data)
+	data = data[32:]
+	if len(data) > 0 {
+		m.Chunks, n = binary.Varint(data)
+		if n <= 0 || m.Chunks < 0 {
+			return nil, ErrCorrupt
+		}
+	}
 	return &m, nil
 }
 
@@ -186,15 +202,19 @@ func (c *Codec) DecodeRecord(data []byte) (*Record, error) {
 func HashContent(payload []byte) [32]byte { return sha256.Sum256(payload) }
 
 // On-drive key layout. Object names are arbitrary byte strings from
-// clients; the controller namespaces them:
+// clients (NUL excluded at the API boundary); the controller
+// namespaces them:
 //
-//	m\x00<key>                 latest metadata record
-//	o\x00<key>\x00<ver be64>   object record at a version
-//	p\x00<policyID>            compiled policy program
+//	h\x00<key>\x00<ver be64><idx be32>   payload chunk of a streamed version
+//	m\x00<key>                           latest metadata record
+//	o\x00<key>\x00<ver be64>             object record at a version
+//	p\x00<policyID>                      compiled policy program
 //
 // The big-endian version suffix makes GetKeyRange enumerate versions
-// in order, which the versioned-store use case relies on (§5.3).
+// in order, which the versioned-store use case relies on (§5.3); the
+// chunk index suffix does the same for a streamed version's chunks.
 const (
+	nsChunk  = 'h'
 	nsMeta   = 'm'
 	nsObject = 'o'
 	nsPolicy = 'p'
@@ -237,6 +257,51 @@ func VersionFromObjectKey(driveKey []byte) (string, int64, error) {
 	key := string(body[:len(body)-9])
 	ver := binary.BigEndian.Uint64(body[len(body)-8:])
 	return key, int64(ver), nil
+}
+
+// ChunkKey returns the drive key of one payload chunk of a streamed
+// object version.
+func ChunkKey(key string, version int64, idx int64) []byte {
+	out := make([]byte, 0, len(key)+15)
+	out = append(out, nsChunk, sep)
+	out = append(out, key...)
+	out = append(out, sep)
+	var v [8]byte
+	binary.BigEndian.PutUint64(v[:], uint64(version))
+	out = append(out, v[:]...)
+	var i [4]byte
+	binary.BigEndian.PutUint32(i[:], uint32(idx))
+	return append(out, i[:]...)
+}
+
+// ChunkKeyRange returns the [start, end] drive-key range spanning all
+// chunks of all streamed versions of an object.
+func ChunkKeyRange(key string) (start, end []byte) {
+	return ChunkKey(key, 0, 0), ChunkKey(key, int64(^uint64(0)>>1), int64(^uint32(0)))
+}
+
+// ChunkID is the logical name bound into a chunk record's metadata so
+// chunks cannot be transplanted between objects, versions or indexes
+// without detection (the codec authenticates the metadata).
+func ChunkID(key string, version int64, idx int64) string {
+	return fmt.Sprintf("%s\x00%d.%d", key, version, idx)
+}
+
+// MetaKeyRange returns the [start, end] drive-key range spanning the
+// latest-metadata records of every object key with the given prefix.
+// An empty prefix spans the whole metadata namespace.
+func MetaKeyRange(prefix string) (start, end []byte) {
+	start = MetaKey(prefix)
+	// The namespace separator is 0x00 and client keys exclude NUL, so
+	// the exclusive upper bound of the 'm' namespace is the next
+	// namespace byte; for a non-empty prefix it is the prefix with its
+	// last byte's successor (dropping trailing 0xff bytes first).
+	end = append([]byte(nil), start...)
+	for len(end) > 2 && end[len(end)-1] == 0xff {
+		end = end[:len(end)-1]
+	}
+	end[len(end)-1]++
+	return start, end
 }
 
 // PolicyKey returns the drive key storing a compiled policy.

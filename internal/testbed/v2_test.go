@@ -1,0 +1,298 @@
+package testbed
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+)
+
+// hostileKeys are the adversarial object names the REST key encoding
+// must round-trip: path separators, dot segments, percent signs,
+// spaces, and non-UTF-8 bytes.
+var hostileKeys = []string{
+	"plain",
+	"a/b",
+	"a//b",
+	"a/./b",
+	"a/../b",
+	"..",
+	".",
+	"trail/",
+	"/lead",
+	"pct%key",
+	"pct%2Fkey", // literal percent-escape in the key itself
+	"sp ace",
+	"plus+and&amp",
+	"q?uery#frag",
+	"\xff\xfe\x80bin",
+	"mixed/\xf0\x28\x8c\x28/invalid-utf8",
+	"co:lon;semi",
+}
+
+func TestKeyEscapingRoundTripProperty(t *testing.T) {
+	c, err := Start(Options{Drives: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, _, err := c.NewClient("keys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	keys := append([]string(nil), hostileKeys...)
+	// Property part: random byte strings over a hostile alphabet.
+	rnd := rand.New(rand.NewSource(99))
+	alphabet := []byte("ab/.%+ ?#\\\xff\x80&=;:@")
+	for i := 0; i < 40; i++ {
+		n := 1 + rnd.Intn(24)
+		k := make([]byte, n)
+		for j := range k {
+			k[j] = alphabet[rnd.Intn(len(alphabet))]
+		}
+		keys = append(keys, string(k))
+	}
+
+	seen := make(map[string]bool)
+	for _, key := range keys {
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		want := []byte("v1:" + key)
+
+		// v1 round trip.
+		if _, err := cl.Put(ctx, key, want, client.PutOptions{}); err != nil {
+			t.Errorf("v1 put %q: %v", key, err)
+			continue
+		}
+		got, _, err := cl.Get(ctx, key, client.GetOptions{})
+		if err != nil || !bytes.Equal(got, want) {
+			t.Errorf("v1 get %q: %q %v", key, got, err)
+		}
+
+		// v2 round trip (update to version 1).
+		want2 := []byte("v2:" + key)
+		res, err := cl.PutOp(ctx, key, want2, client.PutOptions{})
+		if err != nil || res.Err != nil {
+			t.Errorf("v2 put %q: %v %v", key, err, res.Err)
+			continue
+		}
+		body, _, err := cl.GetStream(ctx, key, client.GetOptions{})
+		if err != nil {
+			t.Errorf("v2 get %q: %v", key, err)
+			continue
+		}
+		got, rerr := io.ReadAll(body)
+		body.Close()
+		if rerr != nil || !bytes.Equal(got, want2) {
+			t.Errorf("v2 get %q: %q %v", key, got, rerr)
+		}
+	}
+
+	// Every key shows up in the listing exactly once, unmangled.
+	entries, err := cl.ListAll(ctx, client.ListOptions{Limit: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed := make(map[string]int)
+	for _, e := range entries {
+		listed[string(e.Key)]++
+	}
+	for key := range seen {
+		if listed[key] != 1 {
+			t.Errorf("key %q listed %d times", key, listed[key])
+		}
+	}
+	if len(listed) != len(seen) {
+		t.Errorf("listing has %d keys, stored %d", len(listed), len(seen))
+	}
+}
+
+func TestV2UnifiedOpResults(t *testing.T) {
+	c, err := Start(Options{Drives: 2, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, _, err := c.NewClient("ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Sync put: version in the result.
+	res, err := cl.PutOp(ctx, "k", []byte("v0"), client.PutOptions{})
+	if err != nil || res.Err != nil || res.Version != 0 || res.Key != "k" {
+		t.Fatalf("put: %+v %v", res, err)
+	}
+	// Version conflict arrives as a typed per-op error, HTTP 409.
+	res, err = cl.PutOp(ctx, "k", []byte("v9"), client.PutOptions{Version: 9, HasVersion: true})
+	if err != nil || res.Err == nil || res.Err.Code != "version_conflict" {
+		t.Fatalf("conflict: %+v %v", res, err)
+	}
+	// Async is an option on the same call, not a separate path.
+	res, err = cl.PutOp(ctx, "k", []byte("v1"), client.PutOptions{Async: true})
+	if err != nil || res.Err != nil || res.Op == 0 {
+		t.Fatalf("async put: %+v %v", res, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, done, ok, err := cl.ResultOp(ctx, res.Op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("async result aged out immediately")
+		}
+		if done {
+			if got.Err != nil || got.Version != 1 || got.Key != "k" {
+				t.Fatalf("async result: %+v", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async put never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Delete reports the destroyed head version as int64 — the same
+	// shape and type as put (the v1 uint64 op-id asymmetry is gone).
+	dres, err := cl.DeleteOp(ctx, "k", false)
+	if err != nil || dres.Err != nil || dres.Version != 1 {
+		t.Fatalf("delete: %+v %v", dres, err)
+	}
+	// Machine-readable taxonomy on plain (non-op) v2 errors too.
+	_, _, err = cl.GetStream(ctx, "k", client.GetOptions{})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "not_found" || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("get after delete: %v", err)
+	}
+}
+
+func TestV2BatchOverREST(t *testing.T) {
+	c, err := Start(Options{Drives: 2, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	alice, aliceID, err := c.NewClient("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, _, err := c.NewClient("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	private, err := alice.PutPolicy(ctx,
+		"read :- sessionKeyIs(k'"+Fingerprint(aliceID)+"')\nupdate :- sessionKeyIs(k'"+Fingerprint(aliceID)+"')")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := alice.BatchPut(ctx, []client.BatchPutOp{
+		{Key: "b/1", Value: []byte("one")},
+		{Key: "b/2", Value: []byte("two"), PolicyID: private},
+		{Key: "b/3", Value: []byte("three")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("batch put op %d: %v", i, r.Err)
+		}
+	}
+
+	got, err := bob.BatchGet(ctx, []string{"b/1", "b/2", "b/3", "b/4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Err != nil || string(got[0].Value) != "one" {
+		t.Errorf("b/1: %+v", got[0])
+	}
+	if got[1].Err == nil || got[1].Err.Code != "denied" || len(got[1].Value) != 0 {
+		t.Errorf("b/2 should be denied for bob: %+v", got[1])
+	}
+	if got[2].Err != nil || string(got[2].Value) != "three" {
+		t.Errorf("b/3: %+v", got[2])
+	}
+	if got[3].Err == nil || got[3].Err.Code != "not_found" {
+		t.Errorf("b/4: %+v", got[3])
+	}
+
+	// Policy-filtered listing over REST: bob never sees b/2.
+	entries, err := bob.ListAll(ctx, client.ListOptions{Prefix: "b/", Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Key != "b/1" || entries[1].Key != "b/3" {
+		t.Errorf("bob's listing: %+v", entries)
+	}
+	if all, _ := alice.ListAll(ctx, client.ListOptions{Prefix: "b/", Limit: 2}); len(all) != 3 {
+		t.Errorf("alice's listing: %+v", all)
+	}
+}
+
+func TestV2StreamingOverREST(t *testing.T) {
+	c, err := Start(Options{Drives: 2, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, _, err := c.NewClient("streamer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// 2.5 MB: beyond the v1 (and Kinetic) 1 MB value limit.
+	payload := make([]byte, 5<<19)
+	rand.New(rand.NewSource(7)).Read(payload)
+
+	res, err := cl.PutStream(ctx, "video/large", bytes.NewReader(payload), client.PutOptions{})
+	if err != nil || res.Err != nil {
+		t.Fatalf("stream put: %+v %v", res, err)
+	}
+	body, meta, err := cl.GetStream(ctx, "video/large", client.GetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer body.Close()
+	got, err := io.ReadAll(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(payload))
+	}
+	if meta.Version != 0 {
+		t.Errorf("meta: %+v", meta)
+	}
+	// The v1 buffered GET of an over-limit object reports 413 rather
+	// than buffering it whole... but the v1 GET shim streams, so it
+	// serves it fine. The buffered TX read path is where the limit
+	// holds; here we just confirm v1 GET still works.
+	v1got, _, err := cl.Get(ctx, "video/large", client.GetOptions{})
+	if err != nil || !bytes.Equal(v1got, payload) {
+		t.Errorf("v1 get of chunked object: %d bytes, %v", len(v1got), err)
+	}
+	// Listing reports the streamed object's true size.
+	entries, err := cl.ListAll(ctx, client.ListOptions{Prefix: "video/"})
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("list: %+v %v", entries, err)
+	}
+	if entries[0].Size != int64(len(payload)) {
+		t.Errorf("listed size %d, want %d", entries[0].Size, len(payload))
+	}
+}

@@ -5,20 +5,28 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 )
 
 // Trace persistence: the paper's workload generator "creates
 // YCSB-based traces and stores them persistently before running the
 // experiment" (§6.1). The format is one operation per line —
-// "READ user000000000042" — so traces diff cleanly and can be
-// inspected or replayed by external tools.
+// "READ user000000000042", or "SCAN user000000000042 57" for range
+// scans carrying their record count — so traces diff cleanly and can
+// be inspected or replayed by external tools.
 
 // WriteTrace streams ops to w in the textual trace format.
 func WriteTrace(w io.Writer, ops []Op) error {
 	bw := bufio.NewWriter(w)
 	for _, op := range ops {
-		if _, err := fmt.Fprintf(bw, "%s %s\n", op.Type, op.Key); err != nil {
+		var err error
+		if op.Type == OpScan {
+			_, err = fmt.Fprintf(bw, "%s %s %d\n", op.Type, op.Key, op.ScanLen)
+		} else {
+			_, err = fmt.Fprintf(bw, "%s %s\n", op.Type, op.Key)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -49,6 +57,17 @@ func ReadTrace(r io.Reader) ([]Op, error) {
 			op.Type = OpUpdate
 		case "INSERT":
 			op.Type = OpInsert
+		case "SCAN":
+			op.Type = OpScan
+			k, count, ok := strings.Cut(strings.TrimSpace(key), " ")
+			if !ok {
+				return nil, fmt.Errorf("ycsb: trace line %d: scan missing length", line)
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(count))
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("ycsb: trace line %d: bad scan length %q", line, count)
+			}
+			key, op.ScanLen = k, n
 		default:
 			return nil, fmt.Errorf("ycsb: trace line %d: unknown op %q", line, typ)
 		}

@@ -60,4 +60,53 @@ func TestTraceErrors(t *testing.T) {
 	if _, err := ReadTrace(strings.NewReader("READ\n")); err == nil {
 		t.Error("missing key accepted")
 	}
+	if _, err := ReadTrace(strings.NewReader("SCAN user1\n")); err == nil {
+		t.Error("scan without length accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader("SCAN user1 zero\n")); err == nil {
+		t.Error("scan with bad length accepted")
+	}
+}
+
+func TestWorkloadETrace(t *testing.T) {
+	_, ops := gen(t, WorkloadE, 500, 4000, 11)
+	scans, inserts := 0, 0
+	for _, op := range ops {
+		switch op.Type {
+		case OpScan:
+			scans++
+			if op.ScanLen < 1 || op.ScanLen > MaxScanLen {
+				t.Fatalf("scan length %d outside [1,%d]", op.ScanLen, MaxScanLen)
+			}
+		case OpInsert:
+			inserts++
+		default:
+			t.Fatalf("workload E produced %v", op.Type)
+		}
+	}
+	// 95/5 scan/insert mix, within generous tolerance.
+	if f := float64(scans) / float64(len(ops)); f < 0.92 || f > 0.98 {
+		t.Errorf("scan fraction %.3f, want ~0.95", f)
+	}
+	if inserts == 0 {
+		t.Error("workload E produced no inserts")
+	}
+
+	// Scan ops round-trip the textual trace format with their length.
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SCAN ") {
+		t.Fatal("trace has no SCAN lines")
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: %+v vs %+v", i, got[i], ops[i])
+		}
+	}
 }

@@ -20,6 +20,7 @@ const (
 	OpRead OpType = iota
 	OpUpdate
 	OpInsert
+	OpScan
 )
 
 // String implements fmt.Stringer.
@@ -31,21 +32,27 @@ func (t OpType) String() string {
 		return "UPDATE"
 	case OpInsert:
 		return "INSERT"
+	case OpScan:
+		return "SCAN"
 	default:
 		return fmt.Sprintf("OpType(%d)", uint8(t))
 	}
 }
 
-// Op is one trace entry.
+// Op is one trace entry. ScanLen is the record count of an OpScan
+// (YCSB: "scan a number of records starting at a given key").
 type Op struct {
-	Type OpType
-	Key  string
+	Type    OpType
+	Key     string
+	ScanLen int
 }
 
 // Workload names a stock YCSB workload.
 type Workload uint8
 
-// Stock workloads (§6.1: "YCSB comes with four stock workloads (A–D)").
+// Stock workloads (§6.1: "YCSB comes with four stock workloads (A–D)";
+// workload E is YCSB's scan-heavy "short ranges" workload, opened up by
+// the v2 Scan API).
 const (
 	// WorkloadA: update heavy, 50/50 read/update, zipfian.
 	WorkloadA Workload = iota
@@ -55,7 +62,14 @@ const (
 	WorkloadC
 	// WorkloadD: read latest, 95/5 read/insert, latest distribution.
 	WorkloadD
+	// WorkloadE: short ranges, 95/5 scan/insert, zipfian start keys,
+	// uniform scan lengths in [1, MaxScanLen].
+	WorkloadE
 )
+
+// MaxScanLen is workload E's maximum records per scan (the YCSB
+// default maxscanlength=100).
+const MaxScanLen = 100
 
 // String implements fmt.Stringer.
 func (w Workload) String() string {
@@ -68,6 +82,8 @@ func (w Workload) String() string {
 		return "C"
 	case WorkloadD:
 		return "D"
+	case WorkloadE:
+		return "E"
 	default:
 		return fmt.Sprintf("Workload(%d)", uint8(w))
 	}
@@ -106,7 +122,7 @@ func Generate(cfg Config) (loadKeys []string, ops []Op, err error) {
 	}
 
 	var readP float64
-	var insert bool
+	var insert, scan bool
 	switch cfg.Workload {
 	case WorkloadA:
 		readP = 0.5
@@ -117,6 +133,10 @@ func Generate(cfg Config) (loadKeys []string, ops []Op, err error) {
 	case WorkloadD:
 		readP = 0.95
 		insert = true
+	case WorkloadE:
+		readP = 0.95 // scan proportion
+		insert = true
+		scan = true
 	default:
 		return nil, nil, fmt.Errorf("ycsb: unknown workload %v", cfg.Workload)
 	}
@@ -137,6 +157,13 @@ func Generate(cfg Config) (loadKeys []string, ops []Op, err error) {
 			ops = append(ops, Op{Type: OpInsert, Key: Key(nextInsert)})
 			chooser.grow()
 			nextInsert++
+		case scan:
+			// Workload E: scan a uniform-length short range starting at
+			// a zipfian-popular key.
+			ops = append(ops, Op{
+				Type: OpScan, Key: Key(chooser.next()),
+				ScanLen: 1 + rnd.Intn(MaxScanLen),
+			})
 		case r < readP:
 			ops = append(ops, Op{Type: OpRead, Key: Key(chooser.next())})
 		default:
