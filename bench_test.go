@@ -216,3 +216,20 @@ func BenchmarkFigScanWorkloadE(b *testing.B) {
 		reportPeak(b, t, "Pesos Sim kIOP/s", "pesos-scan-kIOPS")
 	}
 }
+
+// BenchmarkFigHedgedReads regenerates the hedged-read comparison
+// (all-replica fan-out vs latency-aware primary-first hedging on a
+// cache-hostile read-only workload).
+func BenchmarkFigHedgedReads(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.FigHedgedReads(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx := t.Col("Hedged gets/read")
+		fidx := t.Col("Fanout gets/read")
+		b.ReportMetric(t.Rows[0].Values[idx], "hedged-gets-per-read")
+		b.ReportMetric(t.Rows[0].Values[fidx], "fanout-gets-per-read")
+	}
+}

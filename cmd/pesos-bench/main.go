@@ -12,7 +12,9 @@
 // 7 (replication), 8 (policy cache), 9 (versioned store), 10 (MAL),
 // ablation (security-layer cost), repl (serial vs batched-parallel
 // replication engines), scan (YCSB-E short ranges over the v2 Scan
-// API).
+// API), hedge (fan-out vs hedged cache-miss reads; also emits
+// machine-readable BENCH_read.json with the wire hot-path
+// micro-benchmarks).
 package main
 
 import (
@@ -25,8 +27,9 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan,hedge or all")
 	paper := flag.Bool("paper", false, "use the paper's full experiment scale (minutes per figure)")
+	jsonOut := flag.String("json", "BENCH_read.json", "path for the hedge figure's machine-readable output (empty disables)")
 	flag.Parse()
 
 	scale := bench.Quick()
@@ -51,6 +54,7 @@ func main() {
 		{"ablation", bench.Ablation},
 		{"repl", bench.FigBatchReplication},
 		{"scan", bench.FigScanWorkloadE},
+		{"hedge", bench.FigHedgedReads},
 	}
 
 	ran := false
@@ -66,6 +70,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(t.Format())
+		if f.name == "hedge" && *jsonOut != "" {
+			if err := bench.WriteBenchReadJSON(*jsonOut, t); err != nil {
+				fmt.Fprintf(os.Stderr, "pesos-bench: write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(wrote %s)\n", *jsonOut)
+		}
 		fmt.Printf("(figure %s took %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
 	}
 	if !ran {

@@ -1,0 +1,141 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"sync"
+)
+
+// Flight coalesces concurrent misses on one key into a single fetch
+// (the controller's singleflight layer, §4.2's caches made affordable
+// under thundering-herd reads): the first caller for a key becomes the
+// leader and starts the fetch, every concurrent caller for the same
+// key waits for that fetch's result instead of issuing its own drive
+// round trip. N concurrent misses on a hot key cost one fetch.
+//
+// The fetch runs detached from any single caller's context: once it is
+// in flight its result is useful to every waiter (and to the cache),
+// so one caller hanging up — the leader included — must not poison the
+// flight for the others. Every caller honors its own context: a
+// cancelled caller returns immediately while the fetch completes for
+// the rest.
+// The group is sharded by key hash: publish callbacks run under the
+// shard lock (that is what makes the forget-suppresses-publish guard
+// atomic), so one publish's cache insert only ever blocks misses that
+// hash to the same shard, not the whole key space.
+type Flight[K comparable, V any] struct {
+	seed   maphash.Seed
+	shards [flightShards]flightShard[K, V]
+}
+
+const flightShards = 16
+
+type flightShard[K comparable, V any] struct {
+	mu      sync.Mutex
+	flights map[K]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewFlight creates an empty flight group.
+func NewFlight[K comparable, V any]() *Flight[K, V] {
+	f := &Flight[K, V]{seed: maphash.MakeSeed()}
+	for i := range f.shards {
+		f.shards[i].flights = make(map[K]*flight[V])
+	}
+	return f
+}
+
+// shard returns the shard owning k.
+func (f *Flight[K, V]) shard(k K) *flightShard[K, V] {
+	return &f.shards[maphash.Comparable(f.seed, k)%flightShards]
+}
+
+// Do returns the result of fetch for k, coalescing concurrent calls:
+// the first caller starts fetch in a detached goroutine, every caller
+// (the starter included) waits for its result or their own context,
+// whichever comes first. Joiners report shared=true.
+//
+// publish, when non-nil, installs a successful result in the caller's
+// cache. It runs under the flight lock and only while this flight is
+// still current — a mutation that called Forget in the meantime
+// suppresses it — so a fetch that raced a delete can never resurrect
+// the deleted entry in the cache. (Waiters already in the flight still
+// receive the fetched value: they raced the mutation anyway.)
+func (f *Flight[K, V]) Do(ctx context.Context, k K, fetch func(ctx context.Context) (V, error), publish func(V)) (v V, shared bool, err error) {
+	sh := f.shard(k)
+	sh.mu.Lock()
+	fl, ok := sh.flights[k]
+	if !ok {
+		fl = &flight[V]{done: make(chan struct{})}
+		sh.flights[k] = fl
+		go sh.lead(ctx, k, fl, fetch, publish)
+	}
+	sh.mu.Unlock()
+
+	select {
+	case <-fl.done:
+		return fl.val, ok, fl.err
+	case <-ctx.Done():
+		// Prefer a result that is already in: a caller with an expired
+		// context still gets the answer when no waiting was needed.
+		select {
+		case <-fl.done:
+			return fl.val, ok, fl.err
+		default:
+		}
+		var zero V
+		return zero, ok, ctx.Err()
+	}
+}
+
+// lead runs one flight: execute the fetch detached from the starting
+// caller's cancellation, publish the result if the flight is still
+// current, then release the waiters.
+func (sh *flightShard[K, V]) lead(ctx context.Context, k K, fl *flight[V], fetch func(ctx context.Context) (V, error), publish func(V)) {
+	completed := false
+	defer func() {
+		// A panicking fetch must not hand waiters a zero value with a
+		// nil error; it is converted into an error for every caller
+		// (the goroutine has no caller to propagate the panic to).
+		if r := recover(); r != nil || !completed {
+			fl.err = fmt.Errorf("%w: %v", ErrFlightAbandoned, r)
+		}
+		sh.mu.Lock()
+		current := sh.flights[k] == fl
+		if fl.err == nil && current && publish != nil {
+			publish(fl.val)
+		}
+		if current {
+			delete(sh.flights, k)
+		}
+		sh.mu.Unlock()
+		close(fl.done)
+	}()
+	fl.val, fl.err = fetch(context.WithoutCancel(ctx))
+	completed = true
+}
+
+// Forget detaches any in-flight fetch for k: callers already waiting
+// still receive its result (they raced the invalidating write anyway),
+// but its publish callback is suppressed and subsequent callers start
+// a fresh fetch. Mutation paths call this BEFORE their cache
+// invalidation, so a coalesced fetch started before a write or delete
+// can neither be handed to readers arriving after it nor re-install
+// the invalidated entry in the cache.
+func (f *Flight[K, V]) Forget(k K) {
+	sh := f.shard(k)
+	sh.mu.Lock()
+	delete(sh.flights, k)
+	sh.mu.Unlock()
+}
+
+// ErrFlightAbandoned is delivered to callers whose flight fetch
+// panicked before producing a result.
+var ErrFlightAbandoned = errors.New("cache: flight abandoned by its leader")

@@ -1,0 +1,230 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightCoalesces: N concurrent callers for one key execute the
+// fetch exactly once and all observe its result.
+func TestFlightCoalesces(t *testing.T) {
+	f := NewFlight[string, int]()
+	var fetches, publishes atomic.Int32
+	release := make(chan struct{})
+	const n = 16
+
+	var wg sync.WaitGroup
+	vals := make([]int, n)
+	sharedCount := atomic.Int32{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := f.Do(context.Background(), "k",
+				func(context.Context) (int, error) {
+					fetches.Add(1)
+					<-release
+					return 42, nil
+				},
+				func(int) { publishes.Add(1) })
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			vals[i] = v
+			if shared {
+				sharedCount.Add(1)
+			}
+		}(i)
+	}
+	// Let the callers pile onto the flight, then release the fetch.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := fetches.Load(); got != 1 {
+		t.Fatalf("%d fetches for %d concurrent callers, want 1", got, n)
+	}
+	if got := publishes.Load(); got != 1 {
+		t.Fatalf("%d publishes, want 1", got)
+	}
+	for i, v := range vals {
+		if v != 42 {
+			t.Errorf("caller %d got %d", i, v)
+		}
+	}
+	if got := sharedCount.Load(); got != n-1 {
+		t.Errorf("%d shared results, want %d", got, n-1)
+	}
+}
+
+// TestFlightErrorShared: the fetch's error reaches every caller and
+// publish is suppressed.
+func TestFlightErrorShared(t *testing.T) {
+	f := NewFlight[string, int]()
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = f.Do(context.Background(), "k",
+				func(context.Context) (int, error) {
+					<-release
+					return 0, boom
+				},
+				func(int) { t.Error("failed fetch must not publish") })
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("caller %d: %v, want boom", i, err)
+		}
+	}
+}
+
+// TestFlightCallersHonorOwnContext: every caller — the flight starter
+// included — returns at its own context's expiry while the fetch
+// keeps running detached and completes for the others.
+func TestFlightCallersHonorOwnContext(t *testing.T) {
+	f := NewFlight[string, int]()
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	// Starter: its context is cancelled mid-flight; it must return
+	// promptly without killing the fetch.
+	sctx, scancel := context.WithCancel(context.Background())
+	starterDone := make(chan error, 1)
+	go func() {
+		_, _, err := f.Do(sctx, "k", func(context.Context) (int, error) {
+			close(started)
+			<-release
+			return 7, nil
+		}, nil)
+		starterDone <- err
+	}()
+	<-started
+	scancel()
+	select {
+	case err := <-starterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("starter error: %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled starter stayed blocked on its own fetch")
+	}
+
+	// A waiter with an already-expired context returns immediately.
+	wctx, wcancel := context.WithCancel(context.Background())
+	wcancel()
+	_, shared, err := f.Do(wctx, "k", func(context.Context) (int, error) {
+		t.Error("second caller must join the flight, not fetch")
+		return 0, nil
+	}, nil)
+	if !errors.Is(err, context.Canceled) || !shared {
+		t.Fatalf("cancelled waiter: err=%v shared=%v", err, shared)
+	}
+
+	// A patient waiter still receives the detached fetch's result.
+	patientDone := make(chan int, 1)
+	go func() {
+		v, _, _ := f.Do(context.Background(), "k", func(context.Context) (int, error) {
+			t.Error("patient caller must join the flight, not fetch")
+			return 0, nil
+		}, nil)
+		patientDone <- v
+	}()
+	time.Sleep(20 * time.Millisecond) // let the patient join before releasing
+	close(release)
+	if v := <-patientDone; v != 7 {
+		t.Fatalf("patient waiter got %d, want the detached fetch's 7", v)
+	}
+}
+
+// TestFlightFetchDetachedFromCancellation: the fetch itself runs under
+// a context detached from the starter's cancellation.
+func TestFlightFetchDetachedFromCancellation(t *testing.T) {
+	f := NewFlight[string, int]()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fetchCtxErr := make(chan error, 1)
+	v, _, err := f.Do(ctx, "k", func(fctx context.Context) (int, error) {
+		fetchCtxErr <- fctx.Err()
+		return 9, nil
+	}, nil)
+	if ferr := <-fetchCtxErr; ferr != nil {
+		t.Fatalf("fetch ran under a cancelled context: %v", ferr)
+	}
+	// The caller gets either the (already-in) result or its ctx error.
+	if err == nil && v != 9 {
+		t.Fatalf("v=%d err=nil, want 9", v)
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestFlightForget: after Forget, the old flight's publish is
+// suppressed and a new caller starts a fresh fetch, while existing
+// waiters still get the old flight's value.
+func TestFlightForget(t *testing.T) {
+	f := NewFlight[string, int]()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	oldDone := make(chan int, 1)
+	go func() {
+		v, _, _ := f.Do(context.Background(), "k",
+			func(context.Context) (int, error) {
+				close(started)
+				<-release
+				return 1, nil
+			},
+			func(int) { t.Error("forgotten flight must not publish") })
+		oldDone <- v
+	}()
+	<-started
+	f.Forget("k")
+
+	// A post-Forget caller runs its own fetch even though the old
+	// flight is still in the air; its publish is live.
+	var published atomic.Int32
+	v, shared, err := f.Do(context.Background(), "k",
+		func(context.Context) (int, error) { return 2, nil },
+		func(int) { published.Add(1) })
+	if err != nil || v != 2 || shared {
+		t.Fatalf("post-forget fetch: v=%d shared=%v err=%v", v, shared, err)
+	}
+	if published.Load() != 1 {
+		t.Fatalf("post-forget publish ran %d times, want 1", published.Load())
+	}
+	close(release)
+	if v := <-oldDone; v != 1 {
+		t.Fatalf("old waiter got %d, want its flight's result 1", v)
+	}
+}
+
+// TestFlightPanicBecomesError: a panicking fetch delivers
+// ErrFlightAbandoned instead of a zero value with a nil error.
+func TestFlightPanicBecomesError(t *testing.T) {
+	f := NewFlight[string, int]()
+	_, _, err := f.Do(context.Background(), "k",
+		func(context.Context) (int, error) { panic("kaboom") },
+		func(int) { t.Error("panicked fetch must not publish") })
+	if !errors.Is(err, ErrFlightAbandoned) {
+		t.Fatalf("err=%v, want ErrFlightAbandoned", err)
+	}
+	// The flight is gone; the key is usable again.
+	v, _, err := f.Do(context.Background(), "k",
+		func(context.Context) (int, error) { return 3, nil }, nil)
+	if err != nil || v != 3 {
+		t.Fatalf("after panic: v=%d err=%v", v, err)
+	}
+}

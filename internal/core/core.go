@@ -81,6 +81,16 @@ type Config struct {
 	// atomic batch per replica fanned out concurrently. Kept as the
 	// measured baseline for the replication benchmark.
 	SerialReplication bool
+	// FanoutReads selects the legacy read engine: every cache-miss
+	// read asks all placement replicas concurrently (first-wins),
+	// occupying every replica's media per read. The default is the
+	// latency-aware hedged engine (see replicate.go); the fan-out
+	// path is kept as the measured baseline for the hedge benchmark.
+	FanoutReads bool
+	// HedgeDelay fixes the hedged engine's delay before a second
+	// replica is consulted. 0 selects the adaptive delay: ~1.25× the
+	// outstanding drive's observed p95 read latency.
+	HedgeDelay time.Duration
 
 	// Enclave is the trusted execution environment; nil runs the
 	// controller "native" (no attestation, no overhead model).
@@ -105,6 +115,12 @@ type Config struct {
 	PolicyCacheEntries int
 	ObjectCacheBytes   int64
 	KeyCacheBytes      int64
+	// DecisionCacheBytes budgets the policy-decision cache, which
+	// memoizes verdicts of policies whose outcome depends only on
+	// (client, operation) so the interpreter runs once per (policy,
+	// client, op) instead of once per request. 0 selects 1 MB; -1
+	// disables the cache.
+	DecisionCacheBytes int64
 
 	// AsyncWorkers sizes the pool executing asynchronous operations;
 	// 0 selects 32.
@@ -137,6 +153,15 @@ type Controller struct {
 	policyCache *cache.Cache[string, *policy.Program]
 	objectCache *cache.Cache[string, *store.Record]
 	metaCache   *cache.Cache[string, *store.Meta]
+	// decisionCache memoizes session-static policy verdicts (nil when
+	// disabled); see checkPolicy.
+	decisionCache *cache.Cache[string, cachedDecision]
+
+	// Singleflight layers in front of the caches: N concurrent misses
+	// on one hot key cost a single drive round trip (see cache.Flight).
+	metaFlight   *cache.Flight[string, *store.Meta]
+	objectFlight *cache.Flight[string, *store.Record]
+	policyFlight *cache.Flight[string, *policy.Program]
 
 	// scanTokens seals v2 pagination tokens (see scan.go).
 	scanTokens cipher.AEAD
@@ -163,18 +188,21 @@ type Controller struct {
 
 // Stats aggregates controller activity counters.
 type Stats struct {
-	mu            sync.Mutex
-	Puts          uint64
-	Gets          uint64
-	Deletes       uint64
-	Scans         uint64 // v2 scan pages served
-	ScanFiltered  uint64 // scan entries suppressed by policy
-	BatchOps      uint64 // operations carried by v2 batch requests
-	Streams       uint64 // chunked streamed reads + writes
-	PolicyChecks  uint64
-	PolicyDenials uint64
-	TxCommits     uint64
-	TxAborts      uint64
+	mu             sync.Mutex
+	Puts           uint64
+	Gets           uint64
+	Deletes        uint64
+	Scans          uint64 // v2 scan pages served
+	ScanFiltered   uint64 // scan entries suppressed by policy
+	BatchOps       uint64 // operations carried by v2 batch requests
+	Streams        uint64 // chunked streamed reads + writes
+	PolicyChecks   uint64
+	PolicyDenials  uint64
+	TxCommits      uint64
+	TxAborts       uint64
+	ReadHedges     uint64 // hedge requests fired by the read engine
+	CoalescedReads uint64 // cache misses served by another miss's flight
+	DecisionHits   uint64 // policy checks served from the decision cache
 }
 
 // Snapshot returns a copy of the counters.
@@ -187,6 +215,8 @@ func (s *Stats) Snapshot() Stats {
 		BatchOps: s.BatchOps, Streams: s.Streams,
 		PolicyChecks: s.PolicyChecks, PolicyDenials: s.PolicyDenials,
 		TxCommits: s.TxCommits, TxAborts: s.TxAborts,
+		ReadHedges: s.ReadHedges, CoalescedReads: s.CoalescedReads,
+		DecisionHits: s.DecisionHits,
 	}
 }
 
@@ -288,9 +318,33 @@ func New(ctx context.Context, cfg Config) (*Controller, error) {
 		SizeOf:      func(m *store.Meta) int64 { return int64(len(m.Key)+len(m.PolicyID)) + 96 },
 		EPC:         c.epc, Label: "key-cache",
 	})
+	if cfg.DecisionCacheBytes >= 0 {
+		dcBytes := cfg.DecisionCacheBytes
+		if dcBytes == 0 {
+			dcBytes = 1 << 20
+		}
+		c.decisionCache = cache.New[string, cachedDecision](cache.Config[cachedDecision]{
+			BudgetBytes: dcBytes,
+			// Entries are dominated by their key (policy id + client
+			// fingerprint), which the sizer cannot see; charge a flat
+			// estimate plus the denial reason.
+			SizeOf: func(d cachedDecision) int64 { return int64(len(d.reason)) + 192 },
+			EPC:    c.epc, Label: "decision-cache",
+		})
+	}
+	c.metaFlight = cache.NewFlight[string, *store.Meta]()
+	c.objectFlight = cache.NewFlight[string, *store.Record]()
+	c.policyFlight = cache.NewFlight[string, *policy.Program]()
 
 	c.locks = vll.NewManager()
 	return c, nil
+}
+
+// cachedDecision is one memoized policy verdict for a session-static
+// (policy, client, operation) triple.
+type cachedDecision struct {
+	allowed bool
+	reason  string // denial explanation, preserved for the client error
 }
 
 // connectDrives dials every drive and, unless disabled, performs the
@@ -350,16 +404,52 @@ func (c *Controller) EPC() *enclave.EPC { return c.epc }
 // Cost exposes the overhead model.
 func (c *Controller) Cost() *enclave.CostModel { return c.cost }
 
-// CacheStats reports hit/miss/eviction counters of the three caches.
+// CacheStats reports hit/miss/eviction counters of the controller
+// caches (including the policy-decision cache when enabled).
 func (c *Controller) CacheStats() map[string][3]uint64 {
-	out := make(map[string][3]uint64, 3)
+	out := make(map[string][3]uint64, 4)
 	h, m, e := c.policyCache.Stats()
 	out["policy"] = [3]uint64{h, m, e}
 	h, m, e = c.objectCache.Stats()
 	out["object"] = [3]uint64{h, m, e}
 	h, m, e = c.metaCache.Stats()
 	out["meta"] = [3]uint64{h, m, e}
+	if c.decisionCache != nil {
+		h, m, e = c.decisionCache.Stats()
+		out["decision"] = [3]uint64{h, m, e}
+	}
 	return out
+}
+
+// DriveLatency is one drive pool's observed read-latency estimate,
+// the signal the hedged read engine orders replicas by.
+type DriveLatency struct {
+	Name    string
+	EWMA    time.Duration
+	P95     time.Duration
+	Samples uint64
+}
+
+// DriveLatencies reports the per-drive read-latency estimates.
+func (c *Controller) DriveLatencies() []DriveLatency {
+	out := make([]DriveLatency, len(c.drives))
+	for i, p := range c.drives {
+		e, p95, n := p.latency()
+		out[i] = DriveLatency{Name: p.name, EWMA: e, P95: p95, Samples: n}
+	}
+	return out
+}
+
+// DropCaches empties the meta, object, policy and decision caches.
+// Benchmarks and tests use it to force cache-miss reads; it is safe
+// (though pointless) on a live controller — drive state is untouched.
+func (c *Controller) DropCaches() {
+	c.metaCache.Clear()
+	c.objectCache.Clear()
+	c.policyCache.Clear()
+	if c.decisionCache != nil {
+		c.decisionCache.Clear()
+	}
 }
 
 // Close shuts the controller down: sessions stop accepting work,

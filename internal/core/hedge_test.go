@@ -1,0 +1,527 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"errors"
+
+	"repro/internal/enclave/attest"
+	"repro/internal/kinetic"
+	"repro/internal/netx"
+	"repro/internal/store"
+)
+
+// newMediaHarness builds a controller over in-memory drives with a
+// per-drive media model, for hedged-read experiments that need one
+// replica slower than the others.
+func newMediaHarness(t *testing.T, nDrives int, media func(i int) kinetic.MediaModel, mutate func(*Config)) *harness {
+	t.Helper()
+	h := &harness{}
+	secrets := &attest.Secrets{}
+	if _, err := rand.Read(secrets.ObjectKey[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rand.Read(secrets.AdminSeed[:]); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Replicas: 1, Encrypt: true, TakeOver: true, Secrets: secrets}
+	for i := 0; i < nDrives; i++ {
+		name := fmt.Sprintf("d%d", i)
+		var m kinetic.MediaModel
+		if media != nil {
+			m = media(i)
+		}
+		drive := kinetic.NewDrive(kinetic.Config{Name: name, Media: m})
+		ln := netx.NewListener(name)
+		h.drives = append(h.drives, drive)
+		h.lns = append(h.lns, ln)
+		h.servers = append(h.servers, kinetic.Serve(drive, ln, nil))
+		cfg.Drives = append(cfg.Drives, DriveEndpoint{
+			Name:  name,
+			Dial:  func(ctx context.Context) (net.Conn, error) { return ln.DialContext(ctx) },
+			Conns: 2,
+		})
+		secrets.Drives = append(secrets.Drives, attest.DriveCredential{
+			Address: name, Identity: kinetic.DefaultAdminIdentity, Key: kinetic.DefaultAdminKey,
+		})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	ctl, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("controller: %v", err)
+	}
+	h.ctl = ctl
+	t.Cleanup(func() {
+		ctl.Close()
+		for _, s := range h.servers {
+			s.Close()
+		}
+	})
+	return h
+}
+
+// driveGets sums the Gets counter across all drives.
+func driveGets(drives []*kinetic.Drive) uint64 {
+	var n uint64
+	for _, d := range drives {
+		n += d.Stats().Gets.Load()
+	}
+	return n
+}
+
+// TestHedgedReadsReduceMediaOccupancy is the acceptance pin for the
+// hedged read engine: on a read-heavy, cache-hostile workload with 3
+// replicas, the all-replica fan-out occupies every replica's media
+// per read while the hedged engine occupies ~one, without losing a
+// single read.
+func TestHedgedReadsReduceMediaOccupancy(t *testing.T) {
+	const (
+		nKeys = 20
+		reads = 100
+	)
+	occupancy := func(fanout bool) float64 {
+		h := newMediaHarness(t, 3, nil, func(c *Config) {
+			c.Replicas = 3
+			c.FanoutReads = fanout
+			// Far above the in-memory RTT: hedges never fire, so the
+			// measurement isolates engine occupancy, not hedge noise.
+			c.HedgeDelay = 50 * time.Millisecond
+		})
+		s := h.ctl.Session("w")
+		ctx := context.Background()
+		for i := 0; i < nKeys; i++ {
+			if _, err := s.Put(ctx, fmt.Sprintf("k%d", i), []byte("v"), PutOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := driveGets(h.drives)
+		for i := 0; i < reads; i++ {
+			h.ctl.DropCaches() // cache-hostile: every read misses
+			val, _, err := s.Get(ctx, fmt.Sprintf("k%d", i%nKeys), GetOptions{})
+			if err != nil || !bytes.Equal(val, []byte("v")) {
+				t.Fatalf("read %d (fanout=%v): %q %v", i, fanout, val, err)
+			}
+		}
+		// Drive GETs per client read (each read = meta + record).
+		return float64(driveGets(h.drives)-before) / reads
+	}
+
+	fanout := occupancy(true)
+	hedged := occupancy(false)
+	t.Logf("media occupancy (drive GETs per read): fanout=%.2f hedged=%.2f", fanout, hedged)
+	// Fan-out touches all 3 replicas for both the meta and the record
+	// read (~6); hedged touches ~one replica for each (~2).
+	if fanout < 4 {
+		t.Errorf("fan-out occupancy %.2f implausibly low; measurement broken", fanout)
+	}
+	if hedged >= fanout/2 {
+		t.Errorf("hedged occupancy %.2f did not halve fan-out occupancy %.2f", hedged, fanout)
+	}
+}
+
+// TestHedgeFiresOnSlowReplica: when the primary's media is degraded,
+// the hedge fires after the configured delay and the read completes at
+// the healthy replica's speed instead of the slow one's — the
+// no-tail-regression half of the acceptance criterion.
+func TestHedgeFiresOnSlowReplica(t *testing.T) {
+	const key = "k"
+	slow := store.Placement(key, 2, 2)[0] // the untrained engine tries this first
+	const slowDelay = 40 * time.Millisecond
+	h := newMediaHarness(t, 2, func(i int) kinetic.MediaModel {
+		if i == slow {
+			return &kinetic.HDDMedia{Positioning: slowDelay, BytesPerSec: 150e6, TimeScale: 1}
+		}
+		return nil
+	}, func(c *Config) {
+		c.Replicas = 2
+		c.HedgeDelay = 2 * time.Millisecond
+	})
+	s := h.ctl.Session("w")
+	ctx := context.Background()
+	if _, err := s.Put(ctx, key, []byte("v"), PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	h.ctl.DropCaches()
+	t0 := time.Now()
+	val, _, err := s.Get(ctx, key, GetOptions{})
+	elapsed := time.Since(t0)
+	if err != nil || !bytes.Equal(val, []byte("v")) {
+		t.Fatalf("get: %q %v", val, err)
+	}
+	if hedges := h.ctl.stats.Snapshot().ReadHedges; hedges == 0 {
+		t.Error("slow primary did not trigger a hedge")
+	}
+	if elapsed >= slowDelay {
+		t.Errorf("read took %v, gated on the slow replica (%v); hedge did not cover the tail", elapsed, slowDelay)
+	}
+
+	// The engine learns: the outlived slow primary was charged its
+	// elapsed time, so subsequent reads order the healthy replica
+	// first and stop paying the hedge delay.
+	h.ctl.DropCaches()
+	if _, _, err := s.Get(ctx, key, GetOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	lats := h.ctl.DriveLatencies()
+	if lats[slow].Samples == 0 {
+		t.Error("slow replica accumulated no latency samples despite losing hedge races")
+	}
+	placement := store.Placement(key, 2, 2)
+	pools := make([]*drivePool, len(placement))
+	for i, di := range placement {
+		pools[i] = h.ctl.drives[di]
+	}
+	if order := orderByLatency(pools); order[0] == h.ctl.drives[slow] {
+		t.Errorf("slow replica still ordered first after losing races (latencies %+v)", lats)
+	}
+}
+
+// TestHedgedDegradedReplicaDoesNotShadow: a replica that lost both the
+// record and the metadata answers not-found first (it is fastest);
+// the hedged engine must still consult the healthy replica rather
+// than affirming absence.
+func TestHedgedDegradedReplicaDoesNotShadow(t *testing.T) {
+	const key = "k"
+	h := newKillableHarness(t, 2, func(c *Config) {
+		c.Replicas = 2
+		c.HedgeDelay = 5 * time.Millisecond
+	})
+	s := h.ctl.Session("w")
+	ctx := context.Background()
+	if _, err := s.Put(ctx, key, []byte("v"), PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Degrade the primary: delete its metadata and object record.
+	victim := store.Placement(key, 2, 2)[0]
+	h.deleteRaw(t, victim, store.MetaKey(key))
+	h.deleteRaw(t, victim, store.ObjectKey(key, 0))
+
+	h.ctl.DropCaches()
+	val, _, err := s.Get(ctx, key, GetOptions{})
+	if err != nil || !bytes.Equal(val, []byte("v")) {
+		t.Fatalf("degraded replica shadowed the healthy copy: %q %v", val, err)
+	}
+}
+
+// TestHedgedMixedNotFoundErrorSurfacesError: one replica lost the
+// record (not-found), the other is unreachable (error). Absence is
+// not unanimous, so the read must surface the error, never not-found.
+func TestHedgedMixedNotFoundErrorSurfacesError(t *testing.T) {
+	const key = "k"
+	h := newKillableHarness(t, 2, func(c *Config) {
+		c.Replicas = 2
+		c.HedgeDelay = time.Millisecond
+	})
+	s := h.ctl.Session("w")
+	ctx := context.Background()
+	if _, err := s.Put(ctx, key, []byte("v"), PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	degraded := store.Placement(key, 2, 2)[0]
+	dead := store.Placement(key, 2, 2)[1]
+	h.deleteRaw(t, degraded, store.MetaKey(key))
+	h.deleteRaw(t, degraded, store.ObjectKey(key, 0))
+	h.kill(dead)
+
+	h.ctl.DropCaches()
+	_, _, err := s.Get(ctx, key, GetOptions{})
+	if err == nil {
+		t.Fatal("read succeeded with one degraded and one dead replica")
+	}
+	if errors.Is(err, ErrNotFound) {
+		t.Fatalf("mixed not-found/error affirmed absence: %v", err)
+	}
+}
+
+// TestHedgedReadsFullWorkload runs a mixed read/write/delete workload
+// under the hedged engine with replica failover mid-run — the
+// "existing semantics hold under hedging" sweep.
+func TestHedgedReadsFullWorkload(t *testing.T) {
+	h := newKillableHarness(t, 3, func(c *Config) { c.Replicas = 3 })
+	s := h.ctl.Session("w")
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, err := s.Put(ctx, k, []byte("v0"), PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Put(ctx, k, []byte("v1"), PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill a non-primary replica: reads keep working off the rest.
+	h.kill(1)
+	h.ctl.DropCaches()
+	for i := 0; i < 10; i++ {
+		val, meta, err := s.Get(ctx, fmt.Sprintf("k%d", i), GetOptions{})
+		if err != nil || !bytes.Equal(val, []byte("v1")) || meta.Version != 1 {
+			t.Fatalf("get k%d with dead replica: %q v%v %v", i, val, meta, err)
+		}
+	}
+	// Historic versions and version listings also fail over.
+	h.ctl.DropCaches()
+	if vs, err := s.ListVersions(ctx, "k0", nil); err != nil || len(vs) != 2 {
+		t.Fatalf("list versions with dead replica: %v %v", vs, err)
+	}
+	val, _, err := s.Get(ctx, "k0", GetOptions{Version: 0, HasVersion: true})
+	if err != nil || !bytes.Equal(val, []byte("v0")) {
+		t.Fatalf("historic get with dead replica: %q %v", val, err)
+	}
+	// Revive and repair: convergence is unchanged under hedging.
+	h.revive(1)
+	if _, err := s.Repair(ctx, "k0"); err != nil {
+		t.Fatalf("repair under hedged reads: %v", err)
+	}
+}
+
+// TestDeadReplicaLosesPrimarySlot: a drive that only ever fails never
+// completes a round trip, so latency samples alone could never demote
+// it; the failure counter must push it out of the primary slot so
+// healthy replicas stop paying the hedge delay on every read.
+func TestDeadReplicaLosesPrimarySlot(t *testing.T) {
+	const key = "k"
+	h := newKillableHarness(t, 2, func(c *Config) {
+		c.Replicas = 2
+		c.HedgeDelay = time.Millisecond
+	})
+	s := h.ctl.Session("w")
+	ctx := context.Background()
+	if _, err := s.Put(ctx, key, []byte("v"), PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	dead := store.Placement(key, 2, 2)[0]
+	h.kill(dead)
+	// Pin the dead drive into the primary slot: feed it artificially
+	// fast samples so EWMA ordering alone would keep trying it first.
+	for i := 0; i < 8; i++ {
+		h.ctl.drives[dead].observe(time.Nanosecond)
+	}
+
+	// Cold reads against the dead primary: each must still succeed off
+	// the healthy replica, and the transport failures must mark the
+	// drive as failing.
+	for i := 0; i < 3; i++ {
+		h.ctl.DropCaches()
+		val, _, err := s.Get(ctx, key, GetOptions{})
+		if err != nil || !bytes.Equal(val, []byte("v")) {
+			t.Fatalf("read %d with dead primary: %q %v", i, val, err)
+		}
+	}
+	if !h.ctl.drives[dead].failing() {
+		t.Fatal("dead drive not marked failing after transport errors")
+	}
+	placement := store.Placement(key, 2, 2)
+	pools := make([]*drivePool, len(placement))
+	for i, di := range placement {
+		pools[i] = h.ctl.drives[di]
+	}
+	if order := orderByLatency(pools); order[0] == h.ctl.drives[dead] {
+		t.Error("dead drive kept the primary slot; every read pays the hedge delay")
+	}
+	// Demotion is preference, not exclusion: revive the drive, fail the
+	// other replica, and the demoted drive still serves the read — its
+	// first success clears the failing mark.
+	h.revive(dead)
+	h.kill(placement[1])
+	h.ctl.DropCaches()
+	val, _, err := s.Get(ctx, key, GetOptions{})
+	if err != nil || !bytes.Equal(val, []byte("v")) {
+		t.Fatalf("read off the revived replica: %q %v", val, err)
+	}
+	if h.ctl.drives[dead].failing() {
+		t.Error("revived drive still marked failing after a successful read")
+	}
+}
+
+// TestCoalescedMissesOneDriveRead: N concurrent cache misses on one
+// hot key cost one drive round trip per record kind, not N.
+func TestCoalescedMissesOneDriveRead(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	s := h.ctl.Session("w")
+	ctx := context.Background()
+	if _, err := s.Put(ctx, "hot", bytes.Repeat([]byte("x"), 512), PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	h.ctl.DropCaches()
+	before := driveGets(h.drives)
+
+	const n = 32
+	var wg sync.WaitGroup
+	var fails atomic.Int32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := s.Get(ctx, "hot", GetOptions{}); err != nil {
+				fails.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if fails.Load() != 0 {
+		t.Fatalf("%d concurrent reads failed", fails.Load())
+	}
+	delta := driveGets(h.drives) - before
+	// One meta read + one record read, plus a little slack for a
+	// latecomer that starts a fresh flight after the first resolved.
+	if delta > 6 {
+		t.Errorf("%d concurrent misses cost %d drive reads, want coalescing to ~2", n, delta)
+	}
+	if h.ctl.stats.Snapshot().CoalescedReads == 0 {
+		t.Error("no reads were coalesced")
+	}
+}
+
+// TestDecisionCacheFastPath: a session-static policy evaluates once
+// per (policy, client, op); repeat checks hit the decision cache for
+// both grants and denials, and non-static policies never populate it.
+func TestDecisionCacheFastPath(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	ctx := context.Background()
+	alice, mallory := h.ctl.Session("aa"), h.ctl.Session("bb")
+
+	pid, err := h.ctl.PutPolicy(ctx, "read :- sessionKeyIs(k'aa')\nupdate :- sessionKeyIs(k'aa')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Put(ctx, "o", []byte("v"), PutOptions{PolicyID: pid}); err != nil {
+		t.Fatal(err)
+	}
+
+	const reads = 10
+	for i := 0; i < reads; i++ {
+		if _, _, err := alice.Get(ctx, "o", GetOptions{}); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	st := h.ctl.stats.Snapshot()
+	if st.DecisionHits < reads-1 {
+		t.Errorf("decision hits %d, want >= %d (interpreter should run once)", st.DecisionHits, reads-1)
+	}
+
+	// Denials are memoized too, with the reason preserved.
+	for i := 0; i < 3; i++ {
+		_, _, err := mallory.Get(ctx, "o", GetOptions{})
+		var denied *DeniedError
+		if !errors.As(err, &denied) || denied.Reason == "" {
+			t.Fatalf("denial %d: %v", i, err)
+		}
+	}
+
+	// A version-dependent policy is not static: the decision cache
+	// must not serve it.
+	vpid, err := h.ctl.PutPolicy(ctx, "read :- sessionKeyIs(U)\nupdate :- currVersion(this, V) and nextVersion(V + 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Put(ctx, "ver", []byte("v"), PutOptions{PolicyID: vpid}); err != nil {
+		t.Fatal(err)
+	}
+	hits0 := h.ctl.stats.Snapshot().DecisionHits
+	for want := int64(1); want <= 3; want++ {
+		if _, err := alice.Put(ctx, "ver", []byte("v"), PutOptions{Version: want, HasVersion: true}); err != nil {
+			t.Fatalf("versioned put %d: %v", want, err)
+		}
+	}
+	if hits1 := h.ctl.stats.Snapshot().DecisionHits; hits1 != hits0 {
+		t.Errorf("version-dependent policy took %d decision-cache hits", hits1-hits0)
+	}
+}
+
+// TestDrivePoolConcurrentChurn hammers one drive pool from many
+// goroutines while its network endpoint is killed and revived: no
+// deadlocks, no lost pool state, and full recovery afterwards.
+func TestDrivePoolConcurrentChurn(t *testing.T) {
+	h := newKillableHarness(t, 1, nil)
+	s := h.ctl.Session("w")
+	ctx := context.Background()
+	if _, err := s.Put(ctx, "k", []byte("v"), PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.ctl.DropCaches()
+				cctx, cancel := context.WithTimeout(ctx, 200*time.Millisecond)
+				s.Get(cctx, "k", GetOptions{}) // errors expected mid-churn
+				cancel()
+			}
+		}()
+	}
+	for i := 0; i < 15; i++ {
+		h.kill(0)
+		time.Sleep(time.Millisecond)
+		h.revive(0)
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// The pool must serve reads again once the drive is stable.
+	h.ctl.DropCaches()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		val, _, err := s.Get(ctx, "k", GetOptions{})
+		if err == nil && bytes.Equal(val, []byte("v")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool did not recover after churn: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The latency estimator stayed coherent under the churn.
+	for _, dl := range h.ctl.DriveLatencies() {
+		if dl.Samples > 0 && (dl.EWMA <= 0 || dl.P95 < dl.EWMA) {
+			t.Errorf("estimator incoherent after churn: %+v", dl)
+		}
+	}
+}
+
+// TestLatencyEstimator pins the estimator's convergence and drift
+// tracking on a deterministic sample stream.
+func TestLatencyEstimator(t *testing.T) {
+	var e latencyEstimator
+	for i := 0; i < 200; i++ {
+		e.observe(time.Millisecond)
+	}
+	ewma, p95, n := e.snapshot()
+	if n != 200 {
+		t.Fatalf("samples %d", n)
+	}
+	if ewma < 900*time.Microsecond || ewma > 1100*time.Microsecond {
+		t.Errorf("ewma %v, want ~1ms", ewma)
+	}
+	if p95 < ewma || p95 > 2*time.Millisecond {
+		t.Errorf("p95 %v out of range for constant 1ms stream", p95)
+	}
+	// Drift: the estimate follows a 10x degradation.
+	for i := 0; i < 200; i++ {
+		e.observe(10 * time.Millisecond)
+	}
+	ewma, _, _ = e.snapshot()
+	if ewma < 8*time.Millisecond {
+		t.Errorf("ewma %v did not track the degradation to 10ms", ewma)
+	}
+}

@@ -152,11 +152,14 @@ func (c *Controller) stageWrite(ctx context.Context, sessionKey, key string, val
 }
 
 // publishWrite installs a committed write in the caches. Callers hold
-// the key's write lock.
+// the key's write lock. Any in-flight coalesced meta read started
+// before this write is detached so readers arriving from now on fetch
+// fresh state instead of joining a stale flight.
 func (c *Controller) publishWrite(rec *store.Record) {
 	m := rec.Meta
 	c.metaCache.Put(m.Key, &m)
 	c.objectCache.Put(string(store.ObjectKey(m.Key, m.Version)), rec)
+	c.metaFlight.Forget(m.Key)
 }
 
 // putObject is the write path (§3.2 steps 4–7): policy check, record
@@ -242,19 +245,30 @@ func (c *Controller) deleteObject(ctx context.Context, sessionKey, key string, o
 	if err != nil {
 		// Some replicas may already have destroyed records (and the
 		// metadata leads each batch stream): drop every cache entry so
-		// readers observe drive state, not the deleted object.
+		// readers observe drive state, not the deleted object. Flights
+		// are forgotten first so an in-flight fetch cannot re-install
+		// an entry after its removal.
 		for v := int64(0); v <= meta.Version; v++ {
-			c.objectCache.Remove(string(store.ObjectKey(key, v)))
+			ck := string(store.ObjectKey(key, v))
+			c.objectFlight.Forget(ck)
+			c.objectCache.Remove(ck)
 		}
 		return 0, c.replicationFailed(err, key)
 	}
+	c.metaFlight.Forget(key)
 	c.metaCache.Remove(key)
+	for v := int64(0); v <= meta.Version; v++ {
+		c.objectFlight.Forget(string(store.ObjectKey(key, v)))
+	}
 	c.stats.add(func(s *Stats) { s.Deletes++ })
 	return meta.Version, nil
 }
 
 // listVersions enumerates an object's stored versions (privileged
 // clients reading history, §5.3). Governed by the read permission.
+// The range read goes through the shared replica read engine like
+// every other read: replicas race (or hedge) instead of being tried
+// one by one, and the range is drained past the drive's response cap.
 func (c *Controller) listVersions(ctx context.Context, sessionKey, key string, certs []*authority.Certificate) ([]int64, error) {
 	meta, err := c.loadMeta(ctx, key)
 	if err != nil {
@@ -264,15 +278,11 @@ func (c *Controller) listVersions(ctx context.Context, sessionKey, key string, c
 		return nil, err
 	}
 	start, end := store.ObjectKeyRange(key)
-	var lastErr error
 	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
-	for _, di := range placement {
-		cl := c.drives[di].pick()
-		c.chargeDriveIO(0)
-		keys, err := cl.GetKeyRange(ctx, start, end, true, false, 0)
+	return readReplicas(ctx, c, placement, func(ctx context.Context, p *drivePool) ([]int64, error) {
+		keys, err := c.rangeAll(ctx, p.pick(), start, end)
 		if err != nil {
-			lastErr = err
-			continue
+			return nil, err
 		}
 		out := make([]int64, 0, len(keys))
 		for _, k := range keys {
@@ -282,21 +292,44 @@ func (c *Controller) listVersions(ctx context.Context, sessionKey, key string, c
 			}
 		}
 		return out, nil
-	}
-	return nil, lastErr
+	})
 }
 
 // loadMeta returns the newest metadata for key, cache-first with
-// parallel first-wins replica failover (§4.5): every replica is asked
-// concurrently and the first healthy answer wins. A malformed copy on
-// one replica fails over instead of failing the read.
+// replica failover through the configured read engine. Concurrent
+// misses on the same key coalesce into one drive round trip.
 func (c *Controller) loadMeta(ctx context.Context, key string) (*store.Meta, error) {
 	if m, ok := c.metaCache.Get(key); ok {
 		return m, nil
 	}
+	m, shared, err := c.metaFlight.Do(ctx, key,
+		func(fctx context.Context) (*store.Meta, error) {
+			// Double-check under the flight: a racing miss may have
+			// published while this caller queued for leadership.
+			if m, ok := c.metaCache.Get(key); ok {
+				return m, nil
+			}
+			return c.fetchMeta(fctx, key)
+		},
+		// Published only while the flight is still current (a delete
+		// calls Forget first, suppressing it) and only if newer: a slow
+		// fetch must neither clobber a later version a concurrent
+		// writer published nor resurrect a deleted key.
+		func(m *store.Meta) {
+			c.metaCache.PutIf(key, m, func(cur *store.Meta) bool { return cur.Version < m.Version })
+		})
+	if shared {
+		c.stats.add(func(s *Stats) { s.CoalescedReads++ })
+	}
+	return m, err
+}
+
+// fetchMeta reads key's metadata off the drives. A malformed copy on
+// one replica fails over instead of failing the read.
+func (c *Controller) fetchMeta(ctx context.Context, key string) (*store.Meta, error) {
 	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
-	m, err := readFirstWins(ctx, placement, func(ctx context.Context, di int) (*store.Meta, error) {
-		cl := c.drives[di].pick()
+	m, err := readReplicas(ctx, c, placement, func(ctx context.Context, p *drivePool) (*store.Meta, error) {
+		cl := p.pick()
 		c.chargeDriveIO(0)
 		val, _, err := cl.Get(ctx, store.MetaKey(key))
 		if errors.Is(err, kclient.ErrNotFound) {
@@ -313,25 +346,41 @@ func (c *Controller) loadMeta(ctx context.Context, key string) (*store.Meta, err
 		}
 		return nil, fmt.Errorf("core: all replicas failed reading meta %q: %w", key, err)
 	}
-	// Publish only if newer: a slow reader must not clobber a later
-	// version a concurrent writer published while this read was in
-	// flight.
-	c.metaCache.PutIf(key, m, func(cur *store.Meta) bool { return cur.Version < m.Version })
 	return m, nil
 }
 
 // loadRecord returns the record of one object version, cache-first
-// with parallel first-wins replica failover, verifying payload
-// integrity. A corrupt copy on one replica fails over to a healthy
-// one instead of failing the read.
+// with replica failover through the configured read engine, verifying
+// payload integrity. Concurrent misses on the same version coalesce
+// into one drive round trip.
 func (c *Controller) loadRecord(ctx context.Context, key string, version int64) (*store.Record, error) {
 	ck := string(store.ObjectKey(key, version))
 	if r, ok := c.objectCache.Get(ck); ok {
 		return r, nil
 	}
+	rec, shared, err := c.objectFlight.Do(ctx, ck,
+		func(fctx context.Context) (*store.Record, error) {
+			if r, ok := c.objectCache.Get(ck); ok {
+				return r, nil
+			}
+			return c.fetchRecord(fctx, key, version)
+		},
+		// Suppressed by a racing delete's Forget, so a slow fetch
+		// cannot re-install a destroyed version record.
+		func(r *store.Record) { c.objectCache.Put(ck, r) })
+	if shared {
+		c.stats.add(func(s *Stats) { s.CoalescedReads++ })
+	}
+	return rec, err
+}
+
+// fetchRecord reads one version record off the drives. A corrupt copy
+// on one replica fails over to a healthy one instead of failing the
+// read.
+func (c *Controller) fetchRecord(ctx context.Context, key string, version int64) (*store.Record, error) {
 	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
-	rec, err := readFirstWins(ctx, placement, func(ctx context.Context, di int) (*store.Record, error) {
-		cl := c.drives[di].pick()
+	rec, err := readReplicas(ctx, c, placement, func(ctx context.Context, p *drivePool) (*store.Record, error) {
+		cl := p.pick()
 		c.chargeDriveIO(0)
 		val, _, err := cl.Get(ctx, store.ObjectKey(key, version))
 		if errors.Is(err, kclient.ErrNotFound) {
@@ -364,7 +413,6 @@ func (c *Controller) loadRecord(ctx context.Context, key string, version int64) 
 		}
 		return nil, fmt.Errorf("core: all replicas failed reading %q v%d: %w", key, version, err)
 	}
-	c.objectCache.Put(ck, rec)
 	return rec, nil
 }
 
@@ -383,6 +431,15 @@ func (c *Controller) chargeDriveIO(payload int) {
 // be nil (object does not exist yet): creation is not governed by any
 // object policy. nextVersion, when non-nil, fills the nextVersion
 // predicate.
+//
+// Fast path: policies whose verdict for op depends only on the session
+// key (policy.StaticFor — no object state, versions, certificates or
+// time) memoize their verdict in the decision cache, so the
+// interpreter runs once per (policy, client, op) instead of once per
+// request. The policy id is content-addressed, so a changed policy
+// keys a fresh verdict by construction; object mutations cannot change
+// a static verdict (that is what static means), and PutPolicy still
+// clears the cache as a defense-in-depth backstop.
 func (c *Controller) checkPolicy(ctx context.Context, op lang.Perm, sessionKey, key string, meta *store.Meta, nextVersion *int64, certs []*authority.Certificate) error {
 	if c.cfg.DisablePolicies || meta == nil || meta.PolicyID == "" {
 		return nil
@@ -391,6 +448,20 @@ func (c *Controller) checkPolicy(ctx context.Context, op lang.Perm, sessionKey, 
 	if err != nil {
 		return err
 	}
+
+	var decKey string
+	if c.decisionCache != nil && policy.StaticFor(prog, op) {
+		decKey = decisionKey(meta.PolicyID, op, sessionKey)
+		if d, ok := c.decisionCache.Get(decKey); ok {
+			c.stats.add(func(s *Stats) { s.PolicyChecks++; s.DecisionHits++ })
+			if !d.allowed {
+				c.stats.add(func(s *Stats) { s.PolicyDenials++ })
+				return &DeniedError{Op: op.String(), Key: key, Reason: d.reason}
+			}
+			return nil
+		}
+	}
+
 	req := &policy.Request{
 		Op:           op,
 		ObjectID:     key,
@@ -408,11 +479,21 @@ func (c *Controller) checkPolicy(ctx context.Context, op lang.Perm, sessionKey, 
 	if err != nil {
 		return err
 	}
+	if decKey != "" {
+		c.decisionCache.Put(decKey, cachedDecision{allowed: dec.Allowed, reason: dec.Reason})
+	}
 	if !dec.Allowed {
 		c.stats.add(func(s *Stats) { s.PolicyDenials++ })
 		return &DeniedError{Op: op.String(), Key: key, Reason: dec.Reason}
 	}
 	return nil
+}
+
+// decisionKey builds the decision-cache key for a session-static
+// verdict. The policy id is its content hash, so the triple fully
+// determines the verdict.
+func decisionKey(policyID string, op lang.Perm, sessionKey string) string {
+	return policyID + "\x00" + string(rune(op)) + "\x00" + sessionKey
 }
 
 // objectSource adapts the controller's loaders to the interpreter's
@@ -501,6 +582,13 @@ func (c *Controller) PutPolicy(ctx context.Context, src string) (string, error) 
 		return "", err
 	}
 	c.policyCache.Put(id, prog)
+	// Policy-change backstop: decisions key on the content-addressed
+	// policy id, so this is redundant by construction — kept so a
+	// future non-content-addressed policy root cannot silently serve
+	// stale verdicts.
+	if c.decisionCache != nil {
+		c.decisionCache.Clear()
+	}
 	return id, nil
 }
 
@@ -515,11 +603,30 @@ func (c *Controller) GetPolicySource(ctx context.Context, id string) (string, er
 }
 
 // loadPolicy returns a compiled policy by id, cache-first with
-// replica failover.
+// replica failover. Concurrent misses on one policy id — the common
+// case when a hot policy serves many objects (1:M, §3) and falls out
+// of cache — coalesce into a single drive round trip.
 func (c *Controller) loadPolicy(ctx context.Context, id string) (*policy.Program, error) {
 	if p, ok := c.policyCache.Get(id); ok {
 		return p, nil
 	}
+	prog, shared, err := c.policyFlight.Do(ctx, id,
+		func(fctx context.Context) (*policy.Program, error) {
+			if p, ok := c.policyCache.Get(id); ok {
+				return p, nil
+			}
+			return c.fetchPolicy(fctx, id)
+		},
+		func(p *policy.Program) { c.policyCache.Put(id, p) })
+	if shared {
+		c.stats.add(func(s *Stats) { s.CoalescedReads++ })
+	}
+	return prog, err
+}
+
+// fetchPolicy reads a compiled policy off the drives, verifying its
+// content address.
+func (c *Controller) fetchPolicy(ctx context.Context, id string) (*policy.Program, error) {
 	placement := store.Placement(id, len(c.drives), c.cfg.Replicas)
 	var lastErr error
 	for _, di := range placement {
@@ -542,7 +649,6 @@ func (c *Controller) loadPolicy(ctx context.Context, id string) (*policy.Program
 		if policyID(prog) != id {
 			return nil, fmt.Errorf("core: policy %q fails integrity check", id)
 		}
-		c.policyCache.Put(id, prog)
 		return prog, nil
 	}
 	return nil, fmt.Errorf("core: all replicas failed reading policy %q: %w", id, lastErr)

@@ -11,17 +11,27 @@
 // concurrently, so write-through latency is the maximum replica RTT
 // rather than the sum, and object/meta can never diverge on a drive.
 //
-// Reads get the dual treatment: parallel first-wins failover, where
-// every replica is asked concurrently and the first healthy answer
-// wins, instead of trying replicas one by one.
+// Reads come in two engines. The fan-out baseline is parallel
+// first-wins failover: every replica is asked concurrently and the
+// first healthy answer wins — latency-optimal, but every cache-miss
+// read occupies all replicas' media. The default engine is the
+// latency-aware hedged read: the replica with the lowest observed
+// latency is asked first and a hedge to the next replica fires only
+// after an adaptive delay (~p95 of the outstanding replica's
+// latency), so the common-case read occupies one drive's media while
+// a slow or dead replica still gets covered within the hedge delay.
+// Both engines preserve the same semantics: success first-wins,
+// absence needs unanimity, mixed not-found/error surfaces the error.
 package core
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/kinetic/kclient"
 	"repro/internal/kinetic/wire"
@@ -50,6 +60,53 @@ func (c *Controller) fanout(placement []int, fn func(di int) error) error {
 	return errors.Join(errs...)
 }
 
+// readReplicas dispatches a replicated read through the configured
+// engine — the hedged primary-first path unless Config.FanoutReads
+// keeps the all-replica baseline — and feeds completed round trips
+// into the per-drive latency estimators either way. A drive's answer
+// counts as a latency sample whether it found the record or not; a
+// transport failure does not (it says nothing about the medium).
+//
+// The placement is resolved to pool pointers before any goroutine
+// launches: a straggler read may be scheduled after the winner
+// returned — even after the controller shut down and dropped its
+// drive table — and must never index controller state.
+func readReplicas[T any](ctx context.Context, c *Controller, placement []int, read func(ctx context.Context, p *drivePool) (T, error)) (T, error) {
+	pools := make([]*drivePool, len(placement))
+	for i, di := range placement {
+		pools[i] = c.drives[di]
+	}
+	if len(pools) <= 1 || c.cfg.FanoutReads {
+		// The fan-out engine observes through a wrapper; the hedged
+		// engine samples internally so each physical read contributes
+		// exactly one sample (outlived stragglers are charged at
+		// winner-return, not again on late completion).
+		timed := func(ctx context.Context, p *drivePool) (T, error) {
+			t0 := time.Now()
+			v, err := read(ctx, p)
+			recordOutcome(p, time.Since(t0), err)
+			return v, err
+		}
+		return readFirstWins(ctx, pools, timed)
+	}
+	return readHedged(ctx, c, pools, read)
+}
+
+// recordOutcome feeds one completed round trip into a pool's latency
+// estimator: answers (found or authoritative not-found) are latency
+// samples, transport failures count toward the failing demotion, and
+// cancelled reads (by a winner or the caller) say nothing about the
+// medium.
+func recordOutcome(p *drivePool, elapsed time.Duration, err error) {
+	switch {
+	case err == nil || errors.Is(err, ErrNotFound):
+		p.observe(elapsed)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	default:
+		p.observeFailure()
+	}
+}
+
 // readFirstWins asks every placement replica concurrently and returns
 // the first successful answer, cancelling the stragglers. A replica
 // reporting not-found is only believed once every replica has answered
@@ -58,15 +115,13 @@ func (c *Controller) fanout(placement []int, fn func(di int) error) error {
 // replica means "don't know", so a mixed not-found/error outcome
 // surfaces the error rather than affirming absence.
 //
-// Trade-off: every cache-miss read occupies all replicas' media
-// (hedging is not free); the caches in front of these loaders are
-// what keeps that affordable. If replicated read-heavy workloads with
-// poor cache locality become the bottleneck, the next refinement is a
-// primary-first hedge with a short timeout.
-func readFirstWins[T any](ctx context.Context, placement []int, read func(ctx context.Context, di int) (T, error)) (T, error) {
+// Trade-off: every cache-miss read occupies all replicas' media. This
+// is the measured baseline the hedged engine replaces; it remains
+// selectable for benchmarks and as the conservative fallback.
+func readFirstWins[T any](ctx context.Context, pools []*drivePool, read func(ctx context.Context, p *drivePool) (T, error)) (T, error) {
 	var zero T
-	if len(placement) == 1 {
-		return read(ctx, placement[0])
+	if len(pools) == 1 {
+		return read(ctx, pools[0])
 	}
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -74,15 +129,15 @@ func readFirstWins[T any](ctx context.Context, placement []int, read func(ctx co
 		val T
 		err error
 	}
-	ch := make(chan result, len(placement))
-	for _, di := range placement {
-		go func(di int) {
-			v, err := read(rctx, di)
+	ch := make(chan result, len(pools))
+	for _, p := range pools {
+		go func(p *drivePool) {
+			v, err := read(rctx, p)
 			ch <- result{v, err}
-		}(di)
+		}(p)
 	}
 	var notFound, lastErr error
-	for range placement {
+	for range pools {
 		r := <-ch
 		if r.err == nil {
 			return r.val, nil
@@ -96,6 +151,161 @@ func readFirstWins[T any](ctx context.Context, placement []int, read func(ctx co
 			// first success — but cheap to classify correctly.)
 		default:
 			lastErr = r.err
+		}
+	}
+	if notFound != nil && lastErr == nil {
+		return zero, notFound
+	}
+	return zero, lastErr
+}
+
+// Hedge-delay bounds. Until a drive has enough samples the engine
+// hedges after a conservative default; the adaptive delay (~1.25×
+// the outstanding drive's p95) is clamped so a noisy estimate can
+// neither busy-hedge the media nor leave a dead replica uncovered.
+const (
+	defaultHedgeDelay = 2 * time.Millisecond
+	minHedgeDelay     = 100 * time.Microsecond
+	maxHedgeDelay     = 50 * time.Millisecond
+	hedgeWarmup       = 16 // samples before the adaptive delay engages
+)
+
+// hedgeDelay returns how long to wait on a drive pool before hedging
+// to the next replica.
+func (c *Controller) hedgeDelay(p *drivePool) time.Duration {
+	if c.cfg.HedgeDelay > 0 {
+		return c.cfg.HedgeDelay
+	}
+	_, p95, n := p.latency()
+	if n < hedgeWarmup {
+		return defaultHedgeDelay
+	}
+	d := p95 + p95/4
+	return min(max(d, minHedgeDelay), maxHedgeDelay)
+}
+
+// orderByLatency returns the pools sorted fastest-first by observed
+// EWMA read latency. Drives with no samples yet sort first: they get
+// explored as primaries until an estimate exists, after which the
+// ordering self-corrects within a few reads of any latency shift.
+// Drives whose latest round trips failed sort last regardless of
+// their estimate — a dead drive never completes a read, so latency
+// samples alone could never demote it, and every read would pay the
+// hedge delay before reaching a healthy replica.
+func orderByLatency(pools []*drivePool) []*drivePool {
+	out := slices.Clone(pools)
+	type rank struct {
+		failing bool
+		ewma    time.Duration
+	}
+	ranks := make(map[*drivePool]rank, len(out))
+	for _, p := range out {
+		r := rank{failing: p.failing()}
+		if e, _, n := p.latency(); n > 0 {
+			r.ewma = e
+		}
+		ranks[p] = r
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, rj := ranks[out[i]], ranks[out[j]]
+		if ri.failing != rj.failing {
+			return !ri.failing
+		}
+		return ri.ewma < rj.ewma
+	})
+	return out
+}
+
+// readHedged is the latency-aware primary-first read engine: the
+// fastest replica is asked first and a hedge to the next-fastest
+// fires only once the outstanding replica has been quiet for its own
+// adaptive delay. The failover semantics match readFirstWins exactly —
+// the first success wins and cancels the stragglers; a not-found is
+// only believed once every replica affirmed it (a degraded replica
+// must not shadow a healthy copy), so absence and hard errors consult
+// all remaining replicas immediately rather than waiting out hedge
+// delays.
+func readHedged[T any](ctx context.Context, c *Controller, pools []*drivePool, read func(ctx context.Context, p *drivePool) (T, error)) (T, error) {
+	var zero T
+	order := orderByLatency(pools)
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		val T
+		err error
+		idx int // index into order
+	}
+	ch := make(chan result, len(order))
+	starts := make([]time.Time, len(order))
+	done := make([]bool, len(order))
+	launched := 0
+	launch := func() {
+		i, p := launched, order[launched]
+		starts[i] = time.Now()
+		launched++
+		go func() {
+			v, err := read(rctx, p)
+			ch <- result{v, err, i}
+		}()
+	}
+	launch()
+	var notFound, lastErr error
+	for answered := 0; answered < len(order); {
+		var timer *time.Timer
+		var hedge <-chan time.Time
+		if launched < len(order) {
+			timer = time.NewTimer(c.hedgeDelay(order[launched-1]))
+			hedge = timer.C
+		}
+		select {
+		case r := <-ch:
+			if timer != nil {
+				timer.Stop()
+			}
+			answered++
+			done[r.idx] = true
+			// Each physical read contributes exactly one estimator
+			// sample, recorded here rather than in the read goroutine:
+			// a straggler completing after the winner returned is
+			// already charged below and must not be counted twice.
+			recordOutcome(order[r.idx], time.Since(starts[r.idx]), r.err)
+			if r.err == nil {
+				// Outlived drives launched before the winner got a head
+				// start and still lost: charge them their elapsed time
+				// as a latency sample. Without this, a degraded primary
+				// whose reads always lose the hedge race would never
+				// complete a round trip, never update its estimate, and
+				// keep its primary slot forever.
+				for i := 0; i < r.idx; i++ {
+					if !done[i] {
+						done[i] = true
+						order[i].observe(time.Since(starts[i]))
+					}
+				}
+				return r.val, nil
+			}
+			switch {
+			case errors.Is(r.err, ErrNotFound):
+				notFound = r.err
+			case errors.Is(r.err, context.Canceled) && ctx.Err() == nil:
+				// A straggler cancelled after the winner returned;
+				// never the answer.
+			default:
+				lastErr = r.err
+			}
+			// Absence needs unanimity and a failure demands immediate
+			// failover: every remaining replica is consulted now.
+			for launched < len(order) {
+				launch()
+			}
+		case <-hedge:
+			c.stats.add(func(s *Stats) { s.ReadHedges++ })
+			launch()
+		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
+			return zero, ctx.Err()
 		}
 	}
 	if notFound != nil && lastErr == nil {
@@ -175,6 +385,9 @@ func (c *Controller) replicationFailed(err error, keys ...string) error {
 		return nil
 	}
 	for _, k := range keys {
+		// Forget before Remove: an in-flight coalesced fetch must not
+		// re-install the entry after the invalidation.
+		c.metaFlight.Forget(k)
 		c.metaCache.Remove(k)
 	}
 	if errors.Is(err, kclient.ErrVersionMismatch) {
@@ -243,6 +456,7 @@ func (c *Controller) deleteReplica(ctx context.Context, di int, key string, meta
 		ops = ops[n:]
 	}
 	for _, k := range keys {
+		c.objectFlight.Forget(string(k))
 		c.objectCache.Remove(string(k))
 	}
 	return nil
@@ -359,6 +573,7 @@ func (c *Controller) commitTxWrites(ctx context.Context, writes []txWrite) error
 			c.metaCache.Put(w.key, newMetas[i])
 			c.objectCache.Put(string(store.ObjectKey(w.key, w.next)),
 				&store.Record{Meta: *newMetas[i], Payload: writes[i].value})
+			c.metaFlight.Forget(w.key)
 		}
 	}
 	unlock()

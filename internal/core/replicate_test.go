@@ -204,6 +204,17 @@ func (h *killableHarness) driveMeta(t *testing.T, di int, key string) (*store.Me
 	return m, true
 }
 
+// deleteRaw force-deletes a raw key directly off one drive, simulating
+// a degraded replica that lost a record before repair.
+func (h *killableHarness) deleteRaw(t *testing.T, di int, key []byte) {
+	t.Helper()
+	req := &wire.Message{Type: wire.TDelete, Key: key, Force: true, User: AdminIdentity}
+	req.Sign(h.ctl.adminKeyFor(h.drives[di].Name()))
+	if resp := h.drives[di].Handle(req); resp.Status != wire.StatusOK {
+		t.Fatalf("drive %d raw delete: %v", di, resp.Status)
+	}
+}
+
 // driveHasObject reports whether a drive holds key's record at version.
 func (h *killableHarness) driveHasObject(t *testing.T, di int, key string, version int64) bool {
 	t.Helper()

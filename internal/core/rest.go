@@ -488,15 +488,27 @@ func (s *RESTServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.ctl.stats.Snapshot()
+	lats := make(map[string]map[string]any, len(s.ctl.drives))
+	for _, dl := range s.ctl.DriveLatencies() {
+		lats[dl.Name] = map[string]any{
+			"ewmaUs":  dl.EWMA.Microseconds(),
+			"p95Us":   dl.P95.Microseconds(),
+			"samples": dl.Samples,
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"puts": st.Puts, "gets": st.Gets, "deletes": st.Deletes,
 		"scans": st.Scans, "scanFiltered": st.ScanFiltered,
 		"batchOps": st.BatchOps, "streams": st.Streams,
 		"policyChecks": st.PolicyChecks, "policyDenials": st.PolicyDenials,
 		"txCommits": st.TxCommits, "txAborts": st.TxAborts,
-		"epcResident": s.ctl.epc.Resident(),
-		"epcFaults":   s.ctl.epc.Faults(),
-		"caches":      s.ctl.CacheStats(),
+		"readHedges":     st.ReadHedges,
+		"coalescedReads": st.CoalescedReads,
+		"decisionHits":   st.DecisionHits,
+		"epcResident":    s.ctl.epc.Resident(),
+		"epcFaults":      s.ctl.epc.Faults(),
+		"caches":         s.ctl.CacheStats(),
+		"driveLatency":   lats,
 	})
 }
 

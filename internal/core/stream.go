@@ -354,19 +354,36 @@ func (c *Controller) getObjectStream(ctx context.Context, sessionKey, key string
 	return &m, send, nil
 }
 
-// loadChunk fetches one chunk record, cache-first with parallel
-// first-wins replica failover, verifying the chunk's own hash and its
-// authenticated chunk id (position binding).
+// loadChunk fetches one chunk record, cache-first with replica
+// failover through the configured read engine, verifying the chunk's
+// own hash and its authenticated chunk id (position binding).
+// Concurrent misses on one chunk coalesce into a single drive read.
 func (c *Controller) loadChunk(ctx context.Context, key string, version, idx int64) (*store.Record, error) {
 	dk := store.ChunkKey(key, version, idx)
 	ck := string(dk)
 	if r, ok := c.objectCache.Get(ck); ok {
 		return r, nil
 	}
+	rec, shared, err := c.objectFlight.Do(ctx, ck,
+		func(fctx context.Context) (*store.Record, error) {
+			if r, ok := c.objectCache.Get(ck); ok {
+				return r, nil
+			}
+			return c.fetchChunk(fctx, key, version, idx, dk)
+		},
+		func(r *store.Record) { c.objectCache.Put(ck, r) })
+	if shared {
+		c.stats.add(func(s *Stats) { s.CoalescedReads++ })
+	}
+	return rec, err
+}
+
+// fetchChunk reads one chunk record off the drives.
+func (c *Controller) fetchChunk(ctx context.Context, key string, version, idx int64, dk []byte) (*store.Record, error) {
 	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
 	wantID := store.ChunkID(key, version, idx)
-	rec, err := readFirstWins(ctx, placement, func(ctx context.Context, di int) (*store.Record, error) {
-		cl := c.drives[di].pick()
+	rec, err := readReplicas(ctx, c, placement, func(ctx context.Context, p *drivePool) (*store.Record, error) {
+		cl := p.pick()
 		c.chargeDriveIO(0)
 		val, _, err := cl.Get(ctx, dk)
 		if errors.Is(err, kclient.ErrNotFound) {
@@ -391,7 +408,6 @@ func (c *Controller) loadChunk(ctx context.Context, key string, version, idx int
 		}
 		return nil, fmt.Errorf("core: all replicas failed reading %q v%d chunk %d: %w", key, version, idx, err)
 	}
-	c.objectCache.Put(ck, rec)
 	return rec, nil
 }
 

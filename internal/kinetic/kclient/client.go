@@ -91,10 +91,26 @@ type Client struct {
 	mu      sync.Mutex
 	conn    net.Conn
 	w       *bufio.Writer
+	enc     *wire.Encoder
 	pending map[uint64]chan *wire.Message
 	closed  bool
+	// dialing, when non-nil, gates a reconnect in flight: exactly one
+	// caller dials (outside the client mutex), everyone else waits on
+	// the gate with their own context and shares the dial's outcome. A
+	// slow or hung redial therefore never blocks callers into an
+	// uncancellable mutex wait, and a failed dial fails every waiter at
+	// once instead of each re-paying a full connect timeout.
+	dialing *dialGate
 
 	seq atomic.Uint64
+}
+
+// dialGate is one reconnect attempt: closed when the dial resolves,
+// err carrying its failure (written before close, so any reader past
+// the channel observes it).
+type dialGate struct {
+	done chan struct{}
+	err  error
 }
 
 // Dial connects to a drive and starts the response reader.
@@ -108,6 +124,7 @@ func Dial(ctx context.Context, dial Dialer, creds Credentials) (*Client, error) 
 		creds:   creds,
 		conn:    conn,
 		w:       bufio.NewWriterSize(conn, 64<<10),
+		enc:     wire.NewEncoder(),
 		pending: make(map[uint64]chan *wire.Message),
 	}
 	go c.readLoop(conn)
@@ -157,31 +174,82 @@ func (c *Client) failAll(failed net.Conn) {
 	}
 }
 
-// roundTrip signs req, sends it, and waits for the matching response.
-func (c *Client) roundTrip(ctx context.Context, req *wire.Message) (*wire.Message, error) {
-	req.Seq = c.seq.Add(1)
-
-	c.mu.Lock()
-	if c.closed {
+// ensureConn returns with c.mu held and a live connection installed,
+// reconnecting if necessary. The dial itself runs outside the mutex
+// behind a single-dialer gate: one caller redials, concurrent callers
+// wait on the gate with their own contexts, and operations on other
+// connections (SetCredentials, Close, racing round trips) are never
+// blocked behind a slow dial.
+func (c *Client) ensureConn(ctx context.Context) error {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClosed
+		}
+		if c.conn != nil {
+			return nil // mutex stays held for the send
+		}
+		if c.dialing != nil {
+			gate := c.dialing
+			c.mu.Unlock()
+			select {
+			case <-gate.done:
+				if gate.err != nil && !errors.Is(gate.err, context.Canceled) &&
+					!errors.Is(gate.err, context.DeadlineExceeded) {
+					// The attempt this caller was waiting on failed;
+					// share its error rather than serially re-dialing
+					// a down drive once per waiter. A leader whose own
+					// context expired says nothing about the drive, so
+					// that case loops and retries instead.
+					return gate.err
+				}
+				continue // re-check, or retry the dial ourselves
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		gate := &dialGate{done: make(chan struct{})}
+		c.dialing = gate
 		c.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if c.conn == nil {
-		// Reconnect lazily after a connection failure.
+
 		conn, err := c.dial(ctx)
+
+		c.mu.Lock()
+		c.dialing = nil
+		gate.err = err
+		close(gate.done)
 		if err != nil {
 			c.mu.Unlock()
-			return nil, err
+			return err
+		}
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return ErrClosed
 		}
 		c.conn = conn
 		c.w = bufio.NewWriterSize(conn, 64<<10)
 		go c.readLoop(conn)
+		return nil // mutex stays held for the send
+	}
+}
+
+// roundTrip signs req, sends it, and waits for the matching response.
+func (c *Client) roundTrip(ctx context.Context, req *wire.Message) (*wire.Message, error) {
+	req.Seq = c.seq.Add(1)
+
+	// ensureConn returns holding c.mu with a live connection.
+	if err := c.ensureConn(ctx); err != nil {
+		return nil, err
 	}
 	req.User = c.creds.Identity
-	req.Sign(c.creds.Key)
+	if c.enc == nil {
+		c.enc = wire.NewEncoder()
+	}
 	ch := make(chan *wire.Message, 1)
 	c.pending[req.Seq] = ch
-	err := wire.WriteFrame(c.w, req)
+	err := c.enc.WriteFrame(c.w, req, c.creds.Key)
 	if err == nil {
 		err = c.w.Flush()
 	}

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/kinetic"
 	"repro/internal/kinetic/wire"
@@ -266,5 +268,134 @@ func TestClientBatchPipelining(t *testing.T) {
 		if err != nil {
 			t.Fatalf("pipelined batch: %v", err)
 		}
+	}
+}
+
+// TestSlowRedialDoesNotBlockOtherCallers pins the reconnect fix: while
+// one caller is stuck in a slow redial, a concurrent caller with a
+// short deadline returns promptly (its context error) instead of
+// queueing on the client mutex behind the dial, and SetCredentials
+// stays responsive.
+func TestSlowRedialDoesNotBlockOtherCallers(t *testing.T) {
+	drive := kinetic.NewDrive(kinetic.Config{Name: "t"})
+	ln := netx.NewListener("drive")
+	srv := kinetic.Serve(drive, ln, nil)
+	t.Cleanup(func() { srv.Close(); ln.Close() })
+
+	dialStarted := make(chan struct{}, 8)
+	releaseDial := make(chan struct{})
+	var first atomic.Bool
+	first.Store(true)
+	cl, err := Dial(context.Background(), func(ctx context.Context) (net.Conn, error) {
+		if first.CompareAndSwap(true, false) {
+			return ln.DialContext(ctx) // initial connect succeeds at once
+		}
+		dialStarted <- struct{}{}
+		select {
+		case <-releaseDial:
+			return ln.DialContext(ctx)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}, Credentials{Identity: kinetic.DefaultAdminIdentity, Key: kinetic.DefaultAdminKey})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	// Sever the connection so the next call must redial.
+	cl.mu.Lock()
+	cl.conn.Close()
+	cl.conn = nil
+	cl.mu.Unlock()
+
+	// Leader: blocks inside the gated redial.
+	leaderErr := make(chan error, 1)
+	go func() { leaderErr <- cl.Noop(context.Background()) }()
+	<-dialStarted
+
+	// A second caller with an already-expired context must not hang.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() { done <- cl.Noop(expired) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter error: %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("caller blocked behind the in-flight redial")
+	}
+
+	// SetCredentials must not block behind the dial either.
+	credsDone := make(chan struct{})
+	go func() {
+		cl.SetCredentials(Credentials{Identity: kinetic.DefaultAdminIdentity, Key: kinetic.DefaultAdminKey})
+		close(credsDone)
+	}()
+	select {
+	case <-credsDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("SetCredentials blocked behind the in-flight redial")
+	}
+
+	// Release the dial: the leader's call completes against the drive.
+	close(releaseDial)
+	if err := <-leaderErr; err != nil {
+		t.Fatalf("leader after redial: %v", err)
+	}
+}
+
+// TestReconnectChurn hammers a client from many goroutines while the
+// connection is repeatedly severed: every caller either succeeds or
+// gets a transport error, the client never deadlocks, and it always
+// recovers once the network calms down.
+func TestReconnectChurn(t *testing.T) {
+	drive := kinetic.NewDrive(kinetic.Config{Name: "t"})
+	ln := netx.NewListener("drive")
+	srv := kinetic.Serve(drive, ln, nil)
+	t.Cleanup(func() { srv.Close(); ln.Close() })
+	cl, err := Dial(context.Background(),
+		func(ctx context.Context) (net.Conn, error) { return ln.DialContext(ctx) },
+		Credentials{Identity: kinetic.DefaultAdminIdentity, Key: kinetic.DefaultAdminKey})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				cl.Noop(ctx) // transport errors are expected mid-churn
+				cancel()
+			}
+		}()
+	}
+	for i := 0; i < 30; i++ {
+		cl.mu.Lock()
+		if cl.conn != nil {
+			cl.conn.Close()
+		}
+		cl.mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	// After the churn the client must still serve requests.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cl.Noop(ctx); err != nil {
+		t.Fatalf("client did not recover after churn: %v", err)
 	}
 }

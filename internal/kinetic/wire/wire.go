@@ -18,11 +18,13 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"math"
 )
@@ -484,6 +486,57 @@ func (m *Message) Verify(key []byte) bool {
 	mac := hmac.New(sha256.New, key)
 	mac.Write(m.marshalBody(nil))
 	return hmac.Equal(mac.Sum(nil), m.HMAC)
+}
+
+// Encoder signs and frames messages for one connection, reusing the
+// HMAC state, the marshal buffer and the tag buffer across messages.
+// The per-message Sign+WriteFrame pair marshals the body twice and
+// allocates a fresh HMAC state (two SHA-256 key schedules) per
+// message; on the controller's hot path that allocation dominates the
+// per-request CPU outside crypto itself. An Encoder marshals once,
+// re-keys only when the credential key actually changes, and emits
+// byte-identical frames to Sign+WriteFrame.
+//
+// An Encoder is not safe for concurrent use; callers serialize on
+// their connection write lock, which is exactly the scope the reused
+// buffers need.
+type Encoder struct {
+	key []byte
+	mac hash.Hash
+	buf []byte
+	sum []byte
+}
+
+// NewEncoder returns an empty Encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// WriteFrame signs m under key and writes the framed message to w,
+// equivalent to m.Sign(key) followed by WriteFrame(w, m) but without
+// the double marshal or per-message allocations. m.HMAC is left
+// untouched.
+func (e *Encoder) WriteFrame(w io.Writer, m *Message, key []byte) error {
+	body := m.marshalBody(e.buf[:0])
+	if e.mac == nil || !bytes.Equal(e.key, key) {
+		e.key = append(e.key[:0], key...)
+		e.mac = hmac.New(sha256.New, key)
+	} else {
+		e.mac.Reset()
+	}
+	e.mac.Write(body)
+	e.sum = e.mac.Sum(e.sum[:0])
+	body = appendField(body, fHMAC, e.sum)
+	e.buf = body[:0] // keep the grown capacity for the next message
+	if len(body) > MaxMessageSize {
+		return fmt.Errorf("wire: message too large: %d bytes", len(body))
+	}
+	var hdr [5]byte
+	hdr[0] = Magic
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
 }
 
 // WriteFrame writes the framed message to w.

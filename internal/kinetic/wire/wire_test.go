@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"bytes"
+	"io"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -269,5 +270,85 @@ func TestBatchResponsePairing(t *testing.T) {
 	}
 	if TBatch.String() != "BATCH" || TBatchResp.String() != "BATCH_RESPONSE" {
 		t.Error("batch type strings broken")
+	}
+}
+
+// TestEncoderMatchesSignWriteFrame: the pooled encoder must emit
+// byte-identical frames to the Sign+WriteFrame pair, across repeated
+// messages, buffer reuse and credential key switches.
+func TestEncoderMatchesSignWriteFrame(t *testing.T) {
+	enc := NewEncoder()
+	keys := [][]byte{[]byte("key-one-secret"), []byte("key-two-secret"), []byte("key-one-secret")}
+	for i, key := range keys {
+		m := &Message{
+			Type: TPut, Seq: uint64(100 + i), User: "u",
+			Key: []byte("object/key"), Value: bytes.Repeat([]byte{byte(i)}, 300+i*17),
+			NewVersion: []byte{0, 0, 0, 0, 0, 0, 0, byte(i)},
+		}
+		var legacy bytes.Buffer
+		ref := *m
+		ref.Sign(key)
+		if err := WriteFrame(&legacy, &ref); err != nil {
+			t.Fatal(err)
+		}
+		var pooled bytes.Buffer
+		if err := enc.WriteFrame(&pooled, m, key); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(legacy.Bytes(), pooled.Bytes()) {
+			t.Fatalf("message %d: encoder frame differs from Sign+WriteFrame", i)
+		}
+		// The receiver verifies the pooled frame like any other.
+		var got Message
+		if err := ReadFrame(bufio.NewReader(&pooled), &got); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Verify(key) {
+			t.Fatalf("message %d: pooled frame fails HMAC verification", i)
+		}
+		if got.Verify([]byte("wrong-key")) {
+			t.Fatalf("message %d: pooled frame verifies under wrong key", i)
+		}
+	}
+}
+
+// TestEncoderRejectsOversize keeps the frame-size guard.
+func TestEncoderRejectsOversize(t *testing.T) {
+	enc := NewEncoder()
+	m := &Message{Type: TPut, Key: []byte("k"), Value: make([]byte, MaxMessageSize)}
+	if err := enc.WriteFrame(&bytes.Buffer{}, m, []byte("secret")); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+// BenchmarkSignWriteFrameLegacy measures the seed's per-message path:
+// fresh HMAC state plus a double body marshal per message.
+func BenchmarkSignWriteFrameLegacy(b *testing.B) {
+	key := []byte("bench-secret-key")
+	m := &Message{Type: TPut, Seq: 1, User: "u", Key: []byte("object/key"),
+		Value: make([]byte, 1024), NewVersion: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Seq = uint64(i)
+		m.Sign(key)
+		if err := WriteFrame(io.Discard, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignWriteFramePooled measures the Encoder path the client
+// uses: one marshal, reused HMAC state and buffers.
+func BenchmarkSignWriteFramePooled(b *testing.B) {
+	key := []byte("bench-secret-key")
+	enc := NewEncoder()
+	m := &Message{Type: TPut, Seq: 1, User: "u", Key: []byte("object/key"),
+		Value: make([]byte, 1024), NewVersion: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Seq = uint64(i)
+		if err := enc.WriteFrame(io.Discard, m, key); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

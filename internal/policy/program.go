@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/policy/lang"
 	"repro/internal/policy/value"
@@ -148,6 +149,12 @@ type CClause struct {
 type Program struct {
 	Consts []value.V
 	Perms  [lang.NumPerms][]CClause
+
+	// staticOnce/staticMask memoize StaticFor's per-permission
+	// classification (see analyze.go); compiled programs are immutable
+	// once published, so the mask is computed at most once.
+	staticOnce sync.Once
+	staticMask uint32
 }
 
 // Hash returns the canonical policy hash: SHA-256 of the marshaled

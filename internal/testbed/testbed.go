@@ -51,6 +51,17 @@ type Options struct {
 	// (the replication benchmark's baseline) instead of atomic batches
 	// fanned out to all replicas concurrently.
 	SerialReplication bool
+	// FanoutReads selects the legacy all-replica first-wins read
+	// engine (the hedged-read benchmark's baseline) instead of
+	// latency-aware hedged reads.
+	FanoutReads bool
+	// HedgeDelay fixes the hedged engine's delay (0 = adaptive ~p95).
+	HedgeDelay time.Duration
+	// ObjectCacheBytes / KeyCacheBytes override the controller cache
+	// budgets (0 = paper defaults); benchmarks shrink them to force
+	// cache-hostile read workloads.
+	ObjectCacheBytes int64
+	KeyCacheBytes    int64
 	// DriveTLS enables TLS on controller↔drive links (default true —
 	// set PlainDriveLinks to disable for microbenchmarks isolating
 	// controller CPU).
@@ -175,9 +186,13 @@ func Start(opts Options) (*Cluster, error) {
 		Encrypt:            !opts.PlaintextPayloads,
 		DisablePolicies:    opts.DisablePolicies,
 		SerialReplication:  opts.SerialReplication,
+		FanoutReads:        opts.FanoutReads,
+		HedgeDelay:         opts.HedgeDelay,
 		TakeOver:           true,
 		PolicyCacheEntries: opts.PolicyCacheEntries,
 		PolicyCacheBytes:   opts.PolicyCacheBytes,
+		ObjectCacheBytes:   opts.ObjectCacheBytes,
+		KeyCacheBytes:      opts.KeyCacheBytes,
 		Clock:              opts.Clock,
 		SessionTTL:         opts.SessionTTL,
 	}
