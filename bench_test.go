@@ -217,6 +217,22 @@ func BenchmarkFigScanWorkloadE(b *testing.B) {
 	}
 }
 
+// BenchmarkFigClusterScaling regenerates the cluster scale-out figure
+// (YCSB A/B/E through the cluster router at 1/2/4 controllers).
+func BenchmarkFigClusterScaling(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.FigClusterScaling(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx := t.Col("YCSB-A IOP/s")
+		b.ReportMetric(t.Rows[0].Values[idx], "1ctrl-A-IOPS")
+		b.ReportMetric(t.Rows[len(t.Rows)-1].Values[idx], "4ctrl-A-IOPS")
+		reportPeak(b, t, "Redirects", "redirects")
+	}
+}
+
 // BenchmarkFigHedgedReads regenerates the hedged-read comparison
 // (all-replica fan-out vs latency-aware primary-first hedging on a
 // cache-hostile read-only workload).

@@ -13,6 +13,13 @@
 //	POST /v1/register   {"measurement": hex, "secrets": {...}}  (operator, loopback only)
 //	GET  /v1/challenge  -> {"nonce": hex}
 //	POST /v1/attest     {"quote": {...}, "nonce": hex} -> secrets
+//	POST /v1/shardmap   raw signed shard map document  (operator, loopback only)
+//	GET  /v1/shardmap   -> the current signed shard map document
+//
+// The shard map endpoints make attestd the distribution point for the
+// cluster shard map (internal/cluster): the document is sealed under
+// the secret bundle's map key, so the channel itself needs no trust —
+// routers and controllers verify what they fetch.
 //
 // Usage:
 //
@@ -20,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"crypto/ecdsa"
 	"crypto/x509"
 	"encoding/hex"
@@ -27,10 +35,13 @@ import (
 	"encoding/pem"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/enclave"
 	"repro/internal/enclave/attest"
@@ -98,13 +109,55 @@ func main() {
 	mux.HandleFunc("POST /v1/register", s.handleRegister)
 	mux.HandleFunc("GET /v1/challenge", s.handleChallenge)
 	mux.HandleFunc("POST /v1/attest", s.handleAttest)
+	mux.HandleFunc("POST /v1/shardmap", s.handlePublishShardMap)
+	mux.HandleFunc("GET /v1/shardmap", s.handleShardMap)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("attestd: listen: %v", err)
 	}
 	log.Printf("attestd: serving on %s", ln.Addr())
-	log.Fatal(http.Serve(ln, mux))
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("attestd: %v", err)
+		}
+	}()
+	<-ctx.Done()
+	log.Printf("attestd: shutting down")
+	srv.Close()
+}
+
+// handlePublishShardMap installs the current signed shard map
+// (operator action: loopback only, like register). The document is
+// stored opaquely; it authenticates itself to its consumers.
+func (s *server) handlePublishShardMap(w http.ResponseWriter, r *http.Request) {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil || !net.ParseIP(host).IsLoopback() {
+		jsonError(w, http.StatusForbidden, fmt.Errorf("shardmap publish allowed from loopback only"))
+		return
+	}
+	doc, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil || len(doc) == 0 {
+		jsonError(w, http.StatusBadRequest, fmt.Errorf("need a signed shard map document"))
+		return
+	}
+	s.svc.PublishShardMap(doc)
+	json.NewEncoder(w).Encode(map[string]any{"ok": true})
+}
+
+// handleShardMap serves the current signed shard map document.
+func (s *server) handleShardMap(w http.ResponseWriter, r *http.Request) {
+	doc, ok := s.svc.ShardMap()
+	if !ok {
+		jsonError(w, http.StatusNotFound, fmt.Errorf("no shard map published"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(doc)
 }
 
 func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {

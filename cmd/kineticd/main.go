@@ -22,7 +22,21 @@ import (
 
 	"repro/internal/kinetic"
 	"repro/internal/kinetic/kclient"
+	"repro/internal/kinetic/wire"
 )
+
+// rootCtx is the daemon's root context: cancelled on SIGINT/SIGTERM,
+// so every in-flight operation (P2P pushes included) unwinds promptly
+// at shutdown instead of running on a context nothing ever cancels.
+var rootCtx context.Context
+
+// P2PIdentity names the shared drive-to-drive account (-p2p-secret).
+const P2PIdentity = "kinetic-p2p"
+
+// p2pCreds authenticates outgoing P2P pushes: the shared P2P account
+// when configured, the factory account otherwise (which only works
+// until a controller takeover replaces it).
+var p2pCreds kclient.Credentials
 
 func main() {
 	listen := flag.String("listen", ":8123", "TCP listen address")
@@ -31,7 +45,12 @@ func main() {
 	hddScale := flag.Float64("hdd-scale", 1.0, "time scale for the hdd media model (0..1]")
 	tlsCert := flag.String("tls-cert", "", "PEM certificate for the drive's TLS identity")
 	tlsKey := flag.String("tls-key", "", "PEM key for the drive's TLS identity")
+	p2pSecret := flag.String("p2p-secret", "", "shared drive-to-drive HMAC secret (>= 8 bytes) enabling P2P copies that survive a controller takeover; same value on every drive of a deployment")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rootCtx = ctx
 
 	var mm kinetic.MediaModel
 	switch *media {
@@ -44,13 +63,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	drive := kinetic.NewDrive(kinetic.Config{
+	if *p2pSecret != "" && len(*p2pSecret) < 8 {
+		fmt.Fprintln(os.Stderr, "kineticd: -p2p-secret needs at least 8 bytes")
+		os.Exit(2)
+	}
+	p2pCreds = kclient.Credentials{Identity: kinetic.DefaultAdminIdentity, Key: kinetic.DefaultAdminKey}
+	cfg := kinetic.Config{
 		Name:  *name,
 		Media: mm,
 		P2PDial: func(peer string) (kinetic.P2PTarget, error) {
 			return dialPeer(peer)
 		},
-	})
+	}
+	if *p2pSecret != "" {
+		// Drive-to-drive trust: the shared account survives a
+		// controller's SetSecurity takeover, so shard handoffs can
+		// P2P-copy between drives owned by different controllers.
+		cfg.P2PAccount = &wire.ACL{Identity: P2PIdentity, Key: []byte(*p2pSecret), Perms: wire.PermWrite}
+		p2pCreds = kclient.Credentials{Identity: P2PIdentity, Key: []byte(*p2pSecret)}
+	}
+	drive := kinetic.NewDrive(cfg)
 
 	var tlsCfg *tls.Config
 	if *tlsCert != "" || *tlsKey != "" {
@@ -69,9 +101,7 @@ func main() {
 	log.Printf("kineticd: drive %q serving on %s (media=%s, tls=%v)",
 		*name, ln.Addr(), mm.Name(), tlsCfg != nil)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	<-ctx.Done()
 	log.Printf("kineticd: shutting down")
 	srv.Close()
 }
@@ -79,11 +109,10 @@ func main() {
 // dialPeer implements device-to-device copies between kineticd
 // instances: the peer address is another drive's TCP endpoint,
 // reached with the factory account (P2P trust is drive-to-drive).
+// Dials and pushes run under the signal-cancelled root context, so a
+// terminating daemon never leaves a P2P copy hanging on a dead peer.
 func dialPeer(addr string) (kinetic.P2PTarget, error) {
-	cl, err := kclient.Dial(contextTODO(), kclient.TCPDialer(addr, nil), kclient.Credentials{
-		Identity: kinetic.DefaultAdminIdentity,
-		Key:      kinetic.DefaultAdminKey,
-	})
+	cl, err := kclient.Dial(rootCtx, kclient.TCPDialer(addr, nil), p2pCreds)
 	if err != nil {
 		return nil, err
 	}
@@ -95,8 +124,5 @@ type p2pClient struct{ cl *kclient.Client }
 // P2PPut implements kinetic.P2PTarget over the wire protocol.
 func (p *p2pClient) P2PPut(key, value, version []byte) error {
 	defer p.cl.Close()
-	return p.cl.Put(contextTODO(), key, value, nil, version, true)
+	return p.cl.Put(rootCtx, key, value, nil, version, true)
 }
-
-// contextTODO centralizes the daemon's background context.
-func contextTODO() context.Context { return context.Background() }

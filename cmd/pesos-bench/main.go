@@ -14,7 +14,8 @@
 // replication engines), scan (YCSB-E short ranges over the v2 Scan
 // API), hedge (fan-out vs hedged cache-miss reads; also emits
 // machine-readable BENCH_read.json with the wire hot-path
-// micro-benchmarks).
+// micro-benchmarks), cluster (keyspace scale-out across 1/2/4
+// controllers through the cluster router; emits BENCH_cluster.json).
 package main
 
 import (
@@ -27,9 +28,10 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan,hedge or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan,hedge,cluster or all")
 	paper := flag.Bool("paper", false, "use the paper's full experiment scale (minutes per figure)")
 	jsonOut := flag.String("json", "BENCH_read.json", "path for the hedge figure's machine-readable output (empty disables)")
+	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "path for the cluster figure's machine-readable output (empty disables)")
 	flag.Parse()
 
 	scale := bench.Quick()
@@ -55,6 +57,7 @@ func main() {
 		{"repl", bench.FigBatchReplication},
 		{"scan", bench.FigScanWorkloadE},
 		{"hedge", bench.FigHedgedReads},
+		{"cluster", bench.FigClusterScaling},
 	}
 
 	ran := false
@@ -76,6 +79,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("(wrote %s)\n", *jsonOut)
+		}
+		if f.name == "cluster" && *clusterJSON != "" {
+			if err := bench.WriteBenchClusterJSON(*clusterJSON, t); err != nil {
+				fmt.Fprintf(os.Stderr, "pesos-bench: write %s: %v\n", *clusterJSON, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(wrote %s)\n", *clusterJSON)
 		}
 		fmt.Printf("(figure %s took %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
 	}

@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/enclave/attest"
 	"repro/internal/kinetic"
@@ -53,6 +54,9 @@ func main() {
 	replicas := flag.Int("replicas", 1, "copies per object")
 	noEncrypt := flag.Bool("no-encrypt", false, "disable payload encryption (baseline)")
 	host := flag.String("host", "localhost", "hostname in the serving certificate")
+	shardMap := flag.String("shard-map", "", "signed cluster shard map file; runs the controller as one shard")
+	shardID := flag.Int("shard-id", 0, "this controller's shard id in the map (with -shard-map)")
+	signMap := flag.String("sign-map", "", "sign a plain shard map JSON file with the state's map key, print the signed document, and exit")
 	flag.Parse()
 
 	switch {
@@ -65,8 +69,12 @@ func main() {
 		if err := doIssueClient(*state, *issueClient); err != nil {
 			log.Fatalf("pesos: issue-client: %v", err)
 		}
+	case *signMap != "":
+		if err := doSignMap(*state, *signMap); err != nil {
+			log.Fatalf("pesos: sign-map: %v", err)
+		}
 	default:
-		if err := run(*state, *listen, *drives, *driveTLS, *replicas, !*noEncrypt); err != nil {
+		if err := run(*state, *listen, *drives, *driveTLS, *replicas, !*noEncrypt, *shardMap, *shardID); err != nil {
 			log.Fatalf("pesos: %v", err)
 		}
 	}
@@ -113,6 +121,9 @@ func doInit(dir, host string) error {
 		return err
 	}
 	if _, err := rand.Read(secrets.AdminSeed[:]); err != nil {
+		return err
+	}
+	if _, err := rand.Read(secrets.MapKey[:]); err != nil {
 		return err
 	}
 	secretsJSON, err := json.MarshalIndent(&secrets, "", "  ")
@@ -188,8 +199,66 @@ func doIssueClient(dir, name string) error {
 	return nil
 }
 
+// ensureMapKey provisions a cluster map key in an existing state
+// directory that predates sharding (its secrets.json has a zero
+// MapKey). The key is additive — nothing ever depended on the zero
+// value — so upgrading in place is safe, and it must happen before
+// run() grafts the runtime TLS material onto the struct.
+func ensureMapKey(sf stateFiles, secrets *attest.Secrets) error {
+	if secrets.MapKey != ([32]byte{}) {
+		return nil
+	}
+	if _, err := rand.Read(secrets.MapKey[:]); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(secrets, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(sf.secrets(), data, 0o600); err != nil {
+		return fmt.Errorf("persist cluster map key: %w", err)
+	}
+	log.Printf("pesos: provisioned cluster map key in %s", sf.secrets())
+	return nil
+}
+
+// doSignMap validates and signs a plain shard map spec under the
+// state directory's cluster map key, writing the signed document to
+// stdout (operators pipe it to a file and publish it on attestd).
+func doSignMap(dir, specFile string) error {
+	sf := stateFiles{dir}
+	secretsJSON, err := os.ReadFile(sf.secrets())
+	if err != nil {
+		return fmt.Errorf("read secrets (run -init first): %w", err)
+	}
+	secrets, err := attest.UnmarshalSecrets(secretsJSON)
+	if err != nil {
+		return err
+	}
+	if err := ensureMapKey(sf, secrets); err != nil {
+		return err
+	}
+	spec, err := os.ReadFile(specFile)
+	if err != nil {
+		return err
+	}
+	var m cluster.ShardMap
+	if err := json.Unmarshal(spec, &m); err != nil {
+		return fmt.Errorf("parse map spec: %w", err)
+	}
+	doc, err := cluster.SignMap(secrets.MapKey, &m)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(doc, '\n'))
+	return err
+}
+
 // run boots the controller against TCP drives and serves REST.
-func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt bool) error {
+func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt bool, shardMapFile string, shardID int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	sf := stateFiles{dir}
 	if driveList == "" {
 		return fmt.Errorf("no drives configured (use -drives host:port,...)")
@@ -222,6 +291,27 @@ func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt boo
 		TakeOver: true,
 		Secrets:  secrets,
 	}
+	if shardMapFile != "" {
+		doc, err := os.ReadFile(shardMapFile)
+		if err != nil {
+			return fmt.Errorf("read shard map: %w", err)
+		}
+		if secrets.MapKey == ([32]byte{}) {
+			return fmt.Errorf("state has no cluster map key; sign the map with this state first (pesos -sign-map provisions the key)")
+		}
+		m, err := cluster.VerifyMap(secrets.MapKey, doc)
+		if err != nil {
+			return fmt.Errorf("shard map: %w", err)
+		}
+		info, err := m.InfoFor(shardID)
+		if err != nil {
+			return err
+		}
+		cfg.Shard = info
+		cfg.ClusterMapDoc = doc
+		log.Printf("pesos: shard %d of %d, epoch %d, ranges %v",
+			shardID, len(m.Shards), m.Epoch, info.Ranges)
+	}
 	secrets.Drives = nil
 	for i, addr := range addrs {
 		addr = strings.TrimSpace(addr)
@@ -240,8 +330,8 @@ func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt boo
 		})
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-	ctl, err := core.New(ctx, cfg)
+	bootCtx, cancel := context.WithTimeout(ctx, time.Minute)
+	ctl, err := core.New(bootCtx, cfg)
 	cancel()
 	if err != nil {
 		return err
@@ -264,19 +354,24 @@ func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt boo
 	}
 	srv := &http.Server{Handler: core.NewREST(ctl)}
 	go func() {
-		// Session contexts expire after their TTL (§3.1).
+		// Session contexts expire after their TTL (§3.1); the sweeper
+		// stops with the root context.
+		t := time.NewTicker(time.Minute)
+		defer t.Stop()
 		for {
-			time.Sleep(time.Minute)
-			ctl.ExpireSessions()
+			select {
+			case <-t.C:
+				ctl.ExpireSessions()
+			case <-ctx.Done():
+				return
+			}
 		}
 	}()
 	go srv.Serve(tls.NewListener(ln, tlsCfg))
 	log.Printf("pesos: controller serving on %s, %d drives, replicas=%d, encrypt=%v",
 		ln.Addr(), len(cfg.Drives), replicas, encrypt)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	<-ctx.Done()
 	log.Printf("pesos: shutting down")
 	return srv.Close()
 }

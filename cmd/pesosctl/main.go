@@ -17,6 +17,9 @@
 //	policy-put <file|->           compile + store a policy, print its id
 //	policy-get <id>               print a stored policy's canonical text
 //	status                        controller statistics
+//	cluster status                this controller's shard: epoch, ranges, frozen ranges
+//	cluster map                   the cluster shard map: epoch, per-shard endpoint,
+//	                              key-hash ranges and drive set
 //
 // ls walks the listing page by page through the v2 pagination tokens
 // (-limit sets the page size, -pages caps how many pages to fetch,
@@ -29,14 +32,18 @@ import (
 	"context"
 	"crypto/tls"
 	"crypto/x509"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/core"
 )
 
 func main() {
@@ -189,9 +196,85 @@ func main() {
 		}
 		defer resp.Body.Close()
 		io.Copy(os.Stdout, resp.Body)
+	case "cluster":
+		need(args, 2, "cluster <status|map>")
+		httpCl := &http.Client{Transport: &http.Transport{TLSClientConfig: tlsCfg}}
+		switch args[1] {
+		case "status":
+			clusterStatus(httpCl, *server)
+		case "map":
+			clusterMap(httpCl, *server)
+		default:
+			fatal(fmt.Errorf("unknown cluster subcommand %q", args[1]))
+		}
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))
 	}
+}
+
+// clusterStatus prints this controller's shard section of /v1/status.
+func clusterStatus(httpCl *http.Client, server string) {
+	resp, err := httpCl.Get(server + "/v1/status")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fatal(fmt.Errorf("HTTP %d: %s", resp.StatusCode, body))
+	}
+	var st struct {
+		WrongShard uint64            `json:"wrongShard"`
+		Shard      *core.ShardStatus `json:"shard"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fatal(err)
+	}
+	if st.Shard == nil {
+		fmt.Println("controller is not sharded")
+		return
+	}
+	fmt.Printf("shard:       %d\nepoch:       %d\nredirects:   %d\n", st.Shard.ID, st.Shard.Epoch, st.WrongShard)
+	fmt.Printf("ranges:      %s\n", formatRanges(st.Shard.Ranges))
+	if len(st.Shard.Frozen) > 0 {
+		fmt.Printf("frozen:      %s  (handoff in flight)\n", formatRanges(st.Shard.Frozen))
+	}
+}
+
+// clusterMap fetches and prints the cluster shard map this controller
+// distributes. Display only: pesosctl holds no map key, so the
+// signature is not verified here.
+func clusterMap(httpCl *http.Client, server string) {
+	resp, err := httpCl.Get(server + "/v1/cluster/map")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	doc, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("HTTP %d: %s", resp.StatusCode, doc))
+	}
+	m, err := cluster.UnverifiedMap(doc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("epoch %d, %d shards (signature not verified client-side)\n", m.Epoch, len(m.Shards))
+	for _, s := range m.Shards {
+		fmt.Printf("  shard %-3d %-20s ranges %-30s drives %v (replicas %d)\n",
+			s.ID, s.Endpoint, formatRanges(s.Ranges), s.Drives, s.Replicas)
+	}
+}
+
+// formatRanges renders a hash range list compactly.
+func formatRanges(ranges []core.HashRange) string {
+	out := make([]string, len(ranges))
+	for i, r := range ranges {
+		out[i] = r.String()
+	}
+	return strings.Join(out, " ")
 }
 
 // readInput reads the value argument at index i: a file name, "-" for

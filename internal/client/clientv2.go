@@ -178,10 +178,12 @@ type ListEntry struct {
 }
 
 // ListPage is one page of a listing; NextToken is empty once the
-// listing is exhausted.
+// listing is exhausted. ShardEpoch is set by sharded controllers (the
+// shard map epoch the page was filtered under; see core.ScanPage).
 type ListPage struct {
-	Entries   []ListEntry `json:"entries"`
-	NextToken string      `json:"nextToken"`
+	Entries    []ListEntry `json:"entries"`
+	NextToken  string      `json:"nextToken"`
+	ShardEpoch uint64      `json:"shardEpoch"`
 }
 
 // List fetches one page of the policy-filtered object listing.

@@ -1,0 +1,268 @@
+// Package cluster implements keyspace sharding across multiple Pesos
+// controllers: a versioned, attestation-signed shard map assigning
+// hash ranges of the keyspace (store.ShardHash) to controllers and
+// their owned drive sets; a client-side router dispatching the v2 API
+// to the owning shard (scatter-gathering scans with per-shard cursor
+// vectors); and the live handoff protocol moving a hash range between
+// controllers with at most one retriable redirect per in-flight
+// operation.
+//
+// The map document is authenticated with the enclave sealing
+// primitive (internal/enclave/seal) under a cluster map key carried in
+// the attestation secret bundle: only an attested controller (or the
+// operator holding the bundle) can mint a map, and a router holding
+// the key detects any tampering. Epochs fence staleness — a router
+// never adopts a map older than the one it has, and a controller
+// answers operations under a newer map with wrong_shard so the router
+// refreshes.
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/enclave/seal"
+	"repro/internal/store"
+)
+
+// ErrBadMap rejects a shard map that fails authentication or
+// structural validation.
+var ErrBadMap = errors.New("cluster: invalid shard map")
+
+// Shard is one controller's entry in the map.
+type Shard struct {
+	// ID is the stable shard identifier (survives range moves).
+	ID int `json:"id"`
+	// Ranges are the hash ranges this shard owns.
+	Ranges []core.HashRange `json:"ranges"`
+	// Endpoint is the controller's client-facing address (the base
+	// host routers dial).
+	Endpoint string `json:"endpoint"`
+	// Drives are the controller's drive names in configuration order
+	// (migration placement is positional).
+	Drives []string `json:"drives"`
+	// Replicas is the controller's copy count per object.
+	Replicas int `json:"replicas"`
+}
+
+// Owns reports whether the shard owns hash point h.
+func (s *Shard) Owns(h uint32) bool { return core.RangesContain(s.Ranges, h) }
+
+// ShardMap is the cluster keyspace assignment at one epoch.
+type ShardMap struct {
+	Epoch  uint64  `json:"epoch"`
+	Shards []Shard `json:"shards"`
+}
+
+// Validate checks structural invariants: unique shard ids, non-empty
+// endpoints and drive sets, and ranges that partition the full hash
+// space exactly (no gap, no overlap).
+func (m *ShardMap) Validate() error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("%w: no shards", ErrBadMap)
+	}
+	ids := make(map[int]bool, len(m.Shards))
+	var all []core.HashRange
+	total := uint64(0)
+	for i := range m.Shards {
+		s := &m.Shards[i]
+		if ids[s.ID] {
+			return fmt.Errorf("%w: duplicate shard id %d", ErrBadMap, s.ID)
+		}
+		ids[s.ID] = true
+		if s.Endpoint == "" {
+			return fmt.Errorf("%w: shard %d has no endpoint", ErrBadMap, s.ID)
+		}
+		if len(s.Drives) == 0 {
+			return fmt.Errorf("%w: shard %d has no drives", ErrBadMap, s.ID)
+		}
+		if s.Replicas < 1 || s.Replicas > len(s.Drives) {
+			return fmt.Errorf("%w: shard %d has %d replicas over %d drives", ErrBadMap, s.ID, s.Replicas, len(s.Drives))
+		}
+		for _, r := range s.Ranges {
+			if r.Empty() || r.End > store.ShardSpace {
+				return fmt.Errorf("%w: shard %d has bad range %v", ErrBadMap, s.ID, r)
+			}
+			total += uint64(r.End - r.Start)
+			all = append(all, r)
+		}
+	}
+	merged := core.NormalizeRanges(all)
+	if total != store.ShardSpace || len(merged) != 1 ||
+		merged[0].Start != 0 || merged[0].End != store.ShardSpace {
+		return fmt.Errorf("%w: ranges do not partition [0,%d) exactly", ErrBadMap, store.ShardSpace)
+	}
+	return nil
+}
+
+// OwnerOf returns the shard owning key.
+func (m *ShardMap) OwnerOf(key string) (*Shard, error) {
+	h := store.ShardHash(key)
+	for i := range m.Shards {
+		if m.Shards[i].Owns(h) {
+			return &m.Shards[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no shard owns hash %d", ErrBadMap, h)
+}
+
+// ShardByID returns the shard with the given id, nil if absent.
+func (m *ShardMap) ShardByID(id int) *Shard {
+	for i := range m.Shards {
+		if m.Shards[i].ID == id {
+			return &m.Shards[i]
+		}
+	}
+	return nil
+}
+
+// InfoFor builds the core.ShardInfo a controller boots with for its
+// shard id.
+func (m *ShardMap) InfoFor(id int) (*core.ShardInfo, error) {
+	s := m.ShardByID(id)
+	if s == nil {
+		return nil, fmt.Errorf("%w: no shard id %d", ErrBadMap, id)
+	}
+	return &core.ShardInfo{
+		ID:     s.ID,
+		Epoch:  m.Epoch,
+		Ranges: append([]core.HashRange(nil), s.Ranges...),
+	}, nil
+}
+
+// MoveRange returns a copy of the map at epoch+1 with range r moved
+// from shard srcID to shard dstID. r must lie inside the source's
+// owned ranges.
+func (m *ShardMap) MoveRange(srcID, dstID int, r core.HashRange) (*ShardMap, error) {
+	if srcID == dstID {
+		return nil, fmt.Errorf("cluster: move %v from shard %d to itself", r, srcID)
+	}
+	out := &ShardMap{Epoch: m.Epoch + 1, Shards: make([]Shard, len(m.Shards))}
+	copy(out.Shards, m.Shards)
+	var src, dst *Shard
+	for i := range out.Shards {
+		out.Shards[i].Ranges = append([]core.HashRange(nil), out.Shards[i].Ranges...)
+		switch out.Shards[i].ID {
+		case srcID:
+			src = &out.Shards[i]
+		case dstID:
+			dst = &out.Shards[i]
+		}
+	}
+	if src == nil || dst == nil {
+		return nil, fmt.Errorf("cluster: unknown shard id in move %d->%d", srcID, dstID)
+	}
+	before := core.NormalizeRanges(src.Ranges)
+	src.Ranges = core.SubtractRanges(src.Ranges, r)
+	after := core.NormalizeRanges(src.Ranges)
+	moved := uint64(0)
+	for _, br := range before {
+		moved += uint64(br.End - br.Start)
+	}
+	for _, ar := range after {
+		moved -= uint64(ar.End - ar.Start)
+	}
+	if moved != uint64(r.End-r.Start) {
+		return nil, fmt.Errorf("cluster: range %v not fully owned by shard %d", r, srcID)
+	}
+	dst.Ranges = core.NormalizeRanges(append(dst.Ranges, r))
+	return out, out.Validate()
+}
+
+// UniformMap partitions the hash space evenly across the given shards
+// at epoch 1 (epoch 0 is reserved for "no map"). The shards' Ranges
+// fields are overwritten.
+func UniformMap(shards []Shard) (*ShardMap, error) {
+	n := len(shards)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no shards", ErrBadMap)
+	}
+	m := &ShardMap{Epoch: 1, Shards: make([]Shard, n)}
+	copy(m.Shards, shards)
+	sort.Slice(m.Shards, func(i, j int) bool { return m.Shards[i].ID < m.Shards[j].ID })
+	per := uint32(store.ShardSpace / n)
+	for i := range m.Shards {
+		start := uint32(i) * per
+		end := start + per
+		if i == n-1 {
+			end = store.ShardSpace
+		}
+		m.Shards[i].Ranges = []core.HashRange{{Start: start, End: end}}
+	}
+	return m, m.Validate()
+}
+
+// signedMap is the wire form of a signed shard map document.
+type signedMap struct {
+	Payload []byte `json:"payload"` // canonical ShardMap JSON
+	Seal    []byte `json:"seal"`    // seal.Seal(key, SHA-256(payload), aad)
+}
+
+// mapAAD binds the seal to its purpose, so a sealed blob minted for
+// any other protocol can never pass as a shard map.
+const mapAAD = "pesos-shard-map-v1"
+
+// SignMap serializes and authenticates a shard map under the cluster
+// map key. The digest — not the payload — is sealed: the document
+// stays operator-readable while remaining tamper-evident to key
+// holders.
+func SignMap(key [32]byte, m *ShardMap) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	digest := sha256.Sum256(payload)
+	sealed, err := seal.Seal(key, digest[:], []byte(mapAAD))
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(&signedMap{Payload: payload, Seal: sealed})
+}
+
+// VerifyMap authenticates a signed shard map document and returns the
+// validated map.
+func VerifyMap(key [32]byte, doc []byte) (*ShardMap, error) {
+	var sm signedMap
+	if err := json.Unmarshal(doc, &sm); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMap, err)
+	}
+	digest, err := seal.Open(key, sm.Seal, []byte(mapAAD))
+	if err != nil {
+		return nil, fmt.Errorf("%w: seal: %v", ErrBadMap, err)
+	}
+	want := sha256.Sum256(sm.Payload)
+	if !bytes.Equal(digest, want[:]) {
+		return nil, fmt.Errorf("%w: payload digest mismatch", ErrBadMap)
+	}
+	var m ShardMap
+	if err := json.Unmarshal(sm.Payload, &m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMap, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// UnverifiedMap parses a signed map document WITHOUT authenticating
+// it — for display tools (pesosctl) that hold no map key. Never use
+// the result for routing decisions.
+func UnverifiedMap(doc []byte) (*ShardMap, error) {
+	var sm signedMap
+	if err := json.Unmarshal(doc, &sm); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMap, err)
+	}
+	var m ShardMap
+	if err := json.Unmarshal(sm.Payload, &m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMap, err)
+	}
+	return &m, nil
+}

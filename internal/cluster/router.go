@@ -1,0 +1,764 @@
+// The cluster router: the client-side layer that makes N controllers
+// look like one keyspace. Single-key operations are dispatched to the
+// owning shard under the current map; a wrong_shard answer (the
+// controller is ahead of the router's map epoch) triggers a map
+// refresh and a redirect — under the handoff protocol an in-flight
+// operation sees at most one. Multi-key batches are split per shard
+// and reassembled in request order; listings scatter to every shard
+// and merge, with pagination tokens that are per-shard cursor vectors
+// and an epoch-consistency check that re-fetches any page torn by a
+// concurrent handoff.
+package cluster
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/authority"
+	"repro/internal/client"
+	"repro/internal/core"
+)
+
+// MapSource supplies the current signed shard map document.
+type MapSource interface {
+	FetchMap(ctx context.Context) ([]byte, error)
+}
+
+// MapSourceFunc adapts a function to MapSource.
+type MapSourceFunc func(ctx context.Context) ([]byte, error)
+
+// FetchMap implements MapSource.
+func (f MapSourceFunc) FetchMap(ctx context.Context) ([]byte, error) { return f(ctx) }
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Source distributes the signed shard map (attestd, a controller's
+	// /v1/cluster/map, or an in-process closure).
+	Source MapSource
+	// Key verifies map signatures.
+	Key [32]byte
+	// NewClient builds the REST client for one shard endpoint.
+	NewClient func(s Shard) (*client.Client, error)
+	// MaxRedirects bounds wrong_shard retries per operation (default 8;
+	// the protocol needs 1, the budget covers cascaded rebalances).
+	MaxRedirects int
+	// RedirectBackoff paces waiting for a newer map after a redirect
+	// whose refresh did not advance the epoch yet (default 10ms).
+	RedirectBackoff time.Duration
+}
+
+// RouterStats counts router activity.
+type RouterStats struct {
+	// Redirects is the total number of wrong_shard answers seen.
+	Redirects atomic.Uint64
+	// MapRefreshes counts shard map fetches.
+	MapRefreshes atomic.Uint64
+	// MaxRedirectsPerOp is the worst redirect count any single
+	// operation needed (the handoff protocol promises at most 1).
+	MaxRedirectsPerOp atomic.Uint64
+}
+
+// Router routes the v2 API across the shards of a cluster.
+type Router struct {
+	cfg   RouterConfig
+	stats RouterStats
+
+	mu      sync.RWMutex
+	m       *ShardMap
+	clients map[string]*client.Client // by endpoint
+}
+
+// NewRouter builds a router and loads the initial map.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Source == nil || cfg.NewClient == nil {
+		return nil, errors.New("cluster: router needs a map source and a client factory")
+	}
+	if cfg.MaxRedirects <= 0 {
+		cfg.MaxRedirects = 8
+	}
+	if cfg.RedirectBackoff <= 0 {
+		cfg.RedirectBackoff = 10 * time.Millisecond
+	}
+	r := &Router{cfg: cfg, clients: make(map[string]*client.Client)}
+	if err := r.Refresh(context.Background()); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Stats exposes the router's counters.
+func (r *Router) Stats() *RouterStats { return &r.stats }
+
+// Map returns the router's current shard map.
+func (r *Router) Map() *ShardMap {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m
+}
+
+// Epoch returns the current map epoch (0 before the first load).
+func (r *Router) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.m == nil {
+		return 0
+	}
+	return r.m.Epoch
+}
+
+// Refresh fetches, verifies and (if newer) adopts the shard map.
+// Epoch fencing: an older or equal map is ignored, so a lagging
+// source can never roll the router back.
+func (r *Router) Refresh(ctx context.Context) error {
+	doc, err := r.cfg.Source.FetchMap(ctx)
+	if err != nil {
+		return fmt.Errorf("cluster: fetch shard map: %w", err)
+	}
+	r.stats.MapRefreshes.Add(1)
+	m, err := VerifyMap(r.cfg.Key, doc)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil || m.Epoch > r.m.Epoch {
+		r.m = m
+	}
+	return nil
+}
+
+// target resolves key to its owning shard and a client for it.
+func (r *Router) target(key string) (*Shard, *client.Client, error) {
+	r.mu.RLock()
+	m := r.m
+	r.mu.RUnlock()
+	if m == nil {
+		return nil, nil, errors.New("cluster: no shard map loaded")
+	}
+	s, err := m.OwnerOf(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	cl, err := r.clientFor(s)
+	return s, cl, err
+}
+
+// clientFor returns (creating once) the client for a shard endpoint.
+func (r *Router) clientFor(s *Shard) (*client.Client, error) {
+	r.mu.RLock()
+	cl := r.clients[s.Endpoint]
+	r.mu.RUnlock()
+	if cl != nil {
+		return cl, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cl := r.clients[s.Endpoint]; cl != nil {
+		return cl, nil
+	}
+	cl, err := r.cfg.NewClient(*s)
+	if err != nil {
+		return nil, err
+	}
+	r.clients[s.Endpoint] = cl
+	return cl, nil
+}
+
+// isWrongShardErr classifies a transport-level error as a redirect.
+func isWrongShardErr(err error) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.Code == string(core.CodeWrongShard)
+}
+
+// resultWrongShard classifies a per-op result as a redirect.
+func resultWrongShard(e *client.OpError) bool {
+	return e != nil && e.Code == string(core.CodeWrongShard)
+}
+
+// noteRedirects folds one operation's redirect count into the stats.
+func (r *Router) noteRedirects(n int) {
+	if n == 0 {
+		return
+	}
+	for {
+		cur := r.stats.MaxRedirectsPerOp.Load()
+		if uint64(n) <= cur || r.stats.MaxRedirectsPerOp.CompareAndSwap(cur, uint64(n)) {
+			return
+		}
+	}
+}
+
+// awaitNewerMap refreshes until the map epoch advances past prev (or
+// keeps the current map after a bounded wait — the redirect may have
+// raced a refresh that already adopted the new epoch).
+func (r *Router) awaitNewerMap(ctx context.Context, prev uint64) error {
+	if r.Epoch() > prev {
+		return nil
+	}
+	deadline := time.Now().Add(64 * r.cfg.RedirectBackoff)
+	for {
+		if err := r.Refresh(ctx); err != nil {
+			return err
+		}
+		if r.Epoch() > prev || time.Now().After(deadline) {
+			return nil
+		}
+		select {
+		case <-time.After(r.cfg.RedirectBackoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// route runs one single-key operation with redirect handling. op
+// reports (value, wrongShard, error); on a redirect the map is
+// refreshed and the operation re-dispatched.
+func route[T any](ctx context.Context, r *Router, key string, op func(cl *client.Client) (T, bool, error)) (T, error) {
+	var zero T
+	redirects := 0
+	for {
+		epoch := r.Epoch()
+		_, cl, err := r.target(key)
+		if err != nil {
+			return zero, err
+		}
+		v, wrong, err := op(cl)
+		if !wrong {
+			if err != nil {
+				return zero, err
+			}
+			r.noteRedirects(redirects)
+			return v, nil
+		}
+		redirects++
+		r.stats.Redirects.Add(1)
+		if redirects > r.cfg.MaxRedirects {
+			return zero, fmt.Errorf("cluster: %d redirects routing %q, shard map unstable", redirects, key)
+		}
+		if err := r.awaitNewerMap(ctx, epoch); err != nil {
+			return zero, err
+		}
+	}
+}
+
+// Put stores an object via the owning shard.
+func (r *Router) Put(ctx context.Context, key string, value []byte, opts client.PutOptions) (client.OpResult, error) {
+	return route(ctx, r, key, func(cl *client.Client) (client.OpResult, bool, error) {
+		res, err := cl.PutOp(ctx, key, value, opts)
+		if err != nil {
+			return res, isWrongShardErr(err), err
+		}
+		return res, resultWrongShard(res.Err), nil
+	})
+}
+
+// getResult pairs a Get's value and metadata through the router.
+type getResult struct {
+	value []byte
+	meta  *client.ObjectMeta
+}
+
+// Get fetches an object via the owning shard.
+func (r *Router) Get(ctx context.Context, key string, opts client.GetOptions) ([]byte, *client.ObjectMeta, error) {
+	res, err := route(ctx, r, key, func(cl *client.Client) (getResult, bool, error) {
+		v, m, err := cl.Get(ctx, key, opts)
+		return getResult{v, m}, isWrongShardErr(err), err
+	})
+	return res.value, res.meta, err
+}
+
+// Delete removes an object via the owning shard.
+func (r *Router) Delete(ctx context.Context, key string, certs ...*authority.Certificate) (client.OpResult, error) {
+	return route(ctx, r, key, func(cl *client.Client) (client.OpResult, bool, error) {
+		res, err := cl.DeleteOp(ctx, key, false, certs...)
+		if err != nil {
+			return res, isWrongShardErr(err), err
+		}
+		return res, resultWrongShard(res.Err), nil
+	})
+}
+
+// streamResult pairs a streamed read's body and metadata.
+type streamResult struct {
+	body io.ReadCloser
+	meta *client.ObjectMeta
+}
+
+// GetStream opens a streamed read via the owning shard.
+func (r *Router) GetStream(ctx context.Context, key string, opts client.GetOptions) (io.ReadCloser, *client.ObjectMeta, error) {
+	res, err := route(ctx, r, key, func(cl *client.Client) (streamResult, bool, error) {
+		body, meta, err := cl.GetStream(ctx, key, opts)
+		return streamResult{body, meta}, isWrongShardErr(err), err
+	})
+	return res.body, res.meta, err
+}
+
+// PutStream stores a streamed object via the owning shard. open is
+// called once per dispatch attempt, so a redirect can replay the body.
+func (r *Router) PutStream(ctx context.Context, key string, open func() (io.Reader, error), opts client.PutOptions) (client.OpResult, error) {
+	return route(ctx, r, key, func(cl *client.Client) (client.OpResult, bool, error) {
+		body, err := open()
+		if err != nil {
+			return client.OpResult{}, false, err
+		}
+		res, err := cl.PutStream(ctx, key, body, opts)
+		if err != nil {
+			return res, isWrongShardErr(err), err
+		}
+		return res, resultWrongShard(res.Err), nil
+	})
+}
+
+// PutPolicy stores a policy on EVERY shard (policies are content-
+// addressed and idempotent; objects on any shard may reference them).
+func (r *Router) PutPolicy(ctx context.Context, src string) (string, error) {
+	m := r.Map()
+	if m == nil {
+		return "", errors.New("cluster: no shard map loaded")
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	ids := make(map[string]bool)
+	for i := range m.Shards {
+		s := &m.Shards[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := r.clientFor(s)
+			if err == nil {
+				var id string
+				if id, err = cl.PutPolicy(ctx, src); err == nil {
+					mu.Lock()
+					ids[id] = true
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: put policy on shard %d: %w", s.ID, err)
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return "", firstErr
+	}
+	if len(ids) != 1 {
+		return "", fmt.Errorf("cluster: shards disagree on policy id: %v", ids)
+	}
+	for id := range ids {
+		return id, nil
+	}
+	return "", errors.New("cluster: no policy id")
+}
+
+// BatchGet reads many keys, split per owning shard and reassembled in
+// request order; wrong_shard per-op results are re-routed after a map
+// refresh.
+func (r *Router) BatchGet(ctx context.Context, keys []string, certs ...*authority.Certificate) ([]client.BatchGetResult, error) {
+	results := make([]client.BatchGetResult, len(keys))
+	pending := make([]int, len(keys))
+	for i := range keys {
+		pending[i] = i
+	}
+	err := r.scatterRounds(ctx, pending, func(idx int) string { return keys[idx] },
+		func(cl *client.Client, group []int) ([]*client.OpError, error) {
+			groupKeys := make([]string, len(group))
+			for j, idx := range group {
+				groupKeys[j] = keys[idx]
+			}
+			res, err := cl.BatchGet(ctx, groupKeys, certs...)
+			if err != nil {
+				return nil, err
+			}
+			if len(res) != len(group) {
+				return nil, fmt.Errorf("cluster: batch get returned %d results for %d keys", len(res), len(group))
+			}
+			errs := make([]*client.OpError, len(group))
+			for j, idx := range group {
+				results[idx] = res[j]
+				errs[j] = res[j].Err
+			}
+			return errs, nil
+		})
+	return results, err
+}
+
+// BatchPut writes many ops, split per owning shard and reassembled in
+// request order.
+func (r *Router) BatchPut(ctx context.Context, ops []client.BatchPutOp, certs ...*authority.Certificate) ([]client.OpResult, error) {
+	results := make([]client.OpResult, len(ops))
+	pending := make([]int, len(ops))
+	for i := range ops {
+		pending[i] = i
+	}
+	err := r.scatterRounds(ctx, pending, func(idx int) string { return string(ops[idx].Key) },
+		func(cl *client.Client, group []int) ([]*client.OpError, error) {
+			groupOps := make([]client.BatchPutOp, len(group))
+			for j, idx := range group {
+				groupOps[j] = ops[idx]
+			}
+			res, err := cl.BatchPut(ctx, groupOps, certs...)
+			if err != nil {
+				return nil, err
+			}
+			if len(res) != len(group) {
+				return nil, fmt.Errorf("cluster: batch put returned %d results for %d ops", len(res), len(group))
+			}
+			errs := make([]*client.OpError, len(group))
+			for j, idx := range group {
+				results[idx] = res[j]
+				errs[j] = res[j].Err
+			}
+			return errs, nil
+		})
+	return results, err
+}
+
+// scatterRounds drives a multi-key request: group the pending indices
+// by owning shard, execute the groups concurrently, collect per-op
+// wrong_shard indices and repeat against a refreshed map until every
+// op landed (or the redirect budget runs out, leaving the redirect
+// errors in the caller's results).
+func (r *Router) scatterRounds(ctx context.Context, pending []int, keyOf func(int) string,
+	exec func(cl *client.Client, group []int) ([]*client.OpError, error)) error {
+	for round := 0; len(pending) > 0; round++ {
+		epoch := r.Epoch()
+		groups := make(map[int][]int) // shard id -> indices
+		shards := make(map[int]*Shard)
+		for _, idx := range pending {
+			s, _, err := r.target(keyOf(idx))
+			if err != nil {
+				return err
+			}
+			groups[s.ID] = append(groups[s.ID], idx)
+			shards[s.ID] = s
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		var redo []int
+		for id, group := range groups {
+			wg.Add(1)
+			go func(s *Shard, group []int) {
+				defer wg.Done()
+				cl, err := r.clientFor(s)
+				var errs []*client.OpError
+				if err == nil {
+					errs, err = exec(cl, group)
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				for j, e := range errs {
+					if resultWrongShard(e) {
+						redo = append(redo, group[j])
+					}
+				}
+			}(shards[id], group)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+		if len(redo) == 0 {
+			r.noteRedirects(round)
+			return nil
+		}
+		r.stats.Redirects.Add(uint64(len(redo)))
+		if round >= r.cfg.MaxRedirects {
+			// Budget exhausted: the wrong_shard results stay visible to
+			// the caller.
+			r.noteRedirects(round)
+			return nil
+		}
+		if err := r.awaitNewerMap(ctx, epoch); err != nil {
+			return err
+		}
+		sort.Ints(redo)
+		pending = redo
+	}
+	return nil
+}
+
+// routerCursor is one shard's resume position inside a router
+// pagination token: either the shard's own server token (the page was
+// consumed exactly), a start key (the page was cut at the merge
+// boundary), or exhaustion.
+type routerCursor struct {
+	Token string `json:"t,omitempty"`
+	Start []byte `json:"s,omitempty"`
+	Done  bool   `json:"d,omitempty"`
+}
+
+// routerToken is the cursor vector of a scattered listing, plus the
+// global merge boundary for epoch-change recovery: if the shard set
+// changed since the token was minted, every shard restarts just past
+// the boundary — nothing at or below it is re-emitted, nothing above
+// it was ever emitted, so a handoff between pages can neither skip
+// nor duplicate a key.
+type routerToken struct {
+	Epoch    uint64                  `json:"e"`
+	Boundary []byte                  `json:"b"`
+	Cursors  map[string]routerCursor `json:"c"`
+}
+
+func encodeRouterToken(t *routerToken) (string, error) {
+	raw, err := json.Marshal(t)
+	if err != nil {
+		return "", err
+	}
+	return base64.RawURLEncoding.EncodeToString(raw), nil
+}
+
+func decodeRouterToken(s string) (*routerToken, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad pagination token: %w", err)
+	}
+	var t routerToken
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("cluster: bad pagination token: %w", err)
+	}
+	return &t, nil
+}
+
+// successorKey is the smallest possible key strictly greater than b
+// (object keys never contain NUL, so appending 0x01 is tight).
+func successorKey(b []byte) string { return string(b) + "\x01" }
+
+// listEpochWait bounds how long a listing waits for the cluster to
+// settle on one epoch mid-handoff.
+const listEpochWait = 5 * time.Second
+
+// List serves one page of the cluster-wide listing: every shard is
+// consulted from its cursor, the per-shard (sorted, policy-filtered)
+// pages are merged, and the first Limit entries are returned. Pages
+// are epoch-checked: if any shard answered under a different map
+// epoch than the router's (a handoff in flight), the whole page is
+// re-fetched from the boundary so no key is skipped or duplicated.
+func (r *Router) List(ctx context.Context, opts client.ListOptions) (*client.ListPage, error) {
+	limit := opts.Limit
+	if limit <= 0 {
+		limit = core.DefaultScanLimit
+	}
+	var tok *routerToken
+	if opts.Token != "" {
+		var err error
+		if tok, err = decodeRouterToken(opts.Token); err != nil {
+			return nil, err
+		}
+	}
+	deadline := time.Now().Add(listEpochWait)
+	forceBoundary := false
+	for {
+		m := r.Map()
+		if m == nil {
+			return nil, errors.New("cluster: no shard map loaded")
+		}
+		cursors := buildCursors(m, opts, tok, forceBoundary)
+		page, retry, err := r.listOnce(ctx, m, opts, limit, cursors)
+		if err != nil {
+			return nil, err
+		}
+		if !retry {
+			return page, nil
+		}
+		// A shard answered under a different epoch than the router's
+		// map (a handoff in flight, or the router lagging behind one):
+		// refresh the map and resume from the boundary. Shards report
+		// their epoch on every page, so a stale map is always detected
+		// here — no eager per-page refresh is needed.
+		forceBoundary = true
+		if time.Now().After(deadline) {
+			return nil, errors.New("cluster: listing could not reach an epoch-consistent page (handoff in flight)")
+		}
+		if err := r.Refresh(ctx); err != nil {
+			return nil, err
+		}
+		select {
+		case <-time.After(20 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// buildCursors derives the per-shard resume positions for one page.
+func buildCursors(m *ShardMap, opts client.ListOptions, tok *routerToken, forceBoundary bool) map[int]routerCursor {
+	out := make(map[int]routerCursor, len(m.Shards))
+	if tok == nil {
+		for i := range m.Shards {
+			out[m.Shards[i].ID] = routerCursor{Start: []byte(opts.Start)}
+		}
+		return out
+	}
+	usable := !forceBoundary && tok.Epoch == m.Epoch
+	if usable {
+		for i := range m.Shards {
+			c, ok := tok.Cursors[strconv.Itoa(m.Shards[i].ID)]
+			if !ok {
+				usable = false
+				break
+			}
+			out[m.Shards[i].ID] = c
+		}
+		if usable {
+			return out
+		}
+	}
+	// Epoch changed (or the vector does not cover the current shard
+	// set): restart every shard just past the merge boundary.
+	start := []byte(successorKey(tok.Boundary))
+	if len(tok.Boundary) == 0 {
+		start = []byte(opts.Start)
+	}
+	for i := range m.Shards {
+		out[m.Shards[i].ID] = routerCursor{Start: start}
+	}
+	return out
+}
+
+// listOnce fetches and merges one candidate page; retry reports an
+// epoch-torn fetch.
+func (r *Router) listOnce(ctx context.Context, m *ShardMap, opts client.ListOptions, limit int, cursors map[int]routerCursor) (*client.ListPage, bool, error) {
+	type shardPage struct {
+		id   int
+		page *client.ListPage
+		err  error
+	}
+	var wg sync.WaitGroup
+	ch := make(chan shardPage, len(m.Shards))
+	active := 0
+	for i := range m.Shards {
+		s := &m.Shards[i]
+		cur := cursors[s.ID]
+		if cur.Done {
+			continue
+		}
+		active++
+		wg.Add(1)
+		go func(s *Shard, cur routerCursor) {
+			defer wg.Done()
+			cl, err := r.clientFor(s)
+			if err != nil {
+				ch <- shardPage{s.ID, nil, err}
+				return
+			}
+			lopts := client.ListOptions{Prefix: opts.Prefix, Limit: limit, Certs: opts.Certs}
+			if cur.Token != "" {
+				lopts.Token = cur.Token
+			} else {
+				lopts.Start = string(cur.Start)
+			}
+			page, err := cl.List(ctx, lopts)
+			ch <- shardPage{s.ID, page, err}
+		}(s, cur)
+	}
+	wg.Wait()
+	close(ch)
+
+	pages := make(map[int]*client.ListPage, active)
+	for sp := range ch {
+		if sp.err != nil {
+			return nil, false, sp.err
+		}
+		if sp.page.ShardEpoch != 0 && sp.page.ShardEpoch != m.Epoch {
+			return nil, true, nil
+		}
+		pages[sp.id] = sp.page
+	}
+
+	// Merge the sorted per-shard pages and cut at the limit.
+	type tagged struct {
+		e  client.ListEntry
+		id int
+	}
+	var all []tagged
+	for id, p := range pages {
+		for _, e := range p.Entries {
+			all = append(all, tagged{e, id})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].e.Key < all[j].e.Key })
+	n := min(limit, len(all))
+	out := &client.ListPage{ShardEpoch: m.Epoch}
+	for _, t := range all[:n] {
+		out.Entries = append(out.Entries, t.e)
+	}
+	var boundary []byte
+	if n > 0 {
+		boundary = []byte(all[n-1].e.Key)
+	}
+
+	// Per-shard next cursors: server token when the fetched page was
+	// consumed whole, boundary restart when it was cut, done when the
+	// shard is exhausted.
+	next := &routerToken{Epoch: m.Epoch, Boundary: boundary, Cursors: make(map[string]routerCursor)}
+	allDone := true
+	for i := range m.Shards {
+		id := m.Shards[i].ID
+		cur, p := cursors[id], pages[id]
+		var nc routerCursor
+		switch {
+		case cur.Done:
+			nc = routerCursor{Done: true}
+		case p == nil:
+			nc = cur // not fetched this round (unreachable today)
+		case len(p.Entries) == 0 || string(p.Entries[len(p.Entries)-1].Key) <= string(boundary):
+			if p.NextToken == "" {
+				nc = routerCursor{Done: true}
+			} else {
+				nc = routerCursor{Token: p.NextToken}
+			}
+		default:
+			nc = routerCursor{Start: []byte(successorKey(boundary))}
+		}
+		if !nc.Done {
+			allDone = false
+		}
+		next.Cursors[strconv.Itoa(id)] = nc
+	}
+	if !allDone {
+		token, err := encodeRouterToken(next)
+		if err != nil {
+			return nil, false, err
+		}
+		out.NextToken = token
+	}
+	return out, false, nil
+}
+
+// ListAll drains the cluster-wide listing from the given position.
+func (r *Router) ListAll(ctx context.Context, opts client.ListOptions) ([]client.ListEntry, error) {
+	var all []client.ListEntry
+	for {
+		page, err := r.List(ctx, opts)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, page.Entries...)
+		if page.NextToken == "" {
+			return all, nil
+		}
+		opts.Token = page.NextToken
+	}
+}

@@ -119,6 +119,18 @@ func (c *Controller) batchPut(ctx context.Context, sessionKey string, ops []Batc
 	unlock := c.lockStripes(keys)
 	defer unlock()
 
+	// Sharding gate: unowned keys fail per-op with the redirect code
+	// (the router re-splits them), owned keys wait out any freeze.
+	release, ownedMask, err := c.beginWriteFiltered(ctx, keys)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	owned := make(map[string]bool, len(keys))
+	for i, k := range keys {
+		owned[k] = ownedMask[i]
+	}
+
 	type stagedOp struct {
 		idx int
 		w   *replicaWrite
@@ -127,6 +139,10 @@ func (c *Controller) batchPut(ctx context.Context, sessionKey string, ops []Batc
 	var staged []stagedOp
 	for i, op := range ops {
 		if results[i].Err != nil {
+			continue
+		}
+		if !owned[string(op.Key)] {
+			results[i].Err = wireError(c.wrongShard(string(op.Key)))
 			continue
 		}
 		opts := PutOptions{

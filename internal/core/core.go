@@ -134,6 +134,16 @@ type Config struct {
 	// SessionTTL expires idle session contexts; 0 selects 10 minutes.
 	SessionTTL time.Duration
 
+	// Shard, when set, runs the controller as one shard of a multi-
+	// controller cluster: it owns only the given hash ranges of the
+	// keyspace and answers operations on foreign keys with
+	// ErrWrongShard (see shard.go). Nil runs the controller unsharded.
+	Shard *ShardInfo
+	// ClusterMapDoc is the signed cluster shard map document served at
+	// /v1/cluster/map for routers; opaque to core, verified and
+	// updated by the cluster coordinator (internal/cluster).
+	ClusterMapDoc []byte
+
 	// Clock supplies trusted time for policy freshness (§5.2); nil
 	// uses the SGX-SDK-equivalent monotonic system time.
 	Clock func() time.Time
@@ -169,6 +179,9 @@ type Controller struct {
 	// streamLocks serialize streamed uploads per key (see stream.go).
 	streamLocks keyedLocks
 
+	// shard is the cluster sharding state; nil when unsharded.
+	shard *shardState
+
 	locks *vll.Manager
 	async *asyncState
 
@@ -203,6 +216,7 @@ type Stats struct {
 	ReadHedges     uint64 // hedge requests fired by the read engine
 	CoalescedReads uint64 // cache misses served by another miss's flight
 	DecisionHits   uint64 // policy checks served from the decision cache
+	WrongShard     uint64 // operations redirected to another shard
 }
 
 // Snapshot returns a copy of the counters.
@@ -216,7 +230,7 @@ func (s *Stats) Snapshot() Stats {
 		PolicyChecks: s.PolicyChecks, PolicyDenials: s.PolicyDenials,
 		TxCommits: s.TxCommits, TxAborts: s.TxAborts,
 		ReadHedges: s.ReadHedges, CoalescedReads: s.CoalescedReads,
-		DecisionHits: s.DecisionHits,
+		DecisionHits: s.DecisionHits, WrongShard: s.WrongShard,
 	}
 }
 
@@ -242,6 +256,11 @@ func New(ctx context.Context, cfg Config) (*Controller, error) {
 	}
 
 	c := &Controller{cfg: cfg, sessions: make(map[string]*Session)}
+	if cfg.Shard != nil {
+		info := *cfg.Shard
+		info.Ranges = NormalizeRanges(info.Ranges)
+		c.shard = newShardState(info, cfg.ClusterMapDoc)
+	}
 
 	c.clock = cfg.Clock
 	if c.clock == nil {

@@ -32,6 +32,9 @@ type drivePool struct {
 	clients []*kclient.Client
 	next    atomic.Uint64
 	lat     latencyEstimator
+
+	credMu sync.Mutex
+	creds  kclient.Credentials
 }
 
 // dialPool connects all pool connections with creds.
@@ -40,7 +43,7 @@ func dialPool(ctx context.Context, ep DriveEndpoint, creds kclient.Credentials) 
 	if n <= 0 {
 		n = 4
 	}
-	p := &drivePool{name: ep.Name}
+	p := &drivePool{name: ep.Name, creds: creds}
 	for i := 0; i < n; i++ {
 		c, err := kclient.Dial(ctx, ep.Dial, creds)
 		if err != nil {
@@ -79,9 +82,21 @@ func (p *drivePool) failing() bool { return p.lat.failing() }
 
 // setCredentials switches every connection to new credentials.
 func (p *drivePool) setCredentials(creds kclient.Credentials) {
+	p.credMu.Lock()
+	p.creds = creds
+	p.credMu.Unlock()
 	for _, c := range p.clients {
 		c.SetCredentials(creds)
 	}
+}
+
+// credentials returns the credentials the pool currently signs with
+// (the credential-rotation handoff step needs them to stage the
+// two-phase account switch).
+func (p *drivePool) credentials() kclient.Credentials {
+	p.credMu.Lock()
+	defer p.credMu.Unlock()
+	return p.creds
 }
 
 func (p *drivePool) close() {

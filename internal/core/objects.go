@@ -172,6 +172,14 @@ func (c *Controller) putObject(ctx context.Context, sessionKey, key string, valu
 	lock.Lock()
 	defer lock.Unlock()
 
+	// Sharding gate: ownership check plus the freeze barrier; the
+	// shard read lock is held across the drive commit (see shard.go).
+	release, err := c.beginWrite(ctx, key)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+
 	w, rec, err := c.stageWrite(ctx, sessionKey, key, value, opts)
 	if err != nil {
 		return 0, err
@@ -192,6 +200,9 @@ func (c *Controller) putObject(ctx context.Context, sessionKey, key string, valu
 // getObject is the read path (§3.2 step 5: policy first, then data,
 // each cache-first).
 func (c *Controller) getObject(ctx context.Context, sessionKey, key string, opts GetOptions) ([]byte, *store.Meta, error) {
+	if err := c.checkOwned(key); err != nil {
+		return nil, nil, err
+	}
 	meta, err := c.loadMeta(ctx, key)
 	if err != nil {
 		return nil, nil, err
@@ -226,6 +237,12 @@ func (c *Controller) deleteObject(ctx context.Context, sessionKey, key string, o
 	lock := c.writeLock(key)
 	lock.Lock()
 	defer lock.Unlock()
+
+	release, err := c.beginWrite(ctx, key)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
 
 	meta, err := c.loadMeta(ctx, key)
 	if err != nil {
@@ -270,6 +287,9 @@ func (c *Controller) deleteObject(ctx context.Context, sessionKey, key string, o
 // every other read: replicas race (or hedge) instead of being tried
 // one by one, and the range is drained past the drive's response cap.
 func (c *Controller) listVersions(ctx context.Context, sessionKey, key string, certs []*authority.Certificate) ([]int64, error) {
+	if err := c.checkOwned(key); err != nil {
+		return nil, err
+	}
 	meta, err := c.loadMeta(ctx, key)
 	if err != nil {
 		return nil, err

@@ -76,6 +76,7 @@ const (
 	CodeCorrupt         ErrorCode = "corrupt"
 	CodeBadToken        ErrorCode = "bad_token"
 	CodeInvalidArgument ErrorCode = "invalid_argument"
+	CodeWrongShard      ErrorCode = "wrong_shard"
 	CodeUnauthenticated ErrorCode = "unauthenticated"
 	CodeUnavailable     ErrorCode = "unavailable"
 	CodeInternal        ErrorCode = "internal"
@@ -123,6 +124,8 @@ func CodeFor(err error) ErrorCode {
 		return CodeBadToken
 	case errors.Is(err, ErrInvalidArgument):
 		return CodeInvalidArgument
+	case errors.Is(err, ErrWrongShard):
+		return CodeWrongShard
 	case errors.Is(err, ErrClosed):
 		return CodeUnavailable
 	default:
@@ -149,6 +152,10 @@ func (c ErrorCode) HTTPStatus() int {
 		return http.StatusUnprocessableEntity
 	case CodeBadToken, CodeInvalidArgument:
 		return http.StatusBadRequest
+	case CodeWrongShard:
+		// Retriable redirect: the client refreshes its shard map and
+		// re-sends to the owning controller.
+		return http.StatusMisdirectedRequest
 	case CodeUnauthenticated:
 		return http.StatusUnauthorized
 	case CodeUnavailable:

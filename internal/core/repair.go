@@ -213,5 +213,8 @@ func (c *Controller) chunkHealthy(blob []byte, wantID string) bool {
 // repairObject.
 func (s *Session) Repair(ctx context.Context, key string) (*RepairReport, error) {
 	s.touch()
+	if err := s.ctl.checkOwned(key); err != nil {
+		return nil, err
+	}
 	return s.ctl.repairObject(ctx, s.clientKey, key)
 }

@@ -564,7 +564,14 @@ func (c *Controller) commitTxWrites(ctx context.Context, writes []txWrite) error
 	}
 
 	unlock := c.lockStripes(keys)
-	err := c.commitWrites(ctx, staged)
+	// Sharding gate: a transaction commits atomically, so a single
+	// foreign key fails the whole commit with the redirect error.
+	release, err := c.beginWrite(ctx, keys...)
+	if err != nil {
+		unlock()
+		return err
+	}
+	err = c.commitWrites(ctx, staged)
 	if err == nil {
 		// Publish under the stripe locks, like putObject: a concurrent
 		// writer must not interleave a newer cache entry between our
@@ -576,6 +583,7 @@ func (c *Controller) commitTxWrites(ctx context.Context, writes []txWrite) error
 			c.metaFlight.Forget(w.key)
 		}
 	}
+	release()
 	unlock()
 	if err != nil {
 		return fmt.Errorf("pesos: tx commit: %w", err)

@@ -52,6 +52,7 @@ func NewREST(ctl *Controller) *RESTServer {
 	s.mux.HandleFunc("POST /v1/tx/{id}/abort", s.handleTxAbort)
 	s.mux.HandleFunc("GET /v1/tx/{id}/results", s.handleTxResults)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/cluster/map", s.handleClusterMap)
 	s.registerV2()
 	return s
 }
@@ -496,7 +497,7 @@ func (s *RESTServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 			"samples": dl.Samples,
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"puts": st.Puts, "gets": st.Gets, "deletes": st.Deletes,
 		"scans": st.Scans, "scanFiltered": st.ScanFiltered,
 		"batchOps": st.BatchOps, "streams": st.Streams,
@@ -505,11 +506,33 @@ func (s *RESTServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"readHedges":     st.ReadHedges,
 		"coalescedReads": st.CoalescedReads,
 		"decisionHits":   st.DecisionHits,
+		"wrongShard":     st.WrongShard,
 		"epcResident":    s.ctl.epc.Resident(),
 		"epcFaults":      s.ctl.epc.Faults(),
 		"caches":         s.ctl.CacheStats(),
 		"driveLatency":   lats,
-	})
+	}
+	if shard := s.ctl.ShardStatus(); shard != nil {
+		body["shard"] = shard
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleClusterMap serves the signed cluster shard map document this
+// controller holds, for routers bootstrapping or refreshing their map.
+// 404 on unsharded controllers.
+func (s *RESTServer) handleClusterMap(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.session(r); err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	doc := s.ctl.ClusterMapDoc()
+	if len(doc) == 0 {
+		httpError(w, http.StatusNotFound, errors.New("controller holds no cluster map"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(doc)
 }
 
 // statusFor maps controller errors to HTTP status codes through the

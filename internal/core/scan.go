@@ -64,10 +64,15 @@ type ScanEntry struct {
 }
 
 // ScanPage is one page of a listing. NextToken is empty when the
-// listing is known to be exhausted.
+// listing is known to be exhausted. ShardEpoch, on sharded
+// controllers, is the shard map epoch the page was filtered under —
+// every entry decision used that epoch's ownership view — so a
+// cluster router can detect pages straddling a concurrent handoff
+// and re-fetch instead of skipping or duplicating boundary keys.
 type ScanPage struct {
-	Entries   []ScanEntry `json:"entries"`
-	NextToken string      `json:"nextToken,omitempty"`
+	Entries    []ScanEntry `json:"entries"`
+	NextToken  string      `json:"nextToken,omitempty"`
+	ShardEpoch uint64      `json:"shardEpoch,omitempty"`
 }
 
 // Scan lists readable objects, one page per call.
@@ -105,7 +110,12 @@ func (c *Controller) scanObjects(ctx context.Context, sessionKey string, opts Sc
 	}
 	_, rangeEnd := store.MetaKeyRange(opts.Prefix)
 
-	page := &ScanPage{Entries: []ScanEntry{}}
+	// Epoch-consistent ownership view: the whole page filters against
+	// one snapshot, so it is exactly the listing of this shard at that
+	// epoch even if a handoff commits mid-scan.
+	shardEpoch, ownedRanges, sharded := c.shardSnapshot()
+
+	page := &ScanPage{Entries: []ScanEntry{}, ShardEpoch: shardEpoch}
 	cursor := store.MetaKey(lower)
 	var filtered uint64
 	defer func() {
@@ -119,16 +129,26 @@ func (c *Controller) scanObjects(ctx context.Context, sessionKey string, opts Sc
 		if len(merged) == 0 && exhausted {
 			return page, nil
 		}
-		// Warm the key cache for the whole candidate batch in parallel
-		// (bounded), so the serial filter loop below pays cache hits
-		// instead of one replica round trip per key.
-		c.prefetchMetas(ctx, merged)
+		// Cheap filters first — the drive range's inclusive end can
+		// admit the first key past the prefix, and sharded controllers
+		// list only keys they own under the page's epoch snapshot
+		// (anything else is migration residue the router gets from its
+		// owner) — so residue never costs a metadata prefetch.
+		candidates := merged[:0]
 		for _, key := range merged {
-			// The drive range's inclusive end can admit the first key
-			// past the prefix; drop boundary noise here.
 			if !strings.HasPrefix(key, opts.Prefix) {
 				continue
 			}
+			if sharded && !RangesContain(ownedRanges, store.ShardHash(key)) {
+				continue
+			}
+			candidates = append(candidates, key)
+		}
+		// Warm the key cache for the whole candidate batch in parallel
+		// (bounded), so the serial filter loop below pays cache hits
+		// instead of one replica round trip per key.
+		c.prefetchMetas(ctx, candidates)
+		for _, key := range candidates {
 			meta, err := c.loadMeta(ctx, key)
 			if errors.Is(err, ErrNotFound) {
 				continue // deleted since the drives reported it

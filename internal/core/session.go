@@ -164,6 +164,9 @@ func (s *Session) PutPolicy(ctx context.Context, src string) (string, error) {
 // the client-facing attestation of stored objects and their policies.
 func (s *Session) Verify(ctx context.Context, key string, version int64) (*store.Meta, error) {
 	s.touch()
+	if err := s.ctl.checkOwned(key); err != nil {
+		return nil, err
+	}
 	return s.ctl.verifyStored(ctx, key, version)
 }
 

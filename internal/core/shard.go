@@ -1,0 +1,887 @@
+// Cluster sharding support: a controller can be configured as one
+// shard of a multi-controller cluster, owning a set of ranges of the
+// keyspace-hash space (store.ShardHash). Ownership is enforced at the
+// API entry points — operations on keys outside the owned ranges are
+// answered with ErrWrongShard so a cluster router refreshes its shard
+// map and redirects — and never inside the internal loaders, which a
+// migration must be able to drive across ownership boundaries.
+//
+// Live shard handoff runs in four controller-level primitives the
+// cluster coordinator composes (see internal/cluster):
+//
+//	FreezeRange    losing side: writes to the moving range block
+//	ExportRange    losing side: P2P-copy every record to the gaining
+//	               shard's drives, returning a version manifest
+//	VerifyImport   gaining side: re-read and integrity-check the
+//	               manifest off its own drives
+//	AdoptRange /   gaining side takes the range at the new epoch;
+//	ReleaseRange   losing side drops it, rotates its drives' HMAC
+//	               credentials (locking out any stale owner) and
+//	               destroys the migrated records
+//
+// Blocked writers wake from ReleaseRange into ErrWrongShard, so an
+// in-flight client sees at most one retriable redirect and never a
+// lost or duplicated write.
+package core
+
+import (
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kinetic/kclient"
+	"repro/internal/kinetic/wire"
+	"repro/internal/store"
+)
+
+// ErrWrongShard rejects an operation on a key this controller does not
+// own under the current shard map epoch. It is retriable: the client
+// refreshes its shard map and redirects to the owning controller.
+var ErrWrongShard = errors.New("pesos: key not owned by this shard")
+
+// HashRange is a half-open range [Start, End) of the keyspace-hash
+// space [0, store.ShardSpace).
+type HashRange struct {
+	Start uint32 `json:"start"`
+	End   uint32 `json:"end"`
+}
+
+// Contains reports whether the range covers hash point h.
+func (r HashRange) Contains(h uint32) bool { return h >= r.Start && h < r.End }
+
+// Empty reports whether the range covers nothing.
+func (r HashRange) Empty() bool { return r.Start >= r.End }
+
+// String implements fmt.Stringer.
+func (r HashRange) String() string { return fmt.Sprintf("[%d,%d)", r.Start, r.End) }
+
+// RangesContain reports whether any range covers hash point h.
+func RangesContain(ranges []HashRange, h uint32) bool {
+	for _, r := range ranges {
+		if r.Contains(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// NormalizeRanges sorts ranges, drops empty ones and merges adjacent
+// or overlapping ones.
+func NormalizeRanges(ranges []HashRange) []HashRange {
+	out := make([]HashRange, 0, len(ranges))
+	for _, r := range ranges {
+		if !r.Empty() {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	merged := out[:0]
+	for _, r := range out {
+		if n := len(merged); n > 0 && r.Start <= merged[n-1].End {
+			if r.End > merged[n-1].End {
+				merged[n-1].End = r.End
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged
+}
+
+// SubtractRanges removes r from ranges, splitting any range it cuts.
+func SubtractRanges(ranges []HashRange, r HashRange) []HashRange {
+	if r.Empty() {
+		return NormalizeRanges(ranges)
+	}
+	var out []HashRange
+	for _, cur := range NormalizeRanges(ranges) {
+		if r.End <= cur.Start || r.Start >= cur.End {
+			out = append(out, cur)
+			continue
+		}
+		if cur.Start < r.Start {
+			out = append(out, HashRange{Start: cur.Start, End: r.Start})
+		}
+		if r.End < cur.End {
+			out = append(out, HashRange{Start: r.End, End: cur.End})
+		}
+	}
+	return out
+}
+
+// rangesCover reports whether the (normalized) ranges fully cover r.
+func rangesCover(ranges []HashRange, r HashRange) bool {
+	if r.Empty() {
+		return true
+	}
+	at := r.Start
+	for _, cur := range NormalizeRanges(ranges) {
+		if cur.Start > at {
+			return false
+		}
+		if cur.End > at {
+			at = cur.End
+			if at >= r.End {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ShardInfo is one controller's slice of the cluster keyspace.
+type ShardInfo struct {
+	// ID is this controller's shard id in the cluster map.
+	ID int `json:"id"`
+	// Epoch is the shard map epoch the controller last adopted. Stale
+	// routers are fenced by it: every redirect carries the epoch, and
+	// the map a router refreshes to must be newer.
+	Epoch uint64 `json:"epoch"`
+	// Ranges are the owned hash ranges.
+	Ranges []HashRange `json:"ranges"`
+}
+
+// shardView is one immutable snapshot of the sharding state. Read
+// paths load it atomically and never touch the drain lock, so a
+// pending freeze (waiting out in-flight writes) cannot stall reads —
+// the "reads are never blocked by a freeze" contract.
+type shardView struct {
+	info   ShardInfo
+	frozen []HashRange
+	mapDoc []byte // signed cluster map document (opaque to core)
+}
+
+// shardState is the controller's live sharding state. The RWMutex is
+// the write drain barrier: every mutating operation holds the read
+// side across its drive commit, so FreezeRange (which takes the write
+// side) returns only once in-flight writes have drained. State
+// changes happen under the write side and publish a fresh view.
+type shardState struct {
+	mu   sync.RWMutex
+	view atomic.Pointer[shardView]
+	// gate is closed when the frozen set empties; writers blocked on a
+	// frozen range wait on it. Mutated under mu.
+	gate chan struct{}
+}
+
+func newShardState(info ShardInfo, mapDoc []byte) *shardState {
+	s := &shardState{}
+	s.view.Store(&shardView{info: info, mapDoc: append([]byte(nil), mapDoc...)})
+	return s
+}
+
+// update publishes a new view derived from the current one (deep
+// copies, so loaded views stay immutable). Caller holds s.mu.
+func (s *shardState) update(f func(v *shardView)) {
+	cur := s.view.Load()
+	next := &shardView{
+		info: ShardInfo{
+			ID:     cur.info.ID,
+			Epoch:  cur.info.Epoch,
+			Ranges: append([]HashRange(nil), cur.info.Ranges...),
+		},
+		frozen: append([]HashRange(nil), cur.frozen...),
+		mapDoc: cur.mapDoc,
+	}
+	f(next)
+	s.view.Store(next)
+}
+
+// wrongShard builds the redirect error and counts it.
+func (c *Controller) wrongShard(key string) error {
+	c.stats.add(func(s *Stats) { s.WrongShard++ })
+	return fmt.Errorf("%w: %q", ErrWrongShard, key)
+}
+
+// owns reports ownership of key. Unsharded controllers own everything.
+func (c *Controller) owns(key string) bool {
+	s := c.shard
+	if s == nil {
+		return true
+	}
+	return RangesContain(s.view.Load().info.Ranges, store.ShardHash(key))
+}
+
+// checkOwned is the read-path ownership gate. Reads are never blocked
+// by a freeze — not even by one waiting out the write drain — because
+// they load the shard view atomically instead of taking the drain
+// lock; the data stays readable on the losing side until ReleaseRange.
+func (c *Controller) checkOwned(key string) error {
+	if !c.owns(key) {
+		return c.wrongShard(key)
+	}
+	return nil
+}
+
+// beginWrite is the write-path gate: it verifies ownership of every
+// key and blocks while any of them lies in a frozen (migrating) range.
+// On success the returned release function MUST be called after the
+// drive commit — the caller holds the shard read lock in between,
+// which is what lets FreezeRange drain in-flight writes. Lock order is
+// strict: key stripe locks first, then the shard lock.
+func (c *Controller) beginWrite(ctx context.Context, keys ...string) (release func(), err error) {
+	release, owned, err := c.beginWriteFiltered(ctx, keys)
+	if err != nil {
+		return nil, err
+	}
+	for i, ok := range owned {
+		if !ok {
+			release()
+			return nil, c.wrongShard(keys[i])
+		}
+	}
+	return release, nil
+}
+
+// beginWriteFiltered is beginWrite for multi-key requests with per-op
+// results: unowned keys are reported in the mask instead of failing
+// the whole request, and the freeze wait applies only to owned keys.
+func (c *Controller) beginWriteFiltered(ctx context.Context, keys []string) (release func(), owned []bool, err error) {
+	s := c.shard
+	owned = make([]bool, len(keys))
+	if s == nil {
+		for i := range owned {
+			owned[i] = true
+		}
+		return func() {}, owned, nil
+	}
+	for {
+		s.mu.RLock()
+		v := s.view.Load()
+		blocked := false
+		for i, k := range keys {
+			h := store.ShardHash(k)
+			owned[i] = RangesContain(v.info.Ranges, h)
+			if owned[i] && RangesContain(v.frozen, h) {
+				blocked = true
+			}
+		}
+		if !blocked {
+			return s.mu.RUnlock, owned, nil
+		}
+		gate := s.gate
+		s.mu.RUnlock()
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+}
+
+// ShardStatus is the sharding section of /v1/status.
+type ShardStatus struct {
+	ID     int         `json:"id"`
+	Epoch  uint64      `json:"epoch"`
+	Ranges []HashRange `json:"ranges"`
+	Frozen []HashRange `json:"frozen,omitempty"`
+}
+
+// ShardStatus reports the controller's current shard state, nil when
+// unsharded.
+func (c *Controller) ShardStatus() *ShardStatus {
+	s := c.shard
+	if s == nil {
+		return nil
+	}
+	v := s.view.Load()
+	return &ShardStatus{
+		ID:     v.info.ID,
+		Epoch:  v.info.Epoch,
+		Ranges: v.info.Ranges,
+		Frozen: v.frozen,
+	}
+}
+
+// ClusterMapDoc returns the signed cluster map document the controller
+// currently holds (nil when unsharded or never set). The document is
+// opaque to core; internal/cluster defines and verifies its format.
+func (c *Controller) ClusterMapDoc() []byte {
+	s := c.shard
+	if s == nil {
+		return nil
+	}
+	return s.view.Load().mapDoc
+}
+
+// SetClusterMapDoc installs a new signed cluster map document for
+// distribution via /v1/cluster/map. The caller (the cluster
+// coordinator) has verified it.
+func (c *Controller) SetClusterMapDoc(doc []byte) {
+	s := c.shard
+	if s == nil {
+		return
+	}
+	copied := append([]byte(nil), doc...)
+	s.mu.Lock()
+	s.update(func(v *shardView) { v.mapDoc = copied })
+	s.mu.Unlock()
+}
+
+// FreezeRange blocks writes to r (which must lie inside the owned
+// ranges) until the range is released or unfrozen. Acquiring the shard
+// write lock drains every in-flight write first, so when FreezeRange
+// returns, the records under r are immutable and safe to copy.
+func (c *Controller) FreezeRange(r HashRange) error {
+	s := c.shard
+	if s == nil {
+		return errors.New("core: controller is not sharded")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.view.Load()
+	if !rangesCover(v.info.Ranges, r) {
+		return fmt.Errorf("core: freeze %v outside owned ranges %v", r, v.info.Ranges)
+	}
+	s.update(func(v *shardView) { v.frozen = append(v.frozen, r) })
+	if s.gate == nil {
+		s.gate = make(chan struct{})
+	}
+	return nil
+}
+
+// UnfreezeRange aborts a freeze without changing ownership (handoff
+// rollback). Blocked writers resume normally.
+func (c *Controller) UnfreezeRange(r HashRange) {
+	s := c.shard
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropFrozenLocked(r)
+}
+
+func (s *shardState) dropFrozenLocked(r HashRange) {
+	s.update(func(v *shardView) {
+		kept := v.frozen[:0]
+		for _, f := range v.frozen {
+			if f != r {
+				kept = append(kept, f)
+			}
+		}
+		v.frozen = kept
+	})
+	// Wake every waiter on ANY frozen-set change: writers re-evaluate
+	// against the new view, and those on a still-frozen range park on
+	// a fresh gate. Waking only when the set empties would strand the
+	// released range's writers behind an unrelated concurrent freeze.
+	if s.gate != nil {
+		close(s.gate)
+		if len(s.view.Load().frozen) == 0 {
+			s.gate = nil
+		} else {
+			s.gate = make(chan struct{})
+		}
+	}
+}
+
+// shardSnapshot returns an atomic view of the shard state for
+// operations that must be consistent against one epoch (scans report
+// the epoch of the view they were filtered under, so a router can
+// reject pages torn across a concurrent handoff).
+func (c *Controller) shardSnapshot() (epoch uint64, ranges []HashRange, sharded bool) {
+	s := c.shard
+	if s == nil {
+		return 0, nil, false
+	}
+	v := s.view.Load()
+	return v.info.Epoch, v.info.Ranges, true
+}
+
+// AdvanceEpoch raises the controller's shard map epoch without a
+// range change — the cluster coordinator calls it on the controllers
+// not participating in a handoff, so every shard answers scans under
+// the same epoch again once the new map is published.
+func (c *Controller) AdvanceEpoch(epoch uint64) {
+	s := c.shard
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if epoch > s.view.Load().info.Epoch {
+		s.update(func(v *shardView) { v.info.Epoch = epoch })
+	}
+	s.mu.Unlock()
+}
+
+// AdoptRange extends the owned ranges by r at the given (newer) shard
+// map epoch — the gaining side of a handoff, called after VerifyImport
+// succeeded.
+func (c *Controller) AdoptRange(epoch uint64, r HashRange) error {
+	s := c.shard
+	if s == nil {
+		return errors.New("core: controller is not sharded")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch <= s.view.Load().info.Epoch {
+		return fmt.Errorf("core: adopt at epoch %d, already at %d", epoch, s.view.Load().info.Epoch)
+	}
+	s.update(func(v *shardView) {
+		v.info.Epoch = epoch
+		v.info.Ranges = NormalizeRanges(append(v.info.Ranges, r))
+	})
+	return nil
+}
+
+// MigrationTarget describes the gaining shard's drive layout, which
+// determines the placement of migrated records.
+type MigrationTarget struct {
+	// Drives are the gaining controller's drive names, in its
+	// configuration order (placement is positional).
+	Drives []string
+	// Replicas is the gaining controller's copy count per object.
+	Replicas int
+}
+
+// ManifestEntry records one migrated object's head version.
+type ManifestEntry struct {
+	Key     string `json:"key"`
+	Version int64  `json:"version"`
+}
+
+// Manifest is the record of one range migration: what moved and at
+// which versions, for the gaining side to verify and the losing side
+// to destroy.
+type Manifest struct {
+	Range    HashRange       `json:"range"`
+	Entries  []ManifestEntry `json:"entries"`
+	Policies []string        `json:"policies"`
+}
+
+// ExportRange copies every record under the (frozen) range r — object
+// records of all versions, streamed chunks, latest metadata, plus the
+// policies those objects reference — from this controller's drives to
+// the target shard's drives using the Kinetic device-to-device P2P
+// copy: no payload is relayed through either controller. Returns the
+// manifest of migrated keys and head versions.
+func (c *Controller) ExportRange(ctx context.Context, r HashRange, target MigrationTarget) (*Manifest, error) {
+	if len(target.Drives) == 0 {
+		return nil, errors.New("core: migration target has no drives")
+	}
+	if target.Replicas <= 0 {
+		target.Replicas = 1
+	}
+	keys, err := c.keysInRange(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{Range: r}
+	policies := make(map[string]bool)
+	var mu sync.Mutex
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+	for _, key := range keys {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(key string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			entry, policyID, err := c.exportKey(ctx, key, target)
+			if err != nil {
+				select {
+				case errCh <- fmt.Errorf("core: export %q: %w", key, err):
+				default:
+				}
+				return
+			}
+			if entry == nil {
+				return // vanished between enumeration and export
+			}
+			mu.Lock()
+			m.Entries = append(m.Entries, *entry)
+			if policyID != "" {
+				policies[policyID] = true
+			}
+			mu.Unlock()
+		}(key)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	for id := range policies {
+		m.Policies = append(m.Policies, id)
+		if err := c.exportPolicy(ctx, id, target); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].Key < m.Entries[j].Key })
+	sort.Strings(m.Policies)
+	return m, nil
+}
+
+// keysInRange enumerates the object keys stored on this controller's
+// drives whose shard hash falls in r. Every drive is consulted so up
+// to Replicas-1 degraded replicas cannot hide a key.
+func (c *Controller) keysInRange(ctx context.Context, r HashRange) ([]string, error) {
+	start, end := store.MetaKeyRange("")
+	seen := make(map[string]bool)
+	var failures int
+	var lastErr error
+	for _, p := range c.drives {
+		driveKeys, err := c.rangeAll(ctx, p.pick(), start, end)
+		if err != nil {
+			failures++
+			lastErr = err
+			continue
+		}
+		for _, dk := range driveKeys {
+			if len(dk) < 2 {
+				continue
+			}
+			key := string(dk[2:])
+			if r.Contains(store.ShardHash(key)) {
+				seen[key] = true
+			}
+		}
+	}
+	if failures > 0 && failures >= c.cfg.Replicas {
+		return nil, fmt.Errorf("core: range enumeration cannot guarantee coverage, %d drives failed: %w", failures, lastErr)
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// exportKey pushes all of one object's drive records to the target's
+// placement drives. Returns nil entry if the object no longer exists.
+func (c *Controller) exportKey(ctx context.Context, key string, target MigrationTarget) (*ManifestEntry, string, error) {
+	meta, err := c.loadMeta(ctx, key)
+	if errors.Is(err, ErrNotFound) {
+		return nil, "", nil
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	// Enumerate the record set as the UNION across all placement
+	// replicas: a responsive replica in the degraded pre-repair state
+	// (missing some version or chunk records) must not silently
+	// truncate the migration — the destruction at release is the last
+	// chance to have copied every surviving record.
+	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	ostart, oend := store.ObjectKeyRange(key)
+	cstart, cend := store.ChunkKeyRange(key)
+	recordSet := map[string]bool{string(store.MetaKey(key)): true}
+	failures := 0
+	var enumErr error
+	for _, di := range placement {
+		cl := c.drives[di].pick()
+		objKeys, err1 := c.rangeAll(ctx, cl, ostart, oend)
+		chunkKeys, err2 := c.rangeAll(ctx, cl, cstart, cend)
+		if err1 != nil || err2 != nil {
+			failures++
+			enumErr = errors.Join(err1, err2)
+			continue
+		}
+		for _, k := range objKeys {
+			recordSet[string(k)] = true
+		}
+		for _, k := range chunkKeys {
+			recordSet[string(k)] = true
+		}
+	}
+	if failures == len(placement) {
+		return nil, "", enumErr
+	}
+	driveKeys := make([][]byte, 0, len(recordSet))
+	for k := range recordSet {
+		driveKeys = append(driveKeys, []byte(k))
+	}
+	sort.Slice(driveKeys, func(i, j int) bool { return string(driveKeys[i]) < string(driveKeys[j]) })
+	targets := make([]string, 0, target.Replicas)
+	for _, ti := range store.Placement(key, len(target.Drives), target.Replicas) {
+		targets = append(targets, target.Drives[ti])
+	}
+	for _, dk := range driveKeys {
+		if err := c.p2pCopy(ctx, placement, dk, targets); err != nil {
+			return nil, "", err
+		}
+	}
+	return &ManifestEntry{Key: key, Version: meta.Version}, meta.PolicyID, nil
+}
+
+// exportPolicy pushes one compiled policy record to the target drives
+// its content address places it on.
+func (c *Controller) exportPolicy(ctx context.Context, id string, target MigrationTarget) error {
+	placement := store.Placement(id, len(c.drives), c.cfg.Replicas)
+	targets := make([]string, 0, target.Replicas)
+	for _, ti := range store.Placement(id, len(target.Drives), target.Replicas) {
+		targets = append(targets, target.Drives[ti])
+	}
+	if err := c.p2pCopy(ctx, placement, store.PolicyKey(id), targets); err != nil {
+		return fmt.Errorf("core: export policy %q: %w", id, err)
+	}
+	return nil
+}
+
+// p2pCopy pushes one drive record from any replica holding it to every
+// named target drive, failing over across source replicas.
+func (c *Controller) p2pCopy(ctx context.Context, placement []int, driveKey []byte, targets []string) error {
+	for _, peer := range targets {
+		var lastErr error
+		ok := false
+		for _, di := range placement {
+			c.chargeDriveIO(0)
+			err := c.drives[di].pick().P2PPush(ctx, driveKey, peer)
+			if err == nil {
+				ok = true
+				break
+			}
+			if errors.Is(err, kclient.ErrNotFound) {
+				// This replica never had the record (degraded pre-repair
+				// state); another may.
+				lastErr = err
+				continue
+			}
+			lastErr = err
+		}
+		if !ok {
+			return fmt.Errorf("core: p2p copy %q to %s: %w", driveKey, peer, lastErr)
+		}
+	}
+	return nil
+}
+
+// VerifyImport is the gaining side's acceptance check: every manifest
+// entry must be readable off this controller's own drives at exactly
+// the manifested version, with payload integrity intact, and every
+// referenced policy must be present. Called before AdoptRange, so it
+// deliberately bypasses the ownership gate (internal loaders never
+// check ownership).
+func (c *Controller) VerifyImport(ctx context.Context, m *Manifest) error {
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	for _, e := range m.Entries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(e ManifestEntry) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			meta, err := c.fetchMeta(ctx, e.Key)
+			if err != nil {
+				fail(fmt.Errorf("core: import verify %q: %w", e.Key, err))
+				return
+			}
+			if meta.Version != e.Version {
+				fail(fmt.Errorf("core: import verify %q: version %d, manifest says %d",
+					e.Key, meta.Version, e.Version))
+				return
+			}
+			rec, err := c.fetchRecord(ctx, e.Key, e.Version)
+			if err != nil {
+				fail(fmt.Errorf("core: import verify %q v%d: %w", e.Key, e.Version, err))
+				return
+			}
+			if rec.Meta.Chunks > 0 {
+				if err := c.verifyChunks(ctx, &rec.Meta); err != nil {
+					fail(fmt.Errorf("core: import verify %q v%d chunks: %w", e.Key, e.Version, err))
+				}
+			}
+		}(e)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	for _, id := range m.Policies {
+		if _, err := c.fetchPolicy(ctx, id); err != nil {
+			return fmt.Errorf("core: import verify policy %q: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// ReleaseRange completes the losing side of a handoff: ownership of r
+// is dropped at the new epoch (waking blocked writers into
+// ErrWrongShard redirects), the drives' admin HMAC credentials are
+// rotated so any stale owner process is locked out at the drive layer,
+// and the migrated records are destroyed and purged from the caches.
+// The new shard map must already be published — redirected clients
+// refresh it immediately.
+//
+// The call is retriable: re-invoking it at the same epoch (after a
+// transient rotation or destruction failure) re-runs the idempotent
+// fencing and destruction steps without touching ownership again.
+func (c *Controller) ReleaseRange(ctx context.Context, epoch uint64, r HashRange, m *Manifest) error {
+	s := c.shard
+	if s == nil {
+		return errors.New("core: controller is not sharded")
+	}
+	s.mu.Lock()
+	cur := s.view.Load()
+	switch {
+	case epoch < cur.info.Epoch:
+		s.mu.Unlock()
+		return fmt.Errorf("core: release at epoch %d, already at %d", epoch, cur.info.Epoch)
+	case epoch == cur.info.Epoch:
+		// Retry of a partially-failed release: ownership must already
+		// be gone, only the fencing/destruction below is re-run.
+		if rangesOverlap(cur.info.Ranges, r) {
+			s.mu.Unlock()
+			return fmt.Errorf("core: release retry at epoch %d but %v still owned", epoch, r)
+		}
+		s.mu.Unlock()
+	default:
+		s.update(func(v *shardView) {
+			v.info.Epoch = epoch
+			v.info.Ranges = SubtractRanges(v.info.Ranges, r)
+		})
+		s.dropFrozenLocked(r)
+		s.mu.Unlock()
+	}
+
+	// Fencing: rotate before destroying records, so a stale co-owner
+	// cannot resurrect them afterwards. Both steps are idempotent —
+	// rotation skips drives already on the epoch's account, and the
+	// destruction force-deletes.
+	if err := c.RotateDriveCredentials(ctx, epoch); err != nil {
+		return err
+	}
+	return c.destroyMigrated(ctx, m)
+}
+
+// rangesOverlap reports whether any of ranges intersects r.
+func rangesOverlap(ranges []HashRange, r HashRange) bool {
+	for _, cur := range ranges {
+		if r.Start < cur.End && cur.Start < r.End {
+			return true
+		}
+	}
+	return false
+}
+
+// destroyMigrated force-deletes every migrated record from this
+// controller's drives and purges the corresponding cache entries.
+// Reads of these keys already redirect (ownership is gone), so the
+// destruction only reclaims space and removes stale state.
+func (c *Controller) destroyMigrated(ctx context.Context, m *Manifest) error {
+	var firstErr error
+	for _, e := range m.Entries {
+		placement := store.Placement(e.Key, len(c.drives), c.cfg.Replicas)
+		err := c.fanout(placement, func(di int) error {
+			return c.destroyKey(ctx, di, e.Key)
+		})
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: destroy migrated %q: %w", e.Key, err)
+		}
+		c.metaFlight.Forget(e.Key)
+		c.metaCache.Remove(e.Key)
+		for v := int64(0); v <= e.Version; v++ {
+			ck := string(store.ObjectKey(e.Key, v))
+			c.objectFlight.Forget(ck)
+			c.objectCache.Remove(ck)
+		}
+	}
+	return firstErr
+}
+
+// destroyKey force-deletes one key's metadata, object records and
+// chunk records on one drive (no CAS guards: the range was frozen and
+// ownership is gone, there is no concurrent writer to respect).
+func (c *Controller) destroyKey(ctx context.Context, di int, key string) error {
+	cl := c.drives[di].pick()
+	ostart, oend := store.ObjectKeyRange(key)
+	keys, err := c.rangeAll(ctx, cl, ostart, oend)
+	if err != nil {
+		return err
+	}
+	cstart, cend := store.ChunkKeyRange(key)
+	chunkKeys, err := c.rangeAll(ctx, cl, cstart, cend)
+	if err != nil {
+		return err
+	}
+	keys = append(keys, chunkKeys...)
+	ops := make([]wire.BatchOp, 0, len(keys)+1)
+	ops = append(ops, wire.BatchOp{Op: wire.BatchDelete, Key: store.MetaKey(key), Force: true})
+	for _, k := range keys {
+		ops = append(ops, wire.BatchOp{Op: wire.BatchDelete, Key: k, Force: true})
+	}
+	for len(ops) > 0 {
+		n := min(len(ops), wire.MaxBatchOps)
+		c.chargeDriveIO(0)
+		if err := cl.Batch(ctx, ops[:n]); err != nil {
+			return err
+		}
+		ops = ops[n:]
+	}
+	// Purge the destroyed records' cache entries by their drive keys —
+	// this covers streamed chunk records too, which are cached under
+	// ChunkKey and invisible to a version-number sweep.
+	for _, k := range keys {
+		c.objectFlight.Forget(string(k))
+		c.objectCache.Remove(string(k))
+	}
+	return nil
+}
+
+// adminKeyForEpoch derives the per-drive admin HMAC secret for a shard
+// map epoch. Epoch 0 is the bootstrap key (adminKeyFor), so unsharded
+// deployments and epoch-0 clusters share the derivation.
+func (c *Controller) adminKeyForEpoch(driveName string, epoch uint64) []byte {
+	if epoch == 0 {
+		return c.adminKeyFor(driveName)
+	}
+	mac := hmac.New(sha256.New, c.secrets.AdminSeed[:])
+	fmt.Fprintf(mac, "drive-admin:%s|epoch:%d", driveName, epoch)
+	return mac.Sum(nil)
+}
+
+// adminIdentityForEpoch names the per-epoch admin account.
+func adminIdentityForEpoch(epoch uint64) string {
+	if epoch == 0 {
+		return AdminIdentity
+	}
+	return fmt.Sprintf("%s-e%d", AdminIdentity, epoch)
+}
+
+// RotateDriveCredentials installs fresh epoch-derived admin accounts
+// on every drive and switches the connection pools to them, locking
+// out any holder of the previous epoch's credentials. The rotation is
+// two-phase per drive — install both accounts, switch the pool, drop
+// the old account — so concurrent requests never race an HMAC-key
+// change.
+func (c *Controller) RotateDriveCredentials(ctx context.Context, epoch uint64) error {
+	nextID := adminIdentityForEpoch(epoch)
+	for i, p := range c.drives {
+		cur := p.credentials()
+		if cur.Identity == nextID {
+			continue
+		}
+		next := kclient.Credentials{Identity: nextID, Key: c.adminKeyForEpoch(c.cfg.Drives[i].Name, epoch)}
+		both := []wire.ACL{
+			{Identity: cur.Identity, Key: cur.Key, Perms: wire.PermAll},
+			{Identity: next.Identity, Key: next.Key, Perms: wire.PermAll},
+		}
+		if err := p.pick().SetSecurity(ctx, both, nil); err != nil {
+			return fmt.Errorf("core: rotate credentials on %s (install): %w", p.name, err)
+		}
+		p.setCredentials(next)
+		drop := []wire.ACL{{Identity: next.Identity, Key: next.Key, Perms: wire.PermAll}}
+		if err := p.pick().SetSecurity(ctx, drop, nil); err != nil {
+			return fmt.Errorf("core: rotate credentials on %s (drop old): %w", p.name, err)
+		}
+	}
+	return nil
+}

@@ -70,6 +70,18 @@ func (k *keyedLocks) lock(key string) (unlock func()) {
 // largest value one Kinetic put accepts.
 const streamChunkSize = store.MaxObjectSize
 
+// chunkBufs pools the per-upload chunk buffers. Every v2 put flows
+// through the streaming entry point, so allocating the full chunk
+// size per request (1 MB for a 1 KB value) becomes pure GC pressure
+// under write-heavy load; the pool bounds it to one buffer per
+// concurrent upload.
+var chunkBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, streamChunkSize)
+		return &b
+	},
+}
+
 // DefaultMaxStreamBytes caps a streamed object when Config leaves
 // MaxStreamBytes zero.
 const DefaultMaxStreamBytes = 256 << 20
@@ -112,13 +124,23 @@ func (c *Controller) putObjectStream(ctx context.Context, sessionKey, key string
 	unlockStream := c.streamLocks.lock(key)
 	defer unlockStream()
 
-	buf := make([]byte, streamChunkSize)
+	// Sharding fast-fail before any chunk is uploaded; the
+	// authoritative gate (ownership + freeze barrier) runs again at
+	// commitStream, so a handoff racing the upload still redirects.
+	if err := c.checkOwned(key); err != nil {
+		return 0, err
+	}
+
+	bufp := chunkBufs.Get().(*[]byte)
+	defer chunkBufs.Put(bufp)
+	buf := *bufp
 	n, rerr := io.ReadFull(body, buf)
 	if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
 		// The whole value fits one record: hand it to the buffered
 		// write path, so small streamed puts are byte-identical to
-		// buffered puts.
-		return c.putObject(ctx, sessionKey, key, buf[:n], opts)
+		// buffered puts. The payload is copied out at its real size —
+		// the cache may retain it, the pooled buffer must not escape.
+		return c.putObject(ctx, sessionKey, key, append([]byte(nil), buf[:n]...), opts)
 	}
 	if rerr != nil {
 		return 0, rerr
@@ -127,7 +149,7 @@ func (c *Controller) putObjectStream(ctx context.Context, sessionKey, key string
 	// of exactly one chunk (still inline) from a genuinely larger one.
 	var peek [1]byte
 	if _, perr := io.ReadFull(body, peek[:]); perr == io.EOF {
-		return c.putObject(ctx, sessionKey, key, buf, opts)
+		return c.putObject(ctx, sessionKey, key, append([]byte(nil), buf...), opts)
 	} else if perr != nil {
 		return 0, perr
 	}
@@ -241,6 +263,12 @@ func (c *Controller) commitStream(ctx context.Context, sessionKey, key string, o
 	lock.Lock()
 	defer lock.Unlock()
 
+	release, err := c.beginWrite(ctx, key)
+	if err != nil {
+		return err
+	}
+	defer release()
+
 	meta2, next2, err := c.planVersion(ctx, sessionKey, key, opts)
 	if err != nil {
 		return err
@@ -302,6 +330,9 @@ func (c *Controller) chunksIntact(ctx context.Context, key string, next, chunks 
 
 // getObjectStream is the streamed read path.
 func (c *Controller) getObjectStream(ctx context.Context, sessionKey, key string, opts GetOptions) (*store.Meta, func(io.Writer) error, error) {
+	if err := c.checkOwned(key); err != nil {
+		return nil, nil, err
+	}
 	meta, err := c.loadMeta(ctx, key)
 	if err != nil {
 		return nil, nil, err

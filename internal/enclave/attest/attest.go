@@ -46,6 +46,11 @@ type Secrets struct {
 	// AdminSeed deterministically derives the per-drive Pesos admin
 	// accounts installed during takeover.
 	AdminSeed [32]byte `json:"admin_seed"`
+	// MapKey authenticates the cluster shard map (internal/cluster):
+	// only holders of the bundle — attested controllers and the
+	// operator — can mint a map, and routers verify against it. Zero
+	// in single-controller deployments.
+	MapKey [32]byte `json:"map_key"`
 }
 
 // Marshal serializes the bundle (the service stores it sealed; tests
@@ -68,6 +73,7 @@ type Service struct {
 	mu       sync.Mutex
 	expected map[enclave.Measurement]*Secrets
 	nonces   map[[32]byte]bool
+	shardMap []byte // current signed cluster shard map document
 }
 
 // NewService creates a service trusting quotes signed by platformKey.
@@ -84,6 +90,27 @@ func (s *Service) Register(m enclave.Measurement, secrets *Secrets) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.expected[m] = secrets
+}
+
+// PublishShardMap installs the current signed cluster shard map
+// document for distribution. The service stores it opaquely — the
+// map is self-authenticating (sealed under the bundle's MapKey), so
+// the distribution channel needs no trust.
+func (s *Service) PublishShardMap(doc []byte) {
+	s.mu.Lock()
+	s.shardMap = append([]byte(nil), doc...)
+	s.mu.Unlock()
+}
+
+// ShardMap returns the current signed shard map document, ok=false if
+// none was published.
+func (s *Service) ShardMap() ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.shardMap) == 0 {
+		return nil, false
+	}
+	return s.shardMap, true
 }
 
 // Challenge issues a fresh nonce the enclave must bind in its quote's

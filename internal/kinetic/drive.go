@@ -54,8 +54,14 @@ type Drive struct {
 
 	mu       sync.RWMutex
 	accounts map[string]wire.ACL
-	erasePIN []byte
-	locked   bool
+	// p2pAccount, when configured, is the drive-to-drive trust account
+	// for device-to-device copies. It lives OUTSIDE the replaceable
+	// account table: a controller takeover (SetSecurity) locks out
+	// every user but must not break P2P pushes from peer drives, which
+	// is what live shard handoff between controllers rides on.
+	p2pAccount *wire.ACL
+	erasePIN   []byte
+	locked     bool
 
 	// p2pDial lets the drive push objects to a peer drive without a
 	// third party relaying data (§4.5). Tests and the in-process
@@ -80,6 +86,12 @@ type Config struct {
 	ErasePIN []byte
 	// P2PDial resolves a peer address for P2P pushes.
 	P2PDial func(peer string) (P2PTarget, error)
+	// P2PAccount, when set, installs a drive-to-drive trust account
+	// that survives SetSecurity account-table replacement, so peer
+	// drives can still push records after a controller takeover (live
+	// shard handoff between controllers rides on this). Give it the
+	// minimum permissions the deployment needs — typically WRITE only.
+	P2PAccount *wire.ACL
 }
 
 // NewDrive creates a drive in factory state: a single well-known admin
@@ -101,6 +113,17 @@ func NewDrive(cfg Config) *Drive {
 		},
 		erasePIN: cfg.ErasePIN,
 		p2pDial:  cfg.P2PDial,
+	}
+	if cfg.P2PAccount != nil {
+		// Same rule SetSecurity enforces on table accounts; failing
+		// loudly here beats a P2P account that silently never installs
+		// and surfaces as NoSuchUser mid-handoff after a takeover.
+		if cfg.P2PAccount.Identity == "" || len(cfg.P2PAccount.Key) < 8 {
+			panic("kinetic: P2PAccount needs an identity and a >= 8 byte key")
+		}
+		acct := *cfg.P2PAccount
+		acct.Key = append([]byte(nil), cfg.P2PAccount.Key...)
+		d.p2pAccount = &acct
 	}
 	return d
 }
@@ -129,10 +152,14 @@ func (d *Drive) Accounts() []string {
 	return out
 }
 
-// lookupAccount returns the account for identity.
+// lookupAccount returns the account for identity. The P2P trust
+// account resolves independently of the replaceable table.
 func (d *Drive) lookupAccount(identity string) (wire.ACL, bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	if d.p2pAccount != nil && identity == d.p2pAccount.Identity {
+		return *d.p2pAccount, true
+	}
 	a, ok := d.accounts[identity]
 	return a, ok
 }

@@ -255,3 +255,48 @@ func TestHDDMediaModel(t *testing.T) {
 		t.Fatal("sim media should be free")
 	}
 }
+
+// TestP2PAccountSurvivesTakeover: the drive-to-drive trust account
+// configured at boot must keep authenticating after a controller
+// takeover replaces the whole account table — live shard handoff
+// pushes records between drives owned by different controllers.
+func TestP2PAccountSurvivesTakeover(t *testing.T) {
+	p2pKey := []byte("shared-p2p-secret")
+	p2p := &wire.ACL{Identity: "kinetic-p2p", Key: p2pKey, Perms: wire.PermWrite}
+	d := NewDrive(Config{Name: "t0", P2PAccount: p2p})
+
+	// Controller takeover: replace the table with only its admin.
+	resp := d.Handle(signedReq(&wire.Message{
+		Type: wire.TSecurity,
+		ACLs: []wire.ACL{{Identity: "pesos-admin", Key: []byte("admin-secret"), Perms: wire.PermAll}},
+	}))
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("takeover: %v %s", resp.Status, resp.StatusMsg)
+	}
+
+	// The factory account is locked out...
+	resp = d.Handle(signedReq(&wire.Message{Type: wire.TGet, Key: []byte("k")}))
+	if resp.Status != wire.StatusNoSuchUser {
+		t.Fatalf("factory account after takeover: %v", resp.Status)
+	}
+
+	// ...but a peer drive's P2P-credentialed put still lands.
+	put := &wire.Message{
+		Type: wire.TPut, Key: []byte("k"), Value: []byte("v"), NewVersion: []byte("1"), Force: true,
+		User: p2p.Identity,
+	}
+	put.Sign(p2pKey)
+	if resp = d.Handle(put); resp.Status != wire.StatusOK {
+		t.Fatalf("p2p put after takeover: %v %s", resp.Status, resp.StatusMsg)
+	}
+
+	// The P2P account has WRITE only: it cannot replace accounts.
+	sec := &wire.Message{
+		Type: wire.TSecurity, User: p2p.Identity,
+		ACLs: []wire.ACL{{Identity: "evil", Key: []byte("evil-secret"), Perms: wire.PermAll}},
+	}
+	sec.Sign(p2pKey)
+	if resp = d.Handle(sec); resp.Status != wire.StatusNotAuthorized {
+		t.Fatalf("p2p account changed security: %v", resp.Status)
+	}
+}

@@ -311,6 +311,21 @@ func PolicyKey(id string) []byte {
 	return append(out, id...)
 }
 
+// ShardSpace is the size of the cluster keyspace-hash space: object
+// keys map onto [0, ShardSpace) and a cluster shard map assigns
+// disjoint ranges of that space to controllers. 2^16 points keep
+// ranges human-readable while leaving plenty of split granularity.
+const ShardSpace = 1 << 16
+
+// ShardHash maps an object key onto the shard hash space. SHA-256
+// keeps the distribution uniform and deliberately unrelated to the
+// per-controller FNV drive placement below: moving a hash range
+// between controllers must not correlate with any drive's contents.
+func ShardHash(key string) uint32 {
+	h := sha256.Sum256([]byte(key))
+	return uint32(h[0])<<8 | uint32(h[1])
+}
+
 // Placement computes the drives holding an object under the paper's
 // deterministic scheme (§4.5): the primary is hash(key) mod nDrives;
 // replicas follow on the next drives in order. replicas is the total

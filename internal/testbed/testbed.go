@@ -6,6 +6,12 @@
 // runs over in-memory pipes by default so the full stack — TLS
 // handshakes included — exercises exactly the deployed code paths
 // without touching the host network.
+//
+// Two deployment shapes: Start boots the classic single controller;
+// StartMulti boots an M-controller sharded cluster — one shared
+// attestation service and CA, a uniform signed shard map, a common
+// drive P2P namespace (so live handoff can device-to-device copy
+// across controllers) — reached through cluster.Router clients.
 package testbed
 
 import (
@@ -15,9 +21,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/enclave"
 	"repro/internal/enclave/attest"
@@ -29,7 +37,8 @@ import (
 
 // Options configures a cluster.
 type Options struct {
-	// Drives is the number of Kinetic drives (default 1).
+	// Drives is the number of Kinetic drives (default 1). In
+	// StartMulti this is per controller.
 	Drives int
 	// Media builds the media model per drive; nil means simulator.
 	Media func(i int) kinetic.MediaModel
@@ -78,7 +87,64 @@ type Options struct {
 	SessionTTL time.Duration
 }
 
-// Cluster is one running deployment.
+// env is the deployment-wide substrate nodes share: one CA, one
+// platform, one attestation service, one drive P2P namespace and one
+// secret material set (object encryption key, admin seed, cluster map
+// key) — exactly what a real multi-controller Pesos deployment
+// provisions once.
+type env struct {
+	CA       *tlsutil.CA
+	Platform *enclave.Platform
+	Attest   *attest.Service
+
+	objectKey [32]byte
+	adminSeed [32]byte
+	mapKey    [32]byte
+
+	p2pMu sync.Mutex
+	p2p   map[string]*kinetic.Drive
+}
+
+func newEnv() (*env, error) {
+	e := &env{p2p: make(map[string]*kinetic.Drive)}
+	var err error
+	if e.CA, err = tlsutil.NewCA("pesos-testbed-ca"); err != nil {
+		return nil, err
+	}
+	if e.Platform, err = enclave.NewPlatform(); err != nil {
+		return nil, err
+	}
+	e.Attest = attest.NewService(e.Platform.AttestationPublicKey())
+	for _, k := range []*[32]byte{&e.objectKey, &e.adminSeed, &e.mapKey} {
+		if _, err := rand.Read(k[:]); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// registerDrive adds a drive to the shared P2P namespace.
+func (e *env) registerDrive(d *kinetic.Drive) {
+	e.p2pMu.Lock()
+	e.p2p[d.Name()] = d
+	e.p2pMu.Unlock()
+}
+
+// p2pDial resolves a peer drive anywhere in the deployment — also
+// across controllers, which is what lets a shard handoff push records
+// drive-to-drive without either controller relaying payloads.
+func (e *env) p2pDial(peer string) (kinetic.P2PTarget, error) {
+	e.p2pMu.Lock()
+	d, ok := e.p2p[peer]
+	e.p2pMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("testbed: unknown peer drive %q", peer)
+	}
+	return d, nil
+}
+
+// Cluster is one running controller deployment (one node of a
+// multi-controller cluster, or the whole thing in single mode).
 type Cluster struct {
 	CA       *tlsutil.CA
 	Platform *enclave.Platform
@@ -92,52 +158,50 @@ type Cluster struct {
 	Controller *core.Controller
 	REST       *core.RESTServer
 
+	name     string
 	restLn   *netx.Listener
 	httpSrv  *http.Server
 	serverID *tlsutil.Identity
 }
 
-// Start builds and boots a cluster.
+// Start builds and boots a single-controller cluster.
 func Start(opts Options) (*Cluster, error) {
-	if opts.Drives <= 0 {
-		opts.Drives = 1
+	e, err := newEnv()
+	if err != nil {
+		return nil, err
 	}
+	driveNames := make([]string, max(opts.Drives, 1))
+	for i := range driveNames {
+		driveNames[i] = fmt.Sprintf("kinetic-%d", i)
+	}
+	return startNode(e, "pesos", driveNames, opts, nil, nil)
+}
+
+// startNode boots one controller with its drives against the shared
+// environment. shard/mapDoc configure cluster sharding (nil/nil for a
+// single-controller deployment).
+func startNode(e *env, name string, driveNames []string, opts Options, shard *core.ShardInfo, mapDoc []byte) (*Cluster, error) {
 	if opts.Replicas <= 0 {
 		opts.Replicas = 1
 	}
-	c := &Cluster{}
-	var err error
-	if c.CA, err = tlsutil.NewCA("pesos-testbed-ca"); err != nil {
-		return nil, err
-	}
-	if c.Platform, err = enclave.NewPlatform(); err != nil {
-		return nil, err
-	}
+	c := &Cluster{CA: e.CA, Platform: e.Platform, Attest: e.Attest, name: name}
 
 	// Drives: each gets an identity certificate and a wire server.
-	p2p := make(map[string]*kinetic.Drive)
-	for i := 0; i < opts.Drives; i++ {
-		name := fmt.Sprintf("kinetic-%d", i)
+	for i, dn := range driveNames {
 		var media kinetic.MediaModel
 		if opts.Media != nil {
 			media = opts.Media(i)
 		}
 		drive := kinetic.NewDrive(kinetic.Config{
-			Name:  name,
-			Media: media,
-			P2PDial: func(peer string) (kinetic.P2PTarget, error) {
-				d, ok := p2p[peer]
-				if !ok {
-					return nil, fmt.Errorf("testbed: unknown peer drive %q", peer)
-				}
-				return d, nil
-			},
+			Name:    dn,
+			Media:   media,
+			P2PDial: e.p2pDial,
 		})
-		p2p[name] = drive
-		ln := netx.NewListener(name)
+		e.registerDrive(drive)
+		ln := netx.NewListener(dn)
 		var srvTLS *tls.Config
 		if !opts.PlainDriveLinks {
-			id, err := c.CA.IssueServer(name, name)
+			id, err := e.CA.IssueServer(dn, dn)
 			if err != nil {
 				c.Close()
 				return nil, err
@@ -149,10 +213,10 @@ func Start(opts Options) (*Cluster, error) {
 		c.driveServers = append(c.driveServers, kinetic.Serve(drive, ln, srvTLS))
 	}
 
-	// Attestation service: register the controller measurement with
-	// its runtime secrets.
-	c.Attest = attest.NewService(c.Platform.AttestationPublicKey())
-	c.serverID, err = c.CA.IssueServer("pesos", "pesos")
+	// Runtime secrets: per-node TLS identity, deployment-shared object
+	// encryption key, admin seed and cluster map key.
+	var err error
+	c.serverID, err = e.CA.IssueServer(name, name)
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -162,14 +226,9 @@ func Start(opts Options) (*Cluster, error) {
 		c.Close()
 		return nil, err
 	}
-	secrets := &attest.Secrets{TLSCertPEM: certPEM, TLSKeyPEM: keyPEM}
-	if _, err := rand.Read(secrets.ObjectKey[:]); err != nil {
-		c.Close()
-		return nil, err
-	}
-	if _, err := rand.Read(secrets.AdminSeed[:]); err != nil {
-		c.Close()
-		return nil, err
+	secrets := &attest.Secrets{
+		TLSCertPEM: certPEM, TLSKeyPEM: keyPEM,
+		ObjectKey: e.objectKey, AdminSeed: e.adminSeed, MapKey: e.mapKey,
 	}
 	for i := range c.Drives {
 		secrets.Drives = append(secrets.Drives, attest.DriveCredential{
@@ -195,17 +254,19 @@ func Start(opts Options) (*Cluster, error) {
 		KeyCacheBytes:      opts.KeyCacheBytes,
 		Clock:              opts.Clock,
 		SessionTTL:         opts.SessionTTL,
+		Shard:              shard,
+		ClusterMapDoc:      mapDoc,
 	}
 	for i := range c.Drives {
 		ln := c.driveLns[i]
-		name := c.Drives[i].Name()
+		dn := c.Drives[i].Name()
 		var dial kclient.Dialer
 		if opts.PlainDriveLinks {
 			dial = func(ctx context.Context) (net.Conn, error) {
 				return ln.DialContext(ctx)
 			}
 		} else {
-			tlsCfg := tlsutil.ClientConfig(nil, c.CA.Pool(), name)
+			tlsCfg := tlsutil.ClientConfig(nil, e.CA.Pool(), dn)
 			dial = func(ctx context.Context) (net.Conn, error) {
 				conn, err := ln.DialContext(ctx)
 				if err != nil {
@@ -220,19 +281,21 @@ func Start(opts Options) (*Cluster, error) {
 			}
 		}
 		cfg.Drives = append(cfg.Drives, core.DriveEndpoint{
-			Name: name, Dial: dial, Conns: opts.ConnsPerDrive,
+			Name: dn, Dial: dial, Conns: opts.ConnsPerDrive,
 		})
 	}
 
 	// Launch: the enclave configuration (Pesos) attests before it
 	// gets secrets; the native configuration receives them directly.
+	// The launch config is the node name, so every node of a sharded
+	// cluster has its own measurement and secret registration.
 	if opts.Enclave {
 		image := []byte("pesos-controller-image-v1")
-		config := []byte("testbed")
-		c.Enclave = c.Platform.Launch(image, config, opts.EPCBudget)
-		c.Attest.Register(c.Enclave.Measurement(), secrets)
+		config := []byte(name)
+		c.Enclave = e.Platform.Launch(image, config, opts.EPCBudget)
+		e.Attest.Register(c.Enclave.Measurement(), secrets)
 		cfg.Enclave = c.Enclave
-		cfg.Attestation = c.Attest
+		cfg.Attestation = e.Attest
 	} else {
 		cfg.Secrets = secrets
 	}
@@ -247,8 +310,8 @@ func Start(opts Options) (*Cluster, error) {
 
 	// REST endpoint: mutual TLS over the in-memory network.
 	c.REST = core.NewREST(c.Controller)
-	c.restLn = netx.NewListener("pesos")
-	srvCfg := tlsutil.ServerConfig(c.serverID, c.CA.Pool())
+	c.restLn = netx.NewListener(name)
+	srvCfg := tlsutil.ServerConfig(c.serverID, e.CA.Pool())
 	c.httpSrv = &http.Server{Handler: c.REST}
 	go c.httpSrv.Serve(tls.NewListener(restLnAdapter{c.restLn}, srvCfg))
 	return c, nil
@@ -267,8 +330,8 @@ func (c *Cluster) NewClient(name string) (*client.Client, *tlsutil.Identity, err
 		return nil, nil, err
 	}
 	cl := client.New(client.Config{
-		BaseURL: "https://pesos",
-		TLS:     tlsutil.ClientConfig(id, c.CA.Pool(), "pesos"),
+		BaseURL: "https://" + c.name,
+		TLS:     tlsutil.ClientConfig(id, c.CA.Pool(), c.name),
 		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
 			return c.restLn.DialContext(ctx)
 		},
@@ -297,5 +360,183 @@ func (c *Cluster) Close() {
 	}
 	for _, ln := range c.driveLns {
 		ln.Close()
+	}
+}
+
+// MultiCluster is an M-controller sharded deployment: the shared
+// environment, one node per shard, and the live shard map.
+type MultiCluster struct {
+	env    *env
+	CA     *tlsutil.CA
+	Attest *attest.Service
+	Nodes  []*Cluster
+	// MapKey authenticates the cluster's shard map documents.
+	MapKey [32]byte
+
+	mu sync.Mutex
+	m  *cluster.ShardMap
+}
+
+// StartMulti boots an n-controller sharded cluster; opts applies per
+// node (opts.Drives is drives per controller). The keyspace is
+// partitioned uniformly at epoch 1 and the signed map published on
+// the attestation service.
+func StartMulti(n int, opts Options) (*MultiCluster, error) {
+	if n <= 0 {
+		n = 2
+	}
+	e, err := newEnv()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Drives <= 0 {
+		opts.Drives = 1
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = 1
+	}
+
+	shards := make([]cluster.Shard, n)
+	for i := 0; i < n; i++ {
+		driveNames := make([]string, opts.Drives)
+		for j := range driveNames {
+			driveNames[j] = fmt.Sprintf("kinetic-%d-%d", i, j)
+		}
+		shards[i] = cluster.Shard{
+			ID:       i,
+			Endpoint: fmt.Sprintf("pesos-%d", i),
+			Drives:   driveNames,
+			Replicas: opts.Replicas,
+		}
+	}
+	m, err := cluster.UniformMap(shards)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := cluster.SignMap(e.mapKey, m)
+	if err != nil {
+		return nil, err
+	}
+	e.Attest.PublishShardMap(doc)
+
+	mc := &MultiCluster{env: e, CA: e.CA, Attest: e.Attest, MapKey: e.mapKey, m: m}
+	for i := 0; i < n; i++ {
+		info, err := m.InfoFor(i)
+		if err != nil {
+			mc.Close()
+			return nil, err
+		}
+		node, err := startNode(e, shards[i].Endpoint, shards[i].Drives, opts, info, doc)
+		if err != nil {
+			mc.Close()
+			return nil, err
+		}
+		mc.Nodes = append(mc.Nodes, node)
+	}
+	return mc, nil
+}
+
+// Map returns the current shard map.
+func (mc *MultiCluster) Map() *cluster.ShardMap {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.m
+}
+
+// nodeByEndpoint finds the node serving an endpoint name.
+func (mc *MultiCluster) nodeByEndpoint(ep string) *Cluster {
+	for _, n := range mc.Nodes {
+		if n.name == ep {
+			return n
+		}
+	}
+	return nil
+}
+
+// NewRouter issues a client identity and returns a cluster router
+// dispatching over the in-memory network, refreshing its map from the
+// attestation service.
+func (mc *MultiCluster) NewRouter(name string) (*cluster.Router, *tlsutil.Identity, error) {
+	id, err := mc.CA.IssueClient(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := cluster.NewRouter(cluster.RouterConfig{
+		Key: mc.MapKey,
+		Source: cluster.MapSourceFunc(func(ctx context.Context) ([]byte, error) {
+			doc, ok := mc.Attest.ShardMap()
+			if !ok {
+				return nil, fmt.Errorf("testbed: no shard map published")
+			}
+			return doc, nil
+		}),
+		NewClient: func(s cluster.Shard) (*client.Client, error) {
+			node := mc.nodeByEndpoint(s.Endpoint)
+			if node == nil {
+				return nil, fmt.Errorf("testbed: unknown shard endpoint %q", s.Endpoint)
+			}
+			return client.New(client.Config{
+				BaseURL: "https://" + s.Endpoint,
+				TLS:     tlsutil.ClientConfig(id, mc.CA.Pool(), s.Endpoint),
+				DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+					return node.restLn.DialContext(ctx)
+				},
+			}), nil
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, id, nil
+}
+
+// Handoff live-moves hash range r from shard srcID to shard dstID and
+// installs the successor map as the cluster's current one.
+func (mc *MultiCluster) Handoff(ctx context.Context, srcID, dstID int, r core.HashRange) (*core.Manifest, error) {
+	mc.mu.Lock()
+	m := mc.m
+	mc.mu.Unlock()
+	srcShard, dstShard := m.ShardByID(srcID), m.ShardByID(dstID)
+	if srcShard == nil || dstShard == nil {
+		return nil, fmt.Errorf("testbed: handoff between unknown shards %d -> %d", srcID, dstID)
+	}
+	src := mc.nodeByEndpoint(srcShard.Endpoint)
+	dst := mc.nodeByEndpoint(dstShard.Endpoint)
+	if src == nil || dst == nil {
+		return nil, fmt.Errorf("testbed: handoff between unknown shards %d -> %d", srcID, dstID)
+	}
+	var others []*core.Controller
+	for _, n := range mc.Nodes {
+		if n != src && n != dst {
+			others = append(others, n.Controller)
+		}
+	}
+	next, manifest, err := cluster.Handoff(ctx, cluster.HandoffPlan{
+		Map: m, Key: mc.MapKey,
+		SrcID: srcID, DstID: dstID, Range: r,
+		Src: src.Controller, Dst: dst.Controller, Others: others,
+		Publish: func(doc []byte) error {
+			mc.Attest.PublishShardMap(doc)
+			return nil
+		},
+	})
+	// Past the adopt the handoff is authoritative even when a later
+	// step reported an error: adopt the successor map whenever one
+	// came back.
+	if next != nil {
+		mc.mu.Lock()
+		mc.m = next
+		mc.mu.Unlock()
+	}
+	if err != nil {
+		return manifest, err
+	}
+	return manifest, nil
+}
+
+// Close tears the whole deployment down.
+func (mc *MultiCluster) Close() {
+	for _, n := range mc.Nodes {
+		n.Close()
 	}
 }
