@@ -7,9 +7,11 @@
 package repro
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/kinetic/wire"
 )
 
 // microScale shrinks every sweep so a full figure fits in a benchmark
@@ -22,6 +24,7 @@ func microScale() bench.Scale {
 		DiskOpCount:        250,
 		DiskRecordCount:    120,
 		DiskClientSteps:    []int{4, 16},
+		GroupCommitClients: []int{1, 8, 32},
 		PolicyCacheEntries: 150,
 		PolicySteps:        []int{1, 150, 600},
 		MALGranularities:   []int{1, 10, 100},
@@ -230,6 +233,95 @@ func BenchmarkFigClusterScaling(b *testing.B) {
 		b.ReportMetric(t.Rows[0].Values[idx], "1ctrl-A-IOPS")
 		b.ReportMetric(t.Rows[len(t.Rows)-1].Values[idx], "4ctrl-A-IOPS")
 		reportPeak(b, t, "Redirects", "redirects")
+	}
+}
+
+// BenchmarkFigGroupCommit regenerates the write-engine comparison
+// (serial vs per-op atomic batches vs cross-client group commit on
+// YCSB-A over the HDD model) and emits BENCH_write.json, which the CI
+// bench-smoke job uploads as an artifact.
+func BenchmarkFigGroupCommit(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.FigGroupCommit(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPeak(b, t, "Group IOP/s", "group-IOPS")
+		reportPeak(b, t, "PerOp IOP/s", "perop-IOPS")
+		reportPeak(b, t, "Group/PerOp x", "speedup")
+		if err := bench.WriteBenchWriteJSON("BENCH_write.json", t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchWireGrouped measures the per-logical-write cost of
+// assembling and encoding merged grouped TBatch frames with the
+// pooled sub-operation scratch — run with -benchmem; the allocs/op
+// floor is asserted by TestBatchWritePathAllocs so a pooling
+// regression fails the suite, not just the bench report.
+func BenchmarkBatchWireGrouped(b *testing.B) {
+	key := []byte("bench-secret-key")
+	enc := wire.NewEncoder()
+	value := make([]byte, 1024)
+	okey, mkey, ver := []byte("o/k/1"), []byte("m/k"), []byte{1}
+	ops := make([]wire.BatchOp, 0, 32)
+	sizes := make([]uint32, 16)
+	for i := range sizes {
+		sizes[i] = 2
+	}
+	m := &wire.Message{Type: wire.TBatch, User: "pesos-admin"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops = ops[:0]
+		for g := 0; g < 16; g++ {
+			ops = append(ops,
+				wire.BatchOp{Op: wire.BatchPut, Key: okey, Value: value, NewVersion: ver, Force: true},
+				wire.BatchOp{Op: wire.BatchPut, Key: mkey, Value: value[:96], NewVersion: ver})
+		}
+		m.Seq, m.Batch, m.GroupSizes = uint64(i), ops, sizes
+		if err := enc.WriteFrame(io.Discard, m, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBatchWritePathAllocs asserts the batch write path's wire
+// assembly stays allocation-flat: encoding a merged 16-group batch
+// into a reused encoder and sub-operation scratch must not allocate
+// per sub-operation (the op-slice and marshal-buffer pooling the
+// group committer relies on).
+func TestBatchWritePathAllocs(t *testing.T) {
+	key := []byte("bench-secret-key")
+	enc := wire.NewEncoder()
+	value := make([]byte, 1024)
+	okey, mkey, ver := []byte("o/k/1"), []byte("m/k"), []byte{1}
+	ops := make([]wire.BatchOp, 0, 32)
+	sizes := make([]uint32, 16)
+	for i := range sizes {
+		sizes[i] = 2
+	}
+	m := &wire.Message{Type: wire.TBatch, User: "pesos-admin"}
+	seq := uint64(0)
+	avg := testing.AllocsPerRun(200, func() {
+		ops = ops[:0]
+		for g := 0; g < 16; g++ {
+			ops = append(ops,
+				wire.BatchOp{Op: wire.BatchPut, Key: okey, Value: value, NewVersion: ver, Force: true},
+				wire.BatchOp{Op: wire.BatchPut, Key: mkey, Value: value[:96], NewVersion: ver})
+		}
+		seq++
+		m.Seq, m.Batch, m.GroupSizes = seq, ops, sizes
+		if err := enc.WriteFrame(io.Discard, m, key); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A 32-sub-op frame reuses the encoder's buffer and HMAC state;
+	// nothing on the path may allocate per sub-op.
+	if avg > 2 {
+		t.Fatalf("merged batch encode allocates %.1f/frame; pooling regressed", avg)
 	}
 }
 

@@ -15,7 +15,10 @@
 // API), hedge (fan-out vs hedged cache-miss reads; also emits
 // machine-readable BENCH_read.json with the wire hot-path
 // micro-benchmarks), cluster (keyspace scale-out across 1/2/4
-// controllers through the cluster router; emits BENCH_cluster.json).
+// controllers through the cluster router; emits BENCH_cluster.json),
+// gcommit (serial vs per-op batch vs cross-client group commit on
+// YCSB-A over the HDD model at 1/8/32/128 clients; emits
+// BENCH_write.json with the batch wire-path micro-benchmarks).
 package main
 
 import (
@@ -28,10 +31,11 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan,hedge,cluster or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan,hedge,cluster,gcommit or all")
 	paper := flag.Bool("paper", false, "use the paper's full experiment scale (minutes per figure)")
 	jsonOut := flag.String("json", "BENCH_read.json", "path for the hedge figure's machine-readable output (empty disables)")
 	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "path for the cluster figure's machine-readable output (empty disables)")
+	writeJSON := flag.String("write-json", "BENCH_write.json", "path for the gcommit figure's machine-readable output (empty disables)")
 	flag.Parse()
 
 	scale := bench.Quick()
@@ -58,6 +62,7 @@ func main() {
 		{"scan", bench.FigScanWorkloadE},
 		{"hedge", bench.FigHedgedReads},
 		{"cluster", bench.FigClusterScaling},
+		{"gcommit", bench.FigGroupCommit},
 	}
 
 	ran := false
@@ -86,6 +91,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("(wrote %s)\n", *clusterJSON)
+		}
+		if f.name == "gcommit" && *writeJSON != "" {
+			if err := bench.WriteBenchWriteJSON(*writeJSON, t); err != nil {
+				fmt.Fprintf(os.Stderr, "pesos-bench: write %s: %v\n", *writeJSON, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(wrote %s)\n", *writeJSON)
 		}
 		fmt.Printf("(figure %s took %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
 	}

@@ -53,6 +53,7 @@ func main() {
 	driveTLS := flag.Bool("drive-tls", false, "connect to drives over TLS")
 	replicas := flag.Int("replicas", 1, "copies per object")
 	noEncrypt := flag.Bool("no-encrypt", false, "disable payload encryption (baseline)")
+	groupCommit := flag.Bool("group-commit", true, "coalesce concurrent writes into shared per-drive batches")
 	host := flag.String("host", "localhost", "hostname in the serving certificate")
 	shardMap := flag.String("shard-map", "", "signed cluster shard map file; runs the controller as one shard")
 	shardID := flag.Int("shard-id", 0, "this controller's shard id in the map (with -shard-map)")
@@ -74,7 +75,7 @@ func main() {
 			log.Fatalf("pesos: sign-map: %v", err)
 		}
 	default:
-		if err := run(*state, *listen, *drives, *driveTLS, *replicas, !*noEncrypt, *shardMap, *shardID); err != nil {
+		if err := run(*state, *listen, *drives, *driveTLS, *replicas, !*noEncrypt, *groupCommit, *shardMap, *shardID); err != nil {
 			log.Fatalf("pesos: %v", err)
 		}
 	}
@@ -255,7 +256,7 @@ func doSignMap(dir, specFile string) error {
 }
 
 // run boots the controller against TCP drives and serves REST.
-func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt bool, shardMapFile string, shardID int) error {
+func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, groupCommit bool, shardMapFile string, shardID int) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -286,10 +287,11 @@ func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt boo
 
 	addrs := strings.Split(driveList, ",")
 	cfg := core.Config{
-		Replicas: replicas,
-		Encrypt:  encrypt,
-		TakeOver: true,
-		Secrets:  secrets,
+		Replicas:    replicas,
+		Encrypt:     encrypt,
+		GroupCommit: groupCommit,
+		TakeOver:    true,
+		Secrets:     secrets,
 	}
 	if shardMapFile != "" {
 		doc, err := os.ReadFile(shardMapFile)

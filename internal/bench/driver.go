@@ -145,6 +145,36 @@ func (d *Driver) Load(keys []string, valueSize int, policyFor func(i int) string
 	}
 }
 
+// Warmup issues one read per client concurrently so every client's
+// TLS session and connection exist before a measured replay begins.
+// Closed-loop figures at high client counts call this after Load:
+// the REST clients dial lazily, and without a warm-up the first
+// measured operation of every client pays a TLS handshake.
+func (d *Driver) Warmup(key string) error {
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+	for _, cl := range d.Clients {
+		wg.Add(1)
+		go func(cl *client.Client) {
+			defer wg.Done()
+			if _, _, err := cl.Get(ctx, key, client.GetOptions{}); err != nil {
+				select {
+				case errCh <- fmt.Errorf("warmup: %w", err):
+				default:
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
 // ReplayMode selects per-operation semantics.
 type ReplayMode uint8
 

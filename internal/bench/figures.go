@@ -39,6 +39,9 @@ type Scale struct {
 	PayloadSizes []int
 	// ReplicationDisks is the x axis of Figure 7.
 	ReplicationDisks []int
+	// GroupCommitClients is the client sweep of the group-commit
+	// figure (empty selects 1/8/32/128).
+	GroupCommitClients []int
 	// Clients is the fixed concurrency for Figures 6–10.
 	Clients int
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/authority"
+	"repro/internal/kinetic/wire"
 	"repro/internal/store"
 )
 
@@ -162,7 +163,7 @@ func (c *Controller) batchPut(ctx context.Context, sessionKey string, ops []Batc
 		for i, sw := range staged {
 			writes[i] = sw.w
 		}
-		if err := c.commitWrites(ctx, writes); err != nil {
+		if err := c.commitWrites(ctx, writes, wire.SyncWriteThrough); err != nil {
 			// One fan-out failed; every surviving op shares its fate
 			// (commitWrites already dropped the affected cache entries).
 			for _, sw := range staged {

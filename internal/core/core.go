@@ -79,8 +79,26 @@ type Config struct {
 	// SerialReplication selects the legacy write path: a serial loop
 	// of independent object and meta puts per replica, instead of one
 	// atomic batch per replica fanned out concurrently. Kept as the
-	// measured baseline for the replication benchmark.
+	// measured baseline for the replication benchmark. It implies
+	// GroupCommit off.
 	SerialReplication bool
+	// GroupCommit enables the per-drive cross-client group committer
+	// (see gcommit.go): concurrent logical writes coalesce into shared
+	// grouped drive batches, one amortized media wait for many
+	// clients. On by default in every shipped configuration (testbed,
+	// daemons); false reproduces the per-op batch write path of the
+	// replication engine as the measured baseline.
+	GroupCommit bool
+	// GroupCommitMaxOps caps the sub-operations of one merged drive
+	// batch (0 or out of range selects wire.MaxBatchOps).
+	GroupCommitMaxOps int
+	// GroupCommitMaxBytes caps one merged batch's payload bytes
+	// (0 selects store.MaxObjectSize).
+	GroupCommitMaxBytes int
+	// GroupCommitMaxDelay bounds the scheduler's gather window under
+	// sustained concurrency; the idle path always commits immediately.
+	// 0 selects 150µs; negative disables gathering entirely.
+	GroupCommitMaxDelay time.Duration
 	// FanoutReads selects the legacy read engine: every cache-miss
 	// read asks all placement replicas concurrently (first-wins),
 	// occupying every replica's media per read. The default is the
@@ -159,6 +177,9 @@ type Controller struct {
 	clock   func() time.Time
 
 	drives []*drivePool
+	// gcommit is the group-commit scheduler (one queue per drive, one
+	// generation clock); nil when group commit is off (see gcommit.go).
+	gcommit *groupScheduler
 
 	policyCache *cache.Cache[string, *policy.Program]
 	objectCache *cache.Cache[string, *store.Record]
@@ -190,7 +211,13 @@ type Controller struct {
 	// serialization is authoritative; the drives' compare-and-swap
 	// versions remain as a backstop against misconfigured deployments
 	// sharing drives between controllers.
-	writeLocks [256]sync.Mutex
+	//
+	// Sizing: a stripe is held across the whole drive commit — multiple
+	// milliseconds on spinning media — so a collision convoys an
+	// unrelated key behind it for a full commit cycle. 4096 stripes
+	// (32 KB of mutexes) make cross-key collisions rare at hundreds of
+	// concurrent writers where 256 measurably serialized hot stripes.
+	writeLocks [writeStripes]sync.Mutex
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -201,22 +228,25 @@ type Controller struct {
 
 // Stats aggregates controller activity counters.
 type Stats struct {
-	mu             sync.Mutex
-	Puts           uint64
-	Gets           uint64
-	Deletes        uint64
-	Scans          uint64 // v2 scan pages served
-	ScanFiltered   uint64 // scan entries suppressed by policy
-	BatchOps       uint64 // operations carried by v2 batch requests
-	Streams        uint64 // chunked streamed reads + writes
-	PolicyChecks   uint64
-	PolicyDenials  uint64
-	TxCommits      uint64
-	TxAborts       uint64
-	ReadHedges     uint64 // hedge requests fired by the read engine
-	CoalescedReads uint64 // cache misses served by another miss's flight
-	DecisionHits   uint64 // policy checks served from the decision cache
-	WrongShard     uint64 // operations redirected to another shard
+	mu              sync.Mutex
+	Puts            uint64
+	Gets            uint64
+	Deletes         uint64
+	Scans           uint64 // v2 scan pages served
+	ScanFiltered    uint64 // scan entries suppressed by policy
+	BatchOps        uint64 // operations carried by v2 batch requests
+	Streams         uint64 // chunked streamed reads + writes
+	PolicyChecks    uint64
+	PolicyDenials   uint64
+	TxCommits       uint64
+	TxAborts        uint64
+	ReadHedges      uint64 // hedge requests fired by the read engine
+	CoalescedReads  uint64 // cache misses served by another miss's flight
+	DecisionHits    uint64 // policy checks served from the decision cache
+	WrongShard      uint64 // operations redirected to another shard
+	GroupBatches    uint64 // drive batches shipped by the group scheduler (merged or not)
+	GroupedWrites   uint64 // write groups that shared a merged drive batch
+	TrailingFlushes uint64 // idle destages of write-back batches
 }
 
 // Snapshot returns a copy of the counters.
@@ -231,6 +261,8 @@ func (s *Stats) Snapshot() Stats {
 		TxCommits: s.TxCommits, TxAborts: s.TxAborts,
 		ReadHedges: s.ReadHedges, CoalescedReads: s.CoalescedReads,
 		DecisionHits: s.DecisionHits, WrongShard: s.WrongShard,
+		GroupBatches: s.GroupBatches, GroupedWrites: s.GroupedWrites,
+		TrailingFlushes: s.TrailingFlushes,
 	}
 }
 
@@ -306,6 +338,9 @@ func New(ctx context.Context, cfg Config) (*Controller, error) {
 	// credentials and take exclusive control.
 	if err := c.connectDrives(ctx); err != nil {
 		return nil, err
+	}
+	if cfg.GroupCommit && !cfg.SerialReplication {
+		c.startCommitters()
 	}
 
 	// Step 4: caches, sized to the paper's defaults within the EPC.
@@ -406,11 +441,14 @@ func (c *Controller) adminKeyFor(driveName string) []byte {
 	return mac.Sum(nil)
 }
 
+// closeDrives closes every pool connection. The drive table itself
+// stays in place: writers that raced past the closed check still
+// resolve their pools and fail with the connection's ErrClosed
+// instead of tearing a nil slice out from under a fan-out.
 func (c *Controller) closeDrives() {
 	for _, p := range c.drives {
 		p.close()
 	}
-	c.drives = nil
 }
 
 // Stats returns the controller's counters.
@@ -496,11 +534,19 @@ func (c *Controller) Close() error {
 		close(async.queue)
 		async.wg.Wait()
 	}
+	// Committer shutdown is two-phase: reject queued groups first,
+	// close the drive connections (which unblocks any in-flight merged
+	// batch), then wait for the scheduler goroutines to exit.
+	c.stopCommitters(false)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closeDrives()
+	c.mu.Unlock()
+	c.stopCommitters(true)
 	return nil
 }
+
+// writeStripes is the mutation-lock stripe count (power of two).
+const writeStripes = 4096
 
 // stripeIndex returns the mutation lock stripe a key hashes to.
 func stripeIndex(key string) int {
@@ -508,7 +554,7 @@ func stripeIndex(key string) int {
 	for i := 0; i < len(key); i++ {
 		h = (h ^ uint32(key[i])) * 16777619
 	}
-	return int(h & 255)
+	return int(h & (writeStripes - 1))
 }
 
 // writeLock returns the mutation lock stripe for a key.

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/kinetic"
+	"repro/internal/kinetic/kclient"
+	"repro/internal/kinetic/wire"
+	"repro/internal/store"
+)
+
+// slowHDD returns a media model whose positioning time makes the
+// drive the bottleneck under a handful of concurrent writers without
+// slowing the test down much.
+func slowHDD() kinetic.MediaModel {
+	return &kinetic.HDDMedia{Positioning: 2 * time.Millisecond, BytesPerSec: 150e6,
+		WritePenalty: 100 * time.Microsecond, TimeScale: 1}
+}
+
+// TestGroupCommitMergesConcurrentWrites: under concurrent independent
+// writers on a slow medium, the committer must ship fewer drive
+// batches than logical writes — many clients sharing media waits —
+// while every write still lands intact.
+func TestGroupCommitMergesConcurrentWrites(t *testing.T) {
+	h := newMediaHarness(t, 1, func(int) kinetic.MediaModel { return slowHDD() }, nil)
+	ctx := context.Background()
+	sess := h.ctl.Session("writer")
+
+	const clients, rounds = 16, 8
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				key := fmt.Sprintf("merge/%d", w)
+				if _, err := sess.Put(ctx, key, []byte(fmt.Sprintf("v%d", r)), PutOptions{}); err != nil {
+					failed.Add(1)
+					t.Errorf("put %s round %d: %v", key, r, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failed.Load() > 0 {
+		t.Fatalf("%d writers failed", failed.Load())
+	}
+
+	total := uint64(clients * rounds)
+	batches := h.drives[0].Stats().Batches.Load()
+	if batches >= total {
+		t.Errorf("drive saw %d batches for %d writes; group commit merged nothing", batches, total)
+	}
+	st := h.ctl.Stats().Snapshot()
+	if st.GroupedWrites == 0 {
+		t.Errorf("GroupedWrites = 0; no write shared a merged batch")
+	}
+	t.Logf("writes=%d driveBatches=%d groupBatches=%d groupedWrites=%d",
+		total, batches, st.GroupBatches, st.GroupedWrites)
+
+	// Every writer's final value must be intact (no cross-group
+	// contamination inside merged batches).
+	for w := 0; w < clients; w++ {
+		val, _, err := sess.Get(ctx, fmt.Sprintf("merge/%d", w), GetOptions{})
+		if err != nil {
+			t.Fatalf("readback merge/%d: %v", w, err)
+		}
+		if string(val) != fmt.Sprintf("v%d", rounds-1) {
+			t.Errorf("merge/%d = %q, want %q", w, val, fmt.Sprintf("v%d", rounds-1))
+		}
+	}
+}
+
+// TestGroupCommitCASStorm is the write/write conflict contract at the
+// drive: 32 concurrent groups CAS-updating one hot key yield exactly
+// one winner per round and the losers see ErrVersionMismatch, while
+// each round's unrelated keys — merged into the very same drive
+// batches — commit untouched. This drives the committer directly
+// (driveBatch), below the controller's stripe locks, which is the
+// only place same-key groups can actually race.
+func TestGroupCommitCASStorm(t *testing.T) {
+	h := newMediaHarness(t, 1, nil, nil)
+	ctx := context.Background()
+	ver := func(v int64) []byte {
+		if v < 0 {
+			return nil
+		}
+		return encodeVer(v)
+	}
+
+	const stormers, rounds = 32, 6
+	// Create the hot key at version 0.
+	err := h.ctl.driveBatch(ctx, 0, []wire.BatchOp{
+		{Op: wire.BatchPut, Key: []byte("hot"), Value: []byte("seed"), NewVersion: ver(0)},
+	}, 4, wire.SyncWriteThrough, false)
+	if err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		var wins, losses, other atomic.Int64
+		for s := 0; s < stormers; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				// The contended CAS group.
+				casErr := h.ctl.driveBatch(ctx, 0, []wire.BatchOp{
+					{Op: wire.BatchPut, Key: []byte("hot"),
+						Value:     []byte(fmt.Sprintf("r%d-s%d", r, s)),
+						DBVersion: ver(int64(r)), NewVersion: ver(int64(r + 1))},
+				}, 8, wire.SyncWriteThrough, false)
+				switch {
+				case casErr == nil:
+					wins.Add(1)
+				case errors.Is(casErr, kclient.ErrVersionMismatch):
+					losses.Add(1)
+				default:
+					other.Add(1)
+					t.Errorf("round %d stormer %d: unexpected error %v", r, s, casErr)
+				}
+				// An unrelated key riding the same queue (and very
+				// likely the same merged batches) must never share the
+				// CAS group's fate.
+				bys := []byte(fmt.Sprintf("ok-r%d-s%d", r, s))
+				if err := h.ctl.driveBatch(ctx, 0, []wire.BatchOp{
+					{Op: wire.BatchPut, Key: bys, Value: bys, Force: true, NewVersion: ver(1)},
+				}, len(bys), wire.SyncWriteThrough, false); err != nil {
+					t.Errorf("round %d stormer %d: unrelated key failed: %v", r, s, err)
+				}
+			}(s)
+		}
+		wg.Wait()
+		if wins.Load() != 1 || losses.Load() != int64(stormers-1) {
+			t.Fatalf("round %d: %d winners, %d losers, %d other; want 1/%d/0",
+				r, wins.Load(), losses.Load(), other.Load(), stormers-1)
+		}
+	}
+
+	// The hot key advanced exactly once per round.
+	cl := h.ctl.drives[0].pick()
+	_, gotVer, err := cl.Get(ctx, []byte("hot"))
+	if err != nil {
+		t.Fatalf("read hot: %v", err)
+	}
+	if want := encodeVer(rounds); string(gotVer) != string(want) {
+		t.Fatalf("hot at version %x, want %x", gotVer, want)
+	}
+	// Every unrelated key from every round committed.
+	for r := 0; r < rounds; r++ {
+		for s := 0; s < stormers; s++ {
+			k := fmt.Sprintf("ok-r%d-s%d", r, s)
+			if _, _, err := cl.Get(ctx, []byte(k)); err != nil {
+				t.Fatalf("unrelated key %s lost: %v", k, err)
+			}
+		}
+	}
+	if st := h.ctl.Stats().Snapshot(); st.GroupedWrites == 0 {
+		t.Errorf("storm never shared a merged batch; the test exercised nothing")
+	}
+}
+
+// TestGroupCommitOffReproducesPerOpBatches: Config.GroupCommit=false
+// is the PR 1 write path — one atomic batch per logical write, no
+// scheduler in the loop.
+func TestGroupCommitOffReproducesPerOpBatches(t *testing.T) {
+	h := newHarness(t, 1, func(cfg *Config) { cfg.GroupCommit = false })
+	ctx := context.Background()
+	sess := h.ctl.Session("writer")
+	const puts = 10
+	for i := 0; i < puts; i++ {
+		if _, err := sess.Put(ctx, fmt.Sprintf("po/%d", i), []byte("v"), PutOptions{}); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if got := h.drives[0].Stats().Batches.Load(); got != puts {
+		t.Errorf("drive saw %d batches for %d writes; per-op baseline must ship one each", got, puts)
+	}
+	st := h.ctl.Stats().Snapshot()
+	if st.GroupBatches != 0 || st.GroupedWrites != 0 {
+		t.Errorf("committer stats moved with GroupCommit=false: batches=%d grouped=%d",
+			st.GroupBatches, st.GroupedWrites)
+	}
+	if h.drives[0].Stats().BatchGroups.Load() != 0 {
+		t.Errorf("drive saw grouped batches with GroupCommit=false")
+	}
+}
+
+// TestGroupCommitFreezeDrain: group commit composes with shard
+// handoff. A FreezeRange during a loaded concurrent run must drain
+// the in-flight groups and return (no wedged queue), writes to the
+// frozen range must block and then — once the range is released —
+// fail with ErrWrongShard, while writes to other ranges keep
+// committing throughout.
+func TestGroupCommitFreezeDrain(t *testing.T) {
+	full := HashRange{Start: 0, End: store.ShardSpace}
+	h := newMediaHarness(t, 1, func(int) kinetic.MediaModel { return slowHDD() }, func(cfg *Config) {
+		cfg.Shard = &ShardInfo{ID: 0, Epoch: 1, Ranges: []HashRange{full}}
+	})
+	ctx := context.Background()
+	sess := h.ctl.Session("writer")
+
+	// Split the space in half and sort keys into the halves.
+	frozen := HashRange{Start: 0, End: store.ShardSpace / 2}
+	var frozenKeys, liveKeys []string
+	for i := 0; len(frozenKeys) < 4 || len(liveKeys) < 4; i++ {
+		k := fmt.Sprintf("fz/%d", i)
+		if frozen.Contains(store.ShardHash(k)) {
+			frozenKeys = append(frozenKeys, k)
+		} else {
+			liveKeys = append(liveKeys, k)
+		}
+	}
+
+	// Background load on both halves.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var liveOK atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := liveKeys[(w+i)%4]
+				if _, err := sess.Put(ctx, k, []byte("live"), PutOptions{}); err == nil {
+					liveOK.Add(1)
+				}
+				k = frozenKeys[(w+i)%4]
+				wctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+				_, _ = sess.Put(wctx, k, []byte("cold"), PutOptions{})
+				cancel()
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond) // let the load build up
+
+	// The drain: FreezeRange must return despite the loaded committer
+	// queue. Guard with a timeout so a deadlock fails fast.
+	frozeCh := make(chan error, 1)
+	go func() { frozeCh <- h.ctl.FreezeRange(frozen) }()
+	select {
+	case err := <-frozeCh:
+		if err != nil {
+			t.Fatalf("freeze: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("FreezeRange deadlocked against the group-commit queue")
+	}
+
+	// While frozen: the other half keeps committing.
+	before := liveOK.Load()
+	deadline := time.Now().Add(2 * time.Second)
+	for liveOK.Load() == before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if liveOK.Load() == before {
+		t.Fatal("no live-range write committed while the other range was frozen")
+	}
+	// And frozen-range writes block rather than fail.
+	wctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	_, err := sess.Put(wctx, frozenKeys[0], []byte("blocked"), PutOptions{})
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("frozen-range write: %v, want blocked (deadline exceeded)", err)
+	}
+
+	// Release the range (handoff completes elsewhere): blocked and new
+	// writers must wake into the retriable redirect.
+	if err := h.ctl.ReleaseRange(ctx, 2, frozen, &Manifest{Range: frozen}); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if _, err := sess.Put(ctx, frozenKeys[0], []byte("gone"), PutOptions{}); !errors.Is(err, ErrWrongShard) {
+		t.Fatalf("released-range write: %v, want ErrWrongShard", err)
+	}
+	before = liveOK.Load()
+	deadline = time.Now().Add(2 * time.Second)
+	for liveOK.Load() == before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if liveOK.Load() == before {
+		t.Fatal("live range stopped committing after the release")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestGroupCommitTrailingFlush: replicated transactions ship their
+// commit batches write-back; once the queue idles the committer must
+// destage them with a trailing flush.
+func TestGroupCommitTrailingFlush(t *testing.T) {
+	h := newHarness(t, 2, func(cfg *Config) { cfg.Replicas = 2 })
+	ctx := context.Background()
+	sess := h.ctl.Session("txer")
+
+	tx := sess.CreateTx()
+	for i := 0; i < 3; i++ {
+		if err := sess.AddWrite(tx, fmt.Sprintf("txk/%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.CommitTx(ctx, tx); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	// The trailing flush runs once the committer goes idle.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if h.ctl.Stats().Snapshot().TrailingFlushes > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := h.ctl.Stats().Snapshot(); st.TrailingFlushes == 0 {
+		t.Fatal("no trailing flush after a write-back tx commit")
+	}
+	var flushes uint64
+	for _, d := range h.drives {
+		flushes += d.Stats().Flushes.Load()
+	}
+	if flushes == 0 {
+		t.Fatal("drives saw no TFlush")
+	}
+	// And the data is durably readable.
+	for i := 0; i < 3; i++ {
+		if _, _, err := sess.Get(ctx, fmt.Sprintf("txk/%d", i), GetOptions{}); err != nil {
+			t.Fatalf("readback txk/%d: %v", i, err)
+		}
+	}
+}
+
+// TestGroupCommitClose: shutting the controller down under concurrent
+// writers neither hangs nor panics; stragglers get ErrClosed (or a
+// connection error when their batch was in flight).
+func TestGroupCommitClose(t *testing.T) {
+	h := newMediaHarness(t, 1, func(int) kinetic.MediaModel { return slowHDD() }, nil)
+	ctx := context.Background()
+	sess := h.ctl.Session("writer")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := sess.Put(ctx, fmt.Sprintf("cl/%d/%d", w, i), []byte("v"), PutOptions{}); err != nil {
+					return // shutdown raced the write; any error is fine
+				}
+			}
+		}(w)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := h.ctl.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("writers hung across controller shutdown")
+	}
+}

@@ -32,7 +32,9 @@ func newMediaHarness(t *testing.T, nDrives int, media func(i int) kinetic.MediaM
 	if _, err := rand.Read(secrets.AdminSeed[:]); err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{Replicas: 1, Encrypt: true, TakeOver: true, Secrets: secrets}
+	// Group commit on, like newHarness and every shipped
+	// configuration; tests opt out via mutate.
+	cfg := Config{Replicas: 1, Encrypt: true, GroupCommit: true, TakeOver: true, Secrets: secrets}
 	for i := 0; i < nDrives; i++ {
 		name := fmt.Sprintf("d%d", i)
 		var m kinetic.MediaModel

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/authority"
 	"repro/internal/kinetic/kclient"
+	"repro/internal/kinetic/wire"
 	"repro/internal/policy"
 	"repro/internal/policy/lang"
 	"repro/internal/store"
@@ -587,13 +588,17 @@ func (c *Controller) PutPolicy(ctx context.Context, src string) (string, error) 
 		return "", err
 	}
 	// Policies fan out to all placement replicas concurrently like any
-	// other write-through operation.
+	// other write-through operation; each replica's put is a one-op
+	// group, so a policy store rides the same shared drive batches as
+	// concurrent data writes.
 	placement := store.Placement(id, len(c.drives), c.cfg.Replicas)
 	err = c.fanout(placement, func(di int) error {
-		cl := c.drives[di].pick()
-		c.chargeDriveIO(len(blob))
 		// Content-addressed: rewriting the same id is idempotent.
-		if err := cl.Put(ctx, store.PolicyKey(id), blob, nil, []byte{1}, true); err != nil {
+		ops := append(getOps(), wire.BatchOp{
+			Op: wire.BatchPut, Key: store.PolicyKey(id), Value: blob,
+			NewVersion: []byte{1}, Force: true,
+		})
+		if err := c.driveBatch(ctx, di, ops, len(blob), wire.SyncWriteThrough, true); err != nil {
 			return fmt.Errorf("core: store policy on drive %s: %w", c.drives[di].name, err)
 		}
 		return nil

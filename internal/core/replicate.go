@@ -324,30 +324,30 @@ type replicaWrite struct {
 	metaRec []byte // marshalled metadata
 }
 
-// batchOps renders the write as the atomic sub-operation pair every
-// replica receives: object record first (content-addressed by version,
-// forced), then the metadata record guarded by compare-and-swap
-// against concurrent controllers.
-func (w *replicaWrite) batchOps() []wire.BatchOp {
-	return []wire.BatchOp{
-		{Op: wire.BatchPut, Key: store.ObjectKey(w.key, w.next), Value: w.blob,
+// appendBatchOps appends the write's atomic sub-operation pair — the
+// group every replica receives — to dst: object record first
+// (content-addressed by version, forced), then the metadata record
+// guarded by compare-and-swap against concurrent controllers. Append
+// style so the batch write path can assemble into pooled scratch.
+func (w *replicaWrite) appendBatchOps(dst []wire.BatchOp) []wire.BatchOp {
+	return append(dst,
+		wire.BatchOp{Op: wire.BatchPut, Key: store.ObjectKey(w.key, w.next), Value: w.blob,
 			NewVersion: encodeVer(w.next), Force: true},
-		{Op: wire.BatchPut, Key: store.MetaKey(w.key), Value: w.metaRec,
-			DBVersion: w.prev, NewVersion: encodeVer(w.next)},
-	}
+		wire.BatchOp{Op: wire.BatchPut, Key: store.MetaKey(w.key), Value: w.metaRec,
+			DBVersion: w.prev, NewVersion: encodeVer(w.next)})
 }
 
-// putReplicas commits one write to all placement replicas: one atomic
-// batch per replica drive, all replicas concurrently. Latency is the
-// slowest replica's single round trip — 2 round trips × replicas in
-// the serial-singleton scheme collapse to 1 × max.
+// putReplicas commits one write to all placement replicas: one
+// sub-operation group per replica drive, all replicas concurrently.
+// Latency is the slowest replica's single round trip — 2 round trips
+// × replicas in the serial-singleton scheme collapse to 1 × max —
+// and under group commit the round trip is shared with whatever other
+// clients' writes the drive's scheduler merged alongside.
 func (c *Controller) putReplicas(ctx context.Context, w *replicaWrite, placement []int) error {
-	ops := w.batchOps()
 	payload := len(w.blob) + len(w.metaRec)
 	return c.fanout(placement, func(di int) error {
-		cl := c.drives[di].pick()
-		c.chargeDriveIO(payload)
-		if err := cl.Batch(ctx, ops); err != nil {
+		ops := w.appendBatchOps(getOps())
+		if err := c.driveBatch(ctx, di, ops, payload, wire.SyncWriteThrough, true); err != nil {
 			return fmt.Errorf("core: batched write %q to drive %s: %w", w.key, c.drives[di].name, err)
 		}
 		return nil
@@ -436,8 +436,11 @@ func (c *Controller) deleteReplica(ctx context.Context, di int, key string, meta
 	metaPending := true
 	for len(ops) > 0 {
 		n := min(len(ops), wire.MaxBatchOps)
-		c.chargeDriveIO(0)
-		err := cl.Batch(ctx, ops[:n])
+		// Each chunk is one group: destruction stays write-through (a
+		// released range's records must be durably gone before the
+		// handoff acknowledges), and the CAS-guarded metadata delete
+		// leading the first chunk protects the whole stream.
+		err := c.driveBatch(ctx, di, ops[:n], 0, wire.SyncWriteThrough, false)
 		if metaPending && err != nil {
 			var be *kclient.BatchError
 			if errors.As(err, &be) && be.Index == 0 && errors.Is(err, kclient.ErrNotFound) {
@@ -571,7 +574,18 @@ func (c *Controller) commitTxWrites(ctx context.Context, writes []txWrite) error
 		unlock()
 		return err
 	}
-	err = c.commitWrites(ctx, staged)
+	// Transactional commit records tolerate losing a single drive's
+	// write buffer — the paper's design recovers partially-replicated
+	// commits from the surviving replicas (§4.4) — so with replication
+	// in play they ship write-back and the committer destages them
+	// with a trailing flush instead of paying the write-through
+	// penalty per batch. Unreplicated deployments have no second copy
+	// to recover from and stay write-through.
+	sync := wire.SyncWriteThrough
+	if c.cfg.Replicas > 1 {
+		sync = wire.SyncWriteBack
+	}
+	err = c.commitWrites(ctx, staged, sync)
 	if err == nil {
 		// Publish under the stripe locks, like putObject: a concurrent
 		// writer must not interleave a newer cache entry between our
@@ -593,13 +607,19 @@ func (c *Controller) commitTxWrites(ctx context.Context, writes []txWrite) error
 	return nil
 }
 
-// commitWrites persists a transaction's write set: the writes are
-// grouped by placement drive so each drive receives as few atomic
-// batches as possible (object+meta pairs never split across batches),
-// and the per-drive batch streams run concurrently. Policy checks and
-// version planning happened under the VLL locks in CommitTx; the meta
-// compare-and-swap tokens remain as the cross-controller backstop.
-func (c *Controller) commitWrites(ctx context.Context, writes []*replicaWrite) error {
+// commitWrites persists a multi-key write set: the writes are grouped
+// by placement drive so each drive receives as few sub-operation
+// groups as possible (object+meta pairs never split across groups),
+// and the per-drive streams run concurrently. Policy checks and
+// version planning happened under the VLL locks in CommitTx (or the
+// stripe locks in batchPut); the meta compare-and-swap tokens remain
+// as the cross-controller backstop.
+//
+// sync selects the durability each group is shipped with. Write-back
+// takes effect only through the group committer, which destages with
+// a trailing flush; the direct per-op path always commits
+// write-through.
+func (c *Controller) commitWrites(ctx context.Context, writes []*replicaWrite, sync wire.SyncMode) error {
 	if len(writes) == 0 {
 		return nil
 	}
@@ -613,19 +633,19 @@ func (c *Controller) commitWrites(ctx context.Context, writes []*replicaWrite) e
 	}
 
 	// Group the sub-operation pairs per drive.
-	type driveBatch struct {
+	type driveOps struct {
 		ops     []wire.BatchOp
 		payload int
 	}
-	perDrive := make(map[int]*driveBatch)
+	perDrive := make(map[int]*driveOps)
 	for _, w := range writes {
 		for _, di := range store.Placement(w.key, len(c.drives), c.cfg.Replicas) {
 			b := perDrive[di]
 			if b == nil {
-				b = &driveBatch{}
+				b = &driveOps{}
 				perDrive[di] = b
 			}
-			b.ops = append(b.ops, w.batchOps()...)
+			b.ops = w.appendBatchOps(b.ops)
 			b.payload += len(w.blob) + len(w.metaRec)
 		}
 	}
@@ -635,9 +655,8 @@ func (c *Controller) commitWrites(ctx context.Context, writes []*replicaWrite) e
 	}
 	err := c.fanout(drives, func(di int) error {
 		b := perDrive[di]
-		cl := c.drives[di].pick()
 		// Chunk on the batch-op cap and the frame size, keeping each
-		// object+meta pair in one atomic message.
+		// object+meta pair in one atomic group.
 		ops := b.ops
 		for len(ops) > 0 {
 			n, bytes := 0, 0
@@ -649,8 +668,7 @@ func (c *Controller) commitWrites(ctx context.Context, writes []*replicaWrite) e
 				bytes += sz
 				n += 2
 			}
-			c.chargeDriveIO(bytes)
-			if err := cl.Batch(ctx, ops[:n]); err != nil {
+			if err := c.driveBatch(ctx, di, ops[:n], bytes, sync, false); err != nil {
 				return fmt.Errorf("core: tx batch to drive %s: %w", c.drives[di].name, err)
 			}
 			ops = ops[n:]

@@ -503,14 +503,17 @@ func (s *RESTServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"batchOps": st.BatchOps, "streams": st.Streams,
 		"policyChecks": st.PolicyChecks, "policyDenials": st.PolicyDenials,
 		"txCommits": st.TxCommits, "txAborts": st.TxAborts,
-		"readHedges":     st.ReadHedges,
-		"coalescedReads": st.CoalescedReads,
-		"decisionHits":   st.DecisionHits,
-		"wrongShard":     st.WrongShard,
-		"epcResident":    s.ctl.epc.Resident(),
-		"epcFaults":      s.ctl.epc.Faults(),
-		"caches":         s.ctl.CacheStats(),
-		"driveLatency":   lats,
+		"readHedges":      st.ReadHedges,
+		"coalescedReads":  st.CoalescedReads,
+		"decisionHits":    st.DecisionHits,
+		"wrongShard":      st.WrongShard,
+		"groupBatches":    st.GroupBatches,
+		"groupedWrites":   st.GroupedWrites,
+		"trailingFlushes": st.TrailingFlushes,
+		"epcResident":     s.ctl.epc.Resident(),
+		"epcFaults":       s.ctl.epc.Faults(),
+		"caches":          s.ctl.CacheStats(),
+		"driveLatency":    lats,
 	}
 	if shard := s.ctl.ShardStatus(); shard != nil {
 		body["shard"] = shard

@@ -38,6 +38,13 @@ type Stats struct {
 	// Batch sub-operations are not double-counted in Puts/Deletes.
 	Batches  atomic.Uint64
 	BatchOps atomic.Uint64
+	// BatchGroups counts sub-operation groups carried by grouped
+	// TBatch requests (the group-commit carrier); GroupRejects counts
+	// groups skipped by a failed compare-and-swap or permission check.
+	BatchGroups  atomic.Uint64
+	GroupRejects atomic.Uint64
+	// Flushes counts TFlush requests that destaged the write buffer.
+	Flushes atomic.Uint64
 }
 
 // Drive is one Kinetic device: store, accounts, media model, identity.
@@ -210,8 +217,12 @@ func (d *Drive) Handle(req *wire.Message) *wire.Message {
 		d.handleErase(acct, req, resp)
 	case wire.TBatch:
 		d.handleBatch(acct, req, resp)
-	case wire.TNoop, wire.TFlush:
-		// Flush is a no-op: the store is write-through already.
+	case wire.TNoop:
+	case wire.TFlush:
+		// Destage the write buffer: one amortized head pass covering
+		// every SyncWriteBack operation since the previous flush.
+		d.stats.Flushes.Add(1)
+		d.waitMedia(OpFlush, 0)
 	case wire.TP2PPush:
 		d.handleP2P(acct, req, resp)
 	case wire.TGetLog:
@@ -292,8 +303,18 @@ func (d *Drive) handlePut(acct wire.ACL, req, resp *wire.Message) {
 	if !d.checkPutCAS(req.Key, req.DBVersion, req.Force, resp) {
 		return
 	}
-	d.waitMedia(OpWrite, len(req.Value))
+	d.waitMedia(writeKind(req.Sync), len(req.Value))
 	d.store.put(cloneKey(req.Key), cloneKey(req.Value), cloneKey(req.NewVersion))
+}
+
+// writeKind maps a request's durability mode to the media operation:
+// SyncWriteBack writes may buffer, skipping the write-through commit
+// penalty until a TFlush destages them.
+func writeKind(sync wire.SyncMode) OpKind {
+	if sync == wire.SyncWriteBack {
+		return OpWriteBack
+	}
+	return OpWrite
 }
 
 func (d *Drive) handleDelete(acct wire.ACL, req, resp *wire.Message) {
@@ -320,11 +341,21 @@ func (d *Drive) handleDelete(acct wire.ACL, req, resp *wire.Message) {
 // expose a state where some sub-operations took effect and others did
 // not; this is what keeps an object record and its metadata record from
 // diverging on replica failures (§3.2 steps 4–7).
+//
+// A batch carrying GroupSizes instead applies each sub-operation group
+// independently (handleGroupedBatch): atomicity holds per group, and a
+// group rejected by its compare-and-swap is skipped without aborting
+// its neighbours — the partial-batch semantics cross-client group
+// commit rides on.
 func (d *Drive) handleBatch(acct wire.ACL, req, resp *wire.Message) {
 	if len(req.Batch) == 0 || len(req.Batch) > wire.MaxBatchOps {
 		resp.Status = wire.StatusInvalidRequest
 		resp.StatusMsg = fmt.Sprintf("batch needs 1..%d sub-operations, got %d",
 			wire.MaxBatchOps, len(req.Batch))
+		return
+	}
+	if len(req.GroupSizes) > 0 {
+		d.handleGroupedBatch(acct, req, resp)
 		return
 	}
 	// Permissions for every sub-operation before touching the store.
@@ -370,7 +401,7 @@ func (d *Drive) handleBatch(acct wire.ACL, req, resp *wire.Message) {
 	}
 	// One amortized media wait: the sub-operations commit in a single
 	// write pass instead of one positioning delay each.
-	d.waitMedia(OpWrite, totalBytes)
+	d.waitMedia(writeKind(req.Sync), totalBytes)
 	for _, op := range req.Batch {
 		d.stats.BatchOps.Add(1)
 		switch op.Op {
@@ -379,6 +410,112 @@ func (d *Drive) handleBatch(acct wire.ACL, req, resp *wire.Message) {
 		case wire.BatchDelete:
 			d.store.delete(op.Key)
 		}
+	}
+}
+
+// handleGroupedBatch applies a grouped TBatch: the request's sub-
+// operations are partitioned into consecutive groups (each one logical
+// client write), and every group commits or fails independently under
+// the store lock — a failed compare-and-swap or permission check skips
+// only its own group. All committing groups share ONE amortized media
+// wait, which is the entire point: N concurrent clients' writes cost
+// one positioning delay instead of N. The response carries one
+// BatchGroupStatus per group, in order; the message-level status stays
+// OK even when groups were rejected (partial success is the contract).
+//
+// Groups are validated and applied sequentially, each against the
+// store state left by the groups before it, so a grouped batch is
+// equivalent to issuing the groups back to back — just without paying
+// per-group positioning.
+func (d *Drive) handleGroupedBatch(acct wire.ACL, req, resp *wire.Message) {
+	total := 0
+	for _, n := range req.GroupSizes {
+		if n == 0 {
+			resp.Status = wire.StatusInvalidRequest
+			resp.StatusMsg = "empty sub-operation group"
+			return
+		}
+		total += int(n)
+	}
+	if total != len(req.Batch) {
+		resp.Status = wire.StatusInvalidRequest
+		resp.StatusMsg = fmt.Sprintf("group sizes cover %d sub-operations, batch has %d",
+			total, len(req.Batch))
+		return
+	}
+	d.stats.Batches.Add(1)
+	d.stats.BatchGroups.Add(uint64(len(req.GroupSizes)))
+
+	resp.GroupStatus = make([]wire.BatchGroupStatus, len(req.GroupSizes))
+
+	d.storeMu.Lock()
+	defer d.storeMu.Unlock()
+	appliedBytes, applied := 0, 0
+	off := 0
+	for gi, n := range req.GroupSizes {
+		ops := req.Batch[off : off+int(n)]
+		off += int(n)
+		gs := &resp.GroupStatus[gi]
+		// Validate the whole group — permissions, then compare-and-swap
+		// against the current store state — before applying any of it.
+		var failed wire.Message
+		ok := true
+		for i, op := range ops {
+			perm := wire.PermWrite
+			switch op.Op {
+			case wire.BatchDelete:
+				perm = wire.PermDelete
+			case wire.BatchPut:
+			default:
+				failed.Status = wire.StatusInvalidRequest
+				failed.StatusMsg = fmt.Sprintf("unknown batch sub-operation %d", op.Op)
+				gs.FailedIndex = uint32(i)
+				ok = false
+			}
+			if ok && !permitted(acct, perm, &failed) {
+				d.stats.Rejected.Add(1)
+				gs.FailedIndex = uint32(i)
+				ok = false
+			}
+			if ok {
+				switch op.Op {
+				case wire.BatchPut:
+					ok = d.checkPutCAS(op.Key, op.DBVersion, op.Force, &failed)
+				case wire.BatchDelete:
+					ok = d.checkDeleteCAS(op.Key, op.DBVersion, op.Force, &failed)
+				}
+				if !ok {
+					gs.FailedIndex = uint32(i)
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			gs.Status = failed.Status
+			gs.StatusMsg = failed.StatusMsg
+			d.stats.GroupRejects.Add(1)
+			continue
+		}
+		// Apply immediately so later groups validate against this
+		// group's effects; the media wait is settled once at the end.
+		for _, op := range ops {
+			d.stats.BatchOps.Add(1)
+			switch op.Op {
+			case wire.BatchPut:
+				d.store.put(cloneKey(op.Key), cloneKey(op.Value), cloneKey(op.NewVersion))
+				appliedBytes += len(op.Value)
+			case wire.BatchDelete:
+				d.store.delete(op.Key)
+			}
+		}
+		applied++
+	}
+	if applied > 0 {
+		// The single amortized media wait shared by every committed
+		// group in this batch.
+		d.waitMedia(writeKind(req.Sync), appliedBytes)
 	}
 }
 

@@ -338,6 +338,64 @@ func (c *Client) Batch(ctx context.Context, ops []wire.BatchOp) error {
 	return nil
 }
 
+// BatchGroups submits a grouped batch: ops is the concatenation of
+// per-group sub-operation runs and sizes gives each group's length.
+// The drive validates and applies every group independently under one
+// amortized media wait — a group failing its compare-and-swap is
+// skipped without aborting its neighbours. The returned slice has one
+// entry per group: nil for a committed group, or a *BatchError whose
+// Index is the failing sub-operation's offset within that group. The
+// error return covers transport and whole-message failures only.
+//
+// sync selects the durability mode for the whole batch (the caller
+// merges only groups sharing a mode): SyncWriteBack batches skip the
+// write-through commit penalty and rely on a later Flush.
+func (c *Client) BatchGroups(ctx context.Context, ops []wire.BatchOp, sizes []uint32, sync wire.SyncMode) ([]error, error) {
+	resp, err := c.roundTrip(ctx, &wire.Message{
+		Type: wire.TBatch, Batch: ops, GroupSizes: sizes, Sync: sync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusToError(resp); err != nil {
+		// A whole-message rejection (bad HMAC, malformed groups, or a
+		// drive predating grouped batches treating it atomically).
+		if resp.BatchFailed {
+			// Atomic fallback: map the absolute failed index onto its
+			// owning group; every other group was not attempted.
+			out := make([]error, len(sizes))
+			at := uint32(0)
+			for gi, n := range sizes {
+				if resp.FailedIndex >= at && resp.FailedIndex < at+n {
+					out[gi] = &BatchError{Index: int(resp.FailedIndex - at), Err: err}
+				} else {
+					out[gi] = &StatusError{Code: wire.StatusNotAttempted, Msg: "sibling group rejected the atomic batch"}
+				}
+				at += n
+			}
+			return out, nil
+		}
+		return nil, err
+	}
+	if len(resp.GroupStatus) != len(sizes) {
+		if len(resp.GroupStatus) == 0 {
+			// Atomic fallback, all applied: every group succeeded.
+			return make([]error, len(sizes)), nil
+		}
+		return nil, fmt.Errorf("kinetic: grouped batch answered %d statuses for %d groups",
+			len(resp.GroupStatus), len(sizes))
+	}
+	out := make([]error, len(sizes))
+	for gi, gs := range resp.GroupStatus {
+		if gs.Status == wire.StatusOK {
+			continue
+		}
+		m := wire.Message{Status: gs.Status, StatusMsg: gs.StatusMsg}
+		out[gi] = &BatchError{Index: int(gs.FailedIndex), Err: statusToError(&m)}
+	}
+	return out, nil
+}
+
 // Delete removes key; dbVersion must match unless force.
 func (c *Client) Delete(ctx context.Context, key, dbVersion []byte, force bool) error {
 	resp, err := c.roundTrip(ctx, &wire.Message{

@@ -194,6 +194,17 @@ func (k BatchOpKind) String() string {
 // the real Kinetic protocol's START_BATCH/END_BATCH operation limit.
 const MaxBatchOps = 64
 
+// BatchGroupStatus is the drive's verdict on one sub-operation group
+// of a grouped TBatch (see Message.GroupSizes): the group either
+// committed (StatusOK) or was skipped without affecting its
+// neighbours, with FailedIndex identifying the failing sub-operation
+// relative to the group's first op.
+type BatchGroupStatus struct {
+	Status      StatusCode
+	FailedIndex uint32 // within-group index of the failing sub-op
+	StatusMsg   string
+}
+
 // BatchOp is one sub-operation of a TBatch request. The drive applies
 // the whole sequence atomically: every sub-operation is validated
 // (permissions and compare-and-swap versions) before any takes effect.
@@ -255,6 +266,18 @@ type Message struct {
 	BatchFailed bool
 	FailedIndex uint32
 
+	// GroupSizes partitions Batch into consecutive sub-operation
+	// groups (the lengths must sum to len(Batch)). A grouped TBatch is
+	// the group-commit carrier: the drive validates and applies each
+	// group independently — a group failing its compare-and-swap is
+	// skipped without aborting its neighbours — under one amortized
+	// media wait. Empty GroupSizes keeps the classic all-or-nothing
+	// semantics.
+	GroupSizes []uint32
+	// GroupStatus carries the per-group verdicts of a grouped
+	// TBatchResp, one entry per request group, in order.
+	GroupStatus []BatchGroupStatus
+
 	HMAC []byte // authentication tag, set by Sign
 }
 
@@ -285,6 +308,8 @@ const (
 	// New tags append after fHMAC so existing encodings stay stable.
 	fBatchEntry
 	fFailedIndex
+	fGroupSize
+	fGroupStatus
 )
 
 // Marshal encodes m, including its HMAC field if present.
@@ -365,12 +390,27 @@ func (m *Message) marshalBody(buf []byte) []byte {
 		buf = appendField(buf, fLogEntry, entry)
 	}
 	for _, op := range m.Batch {
-		buf = appendField(buf, fBatchEntry, marshalBatchOp(op))
+		// Encoded in place: the nested entry's size is computed up
+		// front so the hot batch path never allocates per sub-op
+		// scratch (the whole message rides the caller's one buffer).
+		buf = append(buf, fBatchEntry)
+		buf = binary.AppendUvarint(buf, uint64(batchOpSize(op)))
+		buf = appendBatchOpBody(buf, op)
 	}
 	if m.BatchFailed {
 		var fi [4]byte
 		binary.BigEndian.PutUint32(fi[:], m.FailedIndex)
 		buf = appendField(buf, fFailedIndex, fi[:])
+	}
+	for _, n := range m.GroupSizes {
+		var gs [4]byte
+		binary.BigEndian.PutUint32(gs[:], n)
+		buf = appendField(buf, fGroupSize, gs[:])
+	}
+	for _, g := range m.GroupStatus {
+		buf = append(buf, fGroupStatus)
+		buf = binary.AppendUvarint(buf, uint64(groupStatusSize(g)))
+		buf = appendGroupStatusBody(buf, g)
 	}
 	return buf
 }
@@ -465,6 +505,17 @@ func (m *Message) Unmarshal(data []byte) error {
 			}
 			m.BatchFailed = true
 			m.FailedIndex = binary.BigEndian.Uint32(val)
+		case fGroupSize:
+			if len(val) != 4 {
+				return errors.New("wire: bad groupSize field")
+			}
+			m.GroupSizes = append(m.GroupSizes, binary.BigEndian.Uint32(val))
+		case fGroupStatus:
+			g, err := unmarshalGroupStatus(val)
+			if err != nil {
+				return err
+			}
+			m.GroupStatus = append(m.GroupStatus, g)
 		case fHMAC:
 			m.HMAC = cloneBytes(val)
 		default:
@@ -617,8 +668,44 @@ const (
 	bForce
 )
 
-func marshalBatchOp(op BatchOp) []byte {
-	buf := appendField(nil, bOp, []byte{byte(op.Op)})
+// fieldSize is the encoded length of one TLV field with an n-byte
+// value.
+func fieldSize(n int) int {
+	return 1 + uvarintLen(uint64(n)) + n
+}
+
+// uvarintLen is the byte length of n's uvarint encoding.
+func uvarintLen(n uint64) int {
+	l := 1
+	for n >= 0x80 {
+		n >>= 7
+		l++
+	}
+	return l
+}
+
+// batchOpSize is the exact encoded size of one batch sub-operation,
+// so the hot path can length-prefix and encode it in place.
+func batchOpSize(op BatchOp) int {
+	n := fieldSize(1) + fieldSize(len(op.Key))
+	if len(op.Value) > 0 {
+		n += fieldSize(len(op.Value))
+	}
+	if len(op.DBVersion) > 0 {
+		n += fieldSize(len(op.DBVersion))
+	}
+	if len(op.NewVersion) > 0 {
+		n += fieldSize(len(op.NewVersion))
+	}
+	if op.Force {
+		n += fieldSize(1)
+	}
+	return n
+}
+
+// appendBatchOpBody appends op's nested TLV fields to buf.
+func appendBatchOpBody(buf []byte, op BatchOp) []byte {
+	buf = appendField(buf, bOp, []byte{byte(op.Op)})
 	buf = appendField(buf, bKey, op.Key)
 	if len(op.Value) > 0 {
 		buf = appendField(buf, bValue, op.Value)
@@ -662,6 +749,65 @@ func unmarshalBatchOp(data []byte) (BatchOp, error) {
 		}
 	}
 	return op, nil
+}
+
+// Group status field tags (nested TLV inside fGroupStatus).
+const (
+	gStatus uint8 = iota + 1
+	gFailedIndex
+	gStatusMsg
+)
+
+// groupStatusSize is the exact encoded size of one group verdict.
+func groupStatusSize(g BatchGroupStatus) int {
+	n := fieldSize(1)
+	if g.FailedIndex != 0 {
+		n += fieldSize(4)
+	}
+	if g.StatusMsg != "" {
+		n += fieldSize(len(g.StatusMsg))
+	}
+	return n
+}
+
+// appendGroupStatusBody appends g's nested TLV fields to buf.
+func appendGroupStatusBody(buf []byte, g BatchGroupStatus) []byte {
+	buf = appendField(buf, gStatus, []byte{byte(g.Status)})
+	if g.FailedIndex != 0 {
+		var fi [4]byte
+		binary.BigEndian.PutUint32(fi[:], g.FailedIndex)
+		buf = appendField(buf, gFailedIndex, fi[:])
+	}
+	if g.StatusMsg != "" {
+		buf = appendField(buf, gStatusMsg, []byte(g.StatusMsg))
+	}
+	return buf
+}
+
+func unmarshalGroupStatus(data []byte) (BatchGroupStatus, error) {
+	var g BatchGroupStatus
+	for len(data) > 0 {
+		tag, val, rest, err := readField(data)
+		if err != nil {
+			return g, err
+		}
+		data = rest
+		switch tag {
+		case gStatus:
+			if len(val) != 1 {
+				return g, errors.New("wire: bad group status")
+			}
+			g.Status = StatusCode(val[0])
+		case gFailedIndex:
+			if len(val) != 4 {
+				return g, errors.New("wire: bad group failedIndex")
+			}
+			g.FailedIndex = binary.BigEndian.Uint32(val)
+		case gStatusMsg:
+			g.StatusMsg = string(val)
+		}
+	}
+	return g, nil
 }
 
 func unmarshalLogEntry(data []byte) (string, string, error) {

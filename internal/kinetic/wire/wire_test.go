@@ -38,6 +38,16 @@ func TestMarshalRoundTrip(t *testing.T) {
 		{Type: TPutResponse, Seq: 9, Status: StatusVersionMismatch, StatusMsg: "conflict"},
 		{Type: TP2PPush, Key: []byte("k"), Peer: "kinetic-1"},
 		{Type: TNoop},
+		{Type: TBatch, Sync: SyncWriteBack, Batch: []BatchOp{
+			{Op: BatchPut, Key: []byte("a"), Value: []byte("v"), NewVersion: []byte{1}, Force: true},
+			{Op: BatchPut, Key: []byte("b"), Value: []byte("w"), DBVersion: []byte{1}, NewVersion: []byte{2}},
+			{Op: BatchDelete, Key: []byte("c"), Force: true},
+		}, GroupSizes: []uint32{2, 1}},
+		{Type: TBatchResp, Seq: 7, GroupStatus: []BatchGroupStatus{
+			{Status: StatusOK},
+			{Status: StatusVersionMismatch, FailedIndex: 1, StatusMsg: "conflict"},
+			{Status: StatusNotAuthorized, StatusMsg: "permission denied"},
+		}},
 	}
 	for _, m := range msgs {
 		data := m.Marshal()

@@ -60,6 +60,13 @@ type Options struct {
 	// (the replication benchmark's baseline) instead of atomic batches
 	// fanned out to all replicas concurrently.
 	SerialReplication bool
+	// NoGroupCommit disables the per-drive cross-client group
+	// committer (the group-commit benchmark's per-op batch baseline).
+	// Group commit is on by default in every testbed deployment.
+	NoGroupCommit bool
+	// GroupCommitMaxDelay overrides the committer's gather window
+	// (0 = default; negative disables gathering).
+	GroupCommitMaxDelay time.Duration
 	// FanoutReads selects the legacy all-replica first-wins read
 	// engine (the hedged-read benchmark's baseline) instead of
 	// latency-aware hedged reads.
@@ -241,21 +248,23 @@ func startNode(e *env, name string, driveNames []string, opts Options, shard *co
 	// Controller config: drive dialers over the in-memory network,
 	// optionally through TLS terminating inside the drive.
 	cfg := core.Config{
-		Replicas:           opts.Replicas,
-		Encrypt:            !opts.PlaintextPayloads,
-		DisablePolicies:    opts.DisablePolicies,
-		SerialReplication:  opts.SerialReplication,
-		FanoutReads:        opts.FanoutReads,
-		HedgeDelay:         opts.HedgeDelay,
-		TakeOver:           true,
-		PolicyCacheEntries: opts.PolicyCacheEntries,
-		PolicyCacheBytes:   opts.PolicyCacheBytes,
-		ObjectCacheBytes:   opts.ObjectCacheBytes,
-		KeyCacheBytes:      opts.KeyCacheBytes,
-		Clock:              opts.Clock,
-		SessionTTL:         opts.SessionTTL,
-		Shard:              shard,
-		ClusterMapDoc:      mapDoc,
+		Replicas:            opts.Replicas,
+		Encrypt:             !opts.PlaintextPayloads,
+		DisablePolicies:     opts.DisablePolicies,
+		SerialReplication:   opts.SerialReplication,
+		GroupCommit:         !opts.NoGroupCommit,
+		GroupCommitMaxDelay: opts.GroupCommitMaxDelay,
+		FanoutReads:         opts.FanoutReads,
+		HedgeDelay:          opts.HedgeDelay,
+		TakeOver:            true,
+		PolicyCacheEntries:  opts.PolicyCacheEntries,
+		PolicyCacheBytes:    opts.PolicyCacheBytes,
+		ObjectCacheBytes:    opts.ObjectCacheBytes,
+		KeyCacheBytes:       opts.KeyCacheBytes,
+		Clock:               opts.Clock,
+		SessionTTL:          opts.SessionTTL,
+		Shard:               shard,
+		ClusterMapDoc:       mapDoc,
 	}
 	for i := range c.Drives {
 		ln := c.driveLns[i]
