@@ -256,6 +256,26 @@ func BenchmarkFigGroupCommit(b *testing.B) {
 	}
 }
 
+// BenchmarkFigPolicy regenerates the policy fast-path comparison
+// (interpreter vs rule indexing vs session-bind partial evaluation,
+// per-op evaluator cost plus policy-filtered YCSB-E scans) and emits
+// BENCH_policy.json, which the CI bench-smoke job uploads as an
+// artifact.
+func BenchmarkFigPolicy(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.FigPolicy(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPeak(b, t, "Scan kIOP/s", "scan-kIOPS")
+		reportPeak(b, t, "Residual hits", "residual-hits")
+		if err := bench.WriteBenchPolicyJSON("BENCH_policy.json", t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBatchWireGrouped measures the per-logical-write cost of
 // assembling and encoding merged grouped TBatch frames with the
 // pooled sub-operation scratch — run with -benchmem; the allocs/op

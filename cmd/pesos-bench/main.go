@@ -31,11 +31,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan,hedge,cluster,gcommit or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan,hedge,cluster,gcommit,policy or all")
 	paper := flag.Bool("paper", false, "use the paper's full experiment scale (minutes per figure)")
 	jsonOut := flag.String("json", "BENCH_read.json", "path for the hedge figure's machine-readable output (empty disables)")
 	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "path for the cluster figure's machine-readable output (empty disables)")
 	writeJSON := flag.String("write-json", "BENCH_write.json", "path for the gcommit figure's machine-readable output (empty disables)")
+	policyJSON := flag.String("policy-json", "BENCH_policy.json", "path for the policy figure's machine-readable output (empty disables)")
 	flag.Parse()
 
 	scale := bench.Quick()
@@ -63,6 +64,7 @@ func main() {
 		{"hedge", bench.FigHedgedReads},
 		{"cluster", bench.FigClusterScaling},
 		{"gcommit", bench.FigGroupCommit},
+		{"policy", bench.FigPolicy},
 	}
 
 	ran := false
@@ -98,6 +100,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("(wrote %s)\n", *writeJSON)
+		}
+		if f.name == "policy" && *policyJSON != "" {
+			if err := bench.WriteBenchPolicyJSON(*policyJSON, t); err != nil {
+				fmt.Fprintf(os.Stderr, "pesos-bench: write %s: %v\n", *policyJSON, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(wrote %s)\n", *policyJSON)
 		}
 		fmt.Printf("(figure %s took %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
 	}

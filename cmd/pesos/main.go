@@ -54,6 +54,7 @@ func main() {
 	replicas := flag.Int("replicas", 1, "copies per object")
 	noEncrypt := flag.Bool("no-encrypt", false, "disable payload encryption (baseline)")
 	groupCommit := flag.Bool("group-commit", true, "coalesce concurrent writes into shared per-drive batches")
+	policyPartial := flag.Bool("policy-partial-eval", true, "compile per-session residual policies (false = interpreter baseline)")
 	host := flag.String("host", "localhost", "hostname in the serving certificate")
 	shardMap := flag.String("shard-map", "", "signed cluster shard map file; runs the controller as one shard")
 	shardID := flag.Int("shard-id", 0, "this controller's shard id in the map (with -shard-map)")
@@ -75,7 +76,7 @@ func main() {
 			log.Fatalf("pesos: sign-map: %v", err)
 		}
 	default:
-		if err := run(*state, *listen, *drives, *driveTLS, *replicas, !*noEncrypt, *groupCommit, *shardMap, *shardID); err != nil {
+		if err := run(*state, *listen, *drives, *driveTLS, *replicas, !*noEncrypt, *groupCommit, *policyPartial, *shardMap, *shardID); err != nil {
 			log.Fatalf("pesos: %v", err)
 		}
 	}
@@ -256,7 +257,7 @@ func doSignMap(dir, specFile string) error {
 }
 
 // run boots the controller against TCP drives and serves REST.
-func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, groupCommit bool, shardMapFile string, shardID int) error {
+func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, groupCommit, policyPartial bool, shardMapFile string, shardID int) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -287,11 +288,12 @@ func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, gr
 
 	addrs := strings.Split(driveList, ",")
 	cfg := core.Config{
-		Replicas:    replicas,
-		Encrypt:     encrypt,
-		GroupCommit: groupCommit,
-		TakeOver:    true,
-		Secrets:     secrets,
+		Replicas:          replicas,
+		Encrypt:           encrypt,
+		GroupCommit:       groupCommit,
+		PolicyPartialEval: policyPartial,
+		TakeOver:          true,
+		Secrets:           secrets,
 	}
 	if shardMapFile != "" {
 		doc, err := os.ReadFile(shardMapFile)

@@ -6,6 +6,7 @@
 //
 //	policyc [-o compiled.psc] [-print] [-hash] policy.pol
 //	echo "read :- sessionKeyIs(U)" | policyc -hash -
+//	policyc -explain -session a11ce policy.pol
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/policy"
 	"repro/internal/policy/lang"
@@ -23,6 +25,9 @@ func main() {
 	print := flag.Bool("print", true, "print the canonical (decompiled) policy text")
 	hash := flag.Bool("hash", true, "print the policy hash / identifier")
 	analyze := flag.Bool("analyze", true, "print the static policy analysis")
+	explain := flag.Bool("explain", false, "print the clause index and, with -session, the session residual")
+	session := flag.String("session", "", "session key (hex fingerprint) to partially evaluate the policy for")
+	op := flag.String("op", "", "restrict -explain residuals to one permission (read, update, delete)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -94,11 +99,47 @@ func main() {
 		}
 		fmt.Printf("%d clauses, %d predicate applications\n", a.Clauses, a.PredicateCount)
 	}
+	if *explain {
+		fmt.Println("clause index:")
+		fmt.Print(policy.ExplainIndex(prog))
+		if *session != "" {
+			perms := []lang.Perm{lang.PermRead, lang.PermUpdate, lang.PermDelete}
+			if *op != "" {
+				p, err := permByName(*op)
+				if err != nil {
+					fatal(err)
+				}
+				perms = []lang.Perm{p}
+			}
+			for _, p := range perms {
+				r := policy.PartialEval(prog, p, *session)
+				fmt.Printf("residual for session k'%s', %s:\n", *session, p)
+				fmt.Print(indent(r.Explain()))
+			}
+		}
+	}
 	if *out != "" {
 		if err := os.WriteFile(*out, bin, 0o644); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+func permByName(name string) (lang.Perm, error) {
+	for p := lang.PermRead; p < lang.NumPerms; p++ {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown permission %q (want read, update or delete)", name)
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range strings.SplitAfter(strings.TrimRight(s, "\n"), "\n") {
+		out += "  " + line
+	}
+	return out + "\n"
 }
 
 func fatal(err error) {

@@ -138,6 +138,10 @@ func (c *Controller) batchPut(ctx context.Context, sessionKey string, ops []Batc
 		rec *store.Record
 	}
 	var staged []stagedOp
+	// Batch ops run the staging loop on one goroutine, so a single
+	// policyEval carries the resolved residual across every op that
+	// shares a policy.
+	pe := &policyEval{}
 	for i, op := range ops {
 		if results[i].Err != nil {
 			continue
@@ -149,7 +153,7 @@ func (c *Controller) batchPut(ctx context.Context, sessionKey string, ops []Batc
 		opts := PutOptions{
 			PolicyID: op.PolicyID, Version: op.Version, HasVersion: op.HasVersion, Certs: certs,
 		}
-		w, rec, err := c.stageWrite(ctx, sessionKey, string(op.Key), op.Value, opts)
+		w, rec, err := c.stageWriteCtx(ctx, pe, sessionKey, string(op.Key), op.Value, opts)
 		if err != nil {
 			results[i].Err = wireError(err)
 			continue

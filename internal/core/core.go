@@ -109,6 +109,17 @@ type Config struct {
 	// replica is consulted. 0 selects the adaptive delay: ~1.25× the
 	// outstanding drive's observed p95 read latency.
 	HedgeDelay time.Duration
+	// PolicyPartialEval enables the compiled policy fast path: rule
+	// indexing plus session-bind partial evaluation, with residuals
+	// cached per (policy, session, op) and reused across scan pages
+	// and batches. On by default in every shipped configuration
+	// (testbed, daemons); false keeps the clause-list interpreter as
+	// the measured baseline for the policy benchmark.
+	PolicyPartialEval bool
+	// PolicyIndexedOnly selects rule indexing without partial
+	// evaluation or residual caching — the benchmark's middle
+	// configuration. Ignored when PolicyPartialEval is set.
+	PolicyIndexedOnly bool
 
 	// Enclave is the trusted execution environment; nil runs the
 	// controller "native" (no attestation, no overhead model).
@@ -187,6 +198,10 @@ type Controller struct {
 	// decisionCache memoizes session-static policy verdicts (nil when
 	// disabled); see checkPolicy.
 	decisionCache *cache.Cache[string, cachedDecision]
+	// residualCache memoizes session-bound partial evaluations keyed
+	// like the decision cache (nil unless PolicyPartialEval); it is
+	// invalidated on the same PutPolicy path.
+	residualCache *cache.Cache[string, *policy.Residual]
 
 	// Singleflight layers in front of the caches: N concurrent misses
 	// on one hot key cost a single drive round trip (see cache.Flight).
@@ -243,6 +258,9 @@ type Stats struct {
 	ReadHedges      uint64 // hedge requests fired by the read engine
 	CoalescedReads  uint64 // cache misses served by another miss's flight
 	DecisionHits    uint64 // policy checks served from the decision cache
+	PolicyEvals     uint64 // clause-machine runs (checks not decided statically)
+	ResidualHits    uint64 // checks served by a cached or page-reused residual
+	IndexSkippedClauses uint64 // clauses pruned by the rule index / residuals
 	WrongShard      uint64 // operations redirected to another shard
 	GroupBatches    uint64 // drive batches shipped by the group scheduler (merged or not)
 	GroupedWrites   uint64 // write groups that shared a merged drive batch
@@ -260,7 +278,9 @@ func (s *Stats) Snapshot() Stats {
 		PolicyChecks: s.PolicyChecks, PolicyDenials: s.PolicyDenials,
 		TxCommits: s.TxCommits, TxAborts: s.TxAborts,
 		ReadHedges: s.ReadHedges, CoalescedReads: s.CoalescedReads,
-		DecisionHits: s.DecisionHits, WrongShard: s.WrongShard,
+		DecisionHits: s.DecisionHits, PolicyEvals: s.PolicyEvals,
+		ResidualHits: s.ResidualHits, IndexSkippedClauses: s.IndexSkippedClauses,
+		WrongShard: s.WrongShard,
 		GroupBatches: s.GroupBatches, GroupedWrites: s.GroupedWrites,
 		TrailingFlushes: s.TrailingFlushes,
 	}
@@ -385,6 +405,15 @@ func New(ctx context.Context, cfg Config) (*Controller, error) {
 			SizeOf: func(d cachedDecision) int64 { return int64(len(d.reason)) + 192 },
 			EPC:    c.epc, Label: "decision-cache",
 		})
+		if cfg.PolicyPartialEval {
+			c.residualCache = cache.New[string, *policy.Residual](cache.Config[*policy.Residual]{
+				BudgetBytes: dcBytes,
+				// Charge the residual's own estimate plus the key (policy
+				// id + client fingerprint), which the sizer cannot see.
+				SizeOf: func(r *policy.Residual) int64 { return r.SizeEstimate() + 160 },
+				EPC:    c.epc, Label: "residual-cache",
+			})
+		}
 	}
 	c.metaFlight = cache.NewFlight[string, *store.Meta]()
 	c.objectFlight = cache.NewFlight[string, *store.Record]()
@@ -475,6 +504,10 @@ func (c *Controller) CacheStats() map[string][3]uint64 {
 		h, m, e = c.decisionCache.Stats()
 		out["decision"] = [3]uint64{h, m, e}
 	}
+	if c.residualCache != nil {
+		h, m, e = c.residualCache.Stats()
+		out["residual"] = [3]uint64{h, m, e}
+	}
 	return out
 }
 
@@ -506,6 +539,9 @@ func (c *Controller) DropCaches() {
 	c.policyCache.Clear()
 	if c.decisionCache != nil {
 		c.decisionCache.Clear()
+	}
+	if c.residualCache != nil {
+		c.residualCache.Clear()
 	}
 }
 

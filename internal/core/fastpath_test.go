@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func fastHarness(t *testing.T) *harness {
+	t.Helper()
+	return newHarness(t, 1, func(c *Config) { c.PolicyPartialEval = true })
+}
+
+// TestPartialEvalMatchesInterpreter runs the same guarded workload on
+// a partial-eval controller and an interpreter-baseline controller and
+// requires identical allow/deny outcomes end to end.
+func TestPartialEvalMatchesInterpreter(t *testing.T) {
+	ctx := context.Background()
+	src := "read :- sessionKeyIs(k'a11ce') or sessionKeyIs(k'0b')\n" +
+		"update :- sessionKeyIs(k'a11ce') and currVersion(this, V) and nextVersion(V + 1)"
+	type outcome struct {
+		create, update, selfRead, otherRead, stranger error
+	}
+	run := func(partial bool) outcome {
+		h := newHarness(t, 1, func(c *Config) { c.PolicyPartialEval = partial })
+		alice := h.ctl.Session("a11ce")
+		bob := h.ctl.Session("0b")
+		eve := h.ctl.Session("e4e")
+		pid, err := h.ctl.PutPolicy(ctx, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var o outcome
+		_, o.create = alice.Put(ctx, "k", []byte("v0"), PutOptions{PolicyID: pid})
+		_, o.update = alice.Put(ctx, "k", []byte("v1"), PutOptions{})
+		_, _, o.selfRead = alice.Get(ctx, "k", GetOptions{})
+		_, _, o.otherRead = bob.Get(ctx, "k", GetOptions{})
+		_, _, o.stranger = eve.Get(ctx, "k", GetOptions{})
+		return o
+	}
+	fast, slow := run(true), run(false)
+	pairs := []struct {
+		name       string
+		fast, slow error
+	}{
+		{"create", fast.create, slow.create},
+		{"update", fast.update, slow.update},
+		{"selfRead", fast.selfRead, slow.selfRead},
+		{"otherRead", fast.otherRead, slow.otherRead},
+		{"stranger", fast.stranger, slow.stranger},
+	}
+	for _, p := range pairs {
+		if (p.fast == nil) != (p.slow == nil) ||
+			errors.Is(p.fast, ErrDenied) != errors.Is(p.slow, ErrDenied) {
+			t.Fatalf("%s: partial=%v interpreter=%v", p.name, p.fast, p.slow)
+		}
+	}
+	if fast.stranger == nil || !errors.Is(fast.stranger, ErrDenied) {
+		t.Fatalf("stranger read should be denied, got %v", fast.stranger)
+	}
+}
+
+// TestPutPolicyClearsResiduals pins the invalidation fix: replacing the
+// policy root must drop cached residual programs, not only cached
+// verdicts — a stale residual would keep enforcing the old clauses for
+// the rest of the session.
+func TestPutPolicyClearsResiduals(t *testing.T) {
+	h := fastHarness(t)
+	ctx := context.Background()
+	s := h.ctl.Session("a11ce")
+	pid, err := h.ctl.PutPolicy(ctx, "read :- sessionKeyIs(U) and currVersion(this, V)\nupdate :- sessionKeyIs(U)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(ctx, "k", []byte("v"), PutOptions{PolicyID: pid}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(ctx, "k", GetOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if h.ctl.residualCache.Len() == 0 {
+		t.Fatal("read did not populate the residual cache")
+	}
+	if _, err := h.ctl.PutPolicy(ctx, "read :- eq(1, 2)\nupdate :- sessionKeyIs(U)"); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.ctl.residualCache.Len(); n != 0 {
+		t.Fatalf("residual cache holds %d entries after PutPolicy, want 0", n)
+	}
+}
+
+// TestReplacePolicyMidSessionRace swaps an object's policy while
+// concurrent readers hold page-level policyEval contexts. Run under
+// -race this exercises the residual resolution chain; the assertion is
+// that decisions always follow the policy recorded in the object's
+// metadata — content-addressed ids make a stale residual unreachable.
+func TestReplacePolicyMidSessionRace(t *testing.T) {
+	h := fastHarness(t)
+	ctx := context.Background()
+	owner := h.ctl.Session("a11ce")
+	outsider := h.ctl.Session("0b")
+
+	openPol, err := h.ctl.PutPolicy(ctx, "read :- sessionKeyIs(U)\nupdate :- sessionKeyIs(k'a11ce')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	closedPol, err := h.ctl.PutPolicy(ctx, "read :- sessionKeyIs(k'a11ce')\nupdate :- sessionKeyIs(k'a11ce')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nKeys = 8
+	for i := 0; i < nKeys; i++ {
+		if _, err := owner.Put(ctx, fmt.Sprintf("r/%d", i), []byte("v"), PutOptions{PolicyID: openPol}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _, err := outsider.Get(ctx, fmt.Sprintf("r/%d", i%nKeys), GetOptions{})
+				if err != nil && !errors.Is(err, ErrDenied) {
+					t.Errorf("outsider read: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Flip every key to the closed policy while the readers run.
+	for i := 0; i < nKeys; i++ {
+		if _, err := owner.Put(ctx, fmt.Sprintf("r/%d", i), []byte("v2"), PutOptions{PolicyID: closedPol}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Steady state after the swap: the outsider must be denied on every
+	// key, even though residuals for the open policy were cached for
+	// this very session.
+	for i := 0; i < nKeys; i++ {
+		if _, _, err := outsider.Get(ctx, fmt.Sprintf("r/%d", i), GetOptions{}); !errors.Is(err, ErrDenied) {
+			t.Fatalf("key r/%d readable after policy swap: %v", i, err)
+		}
+	}
+	if _, _, err := owner.Get(ctx, "r/0", GetOptions{}); err != nil {
+		t.Fatalf("owner read after swap: %v", err)
+	}
+}
+
+// TestPolicyCountersExported checks the new stats surface: evaluation,
+// residual-reuse, and index-skip counters move under a policy-filtered
+// scan workload.
+func TestPolicyCountersExported(t *testing.T) {
+	h := fastHarness(t)
+	ctx := context.Background()
+	s := h.ctl.Session("a11ce")
+	// Session-guarded clauses ahead of an open versioned clause: the
+	// distractors are killed by partial eval, and the surviving clause
+	// needs the drive (currVersion), so every check runs a residual.
+	pid, err := h.ctl.PutPolicy(ctx,
+		"read :- sessionKeyIs(k'aa') or sessionKeyIs(k'bb') or sessionKeyIs(U) and currVersion(this, V) and ge(V, 0)\n"+
+			"update :- sessionKeyIs(U)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	for i := 0; i < n; i++ {
+		if _, err := s.Put(ctx, fmt.Sprintf("c/%d", i), []byte("v"), PutOptions{PolicyID: pid}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Scan(ctx, ScanOptions{Prefix: "c/", Limit: n}); err != nil {
+		t.Fatal(err)
+	}
+	st := h.ctl.stats.Snapshot()
+	if st.PolicyEvals == 0 {
+		t.Fatal("PolicyEvals did not move")
+	}
+	if st.ResidualHits == 0 {
+		t.Fatal("ResidualHits did not move: scan page should reuse one residual across keys")
+	}
+	if st.IndexSkippedClauses == 0 {
+		t.Fatal("IndexSkippedClauses did not move: partial eval kills the distractor clauses")
+	}
+}

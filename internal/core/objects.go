@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/authority"
 	"repro/internal/kinetic/kclient"
@@ -61,6 +62,12 @@ func encodeVer(v int64) []byte {
 // determine the next version, enforce the dense-monotonic version rule
 // and the object's update policy. Callers hold the key's write lock.
 func (c *Controller) planVersion(ctx context.Context, sessionKey, key string, opts PutOptions) (meta *store.Meta, next int64, err error) {
+	return c.planVersionCtx(ctx, nil, sessionKey, key, opts)
+}
+
+// planVersionCtx is planVersion with an optional policy page context
+// (batched writes sharing one policy resolve its residual once).
+func (c *Controller) planVersionCtx(ctx context.Context, pe *policyEval, sessionKey, key string, opts PutOptions) (meta *store.Meta, next int64, err error) {
 	meta, err = c.loadMeta(ctx, key)
 	if err != nil && !errors.Is(err, ErrNotFound) {
 		return nil, 0, err
@@ -88,7 +95,7 @@ func (c *Controller) planVersion(ctx context.Context, sessionKey, key string, op
 
 	// Policy check: an existing object's policy governs updates,
 	// including policy changes (§3.1).
-	if err := c.checkPolicy(ctx, lang.PermUpdate, sessionKey, key, meta, &next, opts.Certs); err != nil {
+	if err := c.checkPolicyCtx(ctx, pe, lang.PermUpdate, sessionKey, key, meta, &next, opts.Certs); err != nil {
 		return nil, 0, err
 	}
 	return meta, next, nil
@@ -118,12 +125,17 @@ func (c *Controller) resolvePolicy(ctx context.Context, meta *store.Meta, reques
 // write lock and are responsible for committing the stage and then
 // publishing it.
 func (c *Controller) stageWrite(ctx context.Context, sessionKey, key string, value []byte, opts PutOptions) (*replicaWrite, *store.Record, error) {
+	return c.stageWriteCtx(ctx, nil, sessionKey, key, value, opts)
+}
+
+// stageWriteCtx is stageWrite with an optional policy page context.
+func (c *Controller) stageWriteCtx(ctx context.Context, pe *policyEval, sessionKey, key string, value []byte, opts PutOptions) (*replicaWrite, *store.Record, error) {
 	if int64(len(value)) > store.MaxObjectSize {
 		return nil, nil, store.ErrTooLarge
 	}
 	c.cost.MoveBytes(len(value)) // request payload crosses into the enclave
 
-	meta, next, err := c.planVersion(ctx, sessionKey, key, opts)
+	meta, next, err := c.planVersionCtx(ctx, pe, sessionKey, key, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -462,9 +474,59 @@ func (c *Controller) chargeDriveIO(payload int) {
 // a static verdict (that is what static means), and PutPolicy still
 // clears the cache as a defense-in-depth backstop.
 func (c *Controller) checkPolicy(ctx context.Context, op lang.Perm, sessionKey, key string, meta *store.Meta, nextVersion *int64, certs []*authority.Certificate) error {
+	return c.checkPolicyCtx(ctx, nil, op, sessionKey, key, meta, nextVersion, certs)
+}
+
+// policyEval carries one caller's policy-evaluation context across the
+// keys of a scan page, batch or transaction commit: the last resolved
+// residual and a reusable request, so a page of objects sharing one
+// policy (the 1:M case, §3) resolves it once. It belongs to a single
+// session and a single goroutine; it is NOT safe for concurrent use.
+type policyEval struct {
+	op       lang.Perm
+	policyID string
+	res      *policy.Residual
+	req      policy.Request // scratch, reused across keys
+}
+
+// checkPolicyCtx is checkPolicy with an optional page context. pe may
+// be nil (single-key callers).
+func (c *Controller) checkPolicyCtx(ctx context.Context, pe *policyEval, op lang.Perm, sessionKey, key string, meta *store.Meta, nextVersion *int64, certs []*authority.Certificate) error {
 	if c.cfg.DisablePolicies || meta == nil || meta.PolicyID == "" {
 		return nil
 	}
+
+	// Partial-eval fast path: resolve the session residual — from the
+	// page context, the residual cache, or freshly — and evaluate it.
+	// Decided residuals subsume the static-verdict decision cache.
+	if c.cfg.PolicyPartialEval {
+		res, reused, err := c.residualFor(ctx, pe, op, sessionKey, meta.PolicyID)
+		if err != nil {
+			return err
+		}
+		req := buildPolicyRequest(pe, op, key, sessionKey, nextVersion, certs, c.clock())
+		dec, evalErr := res.Eval(req, &objectSource{c: c, ctx: ctx})
+		_, decided := res.Decided()
+		c.stats.add(func(s *Stats) {
+			s.PolicyChecks++
+			if reused {
+				s.ResidualHits++
+			}
+			if !decided {
+				s.PolicyEvals++
+			}
+			s.IndexSkippedClauses += uint64(dec.Skipped)
+		})
+		if evalErr != nil {
+			return evalErr
+		}
+		if !dec.Allowed {
+			c.stats.add(func(s *Stats) { s.PolicyDenials++ })
+			return &DeniedError{Op: op.String(), Key: key, Reason: dec.Reason}
+		}
+		return nil
+	}
+
 	prog, err := c.loadPolicy(ctx, meta.PolicyID)
 	if err != nil {
 		return err
@@ -483,20 +545,18 @@ func (c *Controller) checkPolicy(ctx context.Context, op lang.Perm, sessionKey, 
 		}
 	}
 
-	req := &policy.Request{
-		Op:           op,
-		ObjectID:     key,
-		LogID:        LogKeyFor(key),
-		SessionKey:   sessionKey,
-		Certificates: certs,
-		Now:          c.clock(),
+	req := buildPolicyRequest(pe, op, key, sessionKey, nextVersion, certs, c.clock())
+	var dec policy.Decision
+	if c.cfg.PolicyIndexedOnly {
+		dec, err = policy.EvalIndexed(prog, req, &objectSource{c: c, ctx: ctx})
+	} else {
+		dec, err = policy.Eval(prog, req, &objectSource{c: c, ctx: ctx})
 	}
-	if nextVersion != nil {
-		req.NextVersion = *nextVersion
-		req.HasNextVersion = true
-	}
-	c.stats.add(func(s *Stats) { s.PolicyChecks++ })
-	dec, err := policy.Eval(prog, req, &objectSource{c: c, ctx: ctx})
+	c.stats.add(func(s *Stats) {
+		s.PolicyChecks++
+		s.PolicyEvals++
+		s.IndexSkippedClauses += uint64(dec.Skipped)
+	})
 	if err != nil {
 		return err
 	}
@@ -508,6 +568,60 @@ func (c *Controller) checkPolicy(ctx context.Context, op lang.Perm, sessionKey, 
 		return &DeniedError{Op: op.String(), Key: key, Reason: dec.Reason}
 	}
 	return nil
+}
+
+// residualFor resolves the partial evaluation of (policy, op, session).
+// Resolution order: the caller's page context (adjacent keys sharing a
+// policy), the EPC-charged residual cache, then a fresh PartialEval of
+// the loaded program. reused reports whether a pre-computed residual
+// served the check.
+func (c *Controller) residualFor(ctx context.Context, pe *policyEval, op lang.Perm, sessionKey, policyID string) (res *policy.Residual, reused bool, err error) {
+	if pe != nil && pe.res != nil && pe.policyID == policyID && pe.op == op {
+		return pe.res, true, nil
+	}
+	var rkey string
+	if c.residualCache != nil {
+		rkey = decisionKey(policyID, op, sessionKey)
+		if r, ok := c.residualCache.Get(rkey); ok {
+			if pe != nil {
+				pe.policyID, pe.op, pe.res = policyID, op, r
+			}
+			return r, true, nil
+		}
+	}
+	prog, err := c.loadPolicy(ctx, policyID)
+	if err != nil {
+		return nil, false, err
+	}
+	r := policy.PartialEval(prog, op, sessionKey)
+	if rkey != "" {
+		c.residualCache.Put(rkey, r)
+	}
+	if pe != nil {
+		pe.policyID, pe.op, pe.res = policyID, op, r
+	}
+	return r, false, nil
+}
+
+// buildPolicyRequest fills a policy request, reusing the page
+// context's scratch request when one is supplied.
+func buildPolicyRequest(pe *policyEval, op lang.Perm, key, sessionKey string, nextVersion *int64, certs []*authority.Certificate, now time.Time) *policy.Request {
+	req := &policy.Request{}
+	if pe != nil {
+		pe.req = policy.Request{}
+		req = &pe.req
+	}
+	req.Op = op
+	req.ObjectID = key
+	req.LogID = LogKeyFor(key)
+	req.SessionKey = sessionKey
+	req.Certificates = certs
+	req.Now = now
+	if nextVersion != nil {
+		req.NextVersion = *nextVersion
+		req.HasNextVersion = true
+	}
+	return req
 }
 
 // decisionKey builds the decision-cache key for a session-static
@@ -607,12 +721,18 @@ func (c *Controller) PutPolicy(ctx context.Context, src string) (string, error) 
 		return "", err
 	}
 	c.policyCache.Put(id, prog)
-	// Policy-change backstop: decisions key on the content-addressed
-	// policy id, so this is redundant by construction — kept so a
-	// future non-content-addressed policy root cannot silently serve
-	// stale verdicts.
+	// Policy-change backstop: decisions and residuals key on the
+	// content-addressed policy id, so this is redundant by
+	// construction — kept so a future non-content-addressed policy
+	// root cannot silently serve stale verdicts. Residuals MUST be
+	// cleared alongside verdicts: a session that bound a residual
+	// against the old program would otherwise keep enforcing replaced
+	// clauses for as long as the entry stays cached.
 	if c.decisionCache != nil {
 		c.decisionCache.Clear()
+	}
+	if c.residualCache != nil {
+		c.residualCache.Clear()
 	}
 	return id, nil
 }

@@ -502,6 +502,9 @@ func (s *RESTServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"scans": st.Scans, "scanFiltered": st.ScanFiltered,
 		"batchOps": st.BatchOps, "streams": st.Streams,
 		"policyChecks": st.PolicyChecks, "policyDenials": st.PolicyDenials,
+		"policyEvals":         st.PolicyEvals,
+		"residualHits":        st.ResidualHits,
+		"indexSkippedClauses": st.IndexSkippedClauses,
 		"txCommits": st.TxCommits, "txAborts": st.TxAborts,
 		"readHedges":      st.ReadHedges,
 		"coalescedReads":  st.CoalescedReads,

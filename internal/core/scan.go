@@ -148,6 +148,11 @@ func (c *Controller) scanObjects(ctx context.Context, sessionKey string, opts Sc
 		// (bounded), so the serial filter loop below pays cache hits
 		// instead of one replica round trip per key.
 		c.prefetchMetas(ctx, candidates)
+		// One policyEval for the whole page: the resolved residual and
+		// request scratch are reused across every candidate sharing a
+		// policy, so the filter loop pays zero policy compilation or
+		// cache lookups past the first key per policy.
+		pe := &policyEval{}
 		for _, key := range candidates {
 			meta, err := c.loadMeta(ctx, key)
 			if errors.Is(err, ErrNotFound) {
@@ -156,7 +161,7 @@ func (c *Controller) scanObjects(ctx context.Context, sessionKey string, opts Sc
 			if err != nil {
 				return nil, err
 			}
-			if err := c.checkPolicy(ctx, lang.PermRead, sessionKey, key, meta, nil, opts.Certs); err != nil {
+			if err := c.checkPolicyCtx(ctx, pe, lang.PermRead, sessionKey, key, meta, nil, opts.Certs); err != nil {
 				if errors.Is(err, ErrDenied) {
 					filtered++
 					continue

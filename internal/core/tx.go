@@ -157,13 +157,17 @@ func (s *Session) CommitTx(ctx context.Context, txID uint64) error {
 	defer s.ctl.locks.Finish(lock)
 
 	// Phase 1: policy checks for every operation, before any effect.
+	// Separate policyEval contexts per permission: each caches one
+	// (policy, op, session) residual, and interleaving read/update
+	// checks through a shared context would thrash that slot.
+	peRead, peUpdate := &policyEval{}, &policyEval{}
 	for _, k := range readOnly {
 		meta, err := s.ctl.loadMeta(ctx, k)
 		if err != nil && !errors.Is(err, ErrNotFound) {
 			return s.txAbort(txID, err)
 		}
 		if meta != nil {
-			if err := s.ctl.checkPolicy(ctx, lang.PermRead, s.clientKey, k, meta, nil, tx.certs); err != nil {
+			if err := s.ctl.checkPolicyCtx(ctx, peRead, lang.PermRead, s.clientKey, k, meta, nil, tx.certs); err != nil {
 				return s.txAbort(txID, err)
 			}
 		}
@@ -183,7 +187,7 @@ func (s *Session) CommitTx(ctx context.Context, txID uint64) error {
 		if meta != nil {
 			next = meta.Version + 1
 		}
-		if err := s.ctl.checkPolicy(ctx, lang.PermUpdate, s.clientKey, k, meta, &next, tx.certs); err != nil {
+		if err := s.ctl.checkPolicyCtx(ctx, peUpdate, lang.PermUpdate, s.clientKey, k, meta, &next, tx.certs); err != nil {
 			return s.txAbort(txID, err)
 		}
 		planned = append(planned, plannedWrite{key: k, next: next, meta: meta})

@@ -3,6 +3,7 @@ package policy
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/authority"
@@ -66,6 +67,10 @@ type Decision struct {
 	Reason string
 	// Steps counts predicate evaluations, for metering.
 	Steps int
+	// Skipped counts clauses the rule index or a session residual
+	// pruned without evaluating; always 0 for the baseline
+	// interpreter, which visits every clause.
+	Skipped int
 }
 
 // ErrEvalBudget is returned when a policy exceeds the step budget.
@@ -84,9 +89,11 @@ func Eval(prog *Program, req *Request, objects ObjectSource) (Decision, error) {
 		return Decision{Allowed: false, Clause: -1,
 			Reason: fmt.Sprintf("policy grants no %s permission", req.Op)}, nil
 	}
-	ev := &evaluator{prog: prog, req: req, objects: objects}
-	for i, cl := range clauses {
-		env := make([]value.V, cl.Slots)
+	ev := getEvaluator(prog, req, objects)
+	defer putEvaluator(ev)
+	for i := range clauses {
+		cl := &clauses[i]
+		env := ev.env(cl.Slots)
 		ok, err := ev.evalPreds(cl.Preds, env)
 		if err != nil {
 			return Decision{Allowed: false, Clause: -1, Steps: ev.steps}, err
@@ -104,6 +111,38 @@ type evaluator struct {
 	req     *Request
 	objects ObjectSource
 	steps   int
+	// envBuf is scratch for clause environments, reused across
+	// clauses and evaluations so steady-state checks do not allocate.
+	envBuf []value.V
+}
+
+// evalPool recycles evaluators across requests. Pooled instances are
+// only scratch: every reference they hold is cleared on release.
+var evalPool = sync.Pool{New: func() any { return new(evaluator) }}
+
+func getEvaluator(prog *Program, req *Request, objects ObjectSource) *evaluator {
+	ev := evalPool.Get().(*evaluator)
+	ev.prog, ev.req, ev.objects, ev.steps = prog, req, objects, 0
+	return ev
+}
+
+func putEvaluator(ev *evaluator) {
+	ev.prog, ev.req, ev.objects = nil, nil, nil
+	evalPool.Put(ev)
+}
+
+// env returns a cleared slot buffer of size n backed by the
+// evaluator's scratch.
+func (ev *evaluator) env(n uint32) []value.V {
+	if uint32(cap(ev.envBuf)) < n {
+		ev.envBuf = make([]value.V, n)
+		return ev.envBuf
+	}
+	e := ev.envBuf[:n]
+	for i := range e {
+		e[i] = value.V{}
+	}
+	return e
 }
 
 // evalPreds evaluates a conjunction left to right. Choice points

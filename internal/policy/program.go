@@ -155,6 +155,11 @@ type Program struct {
 	// once published, so the mask is computed at most once.
 	staticOnce sync.Once
 	staticMask uint32
+
+	// indexOnce/index memoize the per-permission clause index (see
+	// index.go), built lazily on the first indexed evaluation.
+	indexOnce sync.Once
+	index     *progIndex
 }
 
 // Hash returns the canonical policy hash: SHA-256 of the marshaled

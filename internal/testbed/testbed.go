@@ -67,6 +67,13 @@ type Options struct {
 	// GroupCommitMaxDelay overrides the committer's gather window
 	// (0 = default; negative disables gathering).
 	GroupCommitMaxDelay time.Duration
+	// NoPolicyPartialEval disables the session-bind partial-eval
+	// policy fast path (the policy benchmark's interpreter baseline).
+	// Partial evaluation is on by default in every testbed deployment.
+	NoPolicyPartialEval bool
+	// PolicyIndexedOnly runs rule indexing without partial evaluation
+	// (the middle rung of the policy benchmark). Implies no residuals.
+	PolicyIndexedOnly bool
 	// FanoutReads selects the legacy all-replica first-wins read
 	// engine (the hedged-read benchmark's baseline) instead of
 	// latency-aware hedged reads.
@@ -254,6 +261,8 @@ func startNode(e *env, name string, driveNames []string, opts Options, shard *co
 		SerialReplication:   opts.SerialReplication,
 		GroupCommit:         !opts.NoGroupCommit,
 		GroupCommitMaxDelay: opts.GroupCommitMaxDelay,
+		PolicyPartialEval:   !opts.NoPolicyPartialEval && !opts.PolicyIndexedOnly,
+		PolicyIndexedOnly:   opts.PolicyIndexedOnly,
 		FanoutReads:         opts.FanoutReads,
 		HedgeDelay:          opts.HedgeDelay,
 		TakeOver:            true,
