@@ -276,6 +276,32 @@ func BenchmarkFigPolicy(b *testing.B) {
 	}
 }
 
+// BenchmarkFigFailover regenerates the controller-failover figure
+// (kill the active under load, hot standby takes over behind a lease)
+// and emits BENCH_ha.json with the recovery timeline, which the CI
+// bench-smoke job uploads as an artifact.
+func BenchmarkFigFailover(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.FigFailover(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx := t.Col("p99 ms")
+		for _, r := range t.Rows {
+			switch r.X {
+			case "healthy":
+				b.ReportMetric(r.Values[idx], "healthy-p99-ms")
+			case "outage":
+				b.ReportMetric(r.Values[idx], "outage-p99-ms")
+			}
+		}
+		if err := bench.WriteBenchHAJSON("BENCH_ha.json", t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBatchWireGrouped measures the per-logical-write cost of
 // assembling and encoding merged grouped TBatch frames with the
 // pooled sub-operation scratch — run with -benchmem; the allocs/op

@@ -15,6 +15,19 @@
 //	POST /v1/attest     {"quote": {...}, "nonce": hex} -> secrets
 //	POST /v1/shardmap   raw signed shard map document  (operator, loopback only)
 //	GET  /v1/shardmap   -> the current signed shard map document
+//	POST /v1/lease/acquire {"shard": n, "holder": s, "endpoint": s, "ttlMs": n} -> lease (409 lease_held)
+//	POST /v1/lease/renew   {"shard": n, "holder": s, "gen": n, "ttlMs": n} -> lease (409 lease_lost)
+//	POST /v1/lease/standby {"shard": n, "name": s, "endpoint": s, "ttlMs": n}
+//	POST /v1/lease/revoke  {"shard": n}  (operator, loopback only)
+//	GET  /v1/leases     -> {"leases": [...]}
+//
+// The lease endpoints make attestd the failover authority for
+// controller HA (internal/cluster): the active controller of each
+// shard renews a TTL lease here, hot standbys heartbeat and race to
+// acquire it on expiry. Leases bound unavailability only — split-brain
+// safety comes from drive credential rotation, so a compromised or
+// partitioned lease authority can delay failover but never corrupt
+// data.
 //
 // The shard map endpoints make attestd the distribution point for the
 // cluster shard map (internal/cluster): the document is sealed under
@@ -33,6 +46,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"encoding/pem"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,7 +56,9 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/enclave"
 	"repro/internal/enclave/attest"
 )
@@ -111,6 +127,11 @@ func main() {
 	mux.HandleFunc("POST /v1/attest", s.handleAttest)
 	mux.HandleFunc("POST /v1/shardmap", s.handlePublishShardMap)
 	mux.HandleFunc("GET /v1/shardmap", s.handleShardMap)
+	mux.HandleFunc("POST /v1/lease/acquire", s.handleLeaseAcquire)
+	mux.HandleFunc("POST /v1/lease/renew", s.handleLeaseRenew)
+	mux.HandleFunc("POST /v1/lease/standby", s.handleLeaseStandby)
+	mux.HandleFunc("POST /v1/lease/revoke", s.handleLeaseRevoke)
+	mux.HandleFunc("GET /v1/leases", s.handleLeases)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -231,6 +252,98 @@ func (s *server) handleAttest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	json.NewEncoder(w).Encode(secrets)
+}
+
+// decodeLease parses a lease request body with a sane TTL default.
+func decodeLease(r *http.Request) (*cluster.LeaseRequest, time.Duration, error) {
+	var req cluster.LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, 0, err
+	}
+	ttl := time.Duration(req.TTLMs) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 3 * time.Second
+	}
+	return &req, ttl, nil
+}
+
+// leaseError maps the lease sentinel errors onto 409 responses with a
+// machine-readable code (cluster.HTTPLeases maps them back).
+func leaseError(w http.ResponseWriter, err error) {
+	code := ""
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, attest.ErrLeaseHeld):
+		code, status = cluster.LeaseCodeHeld, http.StatusConflict
+	case errors.Is(err, attest.ErrLeaseLost):
+		code, status = cluster.LeaseCodeLost, http.StatusConflict
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "code": code})
+}
+
+func (s *server) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
+	req, ttl, err := decodeLease(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	l, err := s.svc.AcquireLease(req.Shard, req.Holder, req.Endpoint, ttl)
+	if err != nil {
+		leaseError(w, err)
+		return
+	}
+	json.NewEncoder(w).Encode(l)
+}
+
+func (s *server) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
+	req, ttl, err := decodeLease(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	l, err := s.svc.RenewLease(req.Shard, req.Holder, req.Gen, ttl)
+	if err != nil {
+		leaseError(w, err)
+		return
+	}
+	json.NewEncoder(w).Encode(l)
+}
+
+func (s *server) handleLeaseStandby(w http.ResponseWriter, r *http.Request) {
+	req, ttl, err := decodeLease(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.svc.StandbyHeartbeat(req.Shard, req.Name, req.Endpoint, ttl); err != nil {
+		leaseError(w, err)
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"ok": true})
+}
+
+// handleLeaseRevoke forces a shard's lease open so a standby takes
+// over immediately — the operator failover drill. Loopback only, like
+// every other operator action.
+func (s *server) handleLeaseRevoke(w http.ResponseWriter, r *http.Request) {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil || !net.ParseIP(host).IsLoopback() {
+		jsonError(w, http.StatusForbidden, fmt.Errorf("lease revoke allowed from loopback only"))
+		return
+	}
+	req, _, err := decodeLease(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.svc.RevokeLease(req.Shard)
+	json.NewEncoder(w).Encode(map[string]any{"ok": true})
+}
+
+func (s *server) handleLeases(w http.ResponseWriter, r *http.Request) {
+	json.NewEncoder(w).Encode(map[string]any{"leases": s.svc.Leases()})
 }
 
 func parseMeasurement(s string) (enclave.Measurement, error) {

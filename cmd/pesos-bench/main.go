@@ -18,7 +18,9 @@
 // controllers through the cluster router; emits BENCH_cluster.json),
 // gcommit (serial vs per-op batch vs cross-client group commit on
 // YCSB-A over the HDD model at 1/8/32/128 clients; emits
-// BENCH_write.json with the batch wire-path micro-benchmarks).
+// BENCH_write.json with the batch wire-path micro-benchmarks),
+// failover (controller kill under load with a hot standby taking
+// over; emits BENCH_ha.json with the recovery timeline).
 package main
 
 import (
@@ -31,12 +33,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan,hedge,cluster,gcommit,policy or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan,hedge,cluster,gcommit,policy,failover or all")
 	paper := flag.Bool("paper", false, "use the paper's full experiment scale (minutes per figure)")
 	jsonOut := flag.String("json", "BENCH_read.json", "path for the hedge figure's machine-readable output (empty disables)")
 	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "path for the cluster figure's machine-readable output (empty disables)")
 	writeJSON := flag.String("write-json", "BENCH_write.json", "path for the gcommit figure's machine-readable output (empty disables)")
 	policyJSON := flag.String("policy-json", "BENCH_policy.json", "path for the policy figure's machine-readable output (empty disables)")
+	haJSON := flag.String("ha-json", "BENCH_ha.json", "path for the failover figure's machine-readable output (empty disables)")
 	flag.Parse()
 
 	scale := bench.Quick()
@@ -65,6 +68,7 @@ func main() {
 		{"cluster", bench.FigClusterScaling},
 		{"gcommit", bench.FigGroupCommit},
 		{"policy", bench.FigPolicy},
+		{"failover", bench.FigFailover},
 	}
 
 	ran := false
@@ -107,6 +111,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("(wrote %s)\n", *policyJSON)
+		}
+		if f.name == "failover" && *haJSON != "" {
+			if err := bench.WriteBenchHAJSON(*haJSON, t); err != nil {
+				fmt.Fprintf(os.Stderr, "pesos-bench: write %s: %v\n", *haJSON, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(wrote %s)\n", *haJSON)
 		}
 		fmt.Printf("(figure %s took %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
 	}

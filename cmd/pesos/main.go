@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	mathrand "math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -59,6 +60,7 @@ func main() {
 	shardMap := flag.String("shard-map", "", "signed cluster shard map file; runs the controller as one shard")
 	shardID := flag.Int("shard-id", 0, "this controller's shard id in the map (with -shard-map)")
 	signMap := flag.String("sign-map", "", "sign a plain shard map JSON file with the state's map key, print the signed document, and exit")
+	repairInterval := flag.Duration("repair-interval", 0, "run the anti-entropy repair sweep this often, jittered (0 = off)")
 	flag.Parse()
 
 	switch {
@@ -76,7 +78,7 @@ func main() {
 			log.Fatalf("pesos: sign-map: %v", err)
 		}
 	default:
-		if err := run(*state, *listen, *drives, *driveTLS, *replicas, !*noEncrypt, *groupCommit, *policyPartial, *shardMap, *shardID); err != nil {
+		if err := run(*state, *listen, *drives, *driveTLS, *replicas, !*noEncrypt, *groupCommit, *policyPartial, *shardMap, *shardID, *repairInterval); err != nil {
 			log.Fatalf("pesos: %v", err)
 		}
 	}
@@ -257,7 +259,7 @@ func doSignMap(dir, specFile string) error {
 }
 
 // run boots the controller against TCP drives and serves REST.
-func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, groupCommit, policyPartial bool, shardMapFile string, shardID int) error {
+func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, groupCommit, policyPartial bool, shardMapFile string, shardID int, repairInterval time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -371,6 +373,30 @@ func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, gr
 			}
 		}
 	}()
+	if repairInterval > 0 {
+		go func() {
+			// Anti-entropy: rewrite any object whose replica set has
+			// degraded. Jittered so a fleet sharing drives does not
+			// sweep in lockstep.
+			for {
+				wait := repairInterval + time.Duration(mathrand.Int63n(int64(repairInterval)/4+1))
+				select {
+				case <-time.After(wait):
+					rep, err := ctl.RepairSweep(ctx)
+					if err != nil {
+						log.Printf("pesos: repair sweep: %v", err)
+						continue
+					}
+					if rep.Restored > 0 || rep.Failed > 0 {
+						log.Printf("pesos: repair sweep: %d keys examined, %d records restored, %d failed",
+							rep.Keys, rep.Restored, rep.Failed)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 	go srv.Serve(tls.NewListener(ln, tlsCfg))
 	log.Printf("pesos: controller serving on %s, %d drives, replicas=%d, encrypt=%v",
 		ln.Addr(), len(cfg.Drives), replicas, encrypt)

@@ -20,6 +20,11 @@
 //	cluster status                this controller's shard: epoch, ranges, frozen ranges
 //	cluster map                   the cluster shard map: epoch, per-shard endpoint,
 //	                              key-hash ranges and drive set
+//	cluster leases                per-shard HA leases from attestd (-attestd URL):
+//	                              holder, generation, expiry, standby pool
+//	cluster failover <shard>      revoke a shard's lease so a hot standby takes
+//	                              over now — the operator failover drill. attestd
+//	                              accepts revokes from loopback only.
 //
 // ls walks the listing page by page through the v2 pagination tokens
 // (-limit sets the page size, -pages caps how many pages to fetch,
@@ -40,6 +45,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/cluster"
@@ -57,6 +63,7 @@ func main() {
 	pages := flag.Int("pages", 0, "ls: max pages to fetch (0 = all)")
 	long := flag.Bool("l", false, "ls: long listing (version, size, policy)")
 	token := flag.String("token", "", "ls: resume from a pagination token")
+	attestd := flag.String("attestd", "http://127.0.0.1:9443", "attestd base URL (cluster leases/failover)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -197,13 +204,22 @@ func main() {
 		defer resp.Body.Close()
 		io.Copy(os.Stdout, resp.Body)
 	case "cluster":
-		need(args, 2, "cluster <status|map>")
+		need(args, 2, "cluster <status|map|leases|failover>")
 		httpCl := &http.Client{Transport: &http.Transport{TLSClientConfig: tlsCfg}}
 		switch args[1] {
 		case "status":
 			clusterStatus(httpCl, *server)
 		case "map":
 			clusterMap(httpCl, *server)
+		case "leases":
+			clusterLeases(ctx, *attestd)
+		case "failover":
+			need(args, 3, "cluster failover <shard>")
+			shard, err := strconv.Atoi(args[2])
+			if err != nil {
+				fatal(fmt.Errorf("bad shard id %q", args[2]))
+			}
+			clusterFailover(ctx, *attestd, shard)
 		default:
 			fatal(fmt.Errorf("unknown cluster subcommand %q", args[1]))
 		}
@@ -266,6 +282,46 @@ func clusterMap(httpCl *http.Client, server string) {
 		fmt.Printf("  shard %-3d %-20s ranges %-30s drives %v (replicas %d)\n",
 			s.ID, s.Endpoint, formatRanges(s.Ranges), s.Drives, s.Replicas)
 	}
+}
+
+// clusterLeases prints every shard's HA lease: who holds it, at what
+// generation, when it expires, and the hot standbys waiting behind it.
+func clusterLeases(ctx context.Context, attestd string) {
+	lc := &cluster.HTTPLeases{Base: attestd}
+	leases, err := lc.Leases(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	if len(leases) == 0 {
+		fmt.Println("no leases (cluster HA not running)")
+		return
+	}
+	now := time.Now()
+	for _, l := range leases {
+		state := "OPEN"
+		if l.Holder != "" {
+			if l.Expires.After(now) {
+				state = fmt.Sprintf("held by %s (%s) for %s", l.Holder, l.Endpoint, l.Expires.Sub(now).Round(time.Millisecond))
+			} else {
+				state = fmt.Sprintf("EXPIRED (was %s)", l.Holder)
+			}
+		}
+		fmt.Printf("shard %-3d gen %-4d %s\n", l.Shard, l.Gen, state)
+		for _, sb := range l.Standbys {
+			fmt.Printf("  standby %-20s (%s) heartbeat valid %s\n", sb.Name, sb.Endpoint, sb.Expires.Sub(now).Round(time.Millisecond))
+		}
+	}
+}
+
+// clusterFailover revokes a shard's lease: the next standby probe
+// wins the open lease and performs a full takeover (credential
+// rotation included), exercising the failover path on demand.
+func clusterFailover(ctx context.Context, attestd string, shard int) {
+	lc := &cluster.HTTPLeases{Base: attestd}
+	if err := lc.Revoke(ctx, shard); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("shard %d lease revoked; a standby will take over within one probe interval\n", shard)
 }
 
 // formatRanges renders a hash range list compactly.

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestFigFailoverSmoke runs the failover figure at a shrunken scale
+// (short lease, short phases) and checks the shape of both the table
+// and the BENCH_ha.json emission: three phases, a recovery timeline
+// bounded below by nothing but above by the test's own patience, and
+// exactly one takeover.
+func TestFigFailoverSmoke(t *testing.T) {
+	s := Quick()
+	s.Clients = 4
+	tbl, err := figFailover(s, 250*time.Millisecond, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("got %d phase rows, want 3", len(tbl.Rows))
+	}
+	for _, want := range []string{"healthy", "outage", "recovered"} {
+		found := false
+		for _, r := range tbl.Rows {
+			if r.X == want {
+				found = len(r.Values) == len(tbl.Columns)
+			}
+		}
+		if !found {
+			t.Fatalf("missing or malformed phase row %q", want)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_ha.json")
+	if err := WriteBenchHAJSON(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out BenchHAJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Timeline.Takeovers != 1 {
+		t.Fatalf("timeline records %d takeovers, want 1", out.Timeline.Takeovers)
+	}
+	if out.Timeline.OwnerChangeMs <= 0 || out.Timeline.FirstSuccessMs <= 0 {
+		t.Fatalf("timeline missing recovery points: %+v", out.Timeline)
+	}
+	if out.Timeline.LeaseTTLMs != 250 {
+		t.Fatalf("lease TTL %v ms, want 250", out.Timeline.LeaseTTLMs)
+	}
+	if len(out.Phases) != 3 {
+		t.Fatalf("json has %d phases, want 3", len(out.Phases))
+	}
+}

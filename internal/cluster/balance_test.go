@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func balanceTestMap(t *testing.T, n int) *ShardMap {
+	t.Helper()
+	shards := make([]Shard, n)
+	for i := range shards {
+		shards[i] = Shard{ID: i, Endpoint: fmt.Sprintf("node-%d", i), Drives: []string{"d"}, Replicas: 1}
+	}
+	m, err := UniformMap(shards)
+	if err != nil {
+		t.Fatalf("uniform map: %v", err)
+	}
+	return m
+}
+
+// randomRates assigns a random per-bucket rate to each shard's owned
+// buckets only (a controller never observes traffic outside its
+// ranges).
+func randomRates(rng *rand.Rand, m *ShardMap) map[int][]float64 {
+	rates := make(map[int][]float64, len(m.Shards))
+	for i := range m.Shards {
+		s := &m.Shards[i]
+		rs := make([]float64, core.LoadBuckets)
+		for b := 0; b < core.LoadBuckets; b++ {
+			h := uint32(b * balanceBucketWidth)
+			if s.Owns(h) {
+				rs[b] = float64(rng.Intn(200))
+			}
+		}
+		rates[s.ID] = rs
+	}
+	return rates
+}
+
+func totalRate(rs []float64) float64 {
+	var t float64
+	for _, v := range rs {
+		t += v
+	}
+	return t
+}
+
+// applyMove simulates executing a planned move: ranges migrate in the
+// map, and the moved buckets' rates transfer to the destination.
+func applyMove(t *testing.T, m *ShardMap, rates map[int][]float64, mv Move) *ShardMap {
+	t.Helper()
+	next, err := m.MoveRange(mv.SrcID, mv.DstID, mv.Range)
+	if err != nil {
+		t.Fatalf("apply %s: %v", mv, err)
+	}
+	src, dst := rates[mv.SrcID], rates[mv.DstID]
+	for b := int(mv.Range.Start) / balanceBucketWidth; b < int(mv.Range.End)/balanceBucketWidth; b++ {
+		dst[b] += src[b]
+		src[b] = 0
+	}
+	return next
+}
+
+// TestPlanMovesShape checks the structural properties of every
+// planned move across random load distributions: the per-cycle cap is
+// respected, moved ranges are bucket-aligned and owned by the source,
+// and no move carries more than half the hot/cold gap (the invariant
+// that rules out oscillation).
+func TestPlanMovesShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		m := balanceTestMap(t, 2+rng.Intn(4))
+		rates := randomRates(rng, m)
+		cfg := BalancerConfig{Threshold: 1.5, MinOps: 10, MaxMoves: 1 + rng.Intn(3)}
+		moves := planMoves(m, rates, nil, cfg)
+		if len(moves) > cfg.MaxMoves {
+			t.Fatalf("trial %d: %d moves exceeds cap %d", trial, len(moves), cfg.MaxMoves)
+		}
+		for _, mv := range moves {
+			if mv.Range.Start%balanceBucketWidth != 0 || mv.Range.End%balanceBucketWidth != 0 {
+				t.Fatalf("trial %d: move %s not bucket-aligned", trial, mv)
+			}
+			src := m.ShardByID(mv.SrcID)
+			for h := mv.Range.Start; h < mv.Range.End; h += balanceBucketWidth {
+				if !src.Owns(h) {
+					t.Fatalf("trial %d: move %s not owned by source", trial, mv)
+				}
+			}
+			hot, cold := totalRate(rates[mv.SrcID]), totalRate(rates[mv.DstID])
+			if mv.Ops > (hot-cold)/2+1e-9 {
+				t.Fatalf("trial %d: move %s carries %.1f > half gap %.1f", trial, mv, mv.Ops, (hot-cold)/2)
+			}
+		}
+	}
+}
+
+// TestPlanMovesConvergesWithoutThrash simulates repeated plan/apply
+// cycles on random load: the planner must reach a fixpoint (no
+// further moves) within a bounded number of rounds, and must never
+// plan a move that reverses an earlier one (same pair, opposite
+// direction, overlapping range) — the thrash case.
+func TestPlanMovesConvergesWithoutThrash(t *testing.T) {
+	cfg := BalancerConfig{Threshold: 1.5, MinOps: 10, MaxMoves: 2}
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		m := balanceTestMap(t, 2+rng.Intn(4))
+		rates := randomRates(rng, m)
+
+		type edge struct{ src, dst int }
+		history := make(map[edge][]core.HashRange)
+		converged := false
+		for round := 0; round < 64; round++ {
+			moves := planMoves(m, rates, nil, cfg)
+			if len(moves) == 0 {
+				converged = true
+				break
+			}
+			sortMoves(moves)
+			for _, mv := range moves {
+				for _, prev := range history[edge{mv.DstID, mv.SrcID}] {
+					if mv.Range.Start < prev.End && prev.Start < mv.Range.End {
+						t.Fatalf("trial %d round %d: move %s reverses earlier %d->%d %v (thrash)",
+							trial, round, mv, mv.DstID, mv.SrcID, prev)
+					}
+				}
+				history[edge{mv.SrcID, mv.DstID}] = append(history[edge{mv.SrcID, mv.DstID}], mv.Range)
+				m = applyMove(t, m, rates, mv)
+			}
+		}
+		if !converged {
+			t.Fatalf("trial %d: no fixpoint within 64 rounds", trial)
+		}
+	}
+}
+
+// TestPlanMovesIdleAndExcluded: an idle cluster (below the MinOps
+// floor) plans nothing, and cooldown exclusion silences a hot shard.
+func TestPlanMovesIdleAndExcluded(t *testing.T) {
+	m := balanceTestMap(t, 2)
+	cfg := BalancerConfig{Threshold: 1.5, MinOps: 100, MaxMoves: 4}
+
+	idle := map[int][]float64{0: make([]float64, core.LoadBuckets), 1: make([]float64, core.LoadBuckets)}
+	idle[0][0] = 50 // hot in ratio terms, but under the floor
+	if moves := planMoves(m, idle, nil, cfg); len(moves) != 0 {
+		t.Fatalf("idle cluster planned %v", moves)
+	}
+
+	hot := map[int][]float64{0: make([]float64, core.LoadBuckets), 1: make([]float64, core.LoadBuckets)}
+	for b := 0; b < core.LoadBuckets/2; b++ {
+		hot[0][b] = 100
+	}
+	if moves := planMoves(m, hot, nil, cfg); len(moves) == 0 {
+		t.Fatal("hot cluster planned nothing")
+	}
+	if moves := planMoves(m, hot, map[int]bool{0: true}, cfg); len(moves) != 0 {
+		t.Fatalf("excluded hot shard still planned %v", moves)
+	}
+}
+
+// TestBalancerStep drives the daemon loop against fake poll/execute
+// hooks: the first cycle only seeds the rate baseline, a skewed delta
+// triggers exactly one move, and cooldown suppresses the next cycle.
+func TestBalancerStep(t *testing.T) {
+	m := balanceTestMap(t, 2)
+	cum := map[int][]core.BucketLoad{
+		0: make([]core.BucketLoad, core.LoadBuckets),
+		1: make([]core.BucketLoad, core.LoadBuckets),
+	}
+	poll := func(context.Context) (*ShardMap, []ShardLoad, error) {
+		out := make([]ShardLoad, 0, 2)
+		for id := 0; id <= 1; id++ {
+			bs := make([]core.BucketLoad, core.LoadBuckets)
+			copy(bs, cum[id])
+			out = append(out, ShardLoad{ShardID: id, Buckets: bs})
+		}
+		return m, out, nil
+	}
+	var executed []Move
+	execute := func(_ context.Context, mv Move) error {
+		executed = append(executed, mv)
+		next, err := m.MoveRange(mv.SrcID, mv.DstID, mv.Range)
+		if err != nil {
+			return err
+		}
+		m = next
+		return nil
+	}
+	b := NewBalancer(BalancerConfig{Interval: time.Second, Threshold: 1.5, MinOps: 10, MaxMoves: 1, Cooldown: 2}, poll, execute)
+
+	ctx := context.Background()
+	if n, err := b.Step(ctx); err != nil || n != 0 {
+		t.Fatalf("seed cycle: n=%d err=%v", n, err)
+	}
+	// Shard 0 does 100 ops/bucket over its first 16 buckets; shard 1 idle.
+	for bkt := 0; bkt < 16; bkt++ {
+		cum[0][bkt].Reads += 100
+	}
+	n, err := b.Step(ctx)
+	if err != nil || n != 1 {
+		t.Fatalf("skewed cycle: n=%d err=%v (moves %v)", n, err, executed)
+	}
+	if b.Moved() != 1 || executed[0].SrcID != 0 || executed[0].DstID != 1 {
+		t.Fatalf("unexpected move %v", executed)
+	}
+	// Same skew again: both shards are cooling down, so no move.
+	for bkt := 0; bkt < 16; bkt++ {
+		cum[0][bkt].Reads += 100
+	}
+	if n, err := b.Step(ctx); err != nil || n != 0 {
+		t.Fatalf("cooldown cycle: n=%d err=%v", n, err)
+	}
+}

@@ -48,6 +48,12 @@ type Shard struct {
 	Drives []string `json:"drives"`
 	// Replicas is the controller's copy count per object.
 	Replicas int `json:"replicas"`
+	// CredEpoch is the epoch whose derived admin accounts are current
+	// on this shard's drives (0 = factory bootstrap accounts). Every
+	// credential rotation — range release or HA takeover — records the
+	// rotating epoch here so a cold standby knows which derived account
+	// to dial with.
+	CredEpoch uint64 `json:"cred_epoch,omitempty"`
 }
 
 // Owns reports whether the shard owns hash point h.
@@ -171,6 +177,36 @@ func (m *ShardMap) MoveRange(srcID, dstID int, r core.HashRange) (*ShardMap, err
 		return nil, fmt.Errorf("cluster: range %v not fully owned by shard %d", r, srcID)
 	}
 	dst.Ranges = core.NormalizeRanges(append(dst.Ranges, r))
+	// Release rotates the source's drive credentials to the new epoch
+	// (core.ReleaseRange), so record that epoch as the source's current
+	// credential generation for future cold standbys.
+	src.CredEpoch = out.Epoch
+	return out, out.Validate()
+}
+
+// WithEndpoint returns a copy of the map at epoch+1 with the given
+// shard's endpoint replaced and its CredEpoch set to the new epoch —
+// the map transition of an HA takeover, where the winning standby
+// rotates the shard's drive credentials to the new epoch and
+// republishes itself as the shard's address.
+func (m *ShardMap) WithEndpoint(shardID int, endpoint string) (*ShardMap, error) {
+	if endpoint == "" {
+		return nil, fmt.Errorf("cluster: empty endpoint for shard %d", shardID)
+	}
+	out := &ShardMap{Epoch: m.Epoch + 1, Shards: make([]Shard, len(m.Shards))}
+	copy(out.Shards, m.Shards)
+	found := false
+	for i := range out.Shards {
+		out.Shards[i].Ranges = append([]core.HashRange(nil), out.Shards[i].Ranges...)
+		if out.Shards[i].ID == shardID {
+			out.Shards[i].Endpoint = endpoint
+			out.Shards[i].CredEpoch = out.Epoch
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: unknown shard id %d", shardID)
+	}
 	return out, out.Validate()
 }
 

@@ -65,6 +65,9 @@ type RouterStats struct {
 	// MaxRedirectsPerOp is the worst redirect count any single
 	// operation needed (the handoff protocol promises at most 1).
 	MaxRedirectsPerOp atomic.Uint64
+	// Retargets counts connection-level failures that triggered a map
+	// refresh and a retry — the failover ride-through path.
+	Retargets atomic.Uint64
 }
 
 // Router routes the v2 API across the shards of a cluster.
@@ -184,6 +187,33 @@ func resultWrongShard(e *client.OpError) bool {
 	return e != nil && e.Code == string(core.CodeWrongShard)
 }
 
+// isRetriableTransport classifies an error as a connection-level
+// failure (the controller never answered): worth one map refresh and
+// retry, because after a failover the shard map points at the new
+// active controller while the old endpoint refuses connections. An
+// APIError means the server answered — not a transport failure — and
+// a canceled context belongs to the caller.
+// isServerErr reports an in-protocol 5xx answer — the shape a fenced
+// stale owner produces once its drive credentials are rotated away.
+func isServerErr(err error) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.Status >= 500
+}
+
+func isRetriableTransport(err error) bool {
+	if err == nil {
+		return false
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
 // noteRedirects folds one operation's redirect count into the stats.
 func (r *Router) noteRedirects(n int) {
 	if n == 0 {
@@ -226,15 +256,42 @@ func (r *Router) awaitNewerMap(ctx context.Context, prev uint64) error {
 func route[T any](ctx context.Context, r *Router, key string, op func(cl *client.Client) (T, bool, error)) (T, error) {
 	var zero T
 	redirects := 0
+	retargeted := false
 	for {
 		epoch := r.Epoch()
-		_, cl, err := r.target(key)
+		s, cl, err := r.target(key)
 		if err != nil {
 			return zero, err
 		}
 		v, wrong, err := op(cl)
 		if !wrong {
 			if err != nil {
+				// Connection failure (not an answer): the owner may have
+				// just failed over. Refresh the map and retry once
+				// against the (possibly new) owner.
+				if !retargeted && isRetriableTransport(err) {
+					retargeted = true
+					r.stats.Retargets.Add(1)
+					if rerr := r.Refresh(ctx); rerr == nil {
+						continue
+					}
+				}
+				// A server-side 5xx can be a fenced-out stale owner: a
+				// controller that lost its shard to a takeover keeps
+				// answering, but every drive access dies against the
+				// rotated credentials. Refresh, and retry once ONLY if
+				// ownership really moved — a 5xx from the genuine owner
+				// is an answer, and retrying it could double-apply a
+				// partially committed write.
+				if !retargeted && isServerErr(err) {
+					if rerr := r.Refresh(ctx); rerr == nil {
+						if s2, _, terr := r.target(key); terr == nil && s2.Endpoint != s.Endpoint {
+							retargeted = true
+							r.stats.Retargets.Add(1)
+							continue
+						}
+					}
+				}
 				return zero, err
 			}
 			r.noteRedirects(redirects)
@@ -435,6 +492,7 @@ func (r *Router) BatchPut(ctx context.Context, ops []client.BatchPutOp, certs ..
 // errors in the caller's results).
 func (r *Router) scatterRounds(ctx context.Context, pending []int, keyOf func(int) string,
 	exec func(cl *client.Client, group []int) ([]*client.OpError, error)) error {
+	retargeted := false
 	for round := 0; len(pending) > 0; round++ {
 		epoch := r.Epoch()
 		groups := make(map[int][]int) // shard id -> indices
@@ -449,7 +507,7 @@ func (r *Router) scatterRounds(ctx context.Context, pending []int, keyOf func(in
 		}
 		var wg sync.WaitGroup
 		var mu sync.Mutex
-		var firstErr error
+		var firstErr, transportErr error
 		var redo []int
 		for id, group := range groups {
 			wg.Add(1)
@@ -463,6 +521,16 @@ func (r *Router) scatterRounds(ctx context.Context, pending []int, keyOf func(in
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {
+					// A group whose controller never answered retries as a
+					// whole after a map refresh (failover ride-through);
+					// any other error fails the request.
+					if isRetriableTransport(err) {
+						if transportErr == nil {
+							transportErr = err
+						}
+						redo = append(redo, group...)
+						return
+					}
 					if firstErr == nil {
 						firstErr = err
 					}
@@ -478,6 +546,19 @@ func (r *Router) scatterRounds(ctx context.Context, pending []int, keyOf func(in
 		wg.Wait()
 		if firstErr != nil {
 			return firstErr
+		}
+		if transportErr != nil {
+			if retargeted {
+				return transportErr
+			}
+			retargeted = true
+			r.stats.Retargets.Add(1)
+			if err := r.Refresh(ctx); err != nil {
+				return transportErr
+			}
+			sort.Ints(redo)
+			pending = redo
+			continue
 		}
 		if len(redo) == 0 {
 			r.noteRedirects(round)
@@ -679,6 +760,13 @@ func (r *Router) listOnce(ctx context.Context, m *ShardMap, opts client.ListOpti
 	pages := make(map[int]*client.ListPage, active)
 	for sp := range ch {
 		if sp.err != nil {
+			// A shard that never answered may have just failed over:
+			// surface as a retry so List refreshes the map and re-fetches
+			// from the boundary (bounded by listEpochWait).
+			if isRetriableTransport(sp.err) {
+				r.stats.Retargets.Add(1)
+				return nil, true, nil
+			}
 			return nil, false, sp.err
 		}
 		if sp.page.ShardEpoch != 0 && sp.page.ShardEpoch != m.Epoch {

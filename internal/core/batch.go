@@ -175,11 +175,14 @@ func (c *Controller) batchPut(ctx context.Context, sessionKey string, ops []Batc
 				results[sw.idx].Err = wireError(err)
 			}
 		} else {
+			var bytes uint64
 			for _, sw := range staged {
 				c.publishWrite(sw.rec)
+				c.noteWrite(sw.rec.Meta.Key, len(sw.rec.Payload))
+				bytes += uint64(len(sw.rec.Payload))
 			}
 			n := uint64(len(staged))
-			c.stats.add(func(st *Stats) { st.Puts += n })
+			c.stats.add(func(st *Stats) { st.Puts += n; st.WriteBytes += bytes })
 		}
 	}
 	c.stats.add(func(st *Stats) { st.BatchOps += uint64(len(ops)) })

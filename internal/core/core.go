@@ -173,6 +173,19 @@ type Config struct {
 	// updated by the cluster coordinator (internal/cluster).
 	ClusterMapDoc []byte
 
+	// Standby boots the controller as a hot standby for its shard: it
+	// dials the shard's drives with the CredentialEpoch-derived admin
+	// accounts (never the factory credentials, and never taking over),
+	// answers every client operation with ErrWrongShard, and waits for
+	// Activate to promote it after it wins the shard's lease
+	// (internal/cluster/ha.go). Requires Shard.
+	Standby bool
+	// CredentialEpoch is the epoch whose derived admin accounts are
+	// current on the drives (the cluster map's CredEpoch) — the
+	// accounts a standby bootstrap authenticates with. 0 means the
+	// factory bootstrap accounts are still installed.
+	CredentialEpoch uint64
+
 	// Clock supplies trusted time for policy freshness (§5.2); nil
 	// uses the SGX-SDK-equivalent monotonic system time.
 	Clock func() time.Time
@@ -239,6 +252,8 @@ type Controller struct {
 	closed   bool
 
 	stats Stats
+	// load is the per-range load histogram (see load.go).
+	load loadState
 }
 
 // Stats aggregates controller activity counters.
@@ -265,6 +280,10 @@ type Stats struct {
 	GroupBatches    uint64 // drive batches shipped by the group scheduler (merged or not)
 	GroupedWrites   uint64 // write groups that shared a merged drive batch
 	TrailingFlushes uint64 // idle destages of write-back batches
+	ReadBytes       uint64 // payload bytes served to readers
+	WriteBytes      uint64 // payload bytes accepted from writers
+	Repairs         uint64 // objects re-replicated by repair (on-demand or sweep)
+	RepairSweeps    uint64 // background anti-entropy sweeps completed
 }
 
 // Snapshot returns a copy of the counters.
@@ -283,6 +302,8 @@ func (s *Stats) Snapshot() Stats {
 		WrongShard: s.WrongShard,
 		GroupBatches: s.GroupBatches, GroupedWrites: s.GroupedWrites,
 		TrailingFlushes: s.TrailingFlushes,
+		ReadBytes: s.ReadBytes, WriteBytes: s.WriteBytes,
+		Repairs: s.Repairs, RepairSweeps: s.RepairSweeps,
 	}
 }
 
@@ -307,11 +328,15 @@ func New(ctx context.Context, cfg Config) (*Controller, error) {
 			cfg.Replicas, len(cfg.Drives))
 	}
 
+	if cfg.Standby && cfg.Shard == nil {
+		return nil, errors.New("core: standby mode requires a shard configuration")
+	}
+
 	c := &Controller{cfg: cfg, sessions: make(map[string]*Session)}
 	if cfg.Shard != nil {
 		info := *cfg.Shard
 		info.Ranges = NormalizeRanges(info.Ranges)
-		c.shard = newShardState(info, cfg.ClusterMapDoc)
+		c.shard = newShardState(info, cfg.ClusterMapDoc, cfg.Standby)
 	}
 
 	c.clock = cfg.Clock
@@ -440,12 +465,24 @@ func (c *Controller) connectDrives(ctx context.Context) error {
 	}
 	for i, ep := range c.cfg.Drives {
 		cred := c.secrets.Drives[i]
-		pool, err := dialPool(ctx, ep, kclient.Credentials{Identity: cred.Identity, Key: cred.Key})
+		dialCred := kclient.Credentials{Identity: cred.Identity, Key: cred.Key}
+		if c.cfg.Standby {
+			// A standby never holds factory credentials and never takes
+			// over: it authenticates with the epoch-derived admin account
+			// the active owner installed. Dialing does not authenticate
+			// (HMACs are per-message), so bootstrap succeeds even if the
+			// epoch advances before the first request.
+			dialCred = kclient.Credentials{
+				Identity: adminIdentityForEpoch(c.cfg.CredentialEpoch),
+				Key:      c.adminKeyForEpoch(ep.Name, c.cfg.CredentialEpoch),
+			}
+		}
+		pool, err := dialPool(ctx, ep, dialCred)
 		if err != nil {
 			c.closeDrives()
 			return err
 		}
-		if c.cfg.TakeOver {
+		if c.cfg.TakeOver && !c.cfg.Standby {
 			adminKey := c.adminKeyFor(ep.Name)
 			acl := wire.ACL{Identity: AdminIdentity, Key: adminKey, Perms: wire.PermAll}
 			if err := pool.pick().SetSecurity(ctx, []wire.ACL{acl}, nil); err != nil {

@@ -206,7 +206,8 @@ func (c *Controller) putObject(ctx context.Context, sessionKey, key string, valu
 	}
 
 	c.publishWrite(rec)
-	c.stats.add(func(s *Stats) { s.Puts++ })
+	c.noteWrite(key, len(value))
+	c.stats.add(func(s *Stats) { s.Puts++; s.WriteBytes += uint64(len(value)) })
 	return w.next, nil
 }
 
@@ -238,7 +239,8 @@ func (c *Controller) getObject(ctx context.Context, sessionKey, key string, opts
 			ErrStreamedObject, key, version, rec.Meta.Size)
 	}
 	c.cost.MoveBytes(len(rec.Payload)) // response payload leaves the enclave
-	c.stats.add(func(s *Stats) { s.Gets++ })
+	c.noteRead(key, len(rec.Payload))
+	c.stats.add(func(s *Stats) { s.Gets++; s.ReadBytes += uint64(len(rec.Payload)) })
 	m := rec.Meta
 	return rec.Payload, &m, nil
 }
@@ -290,6 +292,7 @@ func (c *Controller) deleteObject(ctx context.Context, sessionKey, key string, o
 	for v := int64(0); v <= meta.Version; v++ {
 		c.objectFlight.Forget(string(store.ObjectKey(key, v)))
 	}
+	c.noteWrite(key, 0)
 	c.stats.add(func(s *Stats) { s.Deletes++ })
 	return meta.Version, nil
 }

@@ -39,7 +39,14 @@ func (c *Controller) repairObject(ctx context.Context, sessionKey, key string) (
 	if err := c.checkPolicy(ctx, lang.PermUpdate, sessionKey, key, meta, nil, nil); err != nil {
 		return nil, err
 	}
+	return c.repairRecords(ctx, key, meta, placement)
+}
 
+// repairRecords converges one key's replicas to the newest surviving
+// state. Callers hold the key's write lock and have settled the
+// policy question (client repairs are permission-gated; the
+// anti-entropy sweep is an internal maintenance path).
+func (c *Controller) repairRecords(ctx context.Context, key string, meta *store.Meta, placement []int) (*RepairReport, error) {
 	report := &RepairReport{Key: key}
 	metaRec := meta.Marshal()
 
@@ -90,7 +97,71 @@ func (c *Controller) repairObject(ctx context.Context, sessionKey, key string) (
 		}
 		report.Restored++
 	}
+	if report.Restored > 0 {
+		c.stats.add(func(s *Stats) { s.Repairs++ })
+	}
 	return report, nil
+}
+
+// SweepReport summarizes one anti-entropy sweep.
+type SweepReport struct {
+	// Keys is the number of objects examined.
+	Keys int
+	// Restored is the total number of records rewritten.
+	Restored int
+	// Failed counts objects whose repair errored (the sweep continues
+	// past them; the next interval retries).
+	Failed int
+}
+
+// RepairSweep is the background anti-entropy pass: it enumerates
+// every object stored under this controller's owned ranges (the whole
+// keyspace when unsharded) and re-establishes the replication
+// invariant for each — the same per-key convergence as Session.Repair
+// but as an internal maintenance path with no policy gate, since no
+// client is acting. Per-object failures are counted, not fatal: a
+// degraded drive must not stop the sweep from converging everything
+// else.
+func (c *Controller) RepairSweep(ctx context.Context) (*SweepReport, error) {
+	ranges := c.ownedRangesForLoad()
+	report := &SweepReport{}
+	for _, r := range ranges {
+		keys, err := c.keysInRange(ctx, r)
+		if err != nil {
+			return report, fmt.Errorf("core: repair sweep enumerate %v: %w", r, err)
+		}
+		for _, key := range keys {
+			if err := ctx.Err(); err != nil {
+				return report, err
+			}
+			rep, err := c.sweepKey(ctx, key)
+			report.Keys++
+			if err != nil {
+				report.Failed++
+				continue
+			}
+			report.Restored += rep.Restored
+		}
+	}
+	c.stats.add(func(s *Stats) { s.RepairSweeps++ })
+	return report, nil
+}
+
+// sweepKey repairs one key under its write lock (internal path, no
+// policy check).
+func (c *Controller) sweepKey(ctx context.Context, key string) (*RepairReport, error) {
+	lock := c.writeLock(key)
+	lock.Lock()
+	defer lock.Unlock()
+	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	meta, err := c.loadMetaNewest(ctx, key, placement)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return &RepairReport{Key: key}, nil // deleted mid-sweep
+		}
+		return nil, err
+	}
+	return c.repairRecords(ctx, key, meta, placement)
 }
 
 // loadMetaNewest reads every replica's metadata record and returns the

@@ -603,7 +603,12 @@ func (c *Controller) commitTxWrites(ctx context.Context, writes []txWrite) error
 		return fmt.Errorf("pesos: tx commit: %w", err)
 	}
 	n := uint64(len(writes))
-	c.stats.add(func(s *Stats) { s.Puts += n })
+	var bytes uint64
+	for i, w := range staged {
+		c.noteWrite(w.key, len(writes[i].value))
+		bytes += uint64(len(writes[i].value))
+	}
+	c.stats.add(func(s *Stats) { s.Puts += n; s.WriteBytes += bytes })
 	return nil
 }
 

@@ -513,10 +513,15 @@ func (s *RESTServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"groupBatches":    st.GroupBatches,
 		"groupedWrites":   st.GroupedWrites,
 		"trailingFlushes": st.TrailingFlushes,
+		"readBytes":       st.ReadBytes,
+		"writeBytes":      st.WriteBytes,
+		"repairs":         st.Repairs,
+		"repairSweeps":    st.RepairSweeps,
 		"epcResident":     s.ctl.epc.Resident(),
 		"epcFaults":       s.ctl.epc.Faults(),
 		"caches":          s.ctl.CacheStats(),
 		"driveLatency":    lats,
+		"load":            s.ctl.LoadStatus(),
 	}
 	if shard := s.ctl.ShardStatus(); shard != nil {
 		body["shard"] = shard

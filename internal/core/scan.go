@@ -119,6 +119,12 @@ func (c *Controller) scanObjects(ctx context.Context, sessionKey string, opts Sc
 	cursor := store.MetaKey(lower)
 	var filtered uint64
 	defer func() {
+		// Load accounting: a scan page charges one read per listed
+		// entry (meta-only, no payload bytes) so range-heavy workloads
+		// show up in the balancer's histogram too.
+		for i := range page.Entries {
+			c.noteRead(string(page.Entries[i].Key), 0)
+		}
 		c.stats.add(func(st *Stats) { st.Scans++; st.ScanFiltered += filtered })
 	}()
 	for {

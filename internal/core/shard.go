@@ -154,6 +154,11 @@ type shardView struct {
 	info   ShardInfo
 	frozen []HashRange
 	mapDoc []byte // signed cluster map document (opaque to core)
+	// standby true means this controller holds the shard's drives and
+	// configuration but is NOT the active owner: every client
+	// operation answers ErrWrongShard (routers redirect to the active)
+	// until Activate promotes it after a lease win.
+	standby bool
 }
 
 // shardState is the controller's live sharding state. The RWMutex is
@@ -169,9 +174,9 @@ type shardState struct {
 	gate chan struct{}
 }
 
-func newShardState(info ShardInfo, mapDoc []byte) *shardState {
+func newShardState(info ShardInfo, mapDoc []byte, standby bool) *shardState {
 	s := &shardState{}
-	s.view.Store(&shardView{info: info, mapDoc: append([]byte(nil), mapDoc...)})
+	s.view.Store(&shardView{info: info, mapDoc: append([]byte(nil), mapDoc...), standby: standby})
 	return s
 }
 
@@ -185,8 +190,9 @@ func (s *shardState) update(f func(v *shardView)) {
 			Epoch:  cur.info.Epoch,
 			Ranges: append([]HashRange(nil), cur.info.Ranges...),
 		},
-		frozen: append([]HashRange(nil), cur.frozen...),
-		mapDoc: cur.mapDoc,
+		frozen:  append([]HashRange(nil), cur.frozen...),
+		mapDoc:  cur.mapDoc,
+		standby: cur.standby,
 	}
 	f(next)
 	s.view.Store(next)
@@ -204,7 +210,8 @@ func (c *Controller) owns(key string) bool {
 	if s == nil {
 		return true
 	}
-	return RangesContain(s.view.Load().info.Ranges, store.ShardHash(key))
+	v := s.view.Load()
+	return !v.standby && RangesContain(v.info.Ranges, store.ShardHash(key))
 }
 
 // checkOwned is the read-path ownership gate. Reads are never blocked
@@ -256,7 +263,7 @@ func (c *Controller) beginWriteFiltered(ctx context.Context, keys []string) (rel
 		blocked := false
 		for i, k := range keys {
 			h := store.ShardHash(k)
-			owned[i] = RangesContain(v.info.Ranges, h)
+			owned[i] = !v.standby && RangesContain(v.info.Ranges, h)
 			if owned[i] && RangesContain(v.frozen, h) {
 				blocked = true
 			}
@@ -276,10 +283,11 @@ func (c *Controller) beginWriteFiltered(ctx context.Context, keys []string) (rel
 
 // ShardStatus is the sharding section of /v1/status.
 type ShardStatus struct {
-	ID     int         `json:"id"`
-	Epoch  uint64      `json:"epoch"`
-	Ranges []HashRange `json:"ranges"`
-	Frozen []HashRange `json:"frozen,omitempty"`
+	ID      int         `json:"id"`
+	Epoch   uint64      `json:"epoch"`
+	Ranges  []HashRange `json:"ranges"`
+	Frozen  []HashRange `json:"frozen,omitempty"`
+	Standby bool        `json:"standby,omitempty"`
 }
 
 // ShardStatus reports the controller's current shard state, nil when
@@ -291,11 +299,19 @@ func (c *Controller) ShardStatus() *ShardStatus {
 	}
 	v := s.view.Load()
 	return &ShardStatus{
-		ID:     v.info.ID,
-		Epoch:  v.info.Epoch,
-		Ranges: v.info.Ranges,
-		Frozen: v.frozen,
+		ID:      v.info.ID,
+		Epoch:   v.info.Epoch,
+		Ranges:  v.info.Ranges,
+		Frozen:  v.frozen,
+		Standby: v.standby,
 	}
+}
+
+// IsStandby reports whether the controller is a hot standby (sharded,
+// not serving).
+func (c *Controller) IsStandby() bool {
+	s := c.shard
+	return s != nil && s.view.Load().standby
 }
 
 // ClusterMapDoc returns the signed cluster map document the controller
@@ -854,6 +870,97 @@ func adminIdentityForEpoch(epoch uint64) string {
 		return AdminIdentity
 	}
 	return fmt.Sprintf("%s-e%d", AdminIdentity, epoch)
+}
+
+// AdoptDriveCredentials switches the drive connection pools to the
+// epoch's derived admin accounts WITHOUT touching the drives — the
+// observer-side mirror of RotateDriveCredentials. A standby calls it
+// when the cluster map shows a newer CredEpoch (the active rotated),
+// so its pools keep authenticating; no drive state changes because
+// the accounts were already installed by the rotating controller.
+func (c *Controller) AdoptDriveCredentials(epoch uint64) {
+	id := adminIdentityForEpoch(epoch)
+	for i, p := range c.drives {
+		if p.credentials().Identity == id {
+			continue
+		}
+		p.setCredentials(kclient.Credentials{
+			Identity: id,
+			Key:      c.adminKeyForEpoch(c.cfg.Drives[i].Name, epoch),
+		})
+	}
+}
+
+// Activate promotes a standby to the shard's active controller at the
+// given (newer) epoch. The caller must have won the shard's lease and
+// completed the fencing credential rotation first, and must have
+// stopped any cache-warming loop: activation drops the version-
+// bearing caches (meta and object), because entries warmed while the
+// old active was still committing may be stale — serving them would
+// lose acknowledged writes from a reader's point of view. The
+// content-addressed policy caches survive, which is most of what
+// warming buys.
+func (c *Controller) Activate(epoch uint64) error {
+	s := c.shard
+	if s == nil {
+		return errors.New("core: controller is not sharded")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.view.Load()
+	if !v.standby {
+		return errors.New("core: controller is not a standby")
+	}
+	if epoch < v.info.Epoch {
+		return fmt.Errorf("core: activate at epoch %d, already at %d", epoch, v.info.Epoch)
+	}
+	c.metaCache.Clear()
+	c.objectCache.Clear()
+	s.update(func(v *shardView) {
+		v.standby = false
+		v.info.Epoch = epoch
+	})
+	return nil
+}
+
+// WarmRanges pre-faults the standby's caches: it enumerates the keys
+// stored under the owned ranges and loads each key's metadata (and
+// transitively the referenced policies) through the normal cache-
+// filling loaders, up to limit keys per call. Ownership gates don't
+// apply — internal loaders never check them — so this works in
+// standby mode. Returns the number of keys warmed.
+func (c *Controller) WarmRanges(ctx context.Context, limit int) (int, error) {
+	s := c.shard
+	if s == nil {
+		return 0, errors.New("core: controller is not sharded")
+	}
+	if limit <= 0 {
+		limit = 1024
+	}
+	warmed := 0
+	for _, r := range s.view.Load().info.Ranges {
+		keys, err := c.keysInRange(ctx, r)
+		if err != nil {
+			return warmed, err
+		}
+		for _, key := range keys {
+			if warmed >= limit {
+				return warmed, nil
+			}
+			meta, err := c.loadMeta(ctx, key)
+			if err != nil {
+				continue // vanished or degraded; warming is best-effort
+			}
+			if meta.PolicyID != "" {
+				_, _ = c.loadPolicy(ctx, meta.PolicyID)
+			}
+			warmed++
+			if ctx.Err() != nil {
+				return warmed, ctx.Err()
+			}
+		}
+	}
+	return warmed, nil
 }
 
 // RotateDriveCredentials installs fresh epoch-derived admin accounts

@@ -245,7 +245,8 @@ func (c *Controller) putObjectStream(ctx context.Context, sessionKey, key string
 		cleanup()
 		return 0, err
 	}
-	c.stats.add(func(s *Stats) { s.Puts++; s.Streams++ })
+	c.noteWrite(key, int(total))
+	c.stats.add(func(s *Stats) { s.Puts++; s.Streams++; s.WriteBytes += uint64(total) })
 	return next, nil
 }
 
@@ -355,7 +356,8 @@ func (c *Controller) getObjectStream(ctx context.Context, sessionKey, key string
 			_, err := w.Write(rec.Payload)
 			return err
 		}
-		c.stats.add(func(s *Stats) { s.Gets++ })
+		c.noteRead(key, len(rec.Payload))
+		c.stats.add(func(s *Stats) { s.Gets++; s.ReadBytes += uint64(len(rec.Payload)) })
 		return &m, send, nil
 	}
 	send := func(w io.Writer) error {
@@ -381,7 +383,8 @@ func (c *Controller) getObjectStream(ctx context.Context, sessionKey, key string
 		}
 		return nil
 	}
-	c.stats.add(func(s *Stats) { s.Gets++; s.Streams++ })
+	c.noteRead(key, int(m.Size))
+	c.stats.add(func(s *Stats) { s.Gets++; s.Streams++; s.ReadBytes += uint64(m.Size) })
 	return &m, send, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/enclave"
 )
@@ -74,6 +75,8 @@ type Service struct {
 	expected map[enclave.Measurement]*Secrets
 	nonces   map[[32]byte]bool
 	shardMap []byte // current signed cluster shard map document
+	leases   map[int]*leaseState
+	now      func() time.Time // injectable clock (lease tests); nil = time.Now
 }
 
 // NewService creates a service trusting quotes signed by platformKey.

@@ -1,0 +1,208 @@
+// Controller leases: the attestation service doubles as the cluster's
+// lease authority for high availability (it is already the one party
+// every controller must talk to before holding secrets, so no new
+// trust anchor is introduced). Each shard has at most one lease
+// holder — the active controller — refreshing a TTL lease; hot
+// standbys heartbeat their presence so operators can see the failover
+// pool. The lease carries a generation number that bumps every time
+// the holder changes: the winner of a takeover uses it to fence its
+// epoch bump, and a stale holder's renewals are rejected by
+// generation mismatch.
+//
+// The lease is an availability optimization, not the safety
+// mechanism: even if attestd handed the lease to two controllers,
+// split brain is prevented by the drive-credential rotation the new
+// holder performs (internal/core.RotateDriveCredentials) — the old
+// controller's per-message HMACs stop verifying at the drives.
+package attest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Lease errors.
+var (
+	// ErrLeaseHeld rejects an acquire while another holder's lease is
+	// still live.
+	ErrLeaseHeld = errors.New("attest: lease held")
+	// ErrLeaseLost rejects a renew whose holder or generation no longer
+	// matches the lease (the caller was fenced out).
+	ErrLeaseLost = errors.New("attest: lease lost")
+)
+
+// Standby is one hot-standby controller heartbeating against a shard's
+// lease.
+type Standby struct {
+	Name     string    `json:"name"`
+	Endpoint string    `json:"endpoint"`
+	Expires  time.Time `json:"expires"`
+}
+
+// Lease is the authoritative lease record for one shard.
+type Lease struct {
+	Shard    int    `json:"shard"`
+	Holder   string `json:"holder"`
+	Endpoint string `json:"endpoint"`
+	// Gen is the fencing token: it increments every time the holder
+	// changes (takeover or manual steal), never on renewal.
+	Gen      uint64    `json:"gen"`
+	Expires  time.Time `json:"expires"`
+	Standbys []Standby `json:"standbys,omitempty"`
+}
+
+// leaseState is the mutable record behind the service mutex.
+type leaseState struct {
+	holder   string
+	endpoint string
+	gen      uint64
+	expires  time.Time
+	standbys map[string]Standby
+}
+
+func (s *Service) leaseFor(shard int) *leaseState {
+	if s.leases == nil {
+		s.leases = make(map[int]*leaseState)
+	}
+	ls := s.leases[shard]
+	if ls == nil {
+		ls = &leaseState{standbys: make(map[string]Standby)}
+		s.leases[shard] = ls
+	}
+	return ls
+}
+
+func (s *Service) clock() time.Time {
+	if s.now != nil {
+		return s.now()
+	}
+	return time.Now()
+}
+
+// SetClock injects a time source for deterministic tests. Not for
+// production use.
+func (s *Service) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// AcquireLease grants the shard's lease to holder for ttl if the lease
+// is unheld, expired, or already held by the same holder (re-acquire
+// keeps the generation). A holder change bumps the generation. The
+// call is atomic: under a race exactly one contender observes the
+// expired lease first and wins; the rest get ErrLeaseHeld.
+func (s *Service) AcquireLease(shard int, holder, endpoint string, ttl time.Duration) (*Lease, error) {
+	if holder == "" || ttl <= 0 {
+		return nil, fmt.Errorf("attest: bad lease acquire (holder=%q ttl=%v)", holder, ttl)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	ls := s.leaseFor(shard)
+	if ls.holder != "" && ls.holder != holder && now.Before(ls.expires) {
+		return nil, fmt.Errorf("%w: shard %d held by %q until %v", ErrLeaseHeld, shard, ls.holder, ls.expires)
+	}
+	if ls.holder != holder {
+		ls.gen++
+	}
+	ls.holder = holder
+	ls.endpoint = endpoint
+	ls.expires = now.Add(ttl)
+	delete(ls.standbys, holder) // a promoted standby is no longer standing by
+	return s.leaseViewLocked(shard, ls), nil
+}
+
+// RenewLease extends the lease iff holder and generation still match;
+// a fenced-out holder gets ErrLeaseLost and must demote itself.
+func (s *Service) RenewLease(shard int, holder string, gen uint64, ttl time.Duration) (*Lease, error) {
+	if ttl <= 0 {
+		return nil, fmt.Errorf("attest: bad lease ttl %v", ttl)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	ls := s.leaseFor(shard)
+	if ls.holder != holder || ls.gen != gen {
+		return nil, fmt.Errorf("%w: shard %d now held by %q gen %d", ErrLeaseLost, shard, ls.holder, ls.gen)
+	}
+	// An expired-but-unstolen lease may renew: nobody else claimed it,
+	// so the holder is still the most recent owner and no fencing
+	// event happened.
+	ls.expires = now.Add(ttl)
+	return s.leaseViewLocked(shard, ls), nil
+}
+
+// RevokeLease force-expires the shard's lease (operator failover
+// drill): the current holder's next renewal fails with ErrLeaseLost
+// and the fastest standby acquires. The generation bumps immediately
+// so in-flight renewals are fenced even before expiry is observed.
+func (s *Service) RevokeLease(shard int) (*Lease, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls := s.leaseFor(shard)
+	if ls.holder == "" {
+		return nil, fmt.Errorf("attest: shard %d has no lease to revoke", shard)
+	}
+	ls.holder = ""
+	ls.endpoint = ""
+	ls.gen++
+	ls.expires = time.Time{}
+	return s.leaseViewLocked(shard, ls), nil
+}
+
+// StandbyHeartbeat records a hot standby waiting on the shard's lease.
+// Standbys expire like leases so a crashed standby drops out of the
+// listing without explicit deregistration.
+func (s *Service) StandbyHeartbeat(shard int, name, endpoint string, ttl time.Duration) error {
+	if name == "" || ttl <= 0 {
+		return fmt.Errorf("attest: bad standby heartbeat (name=%q ttl=%v)", name, ttl)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls := s.leaseFor(shard)
+	ls.standbys[name] = Standby{Name: name, Endpoint: endpoint, Expires: s.clock().Add(ttl)}
+	return nil
+}
+
+// LeaseFor returns the shard's current lease view, ok=false if the
+// shard has never been leased or heartbeated.
+func (s *Service) LeaseFor(shard int) (*Lease, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls, ok := s.leases[shard]
+	if !ok {
+		return nil, false
+	}
+	return s.leaseViewLocked(shard, ls), true
+}
+
+// Leases lists every shard's lease state, sorted by shard id.
+func (s *Service) Leases() []Lease {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Lease, 0, len(s.leases))
+	for shard, ls := range s.leases {
+		out = append(out, *s.leaseViewLocked(shard, ls))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out
+}
+
+// leaseViewLocked snapshots a lease record, pruning expired standbys.
+// Callers hold s.mu.
+func (s *Service) leaseViewLocked(shard int, ls *leaseState) *Lease {
+	now := s.clock()
+	l := &Lease{Shard: shard, Holder: ls.holder, Endpoint: ls.endpoint, Gen: ls.gen, Expires: ls.expires}
+	for name, sb := range ls.standbys {
+		if now.After(sb.Expires) {
+			delete(ls.standbys, name)
+			continue
+		}
+		l.Standbys = append(l.Standbys, sb)
+	}
+	sort.Slice(l.Standbys, func(i, j int) bool { return l.Standbys[i].Name < l.Standbys[j].Name })
+	return l
+}

@@ -1,0 +1,145 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable time source for deterministic lease tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newLeaseService(t *testing.T) (*Service, *fakeClock) {
+	t.Helper()
+	s := NewService(nil)
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	s.SetClock(clk.now)
+	return s, clk
+}
+
+func TestLeaseAcquireRenewExpire(t *testing.T) {
+	s, clk := newLeaseService(t)
+	ttl := time.Second
+
+	l, err := s.AcquireLease(0, "ctl-a", "a:1", ttl)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if l.Holder != "ctl-a" || l.Gen != 1 {
+		t.Fatalf("lease = %+v, want holder ctl-a gen 1", l)
+	}
+
+	// A live lease rejects other contenders.
+	if _, err := s.AcquireLease(0, "ctl-b", "b:1", ttl); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("contender acquire err = %v, want ErrLeaseHeld", err)
+	}
+
+	// The holder renews without a generation bump.
+	clk.advance(ttl / 2)
+	l, err = s.RenewLease(0, "ctl-a", 1, ttl)
+	if err != nil || l.Gen != 1 {
+		t.Fatalf("renew: lease %+v err %v", l, err)
+	}
+
+	// After expiry a standby wins with a bumped generation.
+	clk.advance(2 * ttl)
+	l, err = s.AcquireLease(0, "ctl-b", "b:1", ttl)
+	if err != nil {
+		t.Fatalf("takeover acquire: %v", err)
+	}
+	if l.Holder != "ctl-b" || l.Gen != 2 {
+		t.Fatalf("lease = %+v, want holder ctl-b gen 2", l)
+	}
+
+	// The fenced-out old holder's renewal fails.
+	if _, err := s.RenewLease(0, "ctl-a", 1, ttl); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale renew err = %v, want ErrLeaseLost", err)
+	}
+}
+
+func TestLeaseReacquireSameHolderKeepsGen(t *testing.T) {
+	s, clk := newLeaseService(t)
+	if _, err := s.AcquireLease(3, "ctl-a", "a:1", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(5 * time.Second) // lease long expired, nobody stole it
+	l, err := s.AcquireLease(3, "ctl-a", "a:1", time.Second)
+	if err != nil {
+		t.Fatalf("re-acquire: %v", err)
+	}
+	if l.Gen != 1 {
+		t.Fatalf("gen = %d after same-holder re-acquire, want 1", l.Gen)
+	}
+}
+
+func TestLeaseRevoke(t *testing.T) {
+	s, _ := newLeaseService(t)
+	if _, err := s.AcquireLease(0, "ctl-a", "a:1", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RevokeLease(0); err != nil {
+		t.Fatalf("revoke: %v", err)
+	}
+	// The old holder is fenced immediately (generation bumped).
+	if _, err := s.RenewLease(0, "ctl-a", 1, time.Minute); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("renew after revoke err = %v, want ErrLeaseLost", err)
+	}
+	// A standby acquires without waiting for TTL.
+	l, err := s.AcquireLease(0, "ctl-b", "b:1", time.Minute)
+	if err != nil || l.Holder != "ctl-b" {
+		t.Fatalf("post-revoke acquire: lease %+v err %v", l, err)
+	}
+	if l.Gen != 3 { // 1 (grant) + 1 (revoke) + 1 (new holder)
+		t.Fatalf("gen = %d, want 3", l.Gen)
+	}
+}
+
+func TestLeaseStandbysExpire(t *testing.T) {
+	s, clk := newLeaseService(t)
+	if _, err := s.AcquireLease(0, "ctl-a", "a:1", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StandbyHeartbeat(0, "ctl-b", "b:1", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StandbyHeartbeat(0, "ctl-c", "c:1", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	l, ok := s.LeaseFor(0)
+	if !ok || len(l.Standbys) != 2 {
+		t.Fatalf("lease %+v ok=%v, want 2 standbys", l, ok)
+	}
+	clk.advance(5 * time.Second)
+	l, _ = s.LeaseFor(0)
+	if len(l.Standbys) != 1 || l.Standbys[0].Name != "ctl-c" {
+		t.Fatalf("standbys = %+v, want only ctl-c", l.Standbys)
+	}
+	// A standby that wins the lease leaves the standby pool.
+	if _, err := s.RevokeLease(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AcquireLease(0, "ctl-c", "c:1", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	l, _ = s.LeaseFor(0)
+	if l.Holder != "ctl-c" || len(l.Standbys) != 0 {
+		t.Fatalf("lease = %+v, want holder ctl-c with no standbys", l)
+	}
+}
+
+func TestLeasesListing(t *testing.T) {
+	s, _ := newLeaseService(t)
+	if _, err := s.AcquireLease(1, "ctl-b", "b:1", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AcquireLease(0, "ctl-a", "a:1", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	ls := s.Leases()
+	if len(ls) != 2 || ls[0].Shard != 0 || ls[1].Shard != 1 {
+		t.Fatalf("leases = %+v, want shards [0 1]", ls)
+	}
+}

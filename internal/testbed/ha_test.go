@@ -1,0 +1,309 @@
+package testbed
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// TestFailoverUnderLoad kills shard 0's active controller while a
+// YCSB-A-style workload (50/50 read/update, single writer per key)
+// runs through stale routers. Acceptance: the hot standby takes over
+// within a bounded window, every operation eventually succeeds
+// (clients retry through the outage), and — the core guarantee — no
+// acknowledged write is lost: every key's final head version is at
+// least the highest version any put acknowledged.
+func TestFailoverUnderLoad(t *testing.T) {
+	mc, err := StartMulti(2, Options{StandbysPerShard: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	const ttl = 300 * time.Millisecond
+	if err := mc.StartHA(ttl); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	loader, _, err := mc.NewRouter("loader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nKeys = 80
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ha/%04d", i)
+		if res, err := loader.Put(ctx, keys[i], []byte("v0"), client.PutOptions{}); err != nil || res.Err != nil {
+			t.Fatalf("load %q: %v / %v", keys[i], err, res.Err)
+		}
+	}
+
+	// Single writer per key: worker w owns indices ≡ w mod workers, so
+	// per-key acked-version tracking needs no synchronization.
+	const workers = 4
+	const opsPerWorker = 120
+	perWorker := nKeys / workers
+	acked := make([]int64, nKeys)
+	routers := make([]*cluster.Router, workers)
+	for w := range routers {
+		if routers[w], _, err = mc.NewRouter(fmt.Sprintf("ha-worker-%d", w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var failures errCollector
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := routers[w]
+			<-start
+			for i := 0; i < opsPerWorker; i++ {
+				ki := w + workers*(i%perWorker)
+				key := keys[ki]
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					var err error
+					if i%2 == 0 {
+						var res client.OpResult
+						res, err = r.Put(ctx, key, []byte(fmt.Sprintf("w%d-i%d", w, i)), client.PutOptions{})
+						if err == nil && res.Err != nil {
+							err = res.Err
+						}
+						if err == nil {
+							if res.Version > acked[ki] {
+								acked[ki] = res.Version
+							}
+							break
+						}
+					} else {
+						if _, _, err = r.Get(ctx, key, client.GetOptions{}); err == nil {
+							break
+						}
+					}
+					// Mid-failover window: the shard is between owners.
+					// Clients retry; the lease bounds how long.
+					if time.Now().After(deadline) {
+						failures.add(fmt.Errorf("op on %q never recovered: %w", key, err))
+						break
+					}
+					time.Sleep(25 * time.Millisecond)
+				}
+			}
+		}(w)
+	}
+
+	close(start)
+	time.Sleep(150 * time.Millisecond) // let the load reach steady state
+	killedAt := time.Now()
+	mc.KillNode("pesos-0")
+	waitCtx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	newOwner, err := mc.WaitForOwner(waitCtx, 0, "pesos-0")
+	cancel()
+	if err != nil {
+		t.Fatalf("no takeover: %v", err)
+	}
+	recovery := time.Since(killedAt)
+	if newOwner != "pesos-0-s0" {
+		t.Fatalf("takeover by %q, want the standby", newOwner)
+	}
+	// Detection is lease-bounded; the full window adds the takeover
+	// work (credential rotation, map publish). Generous for -race.
+	if recovery > ttl+10*time.Second {
+		t.Errorf("recovery took %v", recovery)
+	}
+	t.Logf("failover: new owner %s after %v", newOwner, recovery)
+	wg.Wait()
+
+	if errs := failures.snapshot(); len(errs) > 0 {
+		t.Fatalf("%d operations never recovered; first: %v", len(errs), errs[0])
+	}
+	if hn := mc.HANodeFor("pesos-0-s0"); hn == nil || hn.State() != cluster.StateActive || hn.Takeovers() != 1 {
+		t.Fatalf("standby supervisor state %v, want active with 1 takeover", hn.State())
+	}
+
+	// Zero lost acknowledged writes: the head version can exceed the
+	// acked one (an ack lost to a connection drop may have committed,
+	// and the retry commits again) but may never fall below it.
+	checker, _, err := mc.NewRouter("checker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range keys {
+		_, meta, err := checker.Get(ctx, key, client.GetOptions{})
+		if err != nil {
+			t.Fatalf("verify %q: %v", key, err)
+		}
+		if meta.Version < acked[i] {
+			t.Fatalf("key %q: head version %d < acknowledged %d — lost acked write", key, meta.Version, acked[i])
+		}
+	}
+}
+
+// TestFencedControllerCannotWrite wedges shard 0's active (it stops
+// renewing its lease but keeps running — the GC-pause / partitioned
+// process), forces the failover with a lease revoke (the operator
+// drill pesosctl exposes), and checks the fence: the old controller's
+// late write is rejected by the drives themselves, leaving the new
+// owner's view untouched.
+func TestFencedControllerCannotWrite(t *testing.T) {
+	mc, err := StartMulti(2, Options{StandbysPerShard: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	if err := mc.StartHA(250 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// A key owned by shard 0.
+	var key string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("fence/%04d", i)
+		owner, err := mc.Map().OwnerOf(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner.ID == 0 {
+			key = k
+			break
+		}
+	}
+	r, _, err := mc.NewRouter("writer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := r.Put(ctx, key, []byte("original"), client.PutOptions{}); err != nil || res.Err != nil {
+		t.Fatalf("put: %v / %v", err, res.Err)
+	}
+
+	// Wedge the active: supervisor stops (no renewals, no fence
+	// self-report), the controller keeps running with its stale view.
+	oldCtl := mc.Nodes[0].Controller
+	mc.StopHAFor("pesos-0")
+	mc.Attest.RevokeLease(0)
+
+	waitCtx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	newOwner, err := mc.WaitForOwner(waitCtx, 0, "pesos-0")
+	cancel()
+	if err != nil {
+		t.Fatalf("no takeover after revoke: %v", err)
+	}
+
+	// The wedged controller still believes it owns the key; its late
+	// batch must die at the drive HMAC layer.
+	evil := oldCtl.Session("late-writer")
+	if _, err := evil.Put(ctx, key, []byte("stale overwrite"), core.PutOptions{}); err == nil {
+		t.Fatal("fenced controller's write succeeded — split brain")
+	}
+
+	// The new owner's view is untouched by the rejected write, and the
+	// shard keeps accepting writes.
+	val, meta, err := r.Get(ctx, key, client.GetOptions{})
+	if err != nil {
+		t.Fatalf("get after failover: %v", err)
+	}
+	if string(val) != "original" || meta.Version != 0 {
+		t.Fatalf("late write leaked: value %q version %d", val, meta.Version)
+	}
+	if res, err := r.Put(ctx, key, []byte("after failover"), client.PutOptions{}); err != nil || res.Err != nil {
+		t.Fatalf("put after failover: %v / %v", err, res.Err)
+	}
+	if _, meta, err = r.Get(ctx, key, client.GetOptions{}); err != nil || meta.Version != 1 {
+		t.Fatalf("post-failover version %d (err %v), want 1", meta.Version, err)
+	}
+	_ = newOwner
+}
+
+// TestAutobalancerLive drives a skewed read workload at a 2-shard
+// cluster and checks the balancer executes a live handoff that leaves
+// every key intact and the hot shard's ownership reduced.
+func TestAutobalancerLive(t *testing.T) {
+	mc, err := StartMulti(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	ctx := context.Background()
+	r, _, err := mc.NewRouter("load")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nKeys = 60
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bal/%04d", i)
+		if res, err := r.Put(ctx, keys[i], []byte(fmt.Sprintf("v-%d", i)), client.PutOptions{}); err != nil || res.Err != nil {
+			t.Fatalf("load: %v / %v", err, res.Err)
+		}
+	}
+
+	b := mc.NewBalancer(cluster.BalancerConfig{
+		Interval: time.Second, Threshold: 1.5, MinOps: 50, MaxMoves: 1, Cooldown: 2,
+	})
+	if n, err := b.Step(ctx); err != nil || n != 0 {
+		t.Fatalf("seed step: n=%d err=%v", n, err)
+	}
+
+	// Skew: hammer only shard 0's keys.
+	before := mc.Map()
+	for round := 0; round < 40; round++ {
+		for _, key := range keys {
+			if owner, _ := before.OwnerOf(key); owner.ID != 0 {
+				continue
+			}
+			if _, _, err := r.Get(ctx, key, client.GetOptions{}); err != nil {
+				t.Fatalf("hot get %q: %v", key, err)
+			}
+		}
+	}
+	n, err := b.Step(ctx)
+	if err != nil {
+		t.Fatalf("balance step: %v", err)
+	}
+	if n != 1 || b.Moved() != 1 {
+		t.Fatalf("balancer executed %d moves, want 1", n)
+	}
+	after := mc.Map()
+	if after.Epoch <= before.Epoch {
+		t.Fatalf("map epoch %d did not advance past %d", after.Epoch, before.Epoch)
+	}
+
+	// Some keys changed owner 0 -> 1, none the other way, and every
+	// key survived the live move.
+	migrated := 0
+	checker, _, err := mc.NewRouter("checker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range keys {
+		prev, _ := before.OwnerOf(key)
+		now, _ := after.OwnerOf(key)
+		if prev.ID == 1 && now.ID == 0 {
+			t.Fatalf("key %q moved cold -> hot", key)
+		}
+		if prev.ID == 0 && now.ID == 1 {
+			migrated++
+		}
+		val, meta, err := checker.Get(ctx, key, client.GetOptions{})
+		if err != nil {
+			t.Fatalf("verify %q: %v", key, err)
+		}
+		if string(val) != fmt.Sprintf("v-%d", i) || meta.Version != 0 {
+			t.Fatalf("key %q corrupted by move: %q v%d", key, val, meta.Version)
+		}
+	}
+	if migrated == 0 {
+		t.Fatal("no key changed owner despite an executed move")
+	}
+}

@@ -99,6 +99,11 @@ type Options struct {
 	Clock func() time.Time
 	// SessionTTL overrides session expiry.
 	SessionTTL time.Duration
+	// StandbysPerShard boots this many hot standbys per shard in
+	// StartMulti; they attach to the shard's drives (dialing with the
+	// active's derived admin account) and serve nothing until a
+	// takeover activates them.
+	StandbysPerShard int
 }
 
 // env is the deployment-wide substrate nodes share: one CA, one
@@ -157,50 +162,19 @@ func (e *env) p2pDial(peer string) (kinetic.P2PTarget, error) {
 	return d, nil
 }
 
-// Cluster is one running controller deployment (one node of a
-// multi-controller cluster, or the whole thing in single mode).
-type Cluster struct {
-	CA       *tlsutil.CA
-	Platform *enclave.Platform
-	Attest   *attest.Service
-	Enclave  *enclave.Enclave
-
-	Drives       []*kinetic.Drive
-	driveServers []*kinetic.Server
-	driveLns     []*netx.Listener
-
-	Controller *core.Controller
-	REST       *core.RESTServer
-
-	name     string
-	restLn   *netx.Listener
-	httpSrv  *http.Server
-	serverID *tlsutil.Identity
+// driveSet is one shard's drive substrate: the drives, their wire
+// servers and listeners. In HA deployments the active and its
+// standbys share one set — the drives outlive any single controller.
+type driveSet struct {
+	drives  []*kinetic.Drive
+	servers []*kinetic.Server
+	lns     []*netx.Listener
 }
 
-// Start builds and boots a single-controller cluster.
-func Start(opts Options) (*Cluster, error) {
-	e, err := newEnv()
-	if err != nil {
-		return nil, err
-	}
-	driveNames := make([]string, max(opts.Drives, 1))
-	for i := range driveNames {
-		driveNames[i] = fmt.Sprintf("kinetic-%d", i)
-	}
-	return startNode(e, "pesos", driveNames, opts, nil, nil)
-}
-
-// startNode boots one controller with its drives against the shared
-// environment. shard/mapDoc configure cluster sharding (nil/nil for a
-// single-controller deployment).
-func startNode(e *env, name string, driveNames []string, opts Options, shard *core.ShardInfo, mapDoc []byte) (*Cluster, error) {
-	if opts.Replicas <= 0 {
-		opts.Replicas = 1
-	}
-	c := &Cluster{CA: e.CA, Platform: e.Platform, Attest: e.Attest, name: name}
-
-	// Drives: each gets an identity certificate and a wire server.
+// newDriveSet builds and serves the named drives against the shared
+// environment.
+func newDriveSet(e *env, driveNames []string, opts Options) (*driveSet, error) {
+	ds := &driveSet{}
 	for i, dn := range driveNames {
 		var media kinetic.MediaModel
 		if opts.Media != nil {
@@ -217,14 +191,89 @@ func startNode(e *env, name string, driveNames []string, opts Options, shard *co
 		if !opts.PlainDriveLinks {
 			id, err := e.CA.IssueServer(dn, dn)
 			if err != nil {
-				c.Close()
+				ds.close()
 				return nil, err
 			}
 			srvTLS = tlsutil.ServerOnlyConfig(id)
 		}
-		c.Drives = append(c.Drives, drive)
-		c.driveLns = append(c.driveLns, ln)
-		c.driveServers = append(c.driveServers, kinetic.Serve(drive, ln, srvTLS))
+		ds.drives = append(ds.drives, drive)
+		ds.lns = append(ds.lns, ln)
+		ds.servers = append(ds.servers, kinetic.Serve(drive, ln, srvTLS))
+	}
+	return ds, nil
+}
+
+func (ds *driveSet) close() {
+	for _, s := range ds.servers {
+		s.Close()
+	}
+	for _, ln := range ds.lns {
+		ln.Close()
+	}
+}
+
+// Cluster is one running controller deployment (one node of a
+// multi-controller cluster, or the whole thing in single mode).
+type Cluster struct {
+	CA       *tlsutil.CA
+	Platform *enclave.Platform
+	Attest   *attest.Service
+	Enclave  *enclave.Enclave
+
+	Drives       []*kinetic.Drive
+	driveServers []*kinetic.Server
+	driveLns     []*netx.Listener
+	ownsDrives   bool
+
+	Controller *core.Controller
+	REST       *core.RESTServer
+
+	name     string
+	restLn   *netx.Listener
+	httpSrv  *http.Server
+	serverID *tlsutil.Identity
+	killed   sync.Once
+}
+
+// Name returns the node's endpoint name.
+func (c *Cluster) Name() string { return c.name }
+
+// Start builds and boots a single-controller cluster.
+func Start(opts Options) (*Cluster, error) {
+	e, err := newEnv()
+	if err != nil {
+		return nil, err
+	}
+	driveNames := make([]string, max(opts.Drives, 1))
+	for i := range driveNames {
+		driveNames[i] = fmt.Sprintf("kinetic-%d", i)
+	}
+	return startNode(e, "pesos", driveNames, opts, nil, nil)
+}
+
+// startNode boots one controller with fresh drives against the shared
+// environment. shard/mapDoc configure cluster sharding (nil/nil for a
+// single-controller deployment).
+func startNode(e *env, name string, driveNames []string, opts Options, shard *core.ShardInfo, mapDoc []byte) (*Cluster, error) {
+	ds, err := newDriveSet(e, driveNames, opts)
+	if err != nil {
+		return nil, err
+	}
+	return bootNode(e, name, ds, true, opts, shard, mapDoc, false, 0)
+}
+
+// bootNode boots one controller against an existing drive substrate.
+// ownsDrives decides whether Close tears the drives down (the active
+// that created them) or leaves them (a standby sharing them). standby
+// and credEpoch configure hot-standby mode.
+func bootNode(e *env, name string, ds *driveSet, ownsDrives bool, opts Options, shard *core.ShardInfo, mapDoc []byte, standby bool, credEpoch uint64) (*Cluster, error) {
+	if opts.Replicas <= 0 {
+		opts.Replicas = 1
+	}
+	c := &Cluster{
+		CA: e.CA, Platform: e.Platform, Attest: e.Attest, name: name,
+		Drives: ds.drives, driveServers: ds.servers, driveLns: ds.lns,
+		ownsDrives: ownsDrives,
 	}
 
 	// Runtime secrets: per-node TLS identity, deployment-shared object
@@ -274,6 +323,8 @@ func startNode(e *env, name string, driveNames []string, opts Options, shard *co
 		SessionTTL:          opts.SessionTTL,
 		Shard:               shard,
 		ClusterMapDoc:       mapDoc,
+		Standby:             standby,
+		CredentialEpoch:     credEpoch,
 	}
 	for i := range c.Drives {
 		ln := c.driveLns[i]
@@ -362,37 +413,64 @@ func Fingerprint(id *tlsutil.Identity) string {
 	return tlsutil.KeyFingerprint(&id.Key.PublicKey)
 }
 
-// Close tears the cluster down.
+// Kill deterministically fails the node: the REST endpoint and
+// controller go away mid-flight, exactly like a crashed process. The
+// drives stay up — they are the shard's shared substrate, which a hot
+// standby keeps serving after takeover. Idempotent.
+func (c *Cluster) Kill() {
+	c.killed.Do(func() {
+		if c.httpSrv != nil {
+			c.httpSrv.Close()
+		}
+		if c.restLn != nil {
+			c.restLn.Close()
+		}
+		if c.Controller != nil {
+			c.Controller.Close()
+		}
+	})
+}
+
+// Close tears the cluster down, including the drives when this node
+// owns them.
 func (c *Cluster) Close() {
-	if c.httpSrv != nil {
-		c.httpSrv.Close()
-	}
-	if c.restLn != nil {
-		c.restLn.Close()
-	}
-	if c.Controller != nil {
-		c.Controller.Close()
-	}
-	for _, s := range c.driveServers {
-		s.Close()
-	}
-	for _, ln := range c.driveLns {
-		ln.Close()
+	c.Kill()
+	if c.ownsDrives {
+		for _, s := range c.driveServers {
+			s.Close()
+		}
+		for _, ln := range c.driveLns {
+			ln.Close()
+		}
 	}
 }
 
 // MultiCluster is an M-controller sharded deployment: the shared
-// environment, one node per shard, and the live shard map.
+// environment, one node per shard (plus optional hot standbys), and
+// the live shard map.
 type MultiCluster struct {
 	env    *env
 	CA     *tlsutil.CA
 	Attest *attest.Service
 	Nodes  []*Cluster
+	// Standbys maps shard id to its hot-standby nodes (when
+	// Options.StandbysPerShard > 0).
+	Standbys map[int][]*Cluster
 	// MapKey authenticates the cluster's shard map documents.
 	MapKey [32]byte
 
 	mu sync.Mutex
 	m  *cluster.ShardMap
+
+	haMu sync.Mutex
+	ha   map[string]*haRun
+}
+
+// haRun is one node's running lease supervisor.
+type haRun struct {
+	node   *cluster.HANode
+	cancel context.CancelFunc
+	done   chan struct{}
 }
 
 // StartMulti boots an n-controller sharded cluster; opts applies per
@@ -437,19 +515,44 @@ func StartMulti(n int, opts Options) (*MultiCluster, error) {
 	}
 	e.Attest.PublishShardMap(doc)
 
-	mc := &MultiCluster{env: e, CA: e.CA, Attest: e.Attest, MapKey: e.mapKey, m: m}
+	mc := &MultiCluster{
+		env: e, CA: e.CA, Attest: e.Attest, MapKey: e.mapKey, m: m,
+		Standbys: make(map[int][]*Cluster), ha: make(map[string]*haRun),
+	}
 	for i := 0; i < n; i++ {
 		info, err := m.InfoFor(i)
 		if err != nil {
 			mc.Close()
 			return nil, err
 		}
-		node, err := startNode(e, shards[i].Endpoint, shards[i].Drives, opts, info, doc)
+		ds, err := newDriveSet(e, shards[i].Drives, opts)
 		if err != nil {
 			mc.Close()
 			return nil, err
 		}
+		node, err := bootNode(e, shards[i].Endpoint, ds, true, opts, info, doc, false, 0)
+		if err != nil {
+			ds.close()
+			mc.Close()
+			return nil, err
+		}
 		mc.Nodes = append(mc.Nodes, node)
+		// Standbys boot after the active: it has installed the derived
+		// admin account they dial with (dialing does not authenticate,
+		// but booting in order keeps the first real request working).
+		for j := 0; j < opts.StandbysPerShard; j++ {
+			sbInfo, err := m.InfoFor(i)
+			if err != nil {
+				mc.Close()
+				return nil, err
+			}
+			sb, err := bootNode(e, fmt.Sprintf("%s-s%d", shards[i].Endpoint, j), ds, false, opts, sbInfo, doc, true, 0)
+			if err != nil {
+				mc.Close()
+				return nil, err
+			}
+			mc.Standbys[i] = append(mc.Standbys[i], sb)
+		}
 	}
 	return mc, nil
 }
@@ -461,14 +564,212 @@ func (mc *MultiCluster) Map() *cluster.ShardMap {
 	return mc.m
 }
 
-// nodeByEndpoint finds the node serving an endpoint name.
+// nodeByEndpoint finds the node serving an endpoint name, standbys
+// included (after a takeover the map names a standby's endpoint).
 func (mc *MultiCluster) nodeByEndpoint(ep string) *Cluster {
 	for _, n := range mc.Nodes {
 		if n.name == ep {
 			return n
 		}
 	}
+	for _, sbs := range mc.Standbys {
+		for _, sb := range sbs {
+			if sb.name == ep {
+				return sb
+			}
+		}
+	}
 	return nil
+}
+
+// Node finds any node (active or standby) by name.
+func (mc *MultiCluster) Node(name string) *Cluster { return mc.nodeByEndpoint(name) }
+
+// mapSource reads the current signed shard map from the attestation
+// service.
+func (mc *MultiCluster) mapSource() cluster.MapSource {
+	return cluster.MapSourceFunc(func(ctx context.Context) ([]byte, error) {
+		doc, ok := mc.Attest.ShardMap()
+		if !ok {
+			return nil, fmt.Errorf("testbed: no shard map published")
+		}
+		return doc, nil
+	})
+}
+
+// adoptDoc installs a newly signed shard map as the deployment's
+// current one: verified into mc.m and published on the attestation
+// service.
+func (mc *MultiCluster) adoptDoc(doc []byte) error {
+	m, err := cluster.VerifyMap(mc.MapKey, doc)
+	if err != nil {
+		return err
+	}
+	mc.mu.Lock()
+	if mc.m == nil || m.Epoch > mc.m.Epoch {
+		mc.m = m
+	}
+	mc.mu.Unlock()
+	mc.Attest.PublishShardMap(doc)
+	// Distribute immediately (the coordinator role Handoff plays for
+	// its "others"): every shard must answer listings under the new
+	// epoch. Both calls are monotonic no-ops on up-to-date nodes and
+	// harmless on dead ones.
+	for _, n := range mc.Nodes {
+		n.Controller.SetClusterMapDoc(doc)
+		n.Controller.AdvanceEpoch(m.Epoch)
+	}
+	for _, sbs := range mc.Standbys {
+		for _, sb := range sbs {
+			sb.Controller.SetClusterMapDoc(doc)
+			sb.Controller.AdvanceEpoch(m.Epoch)
+		}
+	}
+	return nil
+}
+
+// StartHA launches a lease supervisor for every active and standby
+// node: actives renew, standbys heartbeat/warm and race to take over
+// dead shards. ttl is the lease TTL (failover detection time).
+func (mc *MultiCluster) StartHA(ttl time.Duration) error {
+	for i, node := range mc.Nodes {
+		if err := mc.startHANode(node, i, true, ttl); err != nil {
+			return err
+		}
+	}
+	for shardID, sbs := range mc.Standbys {
+		for _, sb := range sbs {
+			if err := mc.startHANode(sb, shardID, false, ttl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (mc *MultiCluster) startHANode(c *Cluster, shardID int, active bool, ttl time.Duration) error {
+	n, err := cluster.NewHANode(cluster.HAConfig{
+		ShardID:    shardID,
+		Name:       c.name,
+		Endpoint:   c.name,
+		Controller: c.Controller,
+		Leases:     cluster.ServiceLeases{S: mc.Attest},
+		Source:     mc.mapSource(),
+		Key:        mc.MapKey,
+		Publish:    mc.adoptDoc,
+		TTL:        ttl,
+		Active:     active,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	run := &haRun{node: n, cancel: cancel, done: make(chan struct{})}
+	mc.haMu.Lock()
+	mc.ha[c.name] = run
+	mc.haMu.Unlock()
+	go func() {
+		defer close(run.done)
+		n.Run(ctx)
+	}()
+	return nil
+}
+
+// HANodeFor returns a node's lease supervisor (nil when StartHA has
+// not covered it).
+func (mc *MultiCluster) HANodeFor(name string) *cluster.HANode {
+	mc.haMu.Lock()
+	defer mc.haMu.Unlock()
+	if run, ok := mc.ha[name]; ok {
+		return run.node
+	}
+	return nil
+}
+
+// StopHAFor halts one node's lease supervisor without touching the
+// node itself — an active that stops renewing is the "silently wedged
+// process" a lease exists to detect.
+func (mc *MultiCluster) StopHAFor(name string) {
+	mc.haMu.Lock()
+	run, ok := mc.ha[name]
+	delete(mc.ha, name)
+	mc.haMu.Unlock()
+	if ok {
+		run.cancel()
+		<-run.done
+	}
+}
+
+// StopHA halts every lease supervisor.
+func (mc *MultiCluster) StopHA() {
+	mc.haMu.Lock()
+	runs := mc.ha
+	mc.ha = make(map[string]*haRun)
+	mc.haMu.Unlock()
+	for _, run := range runs {
+		run.cancel()
+	}
+	for _, run := range runs {
+		<-run.done
+	}
+}
+
+// KillNode crash-fails a node: its lease supervisor stops (so the
+// lease expires rather than being gracefully handed over), its REST
+// endpoint and controller die, its drives stay up for the standby.
+func (mc *MultiCluster) KillNode(name string) {
+	mc.StopHAFor(name)
+	if n := mc.nodeByEndpoint(name); n != nil {
+		n.Kill()
+	}
+}
+
+// WaitForOwner polls the published map until shardID's endpoint
+// differs from old, returning the new owner's endpoint — how a test
+// observes a completed takeover.
+func (mc *MultiCluster) WaitForOwner(ctx context.Context, shardID int, old string) (string, error) {
+	for {
+		doc, ok := mc.Attest.ShardMap()
+		if ok {
+			if m, err := cluster.VerifyMap(mc.MapKey, doc); err == nil {
+				if s := m.ShardByID(shardID); s != nil && s.Endpoint != old {
+					return s.Endpoint, nil
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// NewBalancer wires a load autobalancer to this deployment: it polls
+// every shard owner's load histogram and executes planned moves
+// through live handoff.
+func (mc *MultiCluster) NewBalancer(cfg cluster.BalancerConfig) *cluster.Balancer {
+	poll := func(ctx context.Context) (*cluster.ShardMap, []cluster.ShardLoad, error) {
+		mc.mu.Lock()
+		m := mc.m
+		mc.mu.Unlock()
+		loads := make([]cluster.ShardLoad, 0, len(m.Shards))
+		for i := range m.Shards {
+			s := &m.Shards[i]
+			node := mc.nodeByEndpoint(s.Endpoint)
+			if node == nil {
+				return nil, nil, fmt.Errorf("testbed: unknown shard endpoint %q", s.Endpoint)
+			}
+			ls := node.Controller.LoadStatus()
+			loads = append(loads, cluster.ShardLoad{ShardID: s.ID, Buckets: ls.Buckets})
+		}
+		return m, loads, nil
+	}
+	execute := func(ctx context.Context, mv cluster.Move) error {
+		_, err := mc.Handoff(ctx, mv.SrcID, mv.DstID, mv.Range)
+		return err
+	}
+	return cluster.NewBalancer(cfg, poll, execute)
 }
 
 // NewRouter issues a client identity and returns a cluster router
@@ -554,6 +855,12 @@ func (mc *MultiCluster) Handoff(ctx context.Context, srcID, dstID int, r core.Ha
 
 // Close tears the whole deployment down.
 func (mc *MultiCluster) Close() {
+	mc.StopHA()
+	for _, sbs := range mc.Standbys {
+		for _, sb := range sbs {
+			sb.Close()
+		}
+	}
 	for _, n := range mc.Nodes {
 		n.Close()
 	}
