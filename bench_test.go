@@ -302,6 +302,32 @@ func BenchmarkFigFailover(b *testing.B) {
 	}
 }
 
+// BenchmarkFigChaos regenerates the chaos figure: phased drive-fault
+// injection (baseline, drive kill, partition+reconcile, load ramp)
+// under a closed-loop load, with the failure detector and background
+// sweeper restoring replication. Emits BENCH_chaos.json.
+func BenchmarkFigChaos(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.FigChaos(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx := t.Col("p99 ms")
+		for _, r := range t.Rows {
+			switch r.X {
+			case "baseline":
+				b.ReportMetric(r.Values[idx], "baseline-p99-ms")
+			case "drive-kill":
+				b.ReportMetric(r.Values[idx], "kill-p99-ms")
+			}
+		}
+		if err := bench.WriteBenchChaosJSON("BENCH_chaos.json", t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBatchWireGrouped measures the per-logical-write cost of
 // assembling and encoding merged grouped TBatch frames with the
 // pooled sub-operation scratch — run with -benchmem; the allocs/op

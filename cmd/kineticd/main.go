@@ -7,15 +7,25 @@
 //
 //	kineticd -listen :8123 -name kinetic-0 -media sim
 //	kineticd -listen :8124 -name kinetic-1 -media hdd -tls-cert c.pem -tls-key k.pem
+//
+// -chaos-listen starts a loopback-only HTTP endpoint (/v1/chaos) for
+// deterministic fault injection during failure testing: GET returns
+// the active fault configuration and counters, POST installs a
+// kinetic.Faults document, DELETE clears it. The endpoint refuses
+// non-loopback listen addresses and non-loopback peers, so a lab
+// operator on the drive's host can blackhole or degrade it without
+// exposing a kill switch to the network.
 package main
 
 import (
 	"context"
 	"crypto/tls"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +56,7 @@ func main() {
 	tlsCert := flag.String("tls-cert", "", "PEM certificate for the drive's TLS identity")
 	tlsKey := flag.String("tls-key", "", "PEM key for the drive's TLS identity")
 	p2pSecret := flag.String("p2p-secret", "", "shared drive-to-drive HMAC secret (>= 8 bytes) enabling P2P copies that survive a controller takeover; same value on every drive of a deployment")
+	chaosListen := flag.String("chaos-listen", "", "loopback-only HTTP address for the /v1/chaos fault-injection endpoint (empty disables; must resolve to a loopback IP)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -101,9 +112,72 @@ func main() {
 	log.Printf("kineticd: drive %q serving on %s (media=%s, tls=%v)",
 		*name, ln.Addr(), mm.Name(), tlsCfg != nil)
 
+	var chaosSrv *http.Server
+	if *chaosListen != "" {
+		chaosSrv, err = serveChaos(*chaosListen, drive)
+		if err != nil {
+			log.Fatalf("kineticd: chaos endpoint: %v", err)
+		}
+	}
+
 	<-ctx.Done()
 	log.Printf("kineticd: shutting down")
+	if chaosSrv != nil {
+		chaosSrv.Close()
+	}
 	srv.Close()
+}
+
+// serveChaos starts the loopback-only fault-injection endpoint. The
+// listen address must resolve to a loopback IP and every request's
+// peer is re-checked against loopback — chaos control is a local lab
+// facility, never a network service.
+func serveChaos(addr string, drive *kinetic.Drive) (*http.Server, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("-chaos-listen %q: %w", addr, err)
+	}
+	ip := net.ParseIP(host)
+	if ip == nil || !ip.IsLoopback() {
+		return nil, fmt.Errorf("-chaos-listen %q is not a loopback address", addr)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/chaos", func(w http.ResponseWriter, r *http.Request) {
+		if rh, _, err := net.SplitHostPort(r.RemoteAddr); err != nil || !net.ParseIP(rh).IsLoopback() {
+			http.Error(w, "chaos control is loopback-only", http.StatusForbidden)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+		case http.MethodPost:
+			var f kinetic.Faults
+			if err := json.NewDecoder(r.Body).Decode(&f); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			drive.SetFaults(f)
+			log.Printf("kineticd: chaos faults installed: %+v", f)
+		case http.MethodDelete:
+			drive.ClearFaults()
+			log.Printf("kineticd: chaos faults cleared")
+		default:
+			http.Error(w, "use GET, POST or DELETE", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"faults": drive.Faults(),
+			"stats":  drive.FaultStats(),
+		})
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	log.Printf("kineticd: chaos endpoint on %s (loopback-only)", ln.Addr())
+	return srv, nil
 }
 
 // dialPeer implements device-to-device copies between kineticd

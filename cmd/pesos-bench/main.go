@@ -20,7 +20,10 @@
 // YCSB-A over the HDD model at 1/8/32/128 clients; emits
 // BENCH_write.json with the batch wire-path micro-benchmarks),
 // failover (controller kill under load with a hot standby taking
-// over; emits BENCH_ha.json with the recovery timeline).
+// over; emits BENCH_ha.json with the recovery timeline), chaos
+// (phased drive-fault injection — baseline, drive kill, partition and
+// reconcile, load ramp — with failure detection and background
+// re-replication; emits BENCH_chaos.json with the phase timeline).
 package main
 
 import (
@@ -33,13 +36,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan,hedge,cluster,gcommit,policy,failover or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan,hedge,cluster,gcommit,policy,failover,chaos or all")
 	paper := flag.Bool("paper", false, "use the paper's full experiment scale (minutes per figure)")
 	jsonOut := flag.String("json", "BENCH_read.json", "path for the hedge figure's machine-readable output (empty disables)")
 	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "path for the cluster figure's machine-readable output (empty disables)")
 	writeJSON := flag.String("write-json", "BENCH_write.json", "path for the gcommit figure's machine-readable output (empty disables)")
 	policyJSON := flag.String("policy-json", "BENCH_policy.json", "path for the policy figure's machine-readable output (empty disables)")
 	haJSON := flag.String("ha-json", "BENCH_ha.json", "path for the failover figure's machine-readable output (empty disables)")
+	chaosJSON := flag.String("chaos-json", "BENCH_chaos.json", "path for the chaos figure's machine-readable output (empty disables)")
 	flag.Parse()
 
 	scale := bench.Quick()
@@ -69,6 +73,7 @@ func main() {
 		{"gcommit", bench.FigGroupCommit},
 		{"policy", bench.FigPolicy},
 		{"failover", bench.FigFailover},
+		{"chaos", bench.FigChaos},
 	}
 
 	ran := false
@@ -118,6 +123,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("(wrote %s)\n", *haJSON)
+		}
+		if f.name == "chaos" && *chaosJSON != "" {
+			if err := bench.WriteBenchChaosJSON(*chaosJSON, t); err != nil {
+				fmt.Fprintf(os.Stderr, "pesos-bench: write %s: %v\n", *chaosJSON, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(wrote %s)\n", *chaosJSON)
 		}
 		fmt.Printf("(figure %s took %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
 	}

@@ -27,7 +27,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	mathrand "math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -60,7 +59,10 @@ func main() {
 	shardMap := flag.String("shard-map", "", "signed cluster shard map file; runs the controller as one shard")
 	shardID := flag.Int("shard-id", 0, "this controller's shard id in the map (with -shard-map)")
 	signMap := flag.String("sign-map", "", "sign a plain shard map JSON file with the state's map key, print the signed document, and exit")
-	repairInterval := flag.Duration("repair-interval", 0, "run the anti-entropy repair sweep this often, jittered (0 = off)")
+	repairInterval := flag.Duration("repair-interval", 0, "run the incremental anti-entropy sweeper on this tick interval; each tick examines a bounded slice of the keyspace from a resumable cursor (0 = off)")
+	detectInterval := flag.Duration("detect-interval", 0, "probe drives for failure detection this often; dead drives are routed around and re-replicated onto spares (0 = off)")
+	sweepKeys := flag.Int("sweep-keys", 0, "keys examined per sweeper tick (0 = default 256)")
+	sweepBytes := flag.Int64("sweep-bytes", 0, "record bytes rewritten per sweeper tick (0 = default 4 MiB)")
 	flag.Parse()
 
 	switch {
@@ -78,7 +80,7 @@ func main() {
 			log.Fatalf("pesos: sign-map: %v", err)
 		}
 	default:
-		if err := run(*state, *listen, *drives, *driveTLS, *replicas, !*noEncrypt, *groupCommit, *policyPartial, *shardMap, *shardID, *repairInterval); err != nil {
+		if err := run(*state, *listen, *drives, *driveTLS, *replicas, !*noEncrypt, *groupCommit, *policyPartial, *shardMap, *shardID, *repairInterval, *detectInterval, *sweepKeys, *sweepBytes); err != nil {
 			log.Fatalf("pesos: %v", err)
 		}
 	}
@@ -259,7 +261,7 @@ func doSignMap(dir, specFile string) error {
 }
 
 // run boots the controller against TCP drives and serves REST.
-func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, groupCommit, policyPartial bool, shardMapFile string, shardID int, repairInterval time.Duration) error {
+func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, groupCommit, policyPartial bool, shardMapFile string, shardID int, repairInterval, detectInterval time.Duration, sweepKeys int, sweepBytes int64) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -296,6 +298,14 @@ func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, gr
 		PolicyPartialEval: policyPartial,
 		TakeOver:          true,
 		Secrets:           secrets,
+		// Self-healing: the controller's own maintenance loops run the
+		// failure detector and the incremental sweeper; the old
+		// full-keyspace RepairSweep goroutine is superseded by the
+		// cursor-resumable, budget-bounded ticks.
+		DetectorInterval:  detectInterval,
+		SweepInterval:     repairInterval,
+		SweepKeysPerTick:  sweepKeys,
+		SweepBytesPerTick: sweepBytes,
 	}
 	if shardMapFile != "" {
 		doc, err := os.ReadFile(shardMapFile)
@@ -373,30 +383,6 @@ func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, gr
 			}
 		}
 	}()
-	if repairInterval > 0 {
-		go func() {
-			// Anti-entropy: rewrite any object whose replica set has
-			// degraded. Jittered so a fleet sharing drives does not
-			// sweep in lockstep.
-			for {
-				wait := repairInterval + time.Duration(mathrand.Int63n(int64(repairInterval)/4+1))
-				select {
-				case <-time.After(wait):
-					rep, err := ctl.RepairSweep(ctx)
-					if err != nil {
-						log.Printf("pesos: repair sweep: %v", err)
-						continue
-					}
-					if rep.Restored > 0 || rep.Failed > 0 {
-						log.Printf("pesos: repair sweep: %d keys examined, %d records restored, %d failed",
-							rep.Keys, rep.Restored, rep.Failed)
-					}
-				case <-ctx.Done():
-					return
-				}
-			}
-		}()
-	}
 	go srv.Serve(tls.NewListener(ln, tlsCfg))
 	log.Printf("pesos: controller serving on %s, %d drives, replicas=%d, encrypt=%v",
 		ln.Addr(), len(cfg.Drives), replicas, encrypt)

@@ -22,6 +22,8 @@
 //	                              key-hash ranges and drive set
 //	cluster leases                per-shard HA leases from attestd (-attestd URL):
 //	                              holder, generation, expiry, standby pool
+//	cluster health                drive failure-detector states, anti-entropy
+//	                              sweeper progress and re-replication counters
 //	cluster failover <shard>      revoke a shard's lease so a hot standby takes
 //	                              over now — the operator failover drill. attestd
 //	                              accepts revokes from loopback only.
@@ -204,13 +206,15 @@ func main() {
 		defer resp.Body.Close()
 		io.Copy(os.Stdout, resp.Body)
 	case "cluster":
-		need(args, 2, "cluster <status|map|leases|failover>")
+		need(args, 2, "cluster <status|map|leases|failover|health>")
 		httpCl := &http.Client{Transport: &http.Transport{TLSClientConfig: tlsCfg}}
 		switch args[1] {
 		case "status":
 			clusterStatus(httpCl, *server)
 		case "map":
 			clusterMap(httpCl, *server)
+		case "health":
+			clusterHealth(httpCl, *server)
 		case "leases":
 			clusterLeases(ctx, *attestd)
 		case "failover":
@@ -282,6 +286,52 @@ func clusterMap(httpCl *http.Client, server string) {
 		fmt.Printf("  shard %-3d %-20s ranges %-30s drives %v (replicas %d)\n",
 			s.ID, s.Endpoint, formatRanges(s.Ranges), s.Drives, s.Replicas)
 	}
+}
+
+// clusterHealth prints the self-healing surface of /v1/status: each
+// drive's failure-detector state, the incremental sweeper's cursor
+// and budget-bounded progress, and the re-replication counters.
+func clusterHealth(httpCl *http.Client, server string) {
+	resp, err := httpCl.Get(server + "/v1/status")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fatal(fmt.Errorf("HTTP %d: %s", resp.StatusCode, body))
+	}
+	var st struct {
+		Repairs      uint64              `json:"repairs"`
+		RepairBytes  uint64              `json:"repairBytes"`
+		SweepTicks   uint64              `json:"sweepTicks"`
+		DriveDeaths  uint64              `json:"driveDeaths"`
+		DriveRevives uint64              `json:"driveRevives"`
+		DriveHealth  []core.DriveHealth  `json:"driveHealth"`
+		Sweeper      *core.SweeperStatus `json:"sweeper"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fatal(err)
+	}
+	fmt.Println("drives:")
+	for _, h := range st.DriveHealth {
+		extra := ""
+		if h.ProbeFails > 0 {
+			extra = fmt.Sprintf("  (%d consecutive probe failures)", h.ProbeFails)
+		}
+		fmt.Printf("  %-20s %-8s since %s%s\n", h.Name, h.StateName, h.Since.Format(time.RFC3339), extra)
+	}
+	if sw := st.Sweeper; sw != nil {
+		cursor := sw.Cursor
+		if cursor == "" {
+			cursor = "(start of keyspace)"
+		}
+		fmt.Printf("sweeper:     enabled=%v generation=%d cursor=%s\n", sw.Enabled, sw.Generation, cursor)
+		fmt.Printf("  scanned:   %d keys in %d ticks (%d failures)\n", sw.Scanned, sw.Ticks, sw.Failures)
+		fmt.Printf("  repaired:  %d keys, %d records, %d bytes\n", sw.Repaired, sw.Restored, sw.Bytes)
+	}
+	fmt.Printf("repairs:     %d objects, %d bytes re-replicated\n", st.Repairs, st.RepairBytes)
+	fmt.Printf("transitions: %d drive deaths, %d revives\n", st.DriveDeaths, st.DriveRevives)
 }
 
 // clusterLeases prints every shard's HA lease: who holds it, at what

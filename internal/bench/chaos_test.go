@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestFigChaosSmoke runs the chaos figure at a shrunken per-phase
+// duration and checks the shape of the table and the BENCH_chaos.json
+// emission: four phases, a detected drive death, and repair activity
+// (re-replication onto the spare) recorded in the timeline.
+func TestFigChaosSmoke(t *testing.T) {
+	s := Quick()
+	s.Clients = 4
+	tbl, err := figChaos(s, 42, 600*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("got %d phase rows, want 4", len(tbl.Rows))
+	}
+	for _, want := range []string{"baseline", "drive-kill", "partition", "ramp"} {
+		found := false
+		for _, r := range tbl.Rows {
+			if r.X == want {
+				found = len(r.Values) == len(tbl.Columns)
+			}
+		}
+		if !found {
+			t.Fatalf("missing or malformed phase row %q", want)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_chaos.json")
+	if err := WriteBenchChaosJSON(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out BenchChaosJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Phases) != 4 {
+		t.Fatalf("json has %d phases, want 4", len(out.Phases))
+	}
+	if out.Timeline.DetectMs <= 0 {
+		t.Fatalf("drive death never detected: %+v", out.Timeline)
+	}
+	if out.Timeline.RereplicateMs <= 0 {
+		t.Fatalf("no re-replication observed after the kill: %+v", out.Timeline)
+	}
+	var deaths uint64
+	for _, ph := range out.Timeline.Phases {
+		deaths += ph.DriveDeaths
+	}
+	if deaths == 0 {
+		t.Fatal("no drive death recorded across phases")
+	}
+	if out.Timeline.KilledDrive == out.Timeline.CutDrive {
+		t.Fatalf("kill and cut picked the same drive %q", out.Timeline.KilledDrive)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"sort"
 	"strconv"
 	"sync"
@@ -54,6 +55,13 @@ type RouterConfig struct {
 	// RedirectBackoff paces waiting for a newer map after a redirect
 	// whose refresh did not advance the epoch yet (default 10ms).
 	RedirectBackoff time.Duration
+	// RetryBackoff paces the retry-once path after a transport failure
+	// or fenced-owner 5xx (default 5ms). The actual wait is jittered
+	// over [0.5, 1.5)× so a partition that fails thousands of in-flight
+	// operations at once does not re-dispatch them as a synchronized
+	// thundering herd against the surviving owner. Negative disables
+	// the wait (tests).
+	RetryBackoff time.Duration
 }
 
 // RouterStats counts router activity.
@@ -68,6 +76,10 @@ type RouterStats struct {
 	// Retargets counts connection-level failures that triggered a map
 	// refresh and a retry — the failover ride-through path.
 	Retargets atomic.Uint64
+	// Retries counts operation re-dispatches of any kind (retargets
+	// plus redirect-driven retries) — the router's total extra load on
+	// the cluster beyond first-attempt traffic.
+	Retries atomic.Uint64
 }
 
 // Router routes the v2 API across the shards of a cluster.
@@ -90,6 +102,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	if cfg.RedirectBackoff <= 0 {
 		cfg.RedirectBackoff = 10 * time.Millisecond
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 5 * time.Millisecond
 	}
 	r := &Router{cfg: cfg, clients: make(map[string]*client.Client)}
 	if err := r.Refresh(context.Background()); err != nil {
@@ -250,6 +265,24 @@ func (r *Router) awaitNewerMap(ctx context.Context, prev uint64) error {
 	}
 }
 
+// retryBackoff waits a jittered RetryBackoff before a retry
+// re-dispatch, honoring cancellation. Jitter decorrelates the herd of
+// operations a partition or failover fails simultaneously: without
+// it, every one of them re-fires at the surviving owner in the same
+// instant — doubling load at the worst possible moment.
+func (r *Router) retryBackoff(ctx context.Context) error {
+	if r.cfg.RetryBackoff <= 0 {
+		return nil
+	}
+	d := r.cfg.RetryBackoff/2 + time.Duration(rand.Int63n(int64(r.cfg.RetryBackoff)))
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // route runs one single-key operation with redirect handling. op
 // reports (value, wrongShard, error); on a redirect the map is
 // refreshed and the operation re-dispatched.
@@ -273,6 +306,10 @@ func route[T any](ctx context.Context, r *Router, key string, op func(cl *client
 					retargeted = true
 					r.stats.Retargets.Add(1)
 					if rerr := r.Refresh(ctx); rerr == nil {
+						if berr := r.retryBackoff(ctx); berr != nil {
+							return zero, berr
+						}
+						r.stats.Retries.Add(1)
 						continue
 					}
 				}
@@ -288,6 +325,10 @@ func route[T any](ctx context.Context, r *Router, key string, op func(cl *client
 						if s2, _, terr := r.target(key); terr == nil && s2.Endpoint != s.Endpoint {
 							retargeted = true
 							r.stats.Retargets.Add(1)
+							if berr := r.retryBackoff(ctx); berr != nil {
+								return zero, berr
+							}
+							r.stats.Retries.Add(1)
 							continue
 						}
 					}
@@ -305,6 +346,7 @@ func route[T any](ctx context.Context, r *Router, key string, op func(cl *client
 		if err := r.awaitNewerMap(ctx, epoch); err != nil {
 			return zero, err
 		}
+		r.stats.Retries.Add(1)
 	}
 }
 
@@ -556,6 +598,10 @@ func (r *Router) scatterRounds(ctx context.Context, pending []int, keyOf func(in
 			if err := r.Refresh(ctx); err != nil {
 				return transportErr
 			}
+			if err := r.retryBackoff(ctx); err != nil {
+				return err
+			}
+			r.stats.Retries.Add(uint64(len(redo)))
 			sort.Ints(redo)
 			pending = redo
 			continue
@@ -574,6 +620,7 @@ func (r *Router) scatterRounds(ctx context.Context, pending []int, keyOf func(in
 		if err := r.awaitNewerMap(ctx, epoch); err != nil {
 			return err
 		}
+		r.stats.Retries.Add(uint64(len(redo)))
 		sort.Ints(redo)
 		pending = redo
 	}

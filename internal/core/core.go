@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -163,6 +164,32 @@ type Config struct {
 	// SessionTTL expires idle session contexts; 0 selects 10 minutes.
 	SessionTTL time.Duration
 
+	// DetectorInterval runs the drive-failure detector on a ticker:
+	// each tick probes every drive and advances its
+	// healthy → suspect → dead state machine (see detector.go). 0
+	// disables the background loop; DetectorTick remains callable.
+	DetectorInterval time.Duration
+	// DetectorProbeTimeout bounds one detector probe; 0 selects 1s.
+	DetectorProbeTimeout time.Duration
+	// DetectorSuspectAfter / DetectorDeadAfter are the consecutive
+	// failed-probe thresholds for the suspect and dead transitions
+	// (defaults 2 and 4); DetectorReviveAfter is the consecutive
+	// successes a dead drive needs to rejoin (default 3).
+	DetectorSuspectAfter int
+	DetectorDeadAfter    int
+	DetectorReviveAfter  int
+
+	// SweepInterval runs the continuous anti-entropy sweeper on a
+	// ticker (see sweeper.go); each tick converges a bounded window of
+	// the keyspace and resumes from a cursor. 0 disables the loop;
+	// SweepTick remains callable.
+	SweepInterval time.Duration
+	// SweepKeysPerTick bounds the keys examined per tick (default 256).
+	SweepKeysPerTick int
+	// SweepBytesPerTick bounds the record bytes rewritten per tick
+	// (default 4 MB); a tick stops early once exceeded.
+	SweepBytesPerTick int64
+
 	// Shard, when set, runs the controller as one shard of a multi-
 	// controller cluster: it owns only the given hash ranges of the
 	// keyspace and answers operations on foreign keys with
@@ -204,6 +231,19 @@ type Controller struct {
 	// gcommit is the group-commit scheduler (one queue per drive, one
 	// generation clock); nil when group commit is off (see gcommit.go).
 	gcommit *groupScheduler
+
+	// detector is the drive-failure detector; deadMask is its
+	// published verdict (bit i set = drive i dead), the single atomic
+	// word placement() consults on every operation.
+	detector *driveDetector
+	deadMask atomic.Uint64
+	// sweeper is the continuous anti-entropy sweeper's resumable state.
+	sweeper *sweeperState
+
+	// Background maintenance loop lifecycle (see startMaintenance).
+	bgMu     sync.Mutex
+	bgCancel context.CancelFunc
+	bgWG     sync.WaitGroup
 
 	policyCache *cache.Cache[string, *policy.Program]
 	objectCache *cache.Cache[string, *store.Record]
@@ -283,7 +323,11 @@ type Stats struct {
 	ReadBytes       uint64 // payload bytes served to readers
 	WriteBytes      uint64 // payload bytes accepted from writers
 	Repairs         uint64 // objects re-replicated by repair (on-demand or sweep)
-	RepairSweeps    uint64 // background anti-entropy sweeps completed
+	RepairSweeps    uint64 // full anti-entropy keyspace passes completed
+	RepairBytes     uint64 // record bytes rewritten by repair / re-replication
+	SweepTicks      uint64 // incremental sweeper ticks executed
+	DriveDeaths     uint64 // detector transitions into the dead state
+	DriveRevives    uint64 // dead drives revived by the detector
 }
 
 // Snapshot returns a copy of the counters.
@@ -304,6 +348,8 @@ func (s *Stats) Snapshot() Stats {
 		TrailingFlushes: s.TrailingFlushes,
 		ReadBytes: s.ReadBytes, WriteBytes: s.WriteBytes,
 		Repairs: s.Repairs, RepairSweeps: s.RepairSweeps,
+		RepairBytes: s.RepairBytes, SweepTicks: s.SweepTicks,
+		DriveDeaths: s.DriveDeaths, DriveRevives: s.DriveRevives,
 	}
 }
 
@@ -445,6 +491,17 @@ func New(ctx context.Context, cfg Config) (*Controller, error) {
 	c.policyFlight = cache.NewFlight[string, *policy.Program]()
 
 	c.locks = vll.NewManager()
+
+	// Step 5: failure detection and anti-entropy. The state always
+	// exists (DetectorTick / SweepTick are callable on demand); the
+	// background loops start only with intervals configured, and for a
+	// standby only once Activate promotes it — a standby must not
+	// write to drives it does not own.
+	c.detector = newDriveDetector(c)
+	c.sweeper = newSweeperState()
+	if !cfg.Standby {
+		c.startMaintenance()
+	}
 	return c, nil
 }
 
@@ -591,6 +648,9 @@ func (c *Controller) Close() error {
 		return nil
 	}
 	c.closed = true
+	c.mu.Unlock()
+	c.stopMaintenance()
+	c.mu.Lock()
 	sessions := make([]*Session, 0, len(c.sessions))
 	for _, s := range c.sessions {
 		sessions = append(sessions, s)

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DriveState is the failure detector's verdict on one drive.
+type DriveState int
+
+const (
+	// DriveHealthy: the drive answers probes.
+	DriveHealthy DriveState = iota
+	// DriveSuspect: recent probes failed; reads already avoid the
+	// drive (the latency estimator demotes it), writes still include
+	// it so a blip costs nothing to durability.
+	DriveSuspect
+	// DriveDead: probes have failed long enough that placement routes
+	// around the drive and the sweeper re-replicates its ranges onto
+	// spares.
+	DriveDead
+)
+
+// String implements fmt.Stringer.
+func (s DriveState) String() string {
+	switch s {
+	case DriveHealthy:
+		return "healthy"
+	case DriveSuspect:
+		return "suspect"
+	case DriveDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// DriveHealth is one drive's detector status.
+type DriveHealth struct {
+	Name  string     `json:"name"`
+	State DriveState `json:"-"`
+	// StateName is State rendered for JSON consumers.
+	StateName string `json:"state"`
+	// ProbeFails is the current consecutive failed-probe count.
+	ProbeFails int `json:"probe_fails"`
+	// Since is when the drive entered its current state.
+	Since time.Time `json:"since"`
+}
+
+// driveDetector tracks per-drive probe history and drives the
+// healthy → suspect → dead state machine. Transitions need
+// consecutive evidence in both directions (SuspectAfter/DeadAfter
+// failures down, ReviveAfter successes up), so a single dropped probe
+// never declares a drive dead and a single lucky probe never revives
+// one.
+type driveDetector struct {
+	c *Controller
+
+	suspectAfter int
+	deadAfter    int
+	reviveAfter  int
+	probeTimeout time.Duration
+
+	mu     sync.Mutex
+	states []driveProbeState
+}
+
+type driveProbeState struct {
+	state     DriveState
+	fails     int
+	successes int
+	since     time.Time
+}
+
+func newDriveDetector(c *Controller) *driveDetector {
+	d := &driveDetector{
+		c:            c,
+		suspectAfter: c.cfg.DetectorSuspectAfter,
+		deadAfter:    c.cfg.DetectorDeadAfter,
+		reviveAfter:  c.cfg.DetectorReviveAfter,
+		probeTimeout: c.cfg.DetectorProbeTimeout,
+		states:       make([]driveProbeState, len(c.drives)),
+	}
+	if d.suspectAfter <= 0 {
+		d.suspectAfter = 2
+	}
+	if d.deadAfter <= d.suspectAfter {
+		d.deadAfter = d.suspectAfter + 2
+	}
+	if d.reviveAfter <= 0 {
+		d.reviveAfter = 3
+	}
+	if d.probeTimeout <= 0 {
+		d.probeTimeout = time.Second
+	}
+	now := c.clock()
+	for i := range d.states {
+		d.states[i].since = now
+	}
+	return d
+}
+
+// DetectorTick probes every drive once and advances the state
+// machine. It is the body of the background detector loop and is
+// exported so tests and scripted scenarios can step detection
+// deterministically without waiting on timers.
+func (c *Controller) DetectorTick(ctx context.Context) []DriveHealth {
+	det := c.detector
+	if det == nil {
+		return nil
+	}
+	results := make([]bool, len(c.drives))
+	var wg sync.WaitGroup
+	for i, p := range c.drives {
+		wg.Add(1)
+		go func(i int, p *drivePool) {
+			defer wg.Done()
+			probeCtx, cancel := context.WithTimeout(ctx, det.probeTimeout)
+			defer cancel()
+			results[i] = p.pick().Noop(probeCtx) == nil
+		}(i, p)
+	}
+	wg.Wait()
+	det.record(results)
+	return c.DriveHealth()
+}
+
+// record folds one round of probe results into the state machine and
+// republishes the dead-drive mask.
+func (d *driveDetector) record(results []bool) {
+	c := d.c
+	now := c.clock()
+	var deaths, revives int
+	d.mu.Lock()
+	var mask uint64
+	for i := range d.states {
+		st := &d.states[i]
+		if results[i] {
+			st.fails = 0
+			st.successes++
+			switch st.state {
+			case DriveSuspect:
+				st.state, st.since = DriveHealthy, now
+			case DriveDead:
+				if st.successes >= d.reviveAfter {
+					st.state, st.since = DriveHealthy, now
+					revives++
+				}
+			}
+		} else {
+			st.successes = 0
+			st.fails++
+			switch st.state {
+			case DriveHealthy:
+				if st.fails >= d.deadAfter {
+					st.state, st.since = DriveDead, now
+					deaths++
+				} else if st.fails >= d.suspectAfter {
+					st.state, st.since = DriveSuspect, now
+				}
+			case DriveSuspect:
+				if st.fails >= d.deadAfter {
+					st.state, st.since = DriveDead, now
+					deaths++
+				}
+			}
+		}
+		if st.state == DriveDead {
+			mask |= 1 << uint(i)
+		}
+	}
+	d.mu.Unlock()
+	c.deadMask.Store(mask)
+	if deaths > 0 || revives > 0 {
+		c.stats.add(func(s *Stats) {
+			s.DriveDeaths += uint64(deaths)
+			s.DriveRevives += uint64(revives)
+		})
+		// Placement just changed: spares are missing every record of
+		// the affected ranges (death), or a revived drive must be
+		// converged back. Wake the sweeper rather than waiting out its
+		// interval.
+		c.kickSweeper()
+	}
+}
+
+// DriveHealth reports the detector's per-drive states. Without a
+// configured detector every drive reports healthy.
+func (c *Controller) DriveHealth() []DriveHealth {
+	out := make([]DriveHealth, len(c.drives))
+	det := c.detector
+	if det != nil {
+		det.mu.Lock()
+	}
+	for i, p := range c.drives {
+		h := DriveHealth{Name: p.name, State: DriveHealthy}
+		if det != nil {
+			st := det.states[i]
+			h.State, h.ProbeFails, h.Since = st.state, st.fails, st.since
+		}
+		h.StateName = h.State.String()
+		out[i] = h
+	}
+	if det != nil {
+		det.mu.Unlock()
+	}
+	return out
+}
+
+// MarkDriveDead forces a drive into the dead state (operator action /
+// deterministic tests). The detector's revive path still applies: a
+// drive that answers probes ReviveAfter times in a row comes back.
+func (c *Controller) MarkDriveDead(name string) error {
+	return c.forceDriveState(name, DriveDead)
+}
+
+// MarkDriveLive forces a drive back to healthy, clearing its history.
+func (c *Controller) MarkDriveLive(name string) error {
+	return c.forceDriveState(name, DriveHealthy)
+}
+
+func (c *Controller) forceDriveState(name string, state DriveState) error {
+	det := c.detector
+	if det == nil {
+		return fmt.Errorf("core: no failure detector configured")
+	}
+	idx := -1
+	for i, p := range c.drives {
+		if p.name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("core: unknown drive %q", name)
+	}
+	det.mu.Lock()
+	st := &det.states[idx]
+	st.state, st.fails, st.successes, st.since = state, 0, 0, c.clock()
+	var mask uint64
+	for i := range det.states {
+		if det.states[i].state == DriveDead {
+			mask |= 1 << uint(i)
+		}
+	}
+	det.mu.Unlock()
+	c.deadMask.Store(mask)
+	if state == DriveDead {
+		c.stats.add(func(s *Stats) { s.DriveDeaths++ })
+	}
+	c.kickSweeper()
+	return nil
+}

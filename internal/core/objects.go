@@ -270,7 +270,7 @@ func (c *Controller) deleteObject(ctx context.Context, sessionKey, key string, o
 	// each stream's first batch leads with the CAS-guarded metadata
 	// delete so a concurrent update rejects the destruction before any
 	// version record is lost (see deleteReplica).
-	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	placement := c.placement(key)
 	err = c.fanout(placement, func(di int) error {
 		return c.deleteReplica(ctx, di, key, meta.Version)
 	})
@@ -314,7 +314,7 @@ func (c *Controller) listVersions(ctx context.Context, sessionKey, key string, c
 		return nil, err
 	}
 	start, end := store.ObjectKeyRange(key)
-	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	placement := c.placement(key)
 	return readReplicas(ctx, c, placement, func(ctx context.Context, p *drivePool) ([]int64, error) {
 		keys, err := c.rangeAll(ctx, p.pick(), start, end)
 		if err != nil {
@@ -363,7 +363,7 @@ func (c *Controller) loadMeta(ctx context.Context, key string) (*store.Meta, err
 // fetchMeta reads key's metadata off the drives. A malformed copy on
 // one replica fails over instead of failing the read.
 func (c *Controller) fetchMeta(ctx context.Context, key string) (*store.Meta, error) {
-	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	placement := c.placement(key)
 	m, err := readReplicas(ctx, c, placement, func(ctx context.Context, p *drivePool) (*store.Meta, error) {
 		cl := p.pick()
 		c.chargeDriveIO(0)
@@ -414,7 +414,7 @@ func (c *Controller) loadRecord(ctx context.Context, key string, version int64) 
 // on one replica fails over to a healthy one instead of failing the
 // read.
 func (c *Controller) fetchRecord(ctx context.Context, key string, version int64) (*store.Record, error) {
-	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	placement := c.placement(key)
 	rec, err := readReplicas(ctx, c, placement, func(ctx context.Context, p *drivePool) (*store.Record, error) {
 		cl := p.pick()
 		c.chargeDriveIO(0)
@@ -708,7 +708,7 @@ func (c *Controller) PutPolicy(ctx context.Context, src string) (string, error) 
 	// other write-through operation; each replica's put is a one-op
 	// group, so a policy store rides the same shared drive batches as
 	// concurrent data writes.
-	placement := store.Placement(id, len(c.drives), c.cfg.Replicas)
+	placement := c.placement(id)
 	err = c.fanout(placement, func(di int) error {
 		// Content-addressed: rewriting the same id is idempotent.
 		ops := append(getOps(), wire.BatchOp{
@@ -775,7 +775,7 @@ func (c *Controller) loadPolicy(ctx context.Context, id string) (*policy.Program
 // fetchPolicy reads a compiled policy off the drives, verifying its
 // content address.
 func (c *Controller) fetchPolicy(ctx context.Context, id string) (*policy.Program, error) {
-	placement := store.Placement(id, len(c.drives), c.cfg.Replicas)
+	placement := c.placement(id)
 	var lastErr error
 	for _, di := range placement {
 		cl := c.drives[di].pick()

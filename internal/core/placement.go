@@ -1,0 +1,47 @@
+package core
+
+import "repro/internal/store"
+
+// placement returns the drive indices holding key's replicas,
+// substituting drives the failure detector has declared dead with the
+// next live drives along the placement ring. With no dead drives this
+// is exactly store.Placement — one atomic load of the dead mask on
+// the hot path.
+//
+// The substitution preserves the ring walk: store.Placement already
+// assigns replicas to consecutive ring positions after the primary,
+// so the "spare" for a dead drive is simply the first subsequent live
+// position. Surviving replicas keep their slots, which is what lets
+// the anti-entropy sweeper re-replicate only the missing copy, and
+// reverting a revived drive re-derives the original placement with no
+// bookkeeping.
+func (c *Controller) placement(key string) []int {
+	base := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	mask := c.deadMask.Load()
+	if mask == 0 {
+		return base
+	}
+	return substituteDead(base[0], len(c.drives), c.cfg.Replicas, mask)
+}
+
+// substituteDead walks the placement ring from primary collecting the
+// first replicas live drives. If fewer than replicas drives are live,
+// dead positions fill the tail so the slice keeps its expected length
+// (writes to them fail and surface as replication errors, exactly as
+// before detection).
+func substituteDead(primary, n, replicas int, mask uint64) []int {
+	out := make([]int, 0, replicas)
+	for i := 0; i < n && len(out) < replicas; i++ {
+		di := (primary + i) % n
+		if mask&(1<<uint(di)) == 0 {
+			out = append(out, di)
+		}
+	}
+	for i := 0; i < n && len(out) < replicas; i++ {
+		di := (primary + i) % n
+		if mask&(1<<uint(di)) != 0 {
+			out = append(out, di)
+		}
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/kinetic/kclient"
 	"repro/internal/policy/lang"
@@ -18,6 +19,9 @@ type RepairReport struct {
 	// Restored counts records rewritten onto drives that were missing
 	// them (or holding corrupt copies).
 	Restored int
+	// RestoredBytes totals the payload bytes of rewritten records —
+	// the re-replication traffic this repair moved.
+	RestoredBytes int64
 }
 
 // repairObject re-establishes the replication invariant for one key
@@ -31,7 +35,7 @@ func (c *Controller) repairObject(ctx context.Context, sessionKey, key string) (
 	lock.Lock()
 	defer lock.Unlock()
 
-	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	placement := c.placement(key)
 	meta, err := c.loadMetaNewest(ctx, key, placement)
 	if err != nil {
 		return nil, err
@@ -50,12 +54,17 @@ func (c *Controller) repairRecords(ctx context.Context, key string, meta *store.
 	report := &RepairReport{Key: key}
 	metaRec := meta.Marshal()
 
-	for v := int64(0); v <= meta.Version; v++ {
+	// Enumerate the versions any replica still holds instead of
+	// probing every historical version 0..meta.Version on every drive:
+	// a long-lived hot key with thousands of superseded (and long
+	// deleted) versions would otherwise make each repair
+	// O(version-history × drives). Versions no replica holds are
+	// unrepairable either way — reads of them report not-found, the
+	// same before and after repair.
+	for _, v := range c.replicaVersions(ctx, key, meta.Version, placement) {
 		// Find one healthy copy of this version.
 		blob, found := c.healthyRecord(ctx, key, v, placement)
 		if !found {
-			// Version gap (e.g. created before a crash): skip — reads
-			// of this version will report not-found, as before repair.
 			continue
 		}
 		report.Versions++
@@ -72,6 +81,7 @@ func (c *Controller) repairRecords(ctx context.Context, key string, meta *store.
 				return report, fmt.Errorf("core: repair %q v%d on %s: %w", key, v, c.drives[di].name, err)
 			}
 			report.Restored++
+			report.RestoredBytes += int64(len(blob))
 		}
 		// Streamed versions: the record is a chunk stub; its chunk
 		// records need the same convergence.
@@ -96,11 +106,56 @@ func (c *Controller) repairRecords(ctx context.Context, key string, meta *store.
 			return report, fmt.Errorf("core: repair meta %q on %s: %w", key, c.drives[di].name, err)
 		}
 		report.Restored++
+		report.RestoredBytes += int64(len(metaRec))
 	}
 	if report.Restored > 0 {
-		c.stats.add(func(s *Stats) { s.Repairs++ })
+		c.stats.add(func(s *Stats) {
+			s.Repairs++
+			s.RepairBytes += uint64(report.RestoredBytes)
+		})
 	}
 	return report, nil
+}
+
+// replicaVersions returns the sorted union of object-record versions
+// (≤ maxVer — records beyond the newest committed metadata are
+// uncommitted leftovers) still present on any placement replica, via
+// paginated key-range enumeration: cost scales with surviving
+// records, not version history. meta.Version is always included so
+// the newest version is checked even when only the metadata survived.
+func (c *Controller) replicaVersions(ctx context.Context, key string, maxVer int64, placement []int) []int64 {
+	seen := map[int64]bool{maxVer: true}
+	_, end := store.ObjectKeyRange(key)
+	for _, di := range placement {
+		cl := c.drives[di].pick()
+		next := int64(0)
+		for {
+			c.chargeDriveIO(0)
+			dks, err := cl.GetKeyRange(ctx, store.ObjectKey(key, next), end, true, false, driveRangeCap)
+			if err != nil || len(dks) == 0 {
+				break
+			}
+			last := int64(-1)
+			for _, dk := range dks {
+				if _, v, err := store.VersionFromObjectKey(dk); err == nil {
+					if v <= maxVer {
+						seen[v] = true
+					}
+					last = v
+				}
+			}
+			if len(dks) < driveRangeCap || last < 0 || last >= maxVer {
+				break
+			}
+			next = last + 1
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // SweepReport summarizes one anti-entropy sweep.
@@ -153,7 +208,7 @@ func (c *Controller) sweepKey(ctx context.Context, key string) (*RepairReport, e
 	lock := c.writeLock(key)
 	lock.Lock()
 	defer lock.Unlock()
-	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	placement := c.placement(key)
 	meta, err := c.loadMetaNewest(ctx, key, placement)
 	if err != nil {
 		if errors.Is(err, ErrNotFound) {
@@ -265,6 +320,7 @@ func (c *Controller) repairChunks(ctx context.Context, key string, v, chunks int
 				return fmt.Errorf("core: repair %q v%d chunk %d on %s: %w", key, v, idx, c.drives[di].name, err)
 			}
 			report.Restored++
+			report.RestoredBytes += int64(len(blob))
 		}
 	}
 	return nil

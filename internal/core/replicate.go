@@ -399,7 +399,7 @@ func (c *Controller) replicationFailed(err error, keys ...string) error {
 // writeThrough dispatches a replicated write through the configured
 // engine.
 func (c *Controller) writeThrough(ctx context.Context, w *replicaWrite) error {
-	placement := store.Placement(w.key, len(c.drives), c.cfg.Replicas)
+	placement := c.placement(w.key)
 	var err error
 	if c.cfg.SerialReplication {
 		err = c.putReplicasSerial(ctx, w, placement)
@@ -644,7 +644,7 @@ func (c *Controller) commitWrites(ctx context.Context, writes []*replicaWrite, s
 	}
 	perDrive := make(map[int]*driveOps)
 	for _, w := range writes {
-		for _, di := range store.Placement(w.key, len(c.drives), c.cfg.Replicas) {
+		for _, di := range c.placement(w.key) {
 			b := perDrive[di]
 			if b == nil {
 				b = &driveOps{}

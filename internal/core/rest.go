@@ -517,11 +517,17 @@ func (s *RESTServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"writeBytes":      st.WriteBytes,
 		"repairs":         st.Repairs,
 		"repairSweeps":    st.RepairSweeps,
+		"repairBytes":     st.RepairBytes,
+		"sweepTicks":      st.SweepTicks,
+		"driveDeaths":     st.DriveDeaths,
+		"driveRevives":    st.DriveRevives,
 		"epcResident":     s.ctl.epc.Resident(),
 		"epcFaults":       s.ctl.epc.Faults(),
 		"caches":          s.ctl.CacheStats(),
 		"driveLatency":    lats,
 		"load":            s.ctl.LoadStatus(),
+		"driveHealth":     s.ctl.DriveHealth(),
+		"sweeper":         s.ctl.SweeperStatus(),
 	}
 	if shard := s.ctl.ShardStatus(); shard != nil {
 		body["shard"] = shard

@@ -272,7 +272,7 @@ func (c *Controller) scanRound(ctx context.Context, cursor []byte, inclusive boo
 		// Placement sanity: a key reported only by drives outside its
 		// placement is a stale artifact (e.g. of a drive-set change),
 		// not a live object.
-		if maskable && mask&placementMask(key, len(c.drives), c.cfg.Replicas) == 0 {
+		if maskable && mask&c.placementMask(key) == 0 {
 			delete(reporters, dk)
 		}
 	}
@@ -308,10 +308,11 @@ func (c *Controller) prefetchMetas(ctx context.Context, keys []string) {
 	wg.Wait()
 }
 
-// placementMask is the drive bitmask of a key's placement.
-func placementMask(key string, nDrives, replicas int) uint64 {
+// placementMask is the drive bitmask of a key's placement (dead-drive
+// substitution applied).
+func (c *Controller) placementMask(key string) uint64 {
 	var m uint64
-	for _, di := range store.Placement(key, nDrives, replicas) {
+	for _, di := range c.placement(key) {
 		m |= 1 << uint(di)
 	}
 	return m

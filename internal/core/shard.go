@@ -587,7 +587,7 @@ func (c *Controller) exportKey(ctx context.Context, key string, target Migration
 	// (missing some version or chunk records) must not silently
 	// truncate the migration — the destruction at release is the last
 	// chance to have copied every surviving record.
-	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	placement := c.placement(key)
 	ostart, oend := store.ObjectKeyRange(key)
 	cstart, cend := store.ChunkKeyRange(key)
 	recordSet := map[string]bool{string(store.MetaKey(key)): true}
@@ -632,7 +632,7 @@ func (c *Controller) exportKey(ctx context.Context, key string, target Migration
 // exportPolicy pushes one compiled policy record to the target drives
 // its content address places it on.
 func (c *Controller) exportPolicy(ctx context.Context, id string, target MigrationTarget) error {
-	placement := store.Placement(id, len(c.drives), c.cfg.Replicas)
+	placement := c.placement(id)
 	targets := make([]string, 0, target.Replicas)
 	for _, ti := range store.Placement(id, len(target.Drives), target.Replicas) {
 		targets = append(targets, target.Drives[ti])
@@ -795,7 +795,7 @@ func rangesOverlap(ranges []HashRange, r HashRange) bool {
 func (c *Controller) destroyMigrated(ctx context.Context, m *Manifest) error {
 	var firstErr error
 	for _, e := range m.Entries {
-		placement := store.Placement(e.Key, len(c.drives), c.cfg.Replicas)
+		placement := c.placement(e.Key)
 		err := c.fanout(placement, func(di int) error {
 			return c.destroyKey(ctx, di, e.Key)
 		})
@@ -920,6 +920,9 @@ func (c *Controller) Activate(epoch uint64) error {
 		v.standby = false
 		v.info.Epoch = epoch
 	})
+	// The promoted owner inherits maintenance duty: start the failure
+	// detector and anti-entropy loops the standby held back.
+	c.startMaintenance()
 	return nil
 }
 

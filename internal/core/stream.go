@@ -169,7 +169,7 @@ func (c *Controller) putObjectStream(ctx context.Context, sessionKey, key string
 	if err != nil {
 		return 0, err
 	}
-	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	placement := c.placement(key)
 
 	// Chunked path. Chunks are force-put (content-addressed by
 	// version+index, invisible until the final meta commit); the stub
@@ -414,7 +414,7 @@ func (c *Controller) loadChunk(ctx context.Context, key string, version, idx int
 
 // fetchChunk reads one chunk record off the drives.
 func (c *Controller) fetchChunk(ctx context.Context, key string, version, idx int64, dk []byte) (*store.Record, error) {
-	placement := store.Placement(key, len(c.drives), c.cfg.Replicas)
+	placement := c.placement(key)
 	wantID := store.ChunkID(key, version, idx)
 	rec, err := readReplicas(ctx, c, placement, func(ctx context.Context, p *drivePool) (*store.Record, error) {
 		cl := p.pick()

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/kinetic/wire"
 )
@@ -74,6 +75,10 @@ type Drive struct {
 	// third party relaying data (§4.5). Tests and the in-process
 	// cluster wire this to the peer's handler; the daemon dials TCP.
 	p2pDial func(peer string) (P2PTarget, error)
+
+	// faults holds the active fault-injection state; nil (the steady
+	// state) costs one atomic load per request.
+	faults atomic.Pointer[faultState]
 }
 
 // P2PTarget is the destination interface for device-to-device copies.
@@ -174,8 +179,24 @@ func (d *Drive) lookupAccount(identity string) (wire.ACL, bool) {
 // Handle executes one request message and returns the response. This
 // is the drive's state machine; the network server and the in-process
 // transport both funnel into it.
+//
+// A nil return means the request was blackholed by fault injection:
+// the caller must drop the carrying connection without responding, as
+// a vanished drive would.
 func (d *Drive) Handle(req *wire.Message) *wire.Message {
 	resp := &wire.Message{Type: req.Type.Response(), Seq: req.Seq}
+	if fs := d.faults.Load(); fs != nil {
+		if fs.cfg.Blackhole {
+			fs.dropped.Add(1)
+			return nil
+		}
+		if fs.cfg.ErrorEveryN > 0 && fs.reqs.Add(1)%fs.cfg.ErrorEveryN == 0 {
+			fs.errors.Add(1)
+			resp.Status = wire.StatusInternalError
+			resp.StatusMsg = "injected fault"
+			return resp
+		}
+	}
 	if !req.Type.IsRequest() {
 		resp.Type = wire.TNoopResponse
 		resp.Status = wire.StatusInvalidRequest
@@ -247,6 +268,15 @@ func (d *Drive) handleGet(acct wire.ACL, req, resp *wire.Message) {
 	if !ok {
 		resp.Status = wire.StatusNotFound
 		return
+	}
+	if fs := d.faults.Load(); fs != nil && fs.cfg.CorruptEveryN > 0 && len(value) > 0 {
+		if fs.gets.Add(1)%fs.cfg.CorruptEveryN == 0 {
+			// Corrupt a copy, never the store: the injected damage must
+			// be confined to this one response.
+			value = append([]byte(nil), value...)
+			value[len(value)/2] ^= 0xff
+			fs.corrupted.Add(1)
+		}
 	}
 	resp.Key = req.Key
 	resp.Value = value
@@ -667,8 +697,20 @@ func (d *Drive) P2PPut(key, value, version []byte) error {
 }
 
 func (d *Drive) waitMedia(op OpKind, n int) {
+	reps, extra := 1, time.Duration(0)
+	if fs := d.faults.Load(); fs != nil {
+		if fs.cfg.SlowFactor > 1 {
+			reps = fs.cfg.SlowFactor
+		}
+		extra = fs.cfg.ExtraDelay
+	}
 	if h, ok := d.media.(*HDDMedia); ok {
-		h.Wait(op, n)
+		for i := 0; i < reps; i++ {
+			h.Wait(op, n)
+		}
+	}
+	if extra > 0 {
+		time.Sleep(extra)
 	}
 }
 

@@ -92,6 +92,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		go func(req wire.Message) {
 			defer s.wg.Done()
 			resp := s.drive.Handle(&req)
+			if resp == nil {
+				// Blackholed by fault injection: the drive has vanished.
+				// Kill the connection so the client sees a transport
+				// error rather than a hung request.
+				conn.Close()
+				return
+			}
 			wmu.Lock()
 			defer wmu.Unlock()
 			if err := wire.WriteFrame(w, resp); err != nil {

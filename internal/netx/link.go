@@ -1,0 +1,138 @@
+package netx
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrLinkCut is returned by dials through a cut link and by I/O on
+// connections severed when the link was cut.
+var ErrLinkCut = errors.New("netx: link cut")
+
+// Link models one directed network path (say, a controller to one
+// drive) with injectable faults: a hard cut (partition), a fixed
+// per-write delay, and a deterministic drop-every-Nth-frame error.
+// The zero-value Link passes traffic through untouched; the fault
+// checks are atomic loads, so a healthy link costs nothing material.
+//
+// Drops are counter-driven rather than random so a given frame
+// sequence reproduces the same failure on every run. A dropped write
+// closes the connection: on a stream transport losing a frame and
+// keeping the connection would desynchronize the framing anyway, and
+// a broken connection is the deterministic observable the failure
+// detector feeds on.
+type Link struct {
+	cut        atomic.Bool
+	delayNs    atomic.Int64
+	dropEveryN atomic.Int64
+	writes     atomic.Int64 // frames seen (drop counter)
+	dropped    atomic.Uint64
+
+	mu    sync.Mutex
+	conns map[*linkConn]struct{}
+}
+
+// Cut severs the link: existing connections through it are closed and
+// new dials fail with ErrLinkCut until Heal.
+func (l *Link) Cut() {
+	l.cut.Store(true)
+	l.mu.Lock()
+	conns := make([]*linkConn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Conn.Close()
+	}
+}
+
+// Heal restores a cut link. Connections closed by the cut stay closed;
+// new dials succeed again.
+func (l *Link) Heal() { l.cut.Store(false) }
+
+// IsCut reports whether the link is currently severed.
+func (l *Link) IsCut() bool { return l.cut.Load() }
+
+// SetDelay adds a fixed delay to every write through the link
+// (0 disables).
+func (l *Link) SetDelay(d time.Duration) { l.delayNs.Store(int64(d)) }
+
+// SetDropEveryN makes every Nth write through the link fail and close
+// its connection (0 disables). The counter is shared across the
+// link's connections and resets when the setting changes.
+func (l *Link) SetDropEveryN(n int64) {
+	l.writes.Store(0)
+	l.dropEveryN.Store(n)
+}
+
+// Dropped returns the number of writes dropped so far.
+func (l *Link) Dropped() uint64 { return l.dropped.Load() }
+
+// Dial runs the supplied dial through the link: it fails fast when the
+// link is cut and wraps the resulting connection so the link's faults
+// apply to its traffic and a later Cut can sever it.
+func (l *Link) Dial(ctx context.Context, dial func(context.Context) (net.Conn, error)) (net.Conn, error) {
+	if l.cut.Load() {
+		return nil, ErrLinkCut
+	}
+	c, err := dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	lc := &linkConn{Conn: c, link: l}
+	l.mu.Lock()
+	if l.conns == nil {
+		l.conns = make(map[*linkConn]struct{})
+	}
+	l.conns[lc] = struct{}{}
+	l.mu.Unlock()
+	if l.cut.Load() {
+		// The cut raced the dial; make it stick.
+		lc.Close()
+		return nil, ErrLinkCut
+	}
+	return lc, nil
+}
+
+type linkConn struct {
+	net.Conn
+	link *Link
+}
+
+func (c *linkConn) Write(b []byte) (int, error) {
+	l := c.link
+	if l.cut.Load() {
+		c.Conn.Close()
+		return 0, ErrLinkCut
+	}
+	if n := l.dropEveryN.Load(); n > 0 && l.writes.Add(1)%n == 0 {
+		l.dropped.Add(1)
+		c.Conn.Close()
+		return 0, ErrLinkCut
+	}
+	if d := l.delayNs.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *linkConn) Read(b []byte) (int, error) {
+	if c.link.cut.Load() {
+		c.Conn.Close()
+		return 0, ErrLinkCut
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *linkConn) Close() error {
+	l := c.link
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+	return c.Conn.Close()
+}

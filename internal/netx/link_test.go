@@ -1,0 +1,135 @@
+package netx
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeDialer returns a dial function producing one side of a fresh
+// net.Pipe whose peer is drained by a background copier, so writes
+// never block on the synchronous pipe.
+func pipeDialer(t *testing.T) func(context.Context) (net.Conn, error) {
+	t.Helper()
+	return func(context.Context) (net.Conn, error) {
+		a, b := net.Pipe()
+		go io.Copy(io.Discard, b) //nolint:errcheck
+		t.Cleanup(func() { a.Close(); b.Close() })
+		return a, nil
+	}
+}
+
+func TestLinkCutSeversDialsAndConns(t *testing.T) {
+	l := &Link{}
+	dial := pipeDialer(t)
+
+	conn, err := l.Dial(context.Background(), dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatalf("healthy write: %v", err)
+	}
+
+	l.Cut()
+	if !l.IsCut() {
+		t.Fatal("IsCut false after Cut")
+	}
+	if _, err := l.Dial(context.Background(), dial); !errors.Is(err, ErrLinkCut) {
+		t.Fatalf("dial through cut link: %v, want ErrLinkCut", err)
+	}
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrLinkCut) {
+		t.Fatalf("write on severed conn: %v, want ErrLinkCut", err)
+	}
+
+	l.Heal()
+	conn2, err := l.Dial(context.Background(), dial)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	if _, err := conn2.Write([]byte("back")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+}
+
+// TestLinkDropEveryN exercises the deterministic frame-drop fault: the
+// counter is link-wide, every Nth write fails with ErrLinkCut and
+// closes its connection, and Dropped counts the casualties.
+func TestLinkDropEveryN(t *testing.T) {
+	l := &Link{}
+	dial := pipeDialer(t)
+	l.SetDropEveryN(3)
+
+	conn, err := l.Dial(context.Background(), dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := conn.Write([]byte("f")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := conn.Write([]byte("f")); !errors.Is(err, ErrLinkCut) {
+		t.Fatalf("third write: %v, want ErrLinkCut", err)
+	}
+	if got := l.Dropped(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+
+	// The counter spans connections: frames 4 and 5 pass on a fresh
+	// conn, frame 6 drops again.
+	conn2, err := l.Dial(context.Background(), dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := conn2.Write([]byte("f")); err != nil {
+			t.Fatalf("post-drop write %d: %v", i, err)
+		}
+	}
+	if _, err := conn2.Write([]byte("f")); !errors.Is(err, ErrLinkCut) {
+		t.Fatalf("sixth write: %v, want ErrLinkCut", err)
+	}
+	if got := l.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+
+	// Disabling resets the schedule.
+	l.SetDropEveryN(0)
+	conn3, err := l.Dial(context.Background(), dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := conn3.Write([]byte("f")); err != nil {
+			t.Fatalf("write with drops disabled: %v", err)
+		}
+	}
+}
+
+func TestLinkDelay(t *testing.T) {
+	l := &Link{}
+	conn, err := l.Dial(context.Background(), pipeDialer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetDelay(20 * time.Millisecond)
+	start := time.Now()
+	if _, err := conn.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delayed write took %v, want >= 20ms", d)
+	}
+	l.SetDelay(0)
+	start = time.Now()
+	if _, err := conn.Write([]byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("undelayed write took %v", d)
+	}
+}

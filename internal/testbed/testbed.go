@@ -104,6 +104,22 @@ type Options struct {
 	// active's derived admin account) and serve nothing until a
 	// takeover activates them.
 	StandbysPerShard int
+	// DetectorInterval / SweepInterval run the drive-failure detector
+	// and the incremental anti-entropy sweeper on background tickers
+	// (0 leaves both manual — chaos tests and benches drive the loops
+	// themselves for determinism; daemons set them).
+	DetectorInterval time.Duration
+	SweepInterval    time.Duration
+	// DetectorProbeTimeout / DetectorSuspectAfter / DetectorDeadAfter /
+	// DetectorReviveAfter tune the failure detector (0 = core defaults).
+	DetectorProbeTimeout time.Duration
+	DetectorSuspectAfter int
+	DetectorDeadAfter    int
+	DetectorReviveAfter  int
+	// SweepKeysPerTick / SweepBytesPerTick bound one sweeper tick
+	// (0 = core defaults).
+	SweepKeysPerTick  int
+	SweepBytesPerTick int64
 }
 
 // env is the deployment-wide substrate nodes share: one CA, one
@@ -223,16 +239,18 @@ type Cluster struct {
 	Drives       []*kinetic.Drive
 	driveServers []*kinetic.Server
 	driveLns     []*netx.Listener
+	driveLinks   []*netx.Link
 	ownsDrives   bool
 
 	Controller *core.Controller
 	REST       *core.RESTServer
 
-	name     string
-	restLn   *netx.Listener
-	httpSrv  *http.Server
-	serverID *tlsutil.Identity
-	killed   sync.Once
+	name      string
+	adminSeed [32]byte
+	restLn    *netx.Listener
+	httpSrv   *http.Server
+	serverID  *tlsutil.Identity
+	killed    sync.Once
 }
 
 // Name returns the node's endpoint name.
@@ -273,7 +291,7 @@ func bootNode(e *env, name string, ds *driveSet, ownsDrives bool, opts Options, 
 	c := &Cluster{
 		CA: e.CA, Platform: e.Platform, Attest: e.Attest, name: name,
 		Drives: ds.drives, driveServers: ds.servers, driveLns: ds.lns,
-		ownsDrives: ownsDrives,
+		ownsDrives: ownsDrives, adminSeed: e.adminSeed,
 	}
 
 	// Runtime secrets: per-node TLS identity, deployment-shared object
@@ -304,39 +322,47 @@ func bootNode(e *env, name string, ds *driveSet, ownsDrives bool, opts Options, 
 	// Controller config: drive dialers over the in-memory network,
 	// optionally through TLS terminating inside the drive.
 	cfg := core.Config{
-		Replicas:            opts.Replicas,
-		Encrypt:             !opts.PlaintextPayloads,
-		DisablePolicies:     opts.DisablePolicies,
-		SerialReplication:   opts.SerialReplication,
-		GroupCommit:         !opts.NoGroupCommit,
-		GroupCommitMaxDelay: opts.GroupCommitMaxDelay,
-		PolicyPartialEval:   !opts.NoPolicyPartialEval && !opts.PolicyIndexedOnly,
-		PolicyIndexedOnly:   opts.PolicyIndexedOnly,
-		FanoutReads:         opts.FanoutReads,
-		HedgeDelay:          opts.HedgeDelay,
-		TakeOver:            true,
-		PolicyCacheEntries:  opts.PolicyCacheEntries,
-		PolicyCacheBytes:    opts.PolicyCacheBytes,
-		ObjectCacheBytes:    opts.ObjectCacheBytes,
-		KeyCacheBytes:       opts.KeyCacheBytes,
-		Clock:               opts.Clock,
-		SessionTTL:          opts.SessionTTL,
-		Shard:               shard,
-		ClusterMapDoc:       mapDoc,
-		Standby:             standby,
-		CredentialEpoch:     credEpoch,
+		Replicas:             opts.Replicas,
+		Encrypt:              !opts.PlaintextPayloads,
+		DisablePolicies:      opts.DisablePolicies,
+		SerialReplication:    opts.SerialReplication,
+		GroupCommit:          !opts.NoGroupCommit,
+		GroupCommitMaxDelay:  opts.GroupCommitMaxDelay,
+		PolicyPartialEval:    !opts.NoPolicyPartialEval && !opts.PolicyIndexedOnly,
+		PolicyIndexedOnly:    opts.PolicyIndexedOnly,
+		FanoutReads:          opts.FanoutReads,
+		HedgeDelay:           opts.HedgeDelay,
+		TakeOver:             true,
+		PolicyCacheEntries:   opts.PolicyCacheEntries,
+		PolicyCacheBytes:     opts.PolicyCacheBytes,
+		ObjectCacheBytes:     opts.ObjectCacheBytes,
+		KeyCacheBytes:        opts.KeyCacheBytes,
+		Clock:                opts.Clock,
+		SessionTTL:           opts.SessionTTL,
+		Shard:                shard,
+		ClusterMapDoc:        mapDoc,
+		Standby:              standby,
+		CredentialEpoch:      credEpoch,
+		DetectorInterval:     opts.DetectorInterval,
+		DetectorProbeTimeout: opts.DetectorProbeTimeout,
+		DetectorSuspectAfter: opts.DetectorSuspectAfter,
+		DetectorDeadAfter:    opts.DetectorDeadAfter,
+		DetectorReviveAfter:  opts.DetectorReviveAfter,
+		SweepInterval:        opts.SweepInterval,
+		SweepKeysPerTick:     opts.SweepKeysPerTick,
+		SweepBytesPerTick:    opts.SweepBytesPerTick,
 	}
 	for i := range c.Drives {
 		ln := c.driveLns[i]
 		dn := c.Drives[i].Name()
-		var dial kclient.Dialer
+		var raw kclient.Dialer
 		if opts.PlainDriveLinks {
-			dial = func(ctx context.Context) (net.Conn, error) {
+			raw = func(ctx context.Context) (net.Conn, error) {
 				return ln.DialContext(ctx)
 			}
 		} else {
 			tlsCfg := tlsutil.ClientConfig(nil, e.CA.Pool(), dn)
-			dial = func(ctx context.Context) (net.Conn, error) {
+			raw = func(ctx context.Context) (net.Conn, error) {
 				conn, err := ln.DialContext(ctx)
 				if err != nil {
 					return nil, err
@@ -348,6 +374,15 @@ func bootNode(e *env, name string, ds *driveSet, ownsDrives bool, opts Options, 
 				}
 				return tc, nil
 			}
+		}
+		// Every controller→drive path runs through a netx.Link so the
+		// chaos engine can cut, delay or lossy the directed path for
+		// this node without touching the drive (other nodes keep their
+		// own links to the same drive).
+		link := &netx.Link{}
+		c.driveLinks = append(c.driveLinks, link)
+		dial := func(ctx context.Context) (net.Conn, error) {
+			return link.Dial(ctx, raw)
 		}
 		cfg.Drives = append(cfg.Drives, core.DriveEndpoint{
 			Name: dn, Dial: dial, Conns: opts.ConnsPerDrive,
@@ -464,6 +499,11 @@ type MultiCluster struct {
 
 	haMu sync.Mutex
 	ha   map[string]*haRun
+
+	// attestGates holds the per-node chaos gates on the attestation
+	// service (lease + map traffic); see PartitionAttest.
+	attestMu    sync.Mutex
+	attestGates map[string]*attestGate
 }
 
 // haRun is one node's running lease supervisor.
@@ -648,13 +688,14 @@ func (mc *MultiCluster) StartHA(ttl time.Duration) error {
 }
 
 func (mc *MultiCluster) startHANode(c *Cluster, shardID int, active bool, ttl time.Duration) error {
+	gate := mc.attestGateFor(c.name)
 	n, err := cluster.NewHANode(cluster.HAConfig{
 		ShardID:    shardID,
 		Name:       c.name,
 		Endpoint:   c.name,
 		Controller: c.Controller,
-		Leases:     cluster.ServiceLeases{S: mc.Attest},
-		Source:     mc.mapSource(),
+		Leases:     gatedLeases{gate: gate, inner: cluster.ServiceLeases{S: mc.Attest}},
+		Source:     gatedSource{gate: gate, inner: mc.mapSource()},
 		Key:        mc.MapKey,
 		Publish:    mc.adoptDoc,
 		TTL:        ttl,
