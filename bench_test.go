@@ -328,6 +328,32 @@ func BenchmarkFigChaos(b *testing.B) {
 	}
 }
 
+// BenchmarkFigObs measures the healthy-path overhead of the full
+// observability layer (tracing + metrics + audit sampling) against
+// the kill switch on identical YCSB-A replays, and emits
+// BENCH_obs.json, which the CI obs-smoke job uploads as an artifact.
+func BenchmarkFigObs(b *testing.B) {
+	s := microScale()
+	// Longer rounds than the other micro figures: the quantity under
+	// test is a small throughput delta, and sub-second replay windows
+	// let one scheduler hiccup swamp a round's ratio.
+	s.RecordCount = 1000
+	s.OpCount = 8000
+	for i := 0; i < b.N; i++ {
+		t, err := bench.FigObs(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPeak(b, t, "Obs On kIOP/s", "obs-on-kIOPS")
+		reportPeak(b, t, "Obs Off kIOP/s", "obs-off-kIOPS")
+		idx := t.Col("Overhead %")
+		b.ReportMetric(t.Rows[len(t.Rows)-1].Values[idx], "overhead-pct")
+		if err := bench.WriteBenchObsJSON("BENCH_obs.json", t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBatchWireGrouped measures the per-logical-write cost of
 // assembling and encoding merged grouped TBatch frames with the
 // pooled sub-operation scratch — run with -benchmem; the allocs/op

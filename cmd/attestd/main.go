@@ -61,10 +61,39 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/enclave"
 	"repro/internal/enclave/attest"
+	"repro/internal/obs"
 )
 
 type server struct {
 	svc *attest.Service
+
+	// Service counters, exposed on the -obs-listen registry. Attest
+	// outcomes are the security-relevant signal: a burst of denials
+	// means something is presenting bad quotes.
+	attestsOK     *obs.Counter
+	attestsDenied *obs.Counter
+	challenges    *obs.Counter
+	registers     *obs.Counter
+	leaseOps      *obs.Counter
+	shardMapGets  *obs.Counter
+}
+
+// newServer wires the service to a metrics registry; counters stay
+// usable (and cheap) even when no obs endpoint is started.
+func newServer(svc *attest.Service) (*server, *obs.Registry) {
+	r := obs.NewRegistry()
+	s := &server{
+		svc:           svc,
+		attestsOK:     r.Counter(`attestd_attests_total{result="ok"}`, "Attestation attempts by outcome."),
+		attestsDenied: r.Counter(`attestd_attests_total{result="denied"}`, "Attestation attempts by outcome."),
+		challenges:    r.Counter("attestd_challenges_total", "Challenge nonces issued."),
+		registers:     r.Counter("attestd_registers_total", "Measurement registrations accepted."),
+		leaseOps:      r.Counter("attestd_lease_ops_total", "Lease acquire/renew/standby/revoke requests."),
+		shardMapGets:  r.Counter("attestd_shardmap_fetches_total", "Shard map documents served."),
+	}
+	r.GaugeFunc("attestd_leases_held", "Shard leases currently held.",
+		func() float64 { return float64(len(svc.Leases())) })
+	return s, r
 }
 
 type registerReq struct {
@@ -87,6 +116,7 @@ type attestReq struct {
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9443", "listen address")
 	keyFile := flag.String("platform-key", "", "PEM file with the platform's attestation public key")
+	obsListen := flag.String("obs-listen", "", "HTTP address for /metrics and loopback pprof (empty disables)")
 	flag.Parse()
 
 	var pub *ecdsa.PublicKey
@@ -120,7 +150,7 @@ func main() {
 			pem.EncodeToMemory(&pem.Block{Type: "PUBLIC KEY", Bytes: der}))
 	}
 
-	s := &server{svc: attest.NewService(pub)}
+	s, reg := newServer(attest.NewService(pub))
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/register", s.handleRegister)
 	mux.HandleFunc("GET /v1/challenge", s.handleChallenge)
@@ -136,6 +166,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var obsSrv *http.Server
+	if *obsListen != "" {
+		var err error
+		obsSrv, err = obs.Serve(*obsListen, reg)
+		if err != nil {
+			log.Fatalf("attestd: obs endpoint: %v", err)
+		}
+		log.Printf("attestd: observability endpoint on %s", *obsListen)
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("attestd: listen: %v", err)
@@ -149,6 +189,9 @@ func main() {
 	}()
 	<-ctx.Done()
 	log.Printf("attestd: shutting down")
+	if obsSrv != nil {
+		obsSrv.Close()
+	}
 	srv.Close()
 }
 
@@ -177,6 +220,7 @@ func (s *server) handleShardMap(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusNotFound, fmt.Errorf("no shard map published"))
 		return
 	}
+	s.shardMapGets.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(doc)
 }
@@ -199,6 +243,7 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.svc.Register(m, req.Secrets)
+	s.registers.Inc()
 	json.NewEncoder(w).Encode(map[string]any{"ok": true})
 }
 
@@ -208,6 +253,7 @@ func (s *server) handleChallenge(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.challenges.Inc()
 	json.NewEncoder(w).Encode(map[string]any{"nonce": hex.EncodeToString(nonce[:])})
 }
 
@@ -248,9 +294,11 @@ func (s *server) handleAttest(w http.ResponseWriter, r *http.Request) {
 
 	secrets, err := s.svc.Attest(&q, nonce)
 	if err != nil {
+		s.attestsDenied.Inc()
 		jsonError(w, http.StatusForbidden, err)
 		return
 	}
+	s.attestsOK.Inc()
 	json.NewEncoder(w).Encode(secrets)
 }
 
@@ -284,6 +332,7 @@ func leaseError(w http.ResponseWriter, err error) {
 }
 
 func (s *server) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
+	s.leaseOps.Inc()
 	req, ttl, err := decodeLease(r)
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, err)
@@ -298,6 +347,7 @@ func (s *server) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
+	s.leaseOps.Inc()
 	req, ttl, err := decodeLease(r)
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, err)
@@ -312,6 +362,7 @@ func (s *server) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleLeaseStandby(w http.ResponseWriter, r *http.Request) {
+	s.leaseOps.Inc()
 	req, ttl, err := decodeLease(r)
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, err)
@@ -328,6 +379,7 @@ func (s *server) handleLeaseStandby(w http.ResponseWriter, r *http.Request) {
 // over immediately — the operator failover drill. Loopback only, like
 // every other operator action.
 func (s *server) handleLeaseRevoke(w http.ResponseWriter, r *http.Request) {
+	s.leaseOps.Inc()
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil || !net.ParseIP(host).IsLoopback() {
 		jsonError(w, http.StatusForbidden, fmt.Errorf("lease revoke allowed from loopback only"))

@@ -28,11 +28,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 
 	"repro/internal/kinetic"
 	"repro/internal/kinetic/kclient"
 	"repro/internal/kinetic/wire"
+	"repro/internal/obs"
 )
 
 // rootCtx is the daemon's root context: cancelled on SIGINT/SIGTERM,
@@ -57,6 +59,7 @@ func main() {
 	tlsKey := flag.String("tls-key", "", "PEM key for the drive's TLS identity")
 	p2pSecret := flag.String("p2p-secret", "", "shared drive-to-drive HMAC secret (>= 8 bytes) enabling P2P copies that survive a controller takeover; same value on every drive of a deployment")
 	chaosListen := flag.String("chaos-listen", "", "loopback-only HTTP address for the /v1/chaos fault-injection endpoint (empty disables; must resolve to a loopback IP)")
+	obsListen := flag.String("obs-listen", "", "HTTP address for /metrics and loopback pprof (empty disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -120,12 +123,54 @@ func main() {
 		}
 	}
 
+	var obsSrv *http.Server
+	if *obsListen != "" {
+		obsSrv, err = obs.Serve(*obsListen, driveRegistry(drive))
+		if err != nil {
+			log.Fatalf("kineticd: obs endpoint: %v", err)
+		}
+		log.Printf("kineticd: observability endpoint on %s", *obsListen)
+	}
+
 	<-ctx.Done()
 	log.Printf("kineticd: shutting down")
 	if chaosSrv != nil {
 		chaosSrv.Close()
 	}
+	if obsSrv != nil {
+		obsSrv.Close()
+	}
 	srv.Close()
+}
+
+// driveRegistry exposes the drive's operation counters as a metrics
+// registry — the same atomics Stats() reports, so the two sources can
+// never disagree.
+func driveRegistry(d *kinetic.Drive) *obs.Registry {
+	r := obs.NewRegistry()
+	st := d.Stats()
+	for _, m := range []struct {
+		name string
+		help string
+		v    *atomic.Uint64
+	}{
+		{`kinetic_ops_total{op="get"}`, "Operations served by the drive.", &st.Gets},
+		{`kinetic_ops_total{op="put"}`, "Operations served by the drive.", &st.Puts},
+		{`kinetic_ops_total{op="delete"}`, "Operations served by the drive.", &st.Deletes},
+		{`kinetic_ops_total{op="range"}`, "Operations served by the drive.", &st.Ranges},
+		{"kinetic_p2p_pushes_total", "Device-to-device record pushes received.", &st.P2PPushes},
+		{"kinetic_rejected_total", "Requests rejected by HMAC or permission checks.", &st.Rejected},
+		{"kinetic_batches_total", "TBatch requests applied.", &st.Batches},
+		{"kinetic_batch_ops_total", "Sub-operations carried by TBatch requests.", &st.BatchOps},
+		{"kinetic_batch_groups_total", "Sub-operation groups in grouped batches.", &st.BatchGroups},
+		{"kinetic_group_rejects_total", "Groups skipped by CAS or permission failures.", &st.GroupRejects},
+		{"kinetic_flushes_total", "TFlush requests that destaged the write buffer.", &st.Flushes},
+	} {
+		r.CounterFunc(m.name, m.help, m.v.Load)
+	}
+	r.GaugeFunc("kinetic_stored_keys", "Keys currently stored on the drive.",
+		func() float64 { return float64(d.Len()) })
+	return r
 }
 
 // serveChaos starts the loopback-only fault-injection endpoint. The

@@ -23,7 +23,11 @@
 // over; emits BENCH_ha.json with the recovery timeline), chaos
 // (phased drive-fault injection — baseline, drive kill, partition and
 // reconcile, load ramp — with failure detection and background
-// re-replication; emits BENCH_chaos.json with the phase timeline).
+// re-replication; emits BENCH_chaos.json with the phase timeline),
+// obs (healthy-path overhead of the observability layer — tracing,
+// metrics, audit sampling — vs the kill switch on identical YCSB-A
+// replays; emits BENCH_obs.json with the interleaved rounds and the
+// best-of overhead).
 package main
 
 import (
@@ -36,7 +40,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan,hedge,cluster,gcommit,policy,failover,chaos or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan,hedge,cluster,gcommit,policy,failover,chaos,obs or all")
 	paper := flag.Bool("paper", false, "use the paper's full experiment scale (minutes per figure)")
 	jsonOut := flag.String("json", "BENCH_read.json", "path for the hedge figure's machine-readable output (empty disables)")
 	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "path for the cluster figure's machine-readable output (empty disables)")
@@ -44,6 +48,7 @@ func main() {
 	policyJSON := flag.String("policy-json", "BENCH_policy.json", "path for the policy figure's machine-readable output (empty disables)")
 	haJSON := flag.String("ha-json", "BENCH_ha.json", "path for the failover figure's machine-readable output (empty disables)")
 	chaosJSON := flag.String("chaos-json", "BENCH_chaos.json", "path for the chaos figure's machine-readable output (empty disables)")
+	obsJSON := flag.String("obs-json", "BENCH_obs.json", "path for the obs figure's machine-readable output (empty disables)")
 	flag.Parse()
 
 	scale := bench.Quick()
@@ -74,6 +79,7 @@ func main() {
 		{"policy", bench.FigPolicy},
 		{"failover", bench.FigFailover},
 		{"chaos", bench.FigChaos},
+		{"obs", bench.FigObs},
 	}
 
 	ran := false
@@ -130,6 +136,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("(wrote %s)\n", *chaosJSON)
+		}
+		if f.name == "obs" && *obsJSON != "" {
+			if err := bench.WriteBenchObsJSON(*obsJSON, t); err != nil {
+				fmt.Fprintf(os.Stderr, "pesos-bench: write %s: %v\n", *obsJSON, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(wrote %s)\n", *obsJSON)
 		}
 		fmt.Printf("(figure %s took %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
 	}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/enclave/attest"
 	"repro/internal/kinetic"
 	"repro/internal/kinetic/kclient"
+	"repro/internal/obs"
 	"repro/internal/tlsutil"
 )
 
@@ -63,6 +64,12 @@ func main() {
 	detectInterval := flag.Duration("detect-interval", 0, "probe drives for failure detection this often; dead drives are routed around and re-replicated onto spares (0 = off)")
 	sweepKeys := flag.Int("sweep-keys", 0, "keys examined per sweeper tick (0 = default 256)")
 	sweepBytes := flag.Int64("sweep-bytes", 0, "record bytes rewritten per sweeper tick (0 = default 4 MiB)")
+	obsMode := flag.String("obs", "on", "observability layer (metrics, tracing, audit): on or off")
+	obsListen := flag.String("obs-listen", "", "plain-HTTP observability listener for /metrics and loopback pprof (empty = API port only)")
+	auditDir := flag.String("audit-dir", "", "directory for the sealed audit decision log (empty = disabled)")
+	auditSampleAllow := flag.Int("audit-sample-allow", 0, "record 1-in-N policy ALLOW decisions in the audit log (0 = denies only)")
+	slowOp := flag.Duration("slow-op", 0, "dump the span tree of requests at or over this duration (0 = default 250ms, negative = off)")
+	traceSample := flag.Int("trace-sample", 16, "trace 1-in-N requests that arrive without an X-Pesos-Trace id (explicit ids are always traced; 1 = trace everything)")
 	flag.Parse()
 
 	switch {
@@ -80,10 +87,43 @@ func main() {
 			log.Fatalf("pesos: sign-map: %v", err)
 		}
 	default:
-		if err := run(*state, *listen, *drives, *driveTLS, *replicas, !*noEncrypt, *groupCommit, *policyPartial, *shardMap, *shardID, *repairInterval, *detectInterval, *sweepKeys, *sweepBytes); err != nil {
+		opts := runOpts{
+			state: *state, listen: *listen, drives: *drives, driveTLS: *driveTLS,
+			replicas: *replicas, encrypt: !*noEncrypt, groupCommit: *groupCommit,
+			policyPartial: *policyPartial, shardMapFile: *shardMap, shardID: *shardID,
+			repairInterval: *repairInterval, detectInterval: *detectInterval,
+			sweepKeys: *sweepKeys, sweepBytes: *sweepBytes,
+			disableObs:       *obsMode == "off" || *obsMode == "false" || *obsMode == "0",
+			obsListen:        *obsListen,
+			auditDir:         *auditDir,
+			auditSampleAllow: *auditSampleAllow,
+			slowOp:           *slowOp,
+			traceSample:      *traceSample,
+		}
+		if err := run(opts); err != nil {
 			log.Fatalf("pesos: %v", err)
 		}
 	}
+}
+
+// runOpts carries the daemon's flag set into run.
+type runOpts struct {
+	state, listen, drives          string
+	driveTLS                       bool
+	replicas                       int
+	encrypt, groupCommit           bool
+	policyPartial                  bool
+	shardMapFile                   string
+	shardID                        int
+	repairInterval, detectInterval time.Duration
+	sweepKeys                      int
+	sweepBytes                     int64
+	disableObs                     bool
+	obsListen                      string
+	auditDir                       string
+	auditSampleAllow               int
+	slowOp                         time.Duration
+	traceSample                    int
 }
 
 // stateFiles names the layout of the state directory.
@@ -261,7 +301,8 @@ func doSignMap(dir, specFile string) error {
 }
 
 // run boots the controller against TCP drives and serves REST.
-func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, groupCommit, policyPartial bool, shardMapFile string, shardID int, repairInterval, detectInterval time.Duration, sweepKeys int, sweepBytes int64) error {
+func run(o runOpts) error {
+	dir, listen, driveList := o.state, o.listen, o.drives
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -292,23 +333,28 @@ func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, gr
 
 	addrs := strings.Split(driveList, ",")
 	cfg := core.Config{
-		Replicas:          replicas,
-		Encrypt:           encrypt,
-		GroupCommit:       groupCommit,
-		PolicyPartialEval: policyPartial,
+		Replicas:          o.replicas,
+		Encrypt:           o.encrypt,
+		GroupCommit:       o.groupCommit,
+		PolicyPartialEval: o.policyPartial,
 		TakeOver:          true,
 		Secrets:           secrets,
 		// Self-healing: the controller's own maintenance loops run the
 		// failure detector and the incremental sweeper; the old
 		// full-keyspace RepairSweep goroutine is superseded by the
 		// cursor-resumable, budget-bounded ticks.
-		DetectorInterval:  detectInterval,
-		SweepInterval:     repairInterval,
-		SweepKeysPerTick:  sweepKeys,
-		SweepBytesPerTick: sweepBytes,
+		DetectorInterval:  o.detectInterval,
+		SweepInterval:     o.repairInterval,
+		SweepKeysPerTick:  o.sweepKeys,
+		SweepBytesPerTick: o.sweepBytes,
+		DisableObs:        o.disableObs,
+		AuditDir:          o.auditDir,
+		AuditSampleAllow:  o.auditSampleAllow,
+		SlowOpThreshold:   o.slowOp,
+		TraceSample:       o.traceSample,
 	}
-	if shardMapFile != "" {
-		doc, err := os.ReadFile(shardMapFile)
+	if o.shardMapFile != "" {
+		doc, err := os.ReadFile(o.shardMapFile)
 		if err != nil {
 			return fmt.Errorf("read shard map: %w", err)
 		}
@@ -319,20 +365,20 @@ func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, gr
 		if err != nil {
 			return fmt.Errorf("shard map: %w", err)
 		}
-		info, err := m.InfoFor(shardID)
+		info, err := m.InfoFor(o.shardID)
 		if err != nil {
 			return err
 		}
 		cfg.Shard = info
 		cfg.ClusterMapDoc = doc
 		log.Printf("pesos: shard %d of %d, epoch %d, ranges %v",
-			shardID, len(m.Shards), m.Epoch, info.Ranges)
+			o.shardID, len(m.Shards), m.Epoch, info.Ranges)
 	}
 	secrets.Drives = nil
 	for i, addr := range addrs {
 		addr = strings.TrimSpace(addr)
 		var tlsCfg *tls.Config
-		if driveTLS {
+		if o.driveTLS {
 			tlsCfg = &tls.Config{RootCAs: ca.Pool(), ServerName: "kinetic", MinVersion: tls.VersionTLS12}
 		}
 		cfg.Drives = append(cfg.Drives, core.DriveEndpoint{
@@ -353,6 +399,18 @@ func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, gr
 		return err
 	}
 	defer ctl.Close()
+
+	// Observability side listener: plain-HTTP /metrics for scrapers
+	// without client certificates, pprof loopback-gated per request.
+	// The mTLS API port serves /metrics and /v1/trace/{id} regardless.
+	if o.obsListen != "" && ctl.Registry() != nil {
+		obsSrv, err := obs.Serve(o.obsListen, ctl.Registry())
+		if err != nil {
+			return err
+		}
+		defer obsSrv.Close()
+		log.Printf("pesos: observability endpoint on %s", o.obsListen)
+	}
 
 	serverCert, err := tls.X509KeyPair(secrets.TLSCertPEM, secrets.TLSKeyPEM)
 	if err != nil {
@@ -385,7 +443,7 @@ func run(dir, listen, driveList string, driveTLS bool, replicas int, encrypt, gr
 	}()
 	go srv.Serve(tls.NewListener(ln, tlsCfg))
 	log.Printf("pesos: controller serving on %s, %d drives, replicas=%d, encrypt=%v",
-		ln.Addr(), len(cfg.Drives), replicas, encrypt)
+		ln.Addr(), len(cfg.Drives), o.replicas, o.encrypt)
 
 	<-ctx.Done()
 	log.Printf("pesos: shutting down")

@@ -17,6 +17,9 @@
 //	policy-put <file|->           compile + store a policy, print its id
 //	policy-get <id>               print a stored policy's canonical text
 //	status                        controller statistics
+//	metrics                       Prometheus text exposition from the controller
+//	trace <id>                    span tree of a completed operation (hex trace id,
+//	                              returned in the X-Pesos-Trace response header)
 //	cluster status                this controller's shard: epoch, ranges, frozen ranges
 //	cluster map                   the cluster shard map: epoch, per-shard endpoint,
 //	                              key-hash ranges and drive set
@@ -52,6 +55,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -205,6 +209,11 @@ func main() {
 		}
 		defer resp.Body.Close()
 		io.Copy(os.Stdout, resp.Body)
+	case "metrics":
+		showMetrics(&http.Client{Transport: &http.Transport{TLSClientConfig: tlsCfg}}, *server)
+	case "trace":
+		need(args, 2, "trace <id>")
+		showTrace(&http.Client{Transport: &http.Transport{TLSClientConfig: tlsCfg}}, *server, args[1])
 	case "cluster":
 		need(args, 2, "cluster <status|map|leases|failover|health>")
 		httpCl := &http.Client{Transport: &http.Transport{TLSClientConfig: tlsCfg}}
@@ -230,6 +239,40 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))
 	}
+}
+
+// showMetrics dumps the controller's Prometheus text exposition over
+// the mTLS API port (the client certificate is the scrape credential).
+func showMetrics(httpCl *http.Client, server string) {
+	resp, err := httpCl.Get(server + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fatal(fmt.Errorf("HTTP %d: %s", resp.StatusCode, body))
+	}
+	io.Copy(os.Stdout, resp.Body)
+}
+
+// showTrace fetches a completed trace by hex id and renders its span
+// tree the same way the controller's slow-op log does.
+func showTrace(httpCl *http.Client, server, id string) {
+	resp, err := httpCl.Get(server + "/v1/trace/" + id)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fatal(fmt.Errorf("HTTP %d: %s", resp.StatusCode, body))
+	}
+	var d obs.TraceDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace %s  (%s total)\n%s", d.ID, time.Duration(d.DurationUs)*time.Microsecond, obs.FormatTree(&d))
 }
 
 // clusterStatus prints this controller's shard section of /v1/status.

@@ -7,20 +7,36 @@
 //	policyc [-o compiled.psc] [-print] [-hash] policy.pol
 //	echo "read :- sessionKeyIs(U)" | policyc -hash -
 //	policyc -explain -session a11ce policy.pol
+//
+// The audit subcommands operate on the controller's sealed decision
+// log (-audit-dir on pesos): verify re-checks every entry's AEAD seal,
+// the hash chain and the HEAD pin; tail additionally decrypts and
+// prints the last records. The sealing key is supplied as 64 hex
+// digits (-key) or derived from a deployment secret (-secret), the
+// same derivation the controller applies to its object key:
+//
+//	policyc audit verify -dir /var/pesos/audit -key <64 hex>
+//	policyc audit tail -dir /var/pesos/audit -secret @objectkey.bin -n 20
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/policy/lang"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "audit" {
+		auditMain(os.Args[2:])
+		return
+	}
 	out := flag.String("o", "", "write the compiled binary program to this file")
 	print := flag.Bool("print", true, "print the canonical (decompiled) policy text")
 	hash := flag.Bool("hash", true, "print the policy hash / identifier")
@@ -123,6 +139,85 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// auditMain implements `policyc audit <verify|tail>` over a sealed
+// decision log directory.
+func auditMain(args []string) {
+	if len(args) < 1 {
+		fatal(fmt.Errorf("usage: policyc audit <verify|tail> -dir <audit-dir> (-key <64 hex> | -secret <string|@file>) [-n count]"))
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("audit "+sub, flag.ExitOnError)
+	dir := fs.String("dir", "", "audit log directory")
+	keyHex := fs.String("key", "", "sealing key as 64 hex digits")
+	secret := fs.String("secret", "", "deployment secret to derive the key from (@file reads bytes from a file)")
+	n := fs.Int("n", 20, "tail: number of records to print (0 = all)")
+	fs.Parse(args[1:])
+	if *dir == "" {
+		fatal(fmt.Errorf("audit %s: need -dir", sub))
+	}
+	key, err := auditKey(*keyHex, *secret)
+	if err != nil {
+		fatal(err)
+	}
+	switch sub {
+	case "verify":
+		count, err := obs.VerifyAudit(*dir, key)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "policyc: audit verify FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("audit log OK: %d sealed records, chain and HEAD verified\n", count)
+	case "tail":
+		recs, err := obs.ReadAudit(*dir, key, *n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "policyc: audit tail: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range recs {
+			line := fmt.Sprintf("%-6d %s  %-5s %-7s key=%q client=%s",
+				r.Seq, r.Time.Format("2006-01-02T15:04:05.000Z07:00"), strings.ToUpper(r.Decision), r.Op, r.Key, r.Client)
+			if r.PolicyID != "" {
+				line += " policy=" + r.PolicyID
+			}
+			if r.TraceID != "" {
+				line += " trace=" + r.TraceID
+			}
+			if r.Reason != "" {
+				line += "  (" + r.Reason + ")"
+			}
+			fmt.Println(line)
+		}
+	default:
+		fatal(fmt.Errorf("unknown audit subcommand %q (want verify or tail)", sub))
+	}
+}
+
+// auditKey resolves the sealing key from -key or -secret.
+func auditKey(keyHex, secret string) ([32]byte, error) {
+	var key [32]byte
+	switch {
+	case keyHex != "":
+		b, err := hex.DecodeString(keyHex)
+		if err != nil || len(b) != 32 {
+			return key, fmt.Errorf("-key must be 64 hex digits (32 bytes)")
+		}
+		copy(key[:], b)
+	case secret != "":
+		material := []byte(secret)
+		if strings.HasPrefix(secret, "@") {
+			b, err := os.ReadFile(secret[1:])
+			if err != nil {
+				return key, err
+			}
+			material = b
+		}
+		key = obs.DeriveAuditKey(material)
+	default:
+		return key, fmt.Errorf("need -key or -secret to unseal the audit log")
+	}
+	return key, nil
 }
 
 func permByName(name string) (lang.Perm, error) {

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFigObsSmoke runs the observability-overhead figure at a tiny
+// scale and checks the shape of the table and the BENCH_obs.json
+// emission: one measured round plus the median summary row, and a
+// non-empty sealed audit log from the instrumented run (the workload
+// carries a policy and ALLOW sampling is on).
+func TestFigObsSmoke(t *testing.T) {
+	s := Quick()
+	s.Clients = 4
+	s.RecordCount = 300
+	s.OpCount = 1200
+	tbl, err := figObs(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("got %d rows, want 1 round + best", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if len(r.Values) != len(tbl.Columns) {
+			t.Fatalf("row %q has %d values, want %d", r.X, len(r.Values), len(tbl.Columns))
+		}
+	}
+	if tbl.Rows[len(tbl.Rows)-1].X != "median" {
+		t.Fatalf("last row is %q, want median", tbl.Rows[len(tbl.Rows)-1].X)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_obs.json")
+	if err := WriteBenchObsJSON(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out BenchObsJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Result.Rounds) != 1 {
+		t.Fatalf("json has %d rounds, want 1", len(out.Result.Rounds))
+	}
+	if out.Result.MedianOnKIOPS <= 0 || out.Result.MedianOffKIOPS <= 0 {
+		t.Fatalf("throughput missing: %+v", out.Result)
+	}
+	if out.Result.AuditLogBytes <= 0 {
+		t.Fatalf("instrumented run sealed no audit records: %+v", out.Result)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/authority"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Client talks to one Pesos controller.
@@ -365,6 +366,15 @@ func (c *Client) newRequest(ctx context.Context, method, path string, q url.Valu
 			return nil, err
 		}
 		req.Header.Add(core.CertHeader, base64.StdEncoding.EncodeToString(raw))
+	}
+	// Forward trace context so the controller's trace adopts the
+	// caller's id, and the router's attempt info if this dispatch goes
+	// through the cluster router.
+	if id := obs.TraceID(ctx); id != 0 {
+		req.Header.Set(obs.TraceHeader, obs.FormatTraceID(id))
+	}
+	if ri, ok := obs.RouteInfoFromContext(ctx); ok {
+		req.Header.Set(obs.RouteHeader, ri.String())
 	}
 	return req, nil
 }

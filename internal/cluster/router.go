@@ -21,12 +21,12 @@ import (
 	"sort"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/authority"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // MapSource supplies the current signed shard map document.
@@ -62,24 +62,38 @@ type RouterConfig struct {
 	// thundering herd against the surviving owner. Negative disables
 	// the wait (tests).
 	RetryBackoff time.Duration
+	// Registry, when set, exposes the router's counters as
+	// pesos_router_* series — the same words RouterStats reports, so
+	// status output and /metrics can never disagree.
+	Registry *obs.Registry
 }
 
-// RouterStats counts router activity.
+// RouterStats counts router activity. The fields are obs counters so
+// the same words back both Stats() readers and a metrics registry.
 type RouterStats struct {
 	// Redirects is the total number of wrong_shard answers seen.
-	Redirects atomic.Uint64
+	Redirects obs.Counter
 	// MapRefreshes counts shard map fetches.
-	MapRefreshes atomic.Uint64
+	MapRefreshes obs.Counter
 	// MaxRedirectsPerOp is the worst redirect count any single
 	// operation needed (the handoff protocol promises at most 1).
-	MaxRedirectsPerOp atomic.Uint64
+	MaxRedirectsPerOp obs.Counter
 	// Retargets counts connection-level failures that triggered a map
 	// refresh and a retry — the failover ride-through path.
-	Retargets atomic.Uint64
+	Retargets obs.Counter
 	// Retries counts operation re-dispatches of any kind (retargets
 	// plus redirect-driven retries) — the router's total extra load on
 	// the cluster beyond first-attempt traffic.
-	Retries atomic.Uint64
+	Retries obs.Counter
+}
+
+// register exposes the stats words on a registry.
+func (st *RouterStats) register(r *obs.Registry) {
+	r.RegisterCounter("pesos_router_redirects_total", "wrong_shard answers seen by the router.", &st.Redirects)
+	r.RegisterCounter("pesos_router_map_refreshes_total", "Shard map fetches.", &st.MapRefreshes)
+	r.RegisterCounter("pesos_router_max_redirects_per_op", "Worst redirect count any single operation needed.", &st.MaxRedirectsPerOp)
+	r.RegisterCounter("pesos_router_retargets_total", "Connection failures that triggered a map refresh and retry.", &st.Retargets)
+	r.RegisterCounter("pesos_router_retries_total", "Operation re-dispatches of any kind.", &st.Retries)
 }
 
 // Router routes the v2 API across the shards of a cluster.
@@ -107,6 +121,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		cfg.RetryBackoff = 5 * time.Millisecond
 	}
 	r := &Router{cfg: cfg, clients: make(map[string]*client.Client)}
+	if cfg.Registry != nil {
+		r.stats.register(cfg.Registry)
+	}
 	if err := r.Refresh(context.Background()); err != nil {
 		return nil, err
 	}
@@ -234,12 +251,7 @@ func (r *Router) noteRedirects(n int) {
 	if n == 0 {
 		return
 	}
-	for {
-		cur := r.stats.MaxRedirectsPerOp.Load()
-		if uint64(n) <= cur || r.stats.MaxRedirectsPerOp.CompareAndSwap(cur, uint64(n)) {
-			return
-		}
-	}
+	r.stats.MaxRedirectsPerOp.Max(uint64(n))
 }
 
 // awaitNewerMap refreshes until the map epoch advances past prev (or
@@ -285,18 +297,30 @@ func (r *Router) retryBackoff(ctx context.Context) error {
 
 // route runs one single-key operation with redirect handling. op
 // reports (value, wrongShard, error); on a redirect the map is
-// refreshed and the operation re-dispatched.
-func route[T any](ctx context.Context, r *Router, key string, op func(cl *client.Client) (T, bool, error)) (T, error) {
+// refreshed and the operation re-dispatched. Each dispatch attempt
+// carries its routing context (attempt number, redirects, retargets)
+// in ctx for the HTTP client to forward as the route header, so the
+// controller's trace shows the client-side routing stage.
+func route[T any](ctx context.Context, r *Router, key string, op func(ctx context.Context, cl *client.Client) (T, bool, error)) (T, error) {
 	var zero T
 	redirects := 0
 	retargeted := false
+	attempt := 0
 	for {
+		attempt++
 		epoch := r.Epoch()
 		s, cl, err := r.target(key)
 		if err != nil {
 			return zero, err
 		}
-		v, wrong, err := op(cl)
+		retargets := 0
+		if retargeted {
+			retargets = 1
+		}
+		opctx := obs.WithRouteInfo(ctx, obs.RouteInfo{
+			Attempt: attempt, Redirects: redirects, Retargets: retargets,
+		})
+		v, wrong, err := op(opctx, cl)
 		if !wrong {
 			if err != nil {
 				// Connection failure (not an answer): the owner may have
@@ -352,7 +376,7 @@ func route[T any](ctx context.Context, r *Router, key string, op func(cl *client
 
 // Put stores an object via the owning shard.
 func (r *Router) Put(ctx context.Context, key string, value []byte, opts client.PutOptions) (client.OpResult, error) {
-	return route(ctx, r, key, func(cl *client.Client) (client.OpResult, bool, error) {
+	return route(ctx, r, key, func(ctx context.Context, cl *client.Client) (client.OpResult, bool, error) {
 		res, err := cl.PutOp(ctx, key, value, opts)
 		if err != nil {
 			return res, isWrongShardErr(err), err
@@ -369,7 +393,7 @@ type getResult struct {
 
 // Get fetches an object via the owning shard.
 func (r *Router) Get(ctx context.Context, key string, opts client.GetOptions) ([]byte, *client.ObjectMeta, error) {
-	res, err := route(ctx, r, key, func(cl *client.Client) (getResult, bool, error) {
+	res, err := route(ctx, r, key, func(ctx context.Context, cl *client.Client) (getResult, bool, error) {
 		v, m, err := cl.Get(ctx, key, opts)
 		return getResult{v, m}, isWrongShardErr(err), err
 	})
@@ -378,7 +402,7 @@ func (r *Router) Get(ctx context.Context, key string, opts client.GetOptions) ([
 
 // Delete removes an object via the owning shard.
 func (r *Router) Delete(ctx context.Context, key string, certs ...*authority.Certificate) (client.OpResult, error) {
-	return route(ctx, r, key, func(cl *client.Client) (client.OpResult, bool, error) {
+	return route(ctx, r, key, func(ctx context.Context, cl *client.Client) (client.OpResult, bool, error) {
 		res, err := cl.DeleteOp(ctx, key, false, certs...)
 		if err != nil {
 			return res, isWrongShardErr(err), err
@@ -395,7 +419,7 @@ type streamResult struct {
 
 // GetStream opens a streamed read via the owning shard.
 func (r *Router) GetStream(ctx context.Context, key string, opts client.GetOptions) (io.ReadCloser, *client.ObjectMeta, error) {
-	res, err := route(ctx, r, key, func(cl *client.Client) (streamResult, bool, error) {
+	res, err := route(ctx, r, key, func(ctx context.Context, cl *client.Client) (streamResult, bool, error) {
 		body, meta, err := cl.GetStream(ctx, key, opts)
 		return streamResult{body, meta}, isWrongShardErr(err), err
 	})
@@ -405,7 +429,7 @@ func (r *Router) GetStream(ctx context.Context, key string, opts client.GetOptio
 // PutStream stores a streamed object via the owning shard. open is
 // called once per dispatch attempt, so a redirect can replay the body.
 func (r *Router) PutStream(ctx context.Context, key string, open func() (io.Reader, error), opts client.PutOptions) (client.OpResult, error) {
-	return route(ctx, r, key, func(cl *client.Client) (client.OpResult, bool, error) {
+	return route(ctx, r, key, func(ctx context.Context, cl *client.Client) (client.OpResult, bool, error) {
 		body, err := open()
 		if err != nil {
 			return client.OpResult{}, false, err

@@ -75,7 +75,7 @@ func (s *Session) BatchGet(ctx context.Context, keys []string, certs []*authorit
 		}(i, key)
 	}
 	wg.Wait()
-	s.ctl.stats.add(func(st *Stats) { st.BatchOps += uint64(len(keys)) })
+	s.ctl.stats.BatchOps.Add(uint64(len(keys)))
 	return results, nil
 }
 
@@ -182,10 +182,11 @@ func (c *Controller) batchPut(ctx context.Context, sessionKey string, ops []Batc
 				bytes += uint64(len(sw.rec.Payload))
 			}
 			n := uint64(len(staged))
-			c.stats.add(func(st *Stats) { st.Puts += n; st.WriteBytes += bytes })
+			c.stats.Puts.Add(n)
+			c.stats.WriteBytes.Add(bytes)
 		}
 	}
-	c.stats.add(func(st *Stats) { st.BatchOps += uint64(len(ops)) })
+	c.stats.BatchOps.Add(uint64(len(ops)))
 	return results, nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"repro/internal/enclave/attest"
 	"repro/internal/kinetic/kclient"
 	"repro/internal/kinetic/wire"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/store"
 	"repro/internal/vll"
@@ -216,6 +217,36 @@ type Config struct {
 	// Clock supplies trusted time for policy freshness (§5.2); nil
 	// uses the SGX-SDK-equivalent monotonic system time.
 	Clock func() time.Time
+
+	// DisableObs is the observability kill switch: no metrics registry,
+	// no tracer, no audit log — the overhead baseline the obs benchmark
+	// measures against. Instrumented code is nil-safe throughout, so
+	// the switch costs no branches at the call sites.
+	DisableObs bool
+	// Registry receives the controller's metrics; nil (with obs
+	// enabled) creates a private one, exposed via Registry().
+	Registry *obs.Registry
+	// TraceBuffer sizes the completed-trace ring backing
+	// GET /v1/trace/{id}; 0 selects 1024.
+	TraceBuffer int
+	// SlowOpThreshold dumps the span tree of requests at or over this
+	// duration to the log; 0 selects 250ms, negative disables.
+	SlowOpThreshold time.Duration
+	// TraceSample head-samples self-initiated traces: 1-in-N requests
+	// arriving without an X-Pesos-Trace id get one (0 or 1 = all).
+	// Requests carrying an explicit id are always traced.
+	TraceSample int
+	// AuditDir enables the sealed audit decision log in this directory
+	// (empty disables). Records every policy DENY plus sampled ALLOWs,
+	// AEAD-sealed and hash-chained; see internal/obs/audit.go.
+	AuditDir string
+	// AuditKey overrides the sealing key; zero derives it from the
+	// attested object key, so the key never exists outside the enclave.
+	AuditKey [32]byte
+	// AuditSampleAllow seals one in N ALLOW decisions (0 = denies only).
+	AuditSampleAllow int
+	// AuditMaxSegmentBytes rotates audit segments at this size (0 = 1 MB).
+	AuditMaxSegmentBytes int64
 }
 
 // Controller is one Pesos instance.
@@ -294,69 +325,111 @@ type Controller struct {
 	stats Stats
 	// load is the per-range load histogram (see load.go).
 	load loadState
+
+	// Observability state (nil across the board under DisableObs; all
+	// uses are nil-safe).
+	registry   *obs.Registry
+	tracer     *obs.Tracer
+	traceStore *obs.TraceStore
+	audit      *obs.AuditLog
+	// opHist records per-operation request latency for /metrics.
+	opHist map[string]*obs.Histogram
 }
 
-// Stats aggregates controller activity counters.
+// Stats aggregates controller activity counters. Every field is a
+// lock-free obs.Counter — one atomic word — so the hot paths pay a
+// single uncontended atomic add instead of the former shared mutex,
+// and the same words back both /v1/status and the Prometheus scrape
+// (no dual counting).
 type Stats struct {
-	mu              sync.Mutex
-	Puts            uint64
-	Gets            uint64
-	Deletes         uint64
-	Scans           uint64 // v2 scan pages served
-	ScanFiltered    uint64 // scan entries suppressed by policy
-	BatchOps        uint64 // operations carried by v2 batch requests
-	Streams         uint64 // chunked streamed reads + writes
-	PolicyChecks    uint64
-	PolicyDenials   uint64
-	TxCommits       uint64
-	TxAborts        uint64
-	ReadHedges      uint64 // hedge requests fired by the read engine
-	CoalescedReads  uint64 // cache misses served by another miss's flight
-	DecisionHits    uint64 // policy checks served from the decision cache
-	PolicyEvals     uint64 // clause-machine runs (checks not decided statically)
-	ResidualHits    uint64 // checks served by a cached or page-reused residual
-	IndexSkippedClauses uint64 // clauses pruned by the rule index / residuals
-	WrongShard      uint64 // operations redirected to another shard
-	GroupBatches    uint64 // drive batches shipped by the group scheduler (merged or not)
-	GroupedWrites   uint64 // write groups that shared a merged drive batch
-	TrailingFlushes uint64 // idle destages of write-back batches
-	ReadBytes       uint64 // payload bytes served to readers
-	WriteBytes      uint64 // payload bytes accepted from writers
-	Repairs         uint64 // objects re-replicated by repair (on-demand or sweep)
-	RepairSweeps    uint64 // full anti-entropy keyspace passes completed
-	RepairBytes     uint64 // record bytes rewritten by repair / re-replication
-	SweepTicks      uint64 // incremental sweeper ticks executed
-	DriveDeaths     uint64 // detector transitions into the dead state
-	DriveRevives    uint64 // dead drives revived by the detector
+	Puts                obs.Counter
+	Gets                obs.Counter
+	Deletes             obs.Counter
+	Scans               obs.Counter // v2 scan pages served
+	ScanFiltered        obs.Counter // scan entries suppressed by policy
+	BatchOps            obs.Counter // operations carried by v2 batch requests
+	Streams             obs.Counter // chunked streamed reads + writes
+	PolicyChecks        obs.Counter
+	PolicyDenials       obs.Counter
+	TxCommits           obs.Counter
+	TxAborts            obs.Counter
+	ReadHedges          obs.Counter // hedge requests fired by the read engine
+	CoalescedReads      obs.Counter // cache misses served by another miss's flight
+	DecisionHits        obs.Counter // policy checks served from the decision cache
+	PolicyEvals         obs.Counter // clause-machine runs (checks not decided statically)
+	ResidualHits        obs.Counter // checks served by a cached or page-reused residual
+	IndexSkippedClauses obs.Counter // clauses pruned by the rule index / residuals
+	WrongShard          obs.Counter // operations redirected to another shard
+	GroupBatches        obs.Counter // drive batches shipped by the group scheduler (merged or not)
+	GroupedWrites       obs.Counter // write groups that shared a merged drive batch
+	TrailingFlushes     obs.Counter // idle destages of write-back batches
+	ReadBytes           obs.Counter // payload bytes served to readers
+	WriteBytes          obs.Counter // payload bytes accepted from writers
+	Repairs             obs.Counter // objects re-replicated by repair (on-demand or sweep)
+	RepairSweeps        obs.Counter // full anti-entropy keyspace passes completed
+	RepairBytes         obs.Counter // record bytes rewritten by repair / re-replication
+	SweepTicks          obs.Counter // incremental sweeper ticks executed
+	DriveDeaths         obs.Counter // detector transitions into the dead state
+	DriveRevives        obs.Counter // dead drives revived by the detector
+	AuditDropped        obs.Counter // audit records lost to a saturated queue
+}
+
+// StatsSnapshot is a point-in-time copy of the counters, field for
+// field. Reading is not atomic across fields (each word individually
+// exact) — the standard monitoring trade.
+type StatsSnapshot struct {
+	Puts                uint64
+	Gets                uint64
+	Deletes             uint64
+	Scans               uint64
+	ScanFiltered        uint64
+	BatchOps            uint64
+	Streams             uint64
+	PolicyChecks        uint64
+	PolicyDenials       uint64
+	TxCommits           uint64
+	TxAborts            uint64
+	ReadHedges          uint64
+	CoalescedReads      uint64
+	DecisionHits        uint64
+	PolicyEvals         uint64
+	ResidualHits        uint64
+	IndexSkippedClauses uint64
+	WrongShard          uint64
+	GroupBatches        uint64
+	GroupedWrites       uint64
+	TrailingFlushes     uint64
+	ReadBytes           uint64
+	WriteBytes          uint64
+	Repairs             uint64
+	RepairSweeps        uint64
+	RepairBytes         uint64
+	SweepTicks          uint64
+	DriveDeaths         uint64
+	DriveRevives        uint64
+	AuditDropped        uint64
 }
 
 // Snapshot returns a copy of the counters.
-func (s *Stats) Snapshot() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Stats{
-		Puts: s.Puts, Gets: s.Gets, Deletes: s.Deletes,
-		Scans: s.Scans, ScanFiltered: s.ScanFiltered,
-		BatchOps: s.BatchOps, Streams: s.Streams,
-		PolicyChecks: s.PolicyChecks, PolicyDenials: s.PolicyDenials,
-		TxCommits: s.TxCommits, TxAborts: s.TxAborts,
-		ReadHedges: s.ReadHedges, CoalescedReads: s.CoalescedReads,
-		DecisionHits: s.DecisionHits, PolicyEvals: s.PolicyEvals,
-		ResidualHits: s.ResidualHits, IndexSkippedClauses: s.IndexSkippedClauses,
-		WrongShard: s.WrongShard,
-		GroupBatches: s.GroupBatches, GroupedWrites: s.GroupedWrites,
-		TrailingFlushes: s.TrailingFlushes,
-		ReadBytes: s.ReadBytes, WriteBytes: s.WriteBytes,
-		Repairs: s.Repairs, RepairSweeps: s.RepairSweeps,
-		RepairBytes: s.RepairBytes, SweepTicks: s.SweepTicks,
-		DriveDeaths: s.DriveDeaths, DriveRevives: s.DriveRevives,
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Puts: s.Puts.Load(), Gets: s.Gets.Load(), Deletes: s.Deletes.Load(),
+		Scans: s.Scans.Load(), ScanFiltered: s.ScanFiltered.Load(),
+		BatchOps: s.BatchOps.Load(), Streams: s.Streams.Load(),
+		PolicyChecks: s.PolicyChecks.Load(), PolicyDenials: s.PolicyDenials.Load(),
+		TxCommits: s.TxCommits.Load(), TxAborts: s.TxAborts.Load(),
+		ReadHedges: s.ReadHedges.Load(), CoalescedReads: s.CoalescedReads.Load(),
+		DecisionHits: s.DecisionHits.Load(), PolicyEvals: s.PolicyEvals.Load(),
+		ResidualHits: s.ResidualHits.Load(), IndexSkippedClauses: s.IndexSkippedClauses.Load(),
+		WrongShard:   s.WrongShard.Load(),
+		GroupBatches: s.GroupBatches.Load(), GroupedWrites: s.GroupedWrites.Load(),
+		TrailingFlushes: s.TrailingFlushes.Load(),
+		ReadBytes:       s.ReadBytes.Load(), WriteBytes: s.WriteBytes.Load(),
+		Repairs: s.Repairs.Load(), RepairSweeps: s.RepairSweeps.Load(),
+		RepairBytes: s.RepairBytes.Load(), SweepTicks: s.SweepTicks.Load(),
+		DriveDeaths: s.DriveDeaths.Load(), DriveRevives: s.DriveRevives.Load(),
+		AuditDropped: s.AuditDropped.Load(),
 	}
-}
-
-func (s *Stats) add(f func(*Stats)) {
-	s.mu.Lock()
-	f(s)
-	s.mu.Unlock()
 }
 
 // New bootstraps a controller: attest (when configured), connect to
@@ -501,6 +574,13 @@ func New(ctx context.Context, cfg Config) (*Controller, error) {
 	c.sweeper = newSweeperState()
 	if !cfg.Standby {
 		c.startMaintenance()
+	}
+
+	// Step 6: observability — metrics registry, tracer and the sealed
+	// audit decision log (all skipped under the DisableObs kill switch).
+	if err := c.initObs(); err != nil {
+		c.Close()
+		return nil, err
 	}
 	return c, nil
 }
@@ -675,6 +755,7 @@ func (c *Controller) Close() error {
 	c.closeDrives()
 	c.mu.Unlock()
 	c.stopCommitters(true)
+	c.audit.Close()
 	return nil
 }
 

@@ -174,10 +174,8 @@ func (d *driveDetector) record(results []bool) {
 	d.mu.Unlock()
 	c.deadMask.Store(mask)
 	if deaths > 0 || revives > 0 {
-		c.stats.add(func(s *Stats) {
-			s.DriveDeaths += uint64(deaths)
-			s.DriveRevives += uint64(revives)
-		})
+		c.stats.DriveDeaths.Add(uint64(deaths))
+		c.stats.DriveRevives.Add(uint64(revives))
 		// Placement just changed: spares are missing every record of
 		// the affected ranges (death), or a revived drive must be
 		// converged back. Wake the sweeper rather than waiting out its
@@ -248,7 +246,7 @@ func (c *Controller) forceDriveState(name string, state DriveState) error {
 	det.mu.Unlock()
 	c.deadMask.Store(mask)
 	if state == DriveDead {
-		c.stats.add(func(s *Stats) { s.DriveDeaths++ })
+		c.stats.DriveDeaths.Inc()
 	}
 	c.kickSweeper()
 	return nil

@@ -59,11 +59,13 @@ package core
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/kinetic/wire"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -199,8 +201,11 @@ func (g *groupScheduler) enqueue(ctx context.Context, di int, ops []wire.BatchOp
 	case g.wake <- struct{}{}:
 	default:
 	}
+	queued := time.Now()
 	select {
 	case err := <-grp.done:
+		obs.RecordSpan(ctx, "gcommit_wait", queued, time.Since(queued),
+			obs.Attr{Key: "drive", Value: strconv.Itoa(di)})
 		return err
 	case <-ctx.Done():
 		// Still queued? Withdraw it so a cancelled caller cannot
@@ -444,12 +449,10 @@ func (g *groupScheduler) ship(di int, batch []*commitGroup) {
 	putOps(ops)
 
 	merged := len(batch) > 1
-	g.c.stats.add(func(s *Stats) {
-		s.GroupBatches++
-		if merged {
-			s.GroupedWrites += uint64(len(batch))
-		}
-	})
+	g.c.stats.GroupBatches.Inc()
+	if merged {
+		g.c.stats.GroupedWrites.Add(uint64(len(batch)))
+	}
 
 	if err != nil {
 		for _, grp := range batch {
@@ -491,7 +494,7 @@ func (g *groupScheduler) trailingFlush() {
 				// flush covers the medium.
 				return
 			}
-			g.c.stats.add(func(s *Stats) { s.TrailingFlushes++ })
+			g.c.stats.TrailingFlushes.Inc()
 		}(di)
 	}
 }

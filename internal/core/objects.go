@@ -11,6 +11,7 @@ import (
 	"repro/internal/authority"
 	"repro/internal/kinetic/kclient"
 	"repro/internal/kinetic/wire"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/policy/lang"
 	"repro/internal/store"
@@ -207,7 +208,8 @@ func (c *Controller) putObject(ctx context.Context, sessionKey, key string, valu
 
 	c.publishWrite(rec)
 	c.noteWrite(key, len(value))
-	c.stats.add(func(s *Stats) { s.Puts++; s.WriteBytes += uint64(len(value)) })
+	c.stats.Puts.Inc()
+	c.stats.WriteBytes.Add(uint64(len(value)))
 	return w.next, nil
 }
 
@@ -240,7 +242,8 @@ func (c *Controller) getObject(ctx context.Context, sessionKey, key string, opts
 	}
 	c.cost.MoveBytes(len(rec.Payload)) // response payload leaves the enclave
 	c.noteRead(key, len(rec.Payload))
-	c.stats.add(func(s *Stats) { s.Gets++; s.ReadBytes += uint64(len(rec.Payload)) })
+	c.stats.Gets.Inc()
+	c.stats.ReadBytes.Add(uint64(len(rec.Payload)))
 	m := rec.Meta
 	return rec.Payload, &m, nil
 }
@@ -293,7 +296,7 @@ func (c *Controller) deleteObject(ctx context.Context, sessionKey, key string, o
 		c.objectFlight.Forget(string(store.ObjectKey(key, v)))
 	}
 	c.noteWrite(key, 0)
-	c.stats.add(func(s *Stats) { s.Deletes++ })
+	c.stats.Deletes.Inc()
 	return meta.Version, nil
 }
 
@@ -355,7 +358,7 @@ func (c *Controller) loadMeta(ctx context.Context, key string) (*store.Meta, err
 			c.metaCache.PutIf(key, m, func(cur *store.Meta) bool { return cur.Version < m.Version })
 		})
 	if shared {
-		c.stats.add(func(s *Stats) { s.CoalescedReads++ })
+		c.stats.CoalescedReads.Inc()
 	}
 	return m, err
 }
@@ -405,7 +408,7 @@ func (c *Controller) loadRecord(ctx context.Context, key string, version int64) 
 		// cannot re-install a destroyed version record.
 		func(r *store.Record) { c.objectCache.Put(ck, r) })
 	if shared {
-		c.stats.add(func(s *Stats) { s.CoalescedReads++ })
+		c.stats.CoalescedReads.Inc()
 	}
 	return rec, err
 }
@@ -503,30 +506,34 @@ func (c *Controller) checkPolicyCtx(ctx context.Context, pe *policyEval, op lang
 	// page context, the residual cache, or freshly — and evaluate it.
 	// Decided residuals subsume the static-verdict decision cache.
 	if c.cfg.PolicyPartialEval {
-		res, reused, err := c.residualFor(ctx, pe, op, sessionKey, meta.PolicyID)
+		sctx, span := obs.StartSpan(ctx, "policy_eval")
+		res, reused, err := c.residualFor(sctx, pe, op, sessionKey, meta.PolicyID)
 		if err != nil {
+			span.End()
 			return err
 		}
 		req := buildPolicyRequest(pe, op, key, sessionKey, nextVersion, certs, c.clock())
-		dec, evalErr := res.Eval(req, &objectSource{c: c, ctx: ctx})
+		dec, evalErr := res.Eval(req, &objectSource{c: c, ctx: sctx})
 		_, decided := res.Decided()
-		c.stats.add(func(s *Stats) {
-			s.PolicyChecks++
-			if reused {
-				s.ResidualHits++
-			}
-			if !decided {
-				s.PolicyEvals++
-			}
-			s.IndexSkippedClauses += uint64(dec.Skipped)
-		})
+		c.stats.PolicyChecks.Inc()
+		if reused {
+			c.stats.ResidualHits.Inc()
+			span.Attr("residual", "hit")
+		}
+		if !decided {
+			c.stats.PolicyEvals.Inc()
+		}
+		c.stats.IndexSkippedClauses.Add(uint64(dec.Skipped))
+		span.End()
 		if evalErr != nil {
 			return evalErr
 		}
 		if !dec.Allowed {
-			c.stats.add(func(s *Stats) { s.PolicyDenials++ })
+			c.stats.PolicyDenials.Inc()
+			c.auditDecision(obs.TraceID(ctx), sessionKey, op.String(), key, "deny", dec.Reason, meta.PolicyID)
 			return &DeniedError{Op: op.String(), Key: key, Reason: dec.Reason}
 		}
+		c.auditDecision(obs.TraceID(ctx), sessionKey, op.String(), key, "allow", "", meta.PolicyID)
 		return nil
 	}
 
@@ -539,27 +546,30 @@ func (c *Controller) checkPolicyCtx(ctx context.Context, pe *policyEval, op lang
 	if c.decisionCache != nil && policy.StaticFor(prog, op) {
 		decKey = decisionKey(meta.PolicyID, op, sessionKey)
 		if d, ok := c.decisionCache.Get(decKey); ok {
-			c.stats.add(func(s *Stats) { s.PolicyChecks++; s.DecisionHits++ })
+			c.stats.PolicyChecks.Inc()
+			c.stats.DecisionHits.Inc()
 			if !d.allowed {
-				c.stats.add(func(s *Stats) { s.PolicyDenials++ })
+				c.stats.PolicyDenials.Inc()
+				c.auditDecision(obs.TraceID(ctx), sessionKey, op.String(), key, "deny", d.reason, meta.PolicyID)
 				return &DeniedError{Op: op.String(), Key: key, Reason: d.reason}
 			}
+			c.auditDecision(obs.TraceID(ctx), sessionKey, op.String(), key, "allow", "", meta.PolicyID)
 			return nil
 		}
 	}
 
+	sctx, span := obs.StartSpan(ctx, "policy_eval")
 	req := buildPolicyRequest(pe, op, key, sessionKey, nextVersion, certs, c.clock())
 	var dec policy.Decision
 	if c.cfg.PolicyIndexedOnly {
-		dec, err = policy.EvalIndexed(prog, req, &objectSource{c: c, ctx: ctx})
+		dec, err = policy.EvalIndexed(prog, req, &objectSource{c: c, ctx: sctx})
 	} else {
-		dec, err = policy.Eval(prog, req, &objectSource{c: c, ctx: ctx})
+		dec, err = policy.Eval(prog, req, &objectSource{c: c, ctx: sctx})
 	}
-	c.stats.add(func(s *Stats) {
-		s.PolicyChecks++
-		s.PolicyEvals++
-		s.IndexSkippedClauses += uint64(dec.Skipped)
-	})
+	span.End()
+	c.stats.PolicyChecks.Inc()
+	c.stats.PolicyEvals.Inc()
+	c.stats.IndexSkippedClauses.Add(uint64(dec.Skipped))
 	if err != nil {
 		return err
 	}
@@ -567,9 +577,11 @@ func (c *Controller) checkPolicyCtx(ctx context.Context, pe *policyEval, op lang
 		c.decisionCache.Put(decKey, cachedDecision{allowed: dec.Allowed, reason: dec.Reason})
 	}
 	if !dec.Allowed {
-		c.stats.add(func(s *Stats) { s.PolicyDenials++ })
+		c.stats.PolicyDenials.Inc()
+		c.auditDecision(obs.TraceID(ctx), sessionKey, op.String(), key, "deny", dec.Reason, meta.PolicyID)
 		return &DeniedError{Op: op.String(), Key: key, Reason: dec.Reason}
 	}
+	c.auditDecision(obs.TraceID(ctx), sessionKey, op.String(), key, "allow", "", meta.PolicyID)
 	return nil
 }
 
@@ -767,7 +779,7 @@ func (c *Controller) loadPolicy(ctx context.Context, id string) (*policy.Program
 		},
 		func(p *policy.Program) { c.policyCache.Put(id, p) })
 	if shared {
-		c.stats.add(func(s *Stats) { s.CoalescedReads++ })
+		c.stats.CoalescedReads.Inc()
 	}
 	return prog, err
 }

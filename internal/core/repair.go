@@ -109,10 +109,8 @@ func (c *Controller) repairRecords(ctx context.Context, key string, meta *store.
 		report.RestoredBytes += int64(len(metaRec))
 	}
 	if report.Restored > 0 {
-		c.stats.add(func(s *Stats) {
-			s.Repairs++
-			s.RepairBytes += uint64(report.RestoredBytes)
-		})
+		c.stats.Repairs.Inc()
+		c.stats.RepairBytes.Add(uint64(report.RestoredBytes))
 	}
 	return report, nil
 }
@@ -198,7 +196,7 @@ func (c *Controller) RepairSweep(ctx context.Context) (*SweepReport, error) {
 			report.Restored += rep.Restored
 		}
 	}
-	c.stats.add(func(s *Stats) { s.RepairSweeps++ })
+	c.stats.RepairSweeps.Inc()
 	return report, nil
 }
 

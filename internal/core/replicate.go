@@ -30,11 +30,13 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/kinetic/kclient"
 	"repro/internal/kinetic/wire"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -299,7 +301,7 @@ func readHedged[T any](ctx context.Context, c *Controller, pools []*drivePool, r
 				launch()
 			}
 		case <-hedge:
-			c.stats.add(func(s *Stats) { s.ReadHedges++ })
+			c.stats.ReadHedges.Inc()
 			launch()
 		case <-ctx.Done():
 			if timer != nil {
@@ -400,12 +402,15 @@ func (c *Controller) replicationFailed(err error, keys ...string) error {
 // engine.
 func (c *Controller) writeThrough(ctx context.Context, w *replicaWrite) error {
 	placement := c.placement(w.key)
+	ctx, span := obs.StartSpan(ctx, "replicate")
+	span.Attr("replicas", strconv.Itoa(len(placement)))
 	var err error
 	if c.cfg.SerialReplication {
 		err = c.putReplicasSerial(ctx, w, placement)
 	} else {
 		err = c.putReplicas(ctx, w, placement)
 	}
+	span.End()
 	return c.replicationFailed(err, w.key)
 }
 
@@ -608,7 +613,8 @@ func (c *Controller) commitTxWrites(ctx context.Context, writes []txWrite) error
 		c.noteWrite(w.key, len(writes[i].value))
 		bytes += uint64(len(writes[i].value))
 	}
-	c.stats.add(func(s *Stats) { s.Puts += n; s.WriteBytes += bytes })
+	c.stats.Puts.Add(n)
+	c.stats.WriteBytes.Add(bytes)
 	return nil
 }
 

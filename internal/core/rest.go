@@ -9,8 +9,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/authority"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/tlsutil"
 )
@@ -53,6 +55,8 @@ func NewREST(ctl *Controller) *RESTServer {
 	s.mux.HandleFunc("GET /v1/tx/{id}/results", s.handleTxResults)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/cluster/map", s.handleClusterMap)
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.registerV2()
 	return s
 }
@@ -63,7 +67,101 @@ func (s *RESTServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// runtime (receive + send).
 	s.ctl.cost.Syscall()
 	defer s.ctl.cost.Syscall()
-	s.mux.ServeHTTP(w, r)
+	op := opForRequest(r)
+	if op == "" || s.ctl.tracer == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	// Adopt the caller's trace id (router or client ahead of us) so
+	// their attempts and our work stitch into one trace; otherwise the
+	// controller is the trace root — head-sampled, because only an
+	// explicit id promises someone is watching this particular request.
+	id, _ := obs.ParseTraceID(r.Header.Get(obs.TraceHeader))
+	if id == 0 && !s.ctl.tracer.Sampled() {
+		started := time.Now()
+		s.mux.ServeHTTP(w, r)
+		s.ctl.observeOp(op, time.Since(started))
+		return
+	}
+	ctx, root := s.ctl.tracer.Start(r.Context(), op, id)
+	if ri, ok := obs.ParseRouteInfo(r.Header.Get(obs.RouteHeader)); ok {
+		// The routing already happened client-side; the span carries
+		// its attempt counters, not a duration.
+		obs.RecordSpan(ctx, "router", time.Now(), 0,
+			obs.Attr{Key: "attempt", Value: strconv.Itoa(ri.Attempt)},
+			obs.Attr{Key: "redirects", Value: strconv.Itoa(ri.Redirects)},
+			obs.Attr{Key: "retargets", Value: strconv.Itoa(ri.Retargets)})
+	}
+	w.Header().Set(obs.TraceHeader, obs.FormatTraceID(obs.TraceID(ctx)))
+	started := time.Now()
+	s.mux.ServeHTTP(w, r.WithContext(ctx))
+	root.End()
+	s.ctl.observeOp(op, time.Since(started))
+}
+
+// opForRequest classifies a request into the latency-histogram op
+// buckets; "" for endpoints not traced (status, metrics, the trace
+// API itself).
+func opForRequest(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case strings.HasPrefix(p, "/v1/objects/"), strings.HasPrefix(p, "/v2/objects/"):
+		switch r.Method {
+		case http.MethodGet:
+			return "get"
+		case http.MethodDelete:
+			return "delete"
+		default:
+			return "put"
+		}
+	case p == "/v2/objects":
+		return "scan"
+	case strings.HasPrefix(p, "/v2/batch/"):
+		return "batch"
+	case strings.HasPrefix(p, "/v1/tx"):
+		return "tx"
+	case strings.HasPrefix(p, "/v1/versions/"), strings.HasPrefix(p, "/v1/verify/"),
+		strings.HasPrefix(p, "/v1/repair/"), strings.HasPrefix(p, "/v1/policies"),
+		strings.HasPrefix(p, "/v1/results/"), strings.HasPrefix(p, "/v2/results/"):
+		return "other"
+	}
+	return ""
+}
+
+// handleTrace serves a completed trace's span tree by hex id.
+func (s *RESTServer) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.session(r); err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	id, ok := obs.ParseTraceID(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusBadRequest, errors.New("bad trace id (want 16 hex digits)"))
+		return
+	}
+	d := s.ctl.TraceDump(id)
+	if d == nil {
+		httpError(w, http.StatusNotFound, errors.New("trace unknown or aged out"))
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+// handleMetrics serves the Prometheus text format on the mTLS API
+// port. Deployments that scrape without client certificates use the
+// daemons' side listener (obs.Serve) instead.
+func (s *RESTServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.session(r); err != nil {
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	}
+	reg := s.ctl.Registry()
+	if reg == nil {
+		httpError(w, http.StatusNotFound, errors.New("observability disabled"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WritePrometheus(w)
 }
 
 // session authenticates the request and returns its session context.

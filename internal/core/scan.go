@@ -125,7 +125,8 @@ func (c *Controller) scanObjects(ctx context.Context, sessionKey string, opts Sc
 		for i := range page.Entries {
 			c.noteRead(string(page.Entries[i].Key), 0)
 		}
-		c.stats.add(func(st *Stats) { st.Scans++; st.ScanFiltered += filtered })
+		c.stats.Scans.Inc()
+		c.stats.ScanFiltered.Add(filtered)
 	}()
 	for {
 		merged, advance, exhausted, err := c.scanRound(ctx, cursor, inclusive, rangeEnd, limit+1)

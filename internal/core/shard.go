@@ -200,7 +200,7 @@ func (s *shardState) update(f func(v *shardView)) {
 
 // wrongShard builds the redirect error and counts it.
 func (c *Controller) wrongShard(key string) error {
-	c.stats.add(func(s *Stats) { s.WrongShard++ })
+	c.stats.WrongShard.Inc()
 	return fmt.Errorf("%w: %q", ErrWrongShard, key)
 }
 

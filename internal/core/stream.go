@@ -246,7 +246,9 @@ func (c *Controller) putObjectStream(ctx context.Context, sessionKey, key string
 		return 0, err
 	}
 	c.noteWrite(key, int(total))
-	c.stats.add(func(s *Stats) { s.Puts++; s.Streams++; s.WriteBytes += uint64(total) })
+	c.stats.Puts.Inc()
+	c.stats.Streams.Inc()
+	c.stats.WriteBytes.Add(uint64(total))
 	return next, nil
 }
 
@@ -357,7 +359,8 @@ func (c *Controller) getObjectStream(ctx context.Context, sessionKey, key string
 			return err
 		}
 		c.noteRead(key, len(rec.Payload))
-		c.stats.add(func(s *Stats) { s.Gets++; s.ReadBytes += uint64(len(rec.Payload)) })
+		c.stats.Gets.Inc()
+		c.stats.ReadBytes.Add(uint64(len(rec.Payload)))
 		return &m, send, nil
 	}
 	send := func(w io.Writer) error {
@@ -384,7 +387,9 @@ func (c *Controller) getObjectStream(ctx context.Context, sessionKey, key string
 		return nil
 	}
 	c.noteRead(key, int(m.Size))
-	c.stats.add(func(s *Stats) { s.Gets++; s.Streams++; s.ReadBytes += uint64(m.Size) })
+	c.stats.Gets.Inc()
+	c.stats.Streams.Inc()
+	c.stats.ReadBytes.Add(uint64(m.Size))
 	return &m, send, nil
 }
 
@@ -407,7 +412,7 @@ func (c *Controller) loadChunk(ctx context.Context, key string, version, idx int
 		},
 		func(r *store.Record) { c.objectCache.Put(ck, r) })
 	if shared {
-		c.stats.add(func(s *Stats) { s.CoalescedReads++ })
+		c.stats.CoalescedReads.Inc()
 	}
 	return rec, err
 }

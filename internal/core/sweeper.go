@@ -206,12 +206,10 @@ func (c *Controller) SweepTick(ctx context.Context) (*SweepTickReport, error) {
 	sw.lastTick = c.clock()
 	sw.mu.Unlock()
 
-	c.stats.add(func(s *Stats) {
-		s.SweepTicks++
-		if wrapped {
-			s.RepairSweeps++
-		}
-	})
+	c.stats.SweepTicks.Inc()
+	if wrapped {
+		c.stats.RepairSweeps.Inc()
+	}
 	return report, nil
 }
 

@@ -105,7 +105,7 @@ func (s *Session) AbortTx(txID uint64) error {
 		s.ctl.locks.Finish(tx.lock)
 	}
 	delete(s.txs, txID)
-	s.ctl.stats.add(func(st *Stats) { st.TxAborts++ })
+	s.ctl.stats.TxAborts.Inc()
 	return nil
 }
 
@@ -230,7 +230,7 @@ func (s *Session) CommitTx(ctx context.Context, txID uint64) error {
 	s.mu.Lock()
 	tx.results = results
 	s.mu.Unlock()
-	s.ctl.stats.add(func(st *Stats) { st.TxCommits++ })
+	s.ctl.stats.TxCommits.Inc()
 	return nil
 }
 
@@ -258,7 +258,7 @@ func (s *Session) txAbort(txID uint64, cause error) error {
 		tx.results = append(tx.results, TxOpResult{Op: "abort", Err: cause.Error()})
 	}
 	s.mu.Unlock()
-	s.ctl.stats.add(func(st *Stats) { st.TxAborts++ })
+	s.ctl.stats.TxAborts.Inc()
 	return cause
 }
 

@@ -184,7 +184,20 @@ func (d *Drive) lookupAccount(identity string) (wire.ACL, bool) {
 // the caller must drop the carrying connection without responding, as
 // a vanished drive would.
 func (d *Drive) Handle(req *wire.Message) *wire.Message {
-	resp := &wire.Message{Type: req.Type.Response(), Seq: req.Seq}
+	started := time.Now()
+	resp := &wire.Message{Type: req.Type.Response(), Seq: req.Seq, TraceID: req.TraceID}
+	defer func() {
+		if resp != nil {
+			// Report the drive's own service time (media wait included)
+			// so the controller can split the round trip into network
+			// and device without a shared clock.
+			if us := time.Since(started).Microseconds(); us > 0 {
+				resp.ServiceUs = uint32(min(us, int64(^uint32(0))))
+			} else {
+				resp.ServiceUs = 1
+			}
+		}
+	}()
 	if fs := d.faults.Load(); fs != nil {
 		if fs.cfg.Blackhole {
 			fs.dropped.Add(1)

@@ -12,10 +12,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/kinetic/wire"
+	"repro/internal/obs"
 )
 
 // Errors returned by the client, mapping drive status codes.
@@ -236,8 +239,13 @@ func (c *Client) ensureConn(ctx context.Context) error {
 }
 
 // roundTrip signs req, sends it, and waits for the matching response.
+// The context's trace id (if any) rides the wire message so a frame
+// capture or drive-side log pairs up with the controller's trace; the
+// drive's reported service time comes back as a span on that trace.
 func (c *Client) roundTrip(ctx context.Context, req *wire.Message) (*wire.Message, error) {
 	req.Seq = c.seq.Add(1)
+	req.TraceID = obs.TraceID(ctx)
+	started := time.Now()
 
 	// ensureConn returns holding c.mu with a live connection.
 	if err := c.ensureConn(ctx); err != nil {
@@ -269,6 +277,15 @@ func (c *Client) roundTrip(ctx context.Context, req *wire.Message) (*wire.Messag
 	case resp, ok := <-ch:
 		if !ok {
 			return nil, errors.New("kinetic: connection lost")
+		}
+		if resp.ServiceUs != 0 {
+			// Attribute the drive's own service time (media wait
+			// included) under the current span; the remainder of the
+			// round trip is network and queueing.
+			obs.RecordSpan(ctx, "drive", started,
+				time.Since(started),
+				obs.Attr{Key: "media_us", Value: strconv.FormatUint(uint64(resp.ServiceUs), 10)},
+				obs.Attr{Key: "op", Value: req.Type.String()})
 		}
 		return resp, nil
 	case <-ctx.Done():

@@ -278,6 +278,15 @@ type Message struct {
 	// TBatchResp, one entry per request group, in order.
 	GroupStatus []BatchGroupStatus
 
+	// TraceID propagates the end-to-end trace context onto the drive
+	// link (requests; echoed in responses so a frame capture pairs up).
+	TraceID uint64
+	// ServiceUs reports the drive's internal service time for the
+	// request in microseconds (responses only), letting the controller
+	// split drive latency into network and media wait without a clock
+	// shared with the drive.
+	ServiceUs uint32
+
 	HMAC []byte // authentication tag, set by Sign
 }
 
@@ -310,6 +319,8 @@ const (
 	fFailedIndex
 	fGroupSize
 	fGroupStatus
+	fTraceID
+	fServiceUs
 )
 
 // Marshal encodes m, including its HMAC field if present.
@@ -411,6 +422,16 @@ func (m *Message) marshalBody(buf []byte) []byte {
 		buf = append(buf, fGroupStatus)
 		buf = binary.AppendUvarint(buf, uint64(groupStatusSize(g)))
 		buf = appendGroupStatusBody(buf, g)
+	}
+	if m.TraceID != 0 {
+		var tid [8]byte
+		binary.BigEndian.PutUint64(tid[:], m.TraceID)
+		buf = appendField(buf, fTraceID, tid[:])
+	}
+	if m.ServiceUs != 0 {
+		var su [4]byte
+		binary.BigEndian.PutUint32(su[:], m.ServiceUs)
+		buf = appendField(buf, fServiceUs, su[:])
 	}
 	return buf
 }
@@ -516,6 +537,16 @@ func (m *Message) Unmarshal(data []byte) error {
 				return err
 			}
 			m.GroupStatus = append(m.GroupStatus, g)
+		case fTraceID:
+			if len(val) != 8 {
+				return errors.New("wire: bad traceID field")
+			}
+			m.TraceID = binary.BigEndian.Uint64(val)
+		case fServiceUs:
+			if len(val) != 4 {
+				return errors.New("wire: bad serviceUs field")
+			}
+			m.ServiceUs = binary.BigEndian.Uint32(val)
 		case fHMAC:
 			m.HMAC = cloneBytes(val)
 		default:

@@ -28,6 +28,8 @@ func TestMarshalRoundTrip(t *testing.T) {
 	msgs := []*Message{
 		sampleMessage(),
 		{Type: TGet, Seq: 1, User: "u", Key: []byte("k")},
+		{Type: TGet, Seq: 2, User: "u", Key: []byte("k"), TraceID: 0xdeadbeefcafef00d},
+		{Type: TGetResponse, Seq: 2, Value: []byte("v"), TraceID: 0xdeadbeefcafef00d, ServiceUs: 1250},
 		{Type: TGetKeyRange, StartKey: []byte("a"), EndKey: []byte("z"),
 			MaxReturned: 100, Reverse: true, KeyInclusive: true},
 		{Type: TSecurity, ACLs: []ACL{

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of histogram buckets. Bounds grow in
+// powers of two from 1µs (bucket 0 ≤ 1µs, bucket 26 ≤ ~67s); the
+// last bucket is +Inf. Log bucketing bounds the relative quantile
+// error at 2× — the right trade for latency, where the interesting
+// signal spans six orders of magnitude.
+const HistBuckets = 28
+
+// BucketBound returns bucket i's upper bound in nanoseconds
+// (undefined for the +Inf bucket, i == HistBuckets-1).
+func BucketBound(i int) int64 { return 1000 << uint(i) }
+
+// bucketIndex maps a duration to its bucket: the smallest i with
+// d ≤ BucketBound(i), overflow in the +Inf bucket.
+func bucketIndex(d time.Duration) int {
+	n := d.Nanoseconds()
+	if n <= 1000 {
+		return 0
+	}
+	q := (uint64(n) + 999) / 1000
+	i := bits.Len64(q - 1)
+	if i > HistBuckets-1 {
+		i = HistBuckets - 1
+	}
+	return i
+}
+
+// Histogram is a lock-free log-bucketed latency histogram: fixed
+// atomic bucket counters plus sum and count. Zero value ready.
+// Recording is wait-free; Snapshot reads the counters without a lock,
+// so a snapshot taken under concurrent recording is approximate (each
+// word individually exact, the set not cut at one instant) — the
+// standard monitoring trade.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Observe records one duration (negative clamps to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(uint64(d.Nanoseconds()))
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// Snapshot copies the histogram's counters.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: plain
+// words, safe to merge and query off the hot path.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Buckets [HistBuckets]uint64
+}
+
+// Merge returns the element-wise sum of two snapshots. Merging is
+// commutative and associative — per-shard or per-drive histograms
+// aggregate in any order to the same result.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	return s
+}
+
+// Mean returns the average recorded duration.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the containing log bucket; the estimate is
+// within a factor of two of the true value by construction.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := uint64(0)
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = BucketBound(i - 1)
+			}
+			hi := BucketBound(i)
+			if i == HistBuckets-1 {
+				hi = 2 * lo // open-ended; assume one octave
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return time.Duration(BucketBound(HistBuckets - 2))
+}

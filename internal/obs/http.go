@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler builds the daemons' observability mux: GET /metrics in the
+// Prometheus text format, plus /debug/pprof behind a loopback-only
+// peer check. All three daemons (pesos, kineticd, attestd) mount this
+// on a side listener; profiling endpoints leak memory contents, so —
+// like the kineticd chaos endpoint — pprof answers loopback peers
+// only even if the listener is misconfigured onto a routable address.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	guard := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, req *http.Request) {
+			host, _, err := net.SplitHostPort(req.RemoteAddr)
+			if err != nil || !net.ParseIP(host).IsLoopback() {
+				http.Error(w, "pprof is loopback-only", http.StatusForbidden)
+				return
+			}
+			h(w, req)
+		}
+	}
+	mux.HandleFunc("/debug/pprof/", guard(pprof.Index))
+	mux.HandleFunc("/debug/pprof/cmdline", guard(pprof.Cmdline))
+	mux.HandleFunc("/debug/pprof/profile", guard(pprof.Profile))
+	mux.HandleFunc("/debug/pprof/symbol", guard(pprof.Symbol))
+	mux.HandleFunc("/debug/pprof/trace", guard(pprof.Trace))
+	return mux
+}
+
+// Serve starts the observability endpoint on addr. The listener
+// itself may be non-loopback (Prometheus scrapes over the network);
+// pprof stays loopback-gated per request regardless.
+func Serve(addr string, r *Registry) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return srv, nil
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramConcurrentQuantiles records a known distribution from
+// many goroutines and checks that no sample is lost and the quantile
+// estimates stay within the log-bucket error bound (a factor of two).
+func TestHistogramConcurrentQuantiles(t *testing.T) {
+	h := &Histogram{}
+	const workers = 16
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Uniform 1..10ms, identical per worker so the global
+				// distribution matches the per-worker one.
+				d := time.Duration(1+i%10) * time.Millisecond
+				h.Observe(d)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("lost samples under concurrency: count=%d want %d", s.Count, workers*perWorker)
+	}
+	var bucketTotal uint64
+	for _, b := range s.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketTotal, s.Count)
+	}
+	wantMean := 5500 * time.Microsecond
+	if m := s.Mean(); m != wantMean {
+		t.Fatalf("mean=%v want %v (sum is exact)", m, wantMean)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 5 * time.Millisecond},
+		{0.9, 9 * time.Millisecond},
+		{0.99, 10 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		if got < c.want/2 || got > c.want*2 {
+			t.Errorf("q%.2f=%v outside [%v, %v]", c.q, got, c.want/2, c.want*2)
+		}
+	}
+}
+
+// TestSnapshotMergeAssociative checks (a⊕b)⊕c == a⊕(b⊕c) == c⊕(a⊕b):
+// merged per-shard snapshots must not depend on aggregation order.
+func TestSnapshotMergeAssociative(t *testing.T) {
+	mk := func(seed int) HistogramSnapshot {
+		h := &Histogram{}
+		for i := 0; i < 500; i++ {
+			h.Observe(time.Duration((seed*31+i*7)%20000) * time.Microsecond)
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	rot := c.Merge(a.Merge(b))
+	if left != right || left != rot {
+		t.Fatalf("merge is not associative/commutative:\nleft=%+v\nright=%+v\nrot=%+v", left, right, rot)
+	}
+	if left.Count != a.Count+b.Count+c.Count {
+		t.Fatalf("merged count %d != %d", left.Count, a.Count+b.Count+c.Count)
+	}
+	// Quantiles of a merge are computed on the merged buckets.
+	if q := left.Quantile(0.5); q <= 0 {
+		t.Fatalf("merged quantile should be positive, got %v", q)
+	}
+}
+
+// TestBucketIndexBounds pins the bucket mapping at the boundaries.
+func TestBucketIndexBounds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{4096 * time.Microsecond, 12},
+		{4097 * time.Microsecond, 13},
+		{time.Hour, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v)=%d want %d", c.d, got, c.want)
+		}
+	}
+	for i := 0; i < HistBuckets-1; i++ {
+		if got := bucketIndex(time.Duration(BucketBound(i))); got != i {
+			t.Errorf("bound %d maps to bucket %d, want %d", BucketBound(i), got, i)
+		}
+	}
+}
+
+// promLine matches the sample lines of the text exposition format.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\\n]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\\n]*")*\})? (?:[0-9.eE+-]+|NaN|\+Inf|-Inf)$`)
+
+// lintPromText is the repo's no-dependency promtext lint: every line
+// is a HELP, TYPE or well-formed sample line; HELP/TYPE precede their
+// family's samples exactly once; histogram families expose _bucket,
+// _sum and _count with a final le="+Inf".
+func lintPromText(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]string{}
+	helped := map[string]bool{}
+	sampled := map[string]bool{}
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if len(parts) != 2 || parts[0] == "" {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			if helped[parts[0]] {
+				t.Fatalf("line %d: duplicate HELP for %s", ln+1, parts[0])
+			}
+			helped[parts[0]] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(line[len("# TYPE "):])
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, typ := parts[0], parts[1]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown type %q", ln+1, typ)
+			}
+			if _, dup := typed[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			if sampled[name] {
+				t.Fatalf("line %d: TYPE for %s after its samples", ln+1, name)
+			}
+			typed[name] = typ
+		default:
+			if !promLine.MatchString(line) {
+				t.Fatalf("line %d: malformed sample line: %q", ln+1, line)
+			}
+			name := line
+			if i := strings.IndexAny(name, "{ "); i >= 0 {
+				name = name[:i]
+			}
+			family := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if base := strings.TrimSuffix(name, suffix); base != name {
+					if typed[base] == "histogram" {
+						family = base
+					}
+				}
+			}
+			if _, ok := typed[family]; !ok {
+				t.Fatalf("line %d: sample %s has no TYPE", ln+1, name)
+			}
+			sampled[family] = true
+		}
+	}
+	for name := range typed {
+		if !helped[name] {
+			t.Fatalf("family %s has TYPE but no HELP", name)
+		}
+	}
+}
+
+// TestWritePrometheusLint scrapes a registry exercising every metric
+// kind, label handling included, through the promtext lint.
+func TestWritePrometheusLint(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pesos_ops_total", "Operations served.")
+	c.Add(42)
+	for _, op := range []string{"get", "put"} {
+		op := op
+		r.CounterFunc(fmt.Sprintf(`pesos_typed_ops_total{op=%q}`, op), "Operations by type.", func() uint64 { return 7 })
+	}
+	r.GaugeFunc("pesos_cache_bytes", "Cache residency.", func() float64 { return 123.5 })
+	h := r.Histogram(`pesos_request_seconds{op="get"}`, "Request latency.")
+	h.Observe(3 * time.Millisecond)
+	h.Observe(40 * time.Microsecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	lintPromText(t, text)
+
+	for _, want := range []string{
+		"pesos_ops_total 42",
+		`pesos_typed_ops_total{op="get"} 7`,
+		"pesos_cache_bytes 123.5",
+		`pesos_request_seconds_bucket{op="get",le="+Inf"} 2`,
+		`pesos_request_seconds_count{op="get"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRegistryReplace confirms re-registering a name replaces the
+// series instead of duplicating it (restart-safe registration).
+func TestRegistryReplace(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("x_total", "X.", func() uint64 { return 1 })
+	r.CounterFunc("x_total", "X.", func() uint64 { return 2 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := 0
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "x_total ") {
+			samples++
+		}
+	}
+	if samples != 1 || !strings.Contains(b.String(), "x_total 2") {
+		t.Fatalf("replacement failed:\n%s", b.String())
+	}
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("trace id 0 is reserved for 'absent'")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %x", id)
+		}
+		seen[id] = true
+		back, ok := ParseTraceID(FormatTraceID(id))
+		if !ok || back != id {
+			t.Fatalf("round trip %x -> %q -> %x ok=%v", id, FormatTraceID(id), back, ok)
+		}
+	}
+	for _, bad := range []string{"", "zz", "00000000000000000", FormatTraceID(0)} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestRouteInfoRoundTrip(t *testing.T) {
+	ri := RouteInfo{Attempt: 3, Redirects: 1, Retargets: 2}
+	got, ok := ParseRouteInfo(ri.String())
+	if !ok || got != ri {
+		t.Fatalf("round trip failed: %q -> %+v ok=%v", ri.String(), got, ok)
+	}
+	if _, ok := ParseRouteInfo(""); ok {
+		t.Error("empty header parsed as valid")
+	}
+}
+
+func TestTracerSpanTree(t *testing.T) {
+	store := NewTraceStore(8)
+	tr := NewTracer(TracerConfig{Store: store})
+
+	ctx, root := tr.Start(context.Background(), "put", 0)
+	id := TraceID(ctx)
+	if id == 0 {
+		t.Fatal("no trace id in context under active span")
+	}
+
+	pctx, policy := StartSpan(ctx, "policy_eval")
+	policy.Attr("residual", "hit")
+	_ = pctx
+	policy.End()
+
+	// Concurrent replica fan-out spans under one parent.
+	rctx, rep := StartSpan(ctx, "replicate")
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			RecordSpan(rctx, "drive_media", time.Now(), 250*time.Microsecond,
+				Attr{Key: "drive", Value: fmt.Sprintf("d%d", i)})
+		}(i)
+	}
+	wg.Wait()
+	rep.End()
+	root.Attr("key", "users/7").End()
+
+	trace := store.Get(id)
+	if trace == nil {
+		t.Fatal("completed trace not in store")
+	}
+	d := trace.Dump()
+	if d.ID != FormatTraceID(id) {
+		t.Fatalf("dump id %s want %s", d.ID, FormatTraceID(id))
+	}
+	if len(d.Spans) != 6 { // root + policy + replicate + 3 media
+		t.Fatalf("span count %d want 6: %+v", len(d.Spans), d.Spans)
+	}
+	byName := map[string]SpanDump{}
+	var rootSpan SpanDump
+	for _, sp := range d.Spans {
+		byName[sp.Name] = sp
+		if sp.Parent == 0 {
+			rootSpan = sp
+		}
+	}
+	if rootSpan.Name != "put" || rootSpan.Attrs["key"] != "users/7" {
+		t.Fatalf("bad root span %+v", rootSpan)
+	}
+	if byName["policy_eval"].Parent != rootSpan.ID || byName["policy_eval"].Attrs["residual"] != "hit" {
+		t.Fatalf("bad policy span %+v", byName["policy_eval"])
+	}
+	if byName["drive_media"].Parent != byName["replicate"].ID {
+		t.Fatalf("media span not under replicate: %+v", byName["drive_media"])
+	}
+
+	tree := FormatTree(d)
+	for _, want := range []string{"put", "policy_eval", "replicate", "drive_media", "residual=hit"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+func TestTracerAdoptsCallerID(t *testing.T) {
+	store := NewTraceStore(4)
+	tr := NewTracer(TracerConfig{Store: store})
+	want := NewTraceID()
+	ctx, root := tr.Start(context.Background(), "get", want)
+	if TraceID(ctx) != want {
+		t.Fatalf("adopted id %x want %x", TraceID(ctx), want)
+	}
+	root.End()
+	if store.Get(want) == nil {
+		t.Fatal("trace with adopted id not retrievable")
+	}
+}
+
+func TestNilTracerIsKillSwitch(t *testing.T) {
+	var tr *Tracer
+	ctx, root := tr.Start(context.Background(), "get", 0)
+	if root != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	if TraceID(ctx) != 0 {
+		t.Fatal("nil tracer installed a trace id")
+	}
+	// All downstream calls must be no-ops, not panics.
+	cctx, child := StartSpan(ctx, "child")
+	child.Attr("k", "v").End()
+	RecordSpan(cctx, "remote", time.Now(), time.Millisecond)
+	root.Attr("k", "v")
+	root.End()
+}
+
+func TestSlowOpLogged(t *testing.T) {
+	var mu sync.Mutex
+	var logged string
+	tr := NewTracer(TracerConfig{
+		Store:         NewTraceStore(4),
+		SlowThreshold: time.Nanosecond,
+		SlowLog: func(format string, args ...any) {
+			mu.Lock()
+			logged = fmt.Sprintf(format, args...)
+			mu.Unlock()
+		},
+	})
+	ctx, root := tr.Start(context.Background(), "scan", 0)
+	_, s := StartSpan(ctx, "drive_media")
+	s.End()
+	root.End()
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(logged, "slow op") || !strings.Contains(logged, "drive_media") {
+		t.Fatalf("slow-op log missing span tree: %q", logged)
+	}
+}
+
+func TestTraceStoreEviction(t *testing.T) {
+	store := NewTraceStore(2)
+	tr := NewTracer(TracerConfig{Store: store})
+	var ids []uint64
+	for i := 0; i < 3; i++ {
+		ctx, root := tr.Start(context.Background(), "op", 0)
+		ids = append(ids, TraceID(ctx))
+		root.End()
+	}
+	if store.Get(ids[0]) != nil {
+		t.Fatal("oldest trace should be evicted from a 2-slot ring")
+	}
+	if store.Get(ids[1]) == nil || store.Get(ids[2]) == nil {
+		t.Fatal("recent traces missing")
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	tr := NewTracer(TracerConfig{Store: NewTraceStore(4)})
+	ctx, root := tr.Start(context.Background(), "scan", 0)
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		_, s := StartSpan(ctx, "page")
+		s.End()
+	}
+	root.End()
+	d := tr.store.Get(TraceID(ctx)).Dump()
+	if len(d.Spans) != maxSpansPerTrace {
+		t.Fatalf("span cap not enforced: %d", len(d.Spans))
+	}
+	if d.Dropped == 0 {
+		t.Fatal("dropped spans not counted")
+	}
+}

@@ -120,6 +120,20 @@ type Options struct {
 	// (0 = core defaults).
 	SweepKeysPerTick  int
 	SweepBytesPerTick int64
+	// DisableObs turns the observability layer off (no registry,
+	// tracer or audit log) — the kill switch the overhead figure
+	// measures against.
+	DisableObs bool
+	// AuditDir enables the sealed audit decision log in this directory.
+	AuditDir string
+	// AuditSampleAllow records 1-in-N ALLOW decisions (0 = denies only).
+	AuditSampleAllow int
+	// SlowOpThreshold overrides the slow-op trace dump threshold
+	// (0 = core default, negative disables).
+	SlowOpThreshold time.Duration
+	// TraceSample head-samples self-initiated traces 1-in-N (0 or
+	// 1 = all; explicit X-Pesos-Trace ids are always traced).
+	TraceSample int
 }
 
 // env is the deployment-wide substrate nodes share: one CA, one
@@ -351,6 +365,11 @@ func bootNode(e *env, name string, ds *driveSet, ownsDrives bool, opts Options, 
 		SweepInterval:        opts.SweepInterval,
 		SweepKeysPerTick:     opts.SweepKeysPerTick,
 		SweepBytesPerTick:    opts.SweepBytesPerTick,
+		DisableObs:           opts.DisableObs,
+		AuditDir:             opts.AuditDir,
+		AuditSampleAllow:     opts.AuditSampleAllow,
+		SlowOpThreshold:      opts.SlowOpThreshold,
+		TraceSample:          opts.TraceSample,
 	}
 	for i := range c.Drives {
 		ln := c.driveLns[i]

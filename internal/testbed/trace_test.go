@@ -1,0 +1,184 @@
+package testbed
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// spanByName returns the first span with the given name, nil if none.
+func spanByName(d *obs.TraceDump, name string) *obs.SpanDump {
+	for i := range d.Spans {
+		if d.Spans[i].Name == name {
+			return &d.Spans[i]
+		}
+	}
+	return nil
+}
+
+// TestTracePropagatesAcrossRedirect checks that one trace id survives
+// a router redirect: a router holding the pre-handoff map dispatches
+// to the old owner, gets a wrong-shard redirect, refreshes and
+// re-dispatches — and the new owner's trace shows the whole journey:
+// the client-side router span with the redirect count, the controller
+// op span, and the drive span underneath it.
+func TestTracePropagatesAcrossRedirect(t *testing.T) {
+	mc, err := StartMulti(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	ctx := context.Background()
+
+	stale, _, err := mc.NewRouter("stale") // holds the epoch-1 map
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nKeys = 60
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("trace/%04d", i)
+		if res, err := stale.Put(ctx, keys[i], []byte("x"), client.PutOptions{}); err != nil || res.Err != nil {
+			t.Fatalf("load: %v / %v", err, res.Err)
+		}
+	}
+
+	// Move the upper quarter of shard 0's range; the stale router will
+	// keep dispatching moved keys to shard 0 until redirected.
+	before := mc.Map()
+	own := before.ShardByID(0).Ranges[0]
+	moved := core.HashRange{Start: own.End - (own.End-own.Start)/4, End: own.End}
+	if _, err := mc.Handoff(ctx, 0, 1, moved); err != nil {
+		t.Fatal(err)
+	}
+	var movedKey string
+	for _, key := range keys {
+		if moved.Contains(store.ShardHash(key)) {
+			movedKey = key
+			break
+		}
+	}
+	if movedKey == "" {
+		t.Skip("no test key hashed into the moved range")
+	}
+
+	id := obs.NewTraceID()
+	tctx := obs.WithTraceID(ctx, id)
+	if res, err := stale.Put(tctx, movedKey, []byte("after"), client.PutOptions{}); err != nil || res.Err != nil {
+		t.Fatalf("traced put: %v / %v", err, res.Err)
+	}
+
+	// The new owner (shard 1) served the final attempt under our id.
+	d := mc.Nodes[1].Controller.TraceDump(id)
+	if d == nil {
+		t.Fatalf("new owner has no trace %s", obs.FormatTraceID(id))
+	}
+	root := spanByName(d, "put")
+	if root == nil {
+		t.Fatalf("trace has no put root span: %+v", d.Spans)
+	}
+	router := spanByName(d, "router")
+	if router == nil {
+		t.Fatalf("trace has no client-side router span: %+v", d.Spans)
+	}
+	if router.Attrs["redirects"] != "1" {
+		t.Errorf("router span redirects = %q, want 1 (attrs %v)", router.Attrs["redirects"], router.Attrs)
+	}
+	if router.Attrs["attempt"] != "2" {
+		t.Errorf("router span attempt = %q, want 2", router.Attrs["attempt"])
+	}
+	if spanByName(d, "drive") == nil {
+		t.Errorf("trace lacks a drive span — drive media wait not stitched in: %+v", d.Spans)
+	}
+
+	// The old owner recorded the rejected first attempt under the same
+	// id: the two controllers' stores stitch into one end-to-end story.
+	if d0 := mc.Nodes[0].Controller.TraceDump(id); d0 == nil {
+		t.Errorf("old owner did not record the redirected attempt")
+	}
+}
+
+// TestTracePropagatesAcrossFailoverRetry checks the trace context
+// rides through an HA failover retry: a router holding the dead
+// active's endpoint fails its first dispatch, refreshes the map, and
+// the standby that took over records the trace with the router span
+// counting the extra attempt (retargets=1).
+func TestTracePropagatesAcrossFailoverRetry(t *testing.T) {
+	mc, err := StartMulti(1, Options{StandbysPerShard: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	const ttl = 300 * time.Millisecond
+	if err := mc.StartHA(ttl); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	stale, _, err := mc.NewRouter("stale") // will hold the dead endpoint
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := stale.Put(ctx, "ha/trace", []byte("v0"), client.PutOptions{}); err != nil || res.Err != nil {
+		t.Fatalf("load: %v / %v", err, res.Err)
+	}
+
+	mc.KillNode("pesos-0")
+	waitCtx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	newOwner, err := mc.WaitForOwner(waitCtx, 0, "pesos-0")
+	cancel()
+	if err != nil {
+		t.Fatalf("no takeover: %v", err)
+	}
+
+	// Wait until the new owner actually serves (map published is not
+	// the same instant the standby's takeover completed).
+	probe, _, err := mc.NewRouter("probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, _, err := probe.Get(ctx, "ha/trace", client.GetOptions{}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("standby never started serving")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// One traced op through the stale router: attempt 1 dies against
+	// the killed endpoint, the retarget path refreshes and attempt 2
+	// lands on the standby.
+	id := obs.NewTraceID()
+	tctx := obs.WithTraceID(ctx, id)
+	if res, err := stale.Put(tctx, "ha/trace", []byte("v1"), client.PutOptions{}); err != nil || res.Err != nil {
+		t.Fatalf("traced put after failover: %v / %v", err, res.Err)
+	}
+
+	node := mc.Node(newOwner)
+	if node == nil {
+		t.Fatalf("no node for new owner %q", newOwner)
+	}
+	d := node.Controller.TraceDump(id)
+	if d == nil {
+		t.Fatalf("new owner has no trace %s", obs.FormatTraceID(id))
+	}
+	router := spanByName(d, "router")
+	if router == nil {
+		t.Fatalf("trace has no router span: %+v", d.Spans)
+	}
+	if router.Attrs["retargets"] != "1" {
+		t.Errorf("router span retargets = %q, want 1 (attrs %v)", router.Attrs["retargets"], router.Attrs)
+	}
+	if router.Attrs["attempt"] != "2" {
+		t.Errorf("router span attempt = %q, want 2 (attrs %v)", router.Attrs["attempt"], router.Attrs)
+	}
+}
