@@ -328,6 +328,39 @@ func BenchmarkFigChaos(b *testing.B) {
 	}
 }
 
+// BenchmarkFigEC regenerates the erasure-coding figure: streamed
+// large objects on replication-3 vs Reed-Solomon 4+2, reporting raw
+// capacity per logical byte and GET throughput for both classes, plus
+// a timed shard rebuild after a drive kill under a closed-loop write
+// load. Emits BENCH_ec.json, which the CI ec-smoke job uploads as an
+// artifact.
+func BenchmarkFigEC(b *testing.B) {
+	s := microScale()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.FigEC(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tl := bench.LastECTimeline()
+		b.ReportMetric(tl.CapacityRepl, "repl-raw-per-byte")
+		b.ReportMetric(tl.CapacityEC, "ec-raw-per-byte")
+		b.ReportMetric(tl.GetRatio, "ec-get-ratio")
+		b.ReportMetric(tl.RebuildMs, "rebuild-ms")
+		if err := bench.WriteBenchECJSON("BENCH_ec.json", t); err != nil {
+			b.Fatal(err)
+		}
+		if tl.CapacityEC > 1.6 {
+			b.Fatalf("EC raw/logical %.2fx exceeds 1.6x at %d+%d", tl.CapacityEC, tl.K, tl.M)
+		}
+		if tl.GetRatio < 0.9 {
+			b.Fatalf("EC GET at %.2fx of the replicated baseline (< 0.9x)", tl.GetRatio)
+		}
+		if tl.LostAcked > 0 {
+			b.Fatalf("%d of %d acked writes lost during the rebuild phase", tl.LostAcked, tl.AckedWrites)
+		}
+	}
+}
+
 // BenchmarkFigObs measures the healthy-path overhead of the full
 // observability layer (tracing + metrics + audit sampling) against
 // the kill switch on identical YCSB-A replays, and emits

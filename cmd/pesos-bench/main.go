@@ -27,7 +27,10 @@
 // obs (healthy-path overhead of the observability layer — tracing,
 // metrics, audit sampling — vs the kill switch on identical YCSB-A
 // replays; emits BENCH_obs.json with the interleaved rounds and the
-// best-of overhead).
+// best-of overhead), ec (erasure-coded streaming vs replication-3:
+// capacity per logical byte, large-object PUT/GET throughput, and a
+// timed shard rebuild after a drive kill under load; emits
+// BENCH_ec.json with the run timeline).
 package main
 
 import (
@@ -40,7 +43,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan,hedge,cluster,gcommit,policy,failover,chaos,obs or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,enc,7,8,9,10,ablation,repl,scan,hedge,cluster,gcommit,policy,failover,chaos,obs,ec or all")
 	paper := flag.Bool("paper", false, "use the paper's full experiment scale (minutes per figure)")
 	jsonOut := flag.String("json", "BENCH_read.json", "path for the hedge figure's machine-readable output (empty disables)")
 	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "path for the cluster figure's machine-readable output (empty disables)")
@@ -49,6 +52,7 @@ func main() {
 	haJSON := flag.String("ha-json", "BENCH_ha.json", "path for the failover figure's machine-readable output (empty disables)")
 	chaosJSON := flag.String("chaos-json", "BENCH_chaos.json", "path for the chaos figure's machine-readable output (empty disables)")
 	obsJSON := flag.String("obs-json", "BENCH_obs.json", "path for the obs figure's machine-readable output (empty disables)")
+	ecJSON := flag.String("ec-json", "BENCH_ec.json", "path for the ec figure's machine-readable output (empty disables)")
 	flag.Parse()
 
 	scale := bench.Quick()
@@ -80,6 +84,7 @@ func main() {
 		{"failover", bench.FigFailover},
 		{"chaos", bench.FigChaos},
 		{"obs", bench.FigObs},
+		{"ec", bench.FigEC},
 	}
 
 	ran := false
@@ -143,6 +148,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("(wrote %s)\n", *obsJSON)
+		}
+		if f.name == "ec" && *ecJSON != "" {
+			if err := bench.WriteBenchECJSON(*ecJSON, t); err != nil {
+				fmt.Fprintf(os.Stderr, "pesos-bench: write %s: %v\n", *ecJSON, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(wrote %s)\n", *ecJSON)
 		}
 		fmt.Printf("(figure %s took %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
 	}

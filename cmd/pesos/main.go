@@ -53,6 +53,10 @@ func main() {
 	drives := flag.String("drives", "", "comma-separated drive addresses (host:port)")
 	driveTLS := flag.Bool("drive-tls", false, "connect to drives over TLS")
 	replicas := flag.Int("replicas", 1, "copies per object")
+	ecOn := flag.Bool("ec", false, "erasure-code large streamed objects (Reed-Solomon k+m) instead of full replication")
+	ecK := flag.Int("ec-k", 0, "data shards per EC stripe (0 = default 4)")
+	ecM := flag.Int("ec-m", 0, "parity shards per EC stripe (0 = default 2)")
+	ecMinBytes := flag.Int64("ec-min-bytes", 0, "minimum streamed object size for erasure coding; smaller objects stay replicated (0 = default 4 MiB)")
 	noEncrypt := flag.Bool("no-encrypt", false, "disable payload encryption (baseline)")
 	groupCommit := flag.Bool("group-commit", true, "coalesce concurrent writes into shared per-drive batches")
 	policyPartial := flag.Bool("policy-partial-eval", true, "compile per-session residual policies (false = interpreter baseline)")
@@ -90,6 +94,7 @@ func main() {
 		opts := runOpts{
 			state: *state, listen: *listen, drives: *drives, driveTLS: *driveTLS,
 			replicas: *replicas, encrypt: !*noEncrypt, groupCommit: *groupCommit,
+			ec: *ecOn, ecK: *ecK, ecM: *ecM, ecMinBytes: *ecMinBytes,
 			policyPartial: *policyPartial, shardMapFile: *shardMap, shardID: *shardID,
 			repairInterval: *repairInterval, detectInterval: *detectInterval,
 			sweepKeys: *sweepKeys, sweepBytes: *sweepBytes,
@@ -111,6 +116,9 @@ type runOpts struct {
 	state, listen, drives          string
 	driveTLS                       bool
 	replicas                       int
+	ec                             bool
+	ecK, ecM                       int
+	ecMinBytes                     int64
 	encrypt, groupCommit           bool
 	policyPartial                  bool
 	shardMapFile                   string
@@ -334,6 +342,10 @@ func run(o runOpts) error {
 	addrs := strings.Split(driveList, ",")
 	cfg := core.Config{
 		Replicas:          o.replicas,
+		EC:                o.ec,
+		ECDataShards:      o.ecK,
+		ECParityShards:    o.ecM,
+		ECMinBytes:        o.ecMinBytes,
 		Encrypt:           o.encrypt,
 		GroupCommit:       o.groupCommit,
 		PolicyPartialEval: o.policyPartial,

@@ -67,7 +67,7 @@ func main() {
 	version := flag.Int64("version", -1, "explicit version for put/get")
 	limit := flag.Int("limit", 100, "ls: page size")
 	pages := flag.Int("pages", 0, "ls: max pages to fetch (0 = all)")
-	long := flag.Bool("l", false, "ls: long listing (version, size, policy)")
+	long := flag.Bool("l", false, "ls: long listing (version, size, storage class, policy)")
 	token := flag.String("token", "", "ls: resume from a pagination token")
 	attestd := flag.String("attestd", "http://127.0.0.1:9443", "attestd base URL (cluster leases/failover)")
 	flag.Parse()
@@ -131,6 +131,12 @@ func main() {
 		}
 		fmt.Printf("deleted %q\n", args[1])
 	case "ls":
+		// flag.Parse stops at the subcommand, so accept the
+		// conventional `ls -l` spelling as well as `-l ls`.
+		if len(args) > 1 && args[1] == "-l" {
+			*long = true
+			args = append(args[:1], args[2:]...)
+		}
 		opts := client.ListOptions{Limit: *limit, Token: *token}
 		if len(args) > 1 {
 			opts.Prefix = args[1]
@@ -142,7 +148,11 @@ func main() {
 			}
 			for _, e := range p.Entries {
 				if *long {
-					fmt.Printf("%-12d %-10d %-16.16s %s\n", e.Version, e.Size, policyLabel(e.PolicyID), string(e.Key))
+					class := e.Class
+					if class == "" {
+						class = "rep"
+					}
+					fmt.Printf("%-12d %-10d %-8s %-16.16s %s\n", e.Version, e.Size, class, policyLabel(e.PolicyID), string(e.Key))
 				} else {
 					fmt.Println(string(e.Key))
 				}

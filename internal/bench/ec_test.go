@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFigECSmoke runs the erasure-coding figure at a shrunken object
+// count and checks the headline properties: the EC storage class
+// stores at most 1.6 raw bytes per logical byte (vs ~3 for the
+// replicated baseline), the drive kill is detected and the shards
+// rebuilt, no acked write is lost, and the BENCH_ec.json emission
+// round-trips.
+func TestFigECSmoke(t *testing.T) {
+	s := Quick()
+	s.Clients = 3
+	tbl, err := figEC(s, 2, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("got %d phase rows, want 3", len(tbl.Rows))
+	}
+	tl := LastECTimeline()
+	if tl.CapacityEC > 1.6 {
+		t.Fatalf("EC raw/logical %.2fx exceeds 1.6x", tl.CapacityEC)
+	}
+	if tl.CapacityRepl < 2.5 {
+		t.Fatalf("replicated baseline raw/logical %.2fx implausibly low", tl.CapacityRepl)
+	}
+	if tl.DetectMs <= 0 {
+		t.Fatalf("drive death never detected: %+v", tl)
+	}
+	if tl.RebuildMs <= 0 || tl.ShardRepairs == 0 {
+		t.Fatalf("no shard rebuild observed after the kill: %+v", tl)
+	}
+	if tl.AckedWrites == 0 {
+		t.Fatal("write load acked nothing")
+	}
+	if tl.LostAcked != 0 {
+		t.Fatalf("%d acked writes lost", tl.LostAcked)
+	}
+	if tl.GetECMBs <= 0 || tl.GetReplMBs <= 0 {
+		t.Fatalf("missing throughput figures: %+v", tl)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_ec.json")
+	if err := WriteBenchECJSON(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out BenchECJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Phases) != 3 {
+		t.Fatalf("json has %d phases, want 3", len(out.Phases))
+	}
+	if out.Timeline.CapacityEC != tl.CapacityEC {
+		t.Fatalf("timeline diverges through json: %+v vs %+v", out.Timeline, tl)
+	}
+}

@@ -169,12 +169,15 @@ type ListOptions struct {
 	Certs []*authority.Certificate
 }
 
-// ListEntry is one listed object.
+// ListEntry is one listed object. Class is the storage class
+// ("ec:k+m" for erasure-coded streamed objects, empty for fully
+// replicated).
 type ListEntry struct {
 	Key      core.JSONKey `json:"key"`
 	Version  int64        `json:"version"`
 	Size     int64        `json:"size"`
 	PolicyID string       `json:"policy"`
+	Class    string       `json:"class"`
 }
 
 // ListPage is one page of a listing; NextToken is empty once the

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/ec"
 	"repro/internal/enclave"
 	"repro/internal/enclave/attest"
 	"repro/internal/kinetic/kclient"
@@ -162,6 +163,24 @@ type Config struct {
 	// Kinetic value limit (store.MaxObjectSize).
 	MaxStreamBytes int64
 
+	// EC enables the erasure-coded storage class: streamed objects of
+	// at least ECMinBytes are striped k chunks at a time into k+m
+	// shards (k data + m Reed-Solomon parity), each shard on its own
+	// drive, instead of writing every chunk to every replica. Raw
+	// capacity per object drops from Replicas× to (k+m)/k× while any
+	// m drive losses remain survivable. Requires ECDataShards +
+	// ECParityShards ≤ len(Drives).
+	EC bool
+	// ECDataShards (k) and ECParityShards (m) shape the Reed-Solomon
+	// code; 0 selects 4 and 2.
+	ECDataShards   int
+	ECParityShards int
+	// ECMinBytes is the streamed-object size at which the EC class
+	// takes over. Smaller objects stay fully replicated — striping a
+	// small hot object across k+m drives buys little capacity and
+	// costs k drive round trips per read. 0 selects 4 MB.
+	ECMinBytes int64
+
 	// SessionTTL expires idle session contexts; 0 selects 10 minutes.
 	SessionTTL time.Duration
 
@@ -299,6 +318,12 @@ type Controller struct {
 	// streamLocks serialize streamed uploads per key (see stream.go).
 	streamLocks keyedLocks
 
+	// ecCode is the Reed-Solomon code for the configured
+	// (ECDataShards, ECParityShards) pair; nil when EC is off. Reads
+	// of objects written under a different historical (k, m) build a
+	// code on the fly (see ecCodeFor).
+	ecCode *ec.Code
+
 	// shard is the cluster sharding state; nil when unsharded.
 	shard *shardState
 
@@ -372,6 +397,10 @@ type Stats struct {
 	DriveDeaths         obs.Counter // detector transitions into the dead state
 	DriveRevives        obs.Counter // dead drives revived by the detector
 	AuditDropped        obs.Counter // audit records lost to a saturated queue
+	ECObjects           obs.Counter // streamed objects stored erasure-coded
+	ECParityBytes       obs.Counter // parity shard bytes written (the EC capacity overhead)
+	ECDecodes           obs.Counter // stripes served through a parity reconstruction
+	ECShardRepairs      obs.Counter // shards restored by repair (P2P copy or decode)
 }
 
 // StatsSnapshot is a point-in-time copy of the counters, field for
@@ -408,6 +437,10 @@ type StatsSnapshot struct {
 	DriveDeaths         uint64
 	DriveRevives        uint64
 	AuditDropped        uint64
+	ECObjects           uint64
+	ECParityBytes       uint64
+	ECDecodes           uint64
+	ECShardRepairs      uint64
 }
 
 // Snapshot returns a copy of the counters.
@@ -429,6 +462,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		RepairBytes: s.RepairBytes.Load(), SweepTicks: s.SweepTicks.Load(),
 		DriveDeaths: s.DriveDeaths.Load(), DriveRevives: s.DriveRevives.Load(),
 		AuditDropped: s.AuditDropped.Load(),
+		ECObjects:    s.ECObjects.Load(), ECParityBytes: s.ECParityBytes.Load(),
+		ECDecodes: s.ECDecodes.Load(), ECShardRepairs: s.ECShardRepairs.Load(),
 	}
 }
 
@@ -445,6 +480,22 @@ func New(ctx context.Context, cfg Config) (*Controller, error) {
 	if cfg.Replicas > len(cfg.Drives) {
 		return nil, fmt.Errorf("core: %d replicas need at least that many drives, have %d",
 			cfg.Replicas, len(cfg.Drives))
+	}
+	if cfg.EC {
+		if cfg.ECDataShards == 0 {
+			cfg.ECDataShards = 4
+		}
+		if cfg.ECParityShards == 0 {
+			cfg.ECParityShards = 2
+		}
+		if cfg.ECMinBytes == 0 {
+			cfg.ECMinBytes = 4 << 20
+		}
+		if cfg.ECDataShards+cfg.ECParityShards > len(cfg.Drives) {
+			return nil, fmt.Errorf("core: ec %d+%d needs %d drives, have %d",
+				cfg.ECDataShards, cfg.ECParityShards,
+				cfg.ECDataShards+cfg.ECParityShards, len(cfg.Drives))
+		}
 	}
 
 	if cfg.Standby && cfg.Shard == nil {
@@ -493,6 +544,11 @@ func New(ctx context.Context, cfg Config) (*Controller, error) {
 	var err error
 	if c.codec, err = store.NewCodec(c.secrets.ObjectKey, cfg.Encrypt); err != nil {
 		return nil, err
+	}
+	if cfg.EC {
+		if c.ecCode, err = ec.New(cfg.ECDataShards, cfg.ECParityShards); err != nil {
+			return nil, err
+		}
 	}
 	if err := c.initScanTokens(); err != nil {
 		return nil, err

@@ -274,7 +274,15 @@ func (c *Controller) deleteObject(ctx context.Context, sessionKey, key string, o
 	// delete so a concurrent update rejects the destruction before any
 	// version record is lost (see deleteReplica).
 	placement := c.placement(key)
-	err = c.fanout(placement, func(di int) error {
+	targets := placement
+	if c.cfg.EC {
+		// Erasure-coded shards live across the EC group window, a
+		// superset of the replica placement; each drive's chunk-range
+		// enumeration collects its data and parity shards (deleteReplica
+		// already tolerates drives holding no metadata).
+		targets = unionDrives(placement, c.ecGroup(key, c.cfg.ECDataShards+c.cfg.ECParityShards))
+	}
+	err = c.fanout(targets, func(di int) error {
 		return c.deleteReplica(ctx, di, key, meta.Version)
 	})
 	if err != nil {

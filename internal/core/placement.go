@@ -7,14 +7,6 @@ import "repro/internal/store"
 // next live drives along the placement ring. With no dead drives this
 // is exactly store.Placement — one atomic load of the dead mask on
 // the hot path.
-//
-// The substitution preserves the ring walk: store.Placement already
-// assigns replicas to consecutive ring positions after the primary,
-// so the "spare" for a dead drive is simply the first subsequent live
-// position. Surviving replicas keep their slots, which is what lets
-// the anti-entropy sweeper re-replicate only the missing copy, and
-// reverting a revived drive re-derives the original placement with no
-// bookkeeping.
 func (c *Controller) placement(key string) []int {
 	base := store.Placement(key, len(c.drives), c.cfg.Replicas)
 	mask := c.deadMask.Load()
@@ -24,22 +16,75 @@ func (c *Controller) placement(key string) []int {
 	return substituteDead(base[0], len(c.drives), c.cfg.Replicas, mask)
 }
 
-// substituteDead walks the placement ring from primary collecting the
-// first replicas live drives. If fewer than replicas drives are live,
-// dead positions fill the tail so the slice keeps its expected length
-// (writes to them fail and surface as replication errors, exactly as
-// before detection).
-func substituteDead(primary, n, replicas int, mask uint64) []int {
-	out := make([]int, 0, replicas)
-	for i := 0; i < n && len(out) < replicas; i++ {
-		di := (primary + i) % n
+// ecGroup returns the size drives holding a key's erasure-coded
+// shards: the base window is the primary plus the next size-1 ring
+// positions (the same walk as replica placement, so the stub records
+// on placement(key) are a prefix of the group), with dead members
+// substituted slot-stably. Shard s of stripe t lives on
+// group[(s+t) % len(group)] — the stripe rotation spreads parity
+// writes across the whole group instead of pinning them to the last
+// m drives.
+func (c *Controller) ecGroup(key string, size int) []int {
+	base := store.Placement(key, len(c.drives), size)
+	mask := c.deadMask.Load()
+	if mask == 0 {
+		return base
+	}
+	return substituteDead(base[0], len(c.drives), size, mask)
+}
+
+// substituteDead substitutes the dead members of the size-wide
+// placement window starting at primary, slot by slot: a live member
+// keeps its exact slot, a dead member is replaced by the next unused
+// live drive beyond the window along the ring. Slot stability is what
+// both consumers need — the anti-entropy sweeper re-replicates only
+// the missing copy, and an erasure-coding group must never relocate a
+// healthy shard just because an unrelated drive died (each slot is a
+// shard home). If no live spare remains, the dead drive keeps its
+// slot so the slice keeps its expected length (writes to it fail and
+// surface as replication errors, exactly as before detection).
+//
+// For an unchanged mask the result is deterministic, so layouts are
+// stable across calls with no bookkeeping; a revived drive re-derives
+// the original window.
+func substituteDead(primary, n, size int, mask uint64) []int {
+	if size > n {
+		size = n
+	}
+	out := make([]int, size)
+	for i := range out {
+		out[i] = (primary + i) % n
+	}
+	spare := size
+	for s, di := range out {
 		if mask&(1<<uint(di)) == 0 {
-			out = append(out, di)
+			continue
+		}
+		for ; spare < n; spare++ {
+			cand := (primary + spare) % n
+			if mask&(1<<uint(cand)) == 0 {
+				out[s] = cand
+				spare++
+				break
+			}
 		}
 	}
-	for i := 0; i < n && len(out) < replicas; i++ {
-		di := (primary + i) % n
-		if mask&(1<<uint(di)) != 0 {
+	return out
+}
+
+// unionDrives merges two drive index sets, preserving a's order and
+// appending b's unseen members.
+func unionDrives(a, b []int) []int {
+	out := append([]int(nil), a...)
+	for _, di := range b {
+		seen := false
+		for _, x := range out {
+			if x == di {
+				seen = true
+				break
+			}
+		}
+		if !seen {
 			out = append(out, di)
 		}
 	}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSubstituteDeadProperties fuzzes the slot-stable substitution
+// that both replica placement and EC grouping build on: for random
+// cluster sizes, window sizes and dead masks, the result must keep
+// its length, never repeat a drive, avoid every dead drive while live
+// spares remain, keep live base members in their exact slots, and be
+// identical across calls for an unchanged mask.
+func TestSubstituteDeadProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		n := 2 + rng.Intn(14)
+		size := 1 + rng.Intn(n)
+		primary := rng.Intn(n)
+		// Kill a random subset, always leaving at least one drive.
+		var mask uint64
+		deadCount := rng.Intn(n)
+		for _, di := range rng.Perm(n)[:deadCount] {
+			mask |= 1 << uint(di)
+		}
+
+		base := substituteDead(primary, n, size, 0)
+		out := substituteDead(primary, n, size, mask)
+		if len(out) != size {
+			t.Fatalf("n=%d size=%d mask=%b: len=%d", n, size, mask, len(out))
+		}
+		seen := map[int]bool{}
+		for _, di := range out {
+			if di < 0 || di >= n {
+				t.Fatalf("n=%d size=%d mask=%b: drive %d out of range", n, size, mask, di)
+			}
+			if seen[di] {
+				t.Fatalf("n=%d size=%d mask=%b: drive %d twice in %v", n, size, mask, di, out)
+			}
+			seen[di] = true
+		}
+		// Slot stability: live base members keep their slots.
+		for s, di := range base {
+			if mask&(1<<uint(di)) == 0 && out[s] != di {
+				t.Fatalf("n=%d size=%d mask=%b: live slot %d moved %d -> %d", n, size, mask, s, di, out[s])
+			}
+		}
+		// Dead drives appear only when no live spare was left to take
+		// the slot (the degraded full-cluster case).
+		live := n - deadCount
+		for s, di := range out {
+			if mask&(1<<uint(di)) != 0 && live >= size {
+				t.Fatalf("n=%d size=%d mask=%b live=%d: slot %d still on dead drive %d (%v)",
+					n, size, mask, live, s, di, out)
+			}
+		}
+		// Determinism: the same mask re-derives the same layout.
+		again := substituteDead(primary, n, size, mask)
+		for s := range out {
+			if again[s] != out[s] {
+				t.Fatalf("n=%d size=%d mask=%b: unstable layout %v vs %v", n, size, mask, out, again)
+			}
+		}
+	}
+}
+
+// TestECGroupPrefixesPlacement pins the structural relationship the
+// EC design relies on: the replica placement drives are a prefix of
+// the k+m group window, so stub and metadata records always live on
+// group members.
+func TestECGroupPrefixesPlacement(t *testing.T) {
+	h := newHarness(t, 8, ecConfig)
+	for _, key := range []string{"a", "b", "some/long/key", "zzz"} {
+		placement := h.ctl.placement(key)
+		group := h.ctl.ecGroup(key, 6)
+		for i, di := range placement {
+			if group[i] != di {
+				t.Fatalf("key %q: placement %v is not a prefix of group %v", key, placement, group)
+			}
+		}
+	}
+}

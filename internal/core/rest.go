@@ -619,6 +619,10 @@ func (s *RESTServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"sweepTicks":      st.SweepTicks,
 		"driveDeaths":     st.DriveDeaths,
 		"driveRevives":    st.DriveRevives,
+		"ecObjects":       st.ECObjects,
+		"ecParityBytes":   st.ECParityBytes,
+		"ecDecodes":       st.ECDecodes,
+		"ecShardRepairs":  st.ECShardRepairs,
 		"epcResident":     s.ctl.epc.Resident(),
 		"epcFaults":       s.ctl.epc.Faults(),
 		"caches":          s.ctl.CacheStats(),

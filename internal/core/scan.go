@@ -61,6 +61,9 @@ type ScanEntry struct {
 	Version  int64   `json:"version"`
 	Size     int64   `json:"size"`
 	PolicyID string  `json:"policy,omitempty"`
+	// Class is the storage class ("ec:k+m" for erasure-coded streamed
+	// objects, empty for fully replicated).
+	Class string `json:"class,omitempty"`
 }
 
 // ScanPage is one page of a listing. NextToken is empty when the
@@ -177,6 +180,7 @@ func (c *Controller) scanObjects(ctx context.Context, sessionKey string, opts Sc
 			}
 			page.Entries = append(page.Entries, ScanEntry{
 				Key: JSONKey(key), Version: meta.Version, Size: meta.Size, PolicyID: meta.PolicyID,
+				Class: meta.StorageClass(),
 			})
 			if len(page.Entries) == limit {
 				// More candidates may remain (in this round or on the

@@ -171,6 +171,45 @@ func (c *Controller) putObjectStream(ctx context.Context, sessionKey, key string
 	}
 	placement := c.placement(key)
 
+	// Storage-class selection. The body's size is unknown until EOF,
+	// so with EC enabled the upload is read ahead until it either ends
+	// (→ fully replicated, it is small) or crosses the EC threshold
+	// (→ erasure-coded) — the class is part of the committed layout
+	// and cannot change mid-object, so no chunk record lands before
+	// the decision.
+	sniffed := [][]byte{buf}
+	eofSeen := false
+	useEC := false
+	if c.cfg.EC {
+		sniffBytes := int64(len(buf))
+		var extra []*[]byte
+		defer func() {
+			for _, bp := range extra {
+				chunkBufs.Put(bp)
+			}
+		}()
+		for sniffBytes < c.cfg.ECMinBytes {
+			bp := chunkBufs.Get().(*[]byte)
+			extra = append(extra, bp)
+			sn, serr := io.ReadFull(rest, *bp)
+			if sn > 0 {
+				sniffed = append(sniffed, (*bp)[:sn])
+				sniffBytes += int64(sn)
+			}
+			if serr == io.EOF || serr == io.ErrUnexpectedEOF {
+				eofSeen = true
+				break
+			}
+			if serr != nil {
+				return 0, serr
+			}
+		}
+		useEC = sniffBytes >= c.cfg.ECMinBytes
+	}
+	if useEC {
+		return c.putStreamEC(ctx, sessionKey, key, opts, next, sniffed, rest, eofSeen)
+	}
+
 	// Chunked path. Chunks are force-put (content-addressed by
 	// version+index, invisible until the final meta commit); the stub
 	// object record and the CAS-guarded metadata commit atomically at
@@ -223,25 +262,35 @@ func (c *Controller) putObjectStream(ctx context.Context, sessionKey, key string
 		chunks++
 		return nil
 	}
-	n, rerr = len(buf), nil // the already-read first chunk
-	for n > 0 {
-		if err := writeChunk(buf[:n]); err != nil {
+	for _, chunk := range sniffed { // chunks already read by the class sniff
+		if err := writeChunk(chunk); err != nil {
 			cleanup()
 			return 0, err
 		}
-		if rerr != nil { // EOF already observed: that was the last chunk
-			break
-		}
+	}
+	for !eofSeen {
 		n, rerr = io.ReadFull(rest, buf)
 		if rerr != nil && rerr != io.EOF && rerr != io.ErrUnexpectedEOF {
 			cleanup()
 			return 0, rerr
 		}
+		if rerr != nil {
+			eofSeen = true
+		}
+		if n > 0 {
+			if err := writeChunk(buf[:n]); err != nil {
+				cleanup()
+				return 0, err
+			}
+		}
 	}
 
 	var hash [32]byte
 	copy(hash[:], hasher.Sum(nil))
-	if err := c.commitStream(ctx, sessionKey, key, opts, next, total, hash, chunks, placement); err != nil {
+	intact := func(pctx context.Context) error {
+		return c.chunksIntact(pctx, key, next, chunks, placement)
+	}
+	if err := c.commitStream(ctx, sessionKey, key, opts, next, total, hash, chunks, 0, 0, intact); err != nil {
 		cleanup()
 		return 0, err
 	}
@@ -260,8 +309,11 @@ func (c *Controller) putObjectStream(ctx context.Context, sessionKey, key string
 // already swept. So the plan is re-run under the lock (re-checking the
 // now-current policy and version) and the chunk records are probed for
 // survival before the sealing batch — chunk-stub object record plus
-// CAS-guarded metadata, atomic per replica — goes out.
-func (c *Controller) commitStream(ctx context.Context, sessionKey, key string, opts PutOptions, next, total int64, hash [32]byte, chunks int64, placement []int) error {
+// CAS-guarded metadata, atomic per replica — goes out. The intact
+// probe is layout-specific (replicated chunks probe the placement
+// drives, EC shards their group homes); eck/ecm record the storage
+// class in the metadata (zero for replicated).
+func (c *Controller) commitStream(ctx context.Context, sessionKey, key string, opts PutOptions, next, total int64, hash [32]byte, chunks, eck, ecm int64, intact func(context.Context) error) error {
 	lock := c.writeLock(key)
 	lock.Lock()
 	defer lock.Unlock()
@@ -283,13 +335,14 @@ func (c *Controller) commitStream(ctx context.Context, sessionKey, key string, o
 	if err != nil {
 		return err
 	}
-	if err := c.chunksIntact(ctx, key, next, chunks, placement); err != nil {
+	if err := intact(ctx); err != nil {
 		return err
 	}
 
 	newMeta := &store.Meta{
 		Key: key, Version: next, Size: total, ContentHash: hash,
 		PolicyID: newPolicyID, PolicyHash: policyHash, Chunks: chunks,
+		ECK: eck, ECM: ecm,
 	}
 	stub := &store.Record{Meta: *newMeta}
 	stubBlob, err := c.codec.EncodeRecord(stub)
@@ -363,17 +416,22 @@ func (c *Controller) getObjectStream(ctx context.Context, sessionKey, key string
 		c.stats.ReadBytes.Add(uint64(len(rec.Payload)))
 		return &m, send, nil
 	}
+	if m.ECK > 0 {
+		return c.getStreamEC(ctx, key, version, &m)
+	}
 	send := func(w io.Writer) error {
 		hasher := sha256.New()
 		for idx := int64(0); idx < m.Chunks; idx++ {
-			crec, err := c.loadChunk(ctx, key, version, idx)
+			crec, release, err := c.loadChunkPooled(ctx, key, version, idx)
 			if err != nil {
 				return err
 			}
 			c.cost.MoveBytes(len(crec.Payload))
 			hasher.Write(crec.Payload)
-			if _, err := w.Write(crec.Payload); err != nil {
-				return err
+			_, werr := w.Write(crec.Payload)
+			release()
+			if werr != nil {
+				return werr
 			}
 		}
 		var hash [32]byte
@@ -450,10 +508,50 @@ func (c *Controller) fetchChunk(ctx context.Context, key string, version, idx in
 	return rec, nil
 }
 
+// loadChunkPooled is loadChunk for the streamed GET hot path: a cache
+// hit is served as-is, a miss decodes into a pooled chunk buffer the
+// caller hands back via release, and the record is neither cached nor
+// coalesced — a pooled payload must have exactly one owner, and
+// streamed reads are large and sequential, so per-chunk caching buys
+// little against 1 MB of allocation per chunk. A hedged attempt that
+// loses the race strands its buffer for the GC (rare: hedges fire on
+// the latency tail only).
+func (c *Controller) loadChunkPooled(ctx context.Context, key string, version, idx int64) (*store.Record, func(), error) {
+	dk := store.ChunkKey(key, version, idx)
+	if r, ok := c.objectCache.Get(string(dk)); ok {
+		return r, func() {}, nil
+	}
+	wantID := store.ChunkID(key, version, idx)
+	placement := c.placement(key)
+	pr, err := readReplicas(ctx, c, placement, func(ctx context.Context, p *drivePool) (pooledRec, error) {
+		cl := p.pick()
+		c.chargeDriveIO(0)
+		val, _, err := cl.Get(ctx, dk)
+		if errors.Is(err, kclient.ErrNotFound) {
+			return pooledRec{}, fmt.Errorf("%w: %q v%d chunk %d", ErrNotFound, key, version, idx)
+		}
+		if err != nil {
+			return pooledRec{}, err
+		}
+		c.cost.MoveBytes(len(val))
+		return c.decodeChunkPooled(val, wantID)
+	})
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return nil, nil, err
+		}
+		return nil, nil, fmt.Errorf("core: all replicas failed reading %q v%d chunk %d: %w", key, version, idx, err)
+	}
+	return pr.rec, pr.release, nil
+}
+
 // verifyChunks recomputes a streamed version's whole-object hash from
 // its chunk records (the verification interface's equivalent of the
 // inline hash check).
 func (c *Controller) verifyChunks(ctx context.Context, m *store.Meta) error {
+	if m.ECK > 0 {
+		return c.verifyStripesEC(ctx, m)
+	}
 	hasher := sha256.New()
 	var total int64
 	for idx := int64(0); idx < m.Chunks; idx++ {

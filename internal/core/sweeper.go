@@ -280,6 +280,23 @@ func (c *Controller) sweepKeysAfter(ctx context.Context, cursor string, limit in
 // version and holds the newest object record. No payload moves; a
 // healthy key costs 2×replicas version probes.
 func (c *Controller) replicasConverged(ctx context.Context, key string) bool {
+	// The probes below attest the replicated records only. An
+	// erasure-coded object's shards live across the wider EC group, so
+	// while any drive of the key's group window is dead the fast path
+	// cannot vouch for the shards — fall through to the full repair,
+	// which probes every shard home. (Shard loss with no dead drive,
+	// e.g. an erased-and-revived drive, is caught by the periodic deep
+	// pass, like replicated chunk records.)
+	if c.cfg.EC {
+		if mask := c.deadMask.Load(); mask != 0 {
+			window := c.cfg.ECDataShards + c.cfg.ECParityShards
+			for _, di := range store.Placement(key, len(c.drives), window) {
+				if mask&(1<<uint(di)) != 0 {
+					return false
+				}
+			}
+		}
+	}
 	placement := c.placement(key)
 	var ver []byte
 	for _, di := range placement {

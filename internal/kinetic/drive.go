@@ -152,6 +152,10 @@ func (d *Drive) Media() MediaModel { return d.media }
 // Len returns the number of stored keys.
 func (d *Drive) Len() int { return d.store.len() }
 
+// SizeBytes returns the total stored value bytes (the same figure the
+// GetLog "bytes" statistic reports over the wire).
+func (d *Drive) SizeBytes() int64 { return d.store.sizeBytes() }
+
 // Accounts returns the identities currently installed (for tests and
 // the bootstrap verification step).
 func (d *Drive) Accounts() []string {

@@ -43,6 +43,24 @@ type Meta struct {
 	// object record. The field is encoded as an optional trailing
 	// varint, so records written before it existed decode as inline.
 	Chunks int64
+	// ECK/ECM describe the erasure-coded storage class: the version's
+	// chunk records are striped k-at-a-time with ECM parity shards per
+	// stripe, each shard on its own drive (see ParityIndex). ECK == 0
+	// means the chunks are fully replicated (the classic storage
+	// class). Both ride as optional trailing varints after Chunks, so
+	// pre-EC records — and pre-chunk records — decode unchanged.
+	ECK int64
+	ECM int64
+}
+
+// StorageClass renders the version's storage class for listings and
+// diagnostics: "ec:k+m" for erasure-coded objects, "" (replicated)
+// otherwise.
+func (m *Meta) StorageClass() string {
+	if m.ECK > 0 {
+		return fmt.Sprintf("ec:%d+%d", m.ECK, m.ECM)
+	}
+	return ""
 }
 
 // Marshal encodes the metadata.
@@ -55,6 +73,10 @@ func (m *Meta) Marshal() []byte {
 	buf = append(buf, m.PolicyHash[:]...)
 	if m.Chunks > 0 {
 		buf = binary.AppendVarint(buf, m.Chunks)
+		if m.ECK > 0 {
+			buf = binary.AppendVarint(buf, m.ECK)
+			buf = binary.AppendVarint(buf, m.ECM)
+		}
 	}
 	return buf
 }
@@ -96,6 +118,18 @@ func UnmarshalMeta(data []byte) (*Meta, error) {
 	if len(data) > 0 {
 		m.Chunks, n = binary.Varint(data)
 		if n <= 0 || m.Chunks < 0 {
+			return nil, ErrCorrupt
+		}
+		data = data[n:]
+	}
+	if len(data) > 0 {
+		m.ECK, n = binary.Varint(data)
+		if n <= 0 || m.ECK <= 0 {
+			return nil, ErrCorrupt
+		}
+		data = data[n:]
+		m.ECM, n = binary.Varint(data)
+		if n <= 0 || m.ECM <= 0 {
 			return nil, ErrCorrupt
 		}
 	}
@@ -198,6 +232,49 @@ func (c *Codec) DecodeRecord(data []byte) (*Record, error) {
 	}
 }
 
+// DecodeRecordInto is DecodeRecord with caller-provided payload
+// storage: the decoded payload is written into buf's capacity (from
+// index 0) when it fits, so steady-state streamed reads recycle one
+// pooled chunk buffer instead of allocating per chunk. The returned
+// record's Payload aliases buf — the caller owns the lifetime and
+// must not cache or share the record beyond the buffer's reuse.
+func (c *Codec) DecodeRecordInto(data, buf []byte) (*Record, error) {
+	if len(data) < 1 {
+		return nil, ErrCorrupt
+	}
+	kind := data[0]
+	metaBytes, rest, err := readLenPrefixed(data[1:])
+	if err != nil {
+		return nil, err
+	}
+	meta, err := UnmarshalMeta(metaBytes)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case recPlain:
+		if cap(buf) < len(rest) {
+			buf = make([]byte, len(rest))
+		}
+		buf = buf[:len(rest)]
+		copy(buf, rest)
+		return &Record{Meta: *meta, Payload: buf}, nil
+	case recEncrypted:
+		ns := c.aead.NonceSize()
+		if len(rest) < ns {
+			return nil, ErrCorrupt
+		}
+		nonce, ct := rest[:ns], rest[ns:]
+		pt, err := c.aead.Open(buf[:0], nonce, ct, metaBytes)
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		return &Record{Meta: *meta, Payload: pt}, nil
+	default:
+		return nil, ErrCorrupt
+	}
+}
+
 // HashContent computes the content hash stored in metadata.
 func HashContent(payload []byte) [32]byte { return sha256.Sum256(payload) }
 
@@ -285,6 +362,21 @@ func ChunkKeyRange(key string) (start, end []byte) {
 // without detection (the codec authenticates the metadata).
 func ChunkID(key string, version int64, idx int64) string {
 	return fmt.Sprintf("%s\x00%d.%d", key, version, idx)
+}
+
+// ParityIndexBase offsets erasure-coding parity shards into the upper
+// half of the uint32 chunk-index space: data chunks occupy indices
+// 0..Chunks-1, parity shards start at 1<<31. Parity records therefore
+// sort after every data chunk of a version yet stay inside
+// ChunkKeyRange, so range enumeration (delete, orphan sweep) collects
+// both kinds with no extra machinery, and parity shards carry the same
+// authenticated ChunkID binding as data chunks.
+const ParityIndexBase = int64(1) << 31
+
+// ParityIndex returns the chunk index of parity shard j (0 ≤ j < m) of
+// the given stripe.
+func ParityIndex(stripe, m, j int64) int64 {
+	return ParityIndexBase + stripe*m + j
 }
 
 // MetaKeyRange returns the [start, end] drive-key range spanning the

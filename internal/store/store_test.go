@@ -265,3 +265,82 @@ func TestHashContent(t *testing.T) {
 		t.Fatal("hash not deterministic")
 	}
 }
+
+func TestMetaECRoundTrip(t *testing.T) {
+	m := sampleMeta()
+	m.Chunks, m.ECK, m.ECM = 12, 4, 2
+	got, err := UnmarshalMeta(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != m {
+		t.Fatalf("EC meta round trip: %+v vs %+v", got, m)
+	}
+	if got.StorageClass() != "ec:4+2" {
+		t.Fatalf("storage class: %q", got.StorageClass())
+	}
+	// Chunked but replicated: no EC fields on the wire, none decoded.
+	m.ECK, m.ECM = 0, 0
+	got, err = UnmarshalMeta(m.Marshal())
+	if err != nil || got.ECK != 0 || got.ECM != 0 {
+		t.Fatalf("replicated chunked meta round trip: %+v err %v", got, err)
+	}
+	if got.StorageClass() != "" {
+		t.Fatalf("replicated storage class: %q", got.StorageClass())
+	}
+	// A pre-EC decoder would reject ECK without ECM; the encoder must
+	// emit both or neither.
+	bad := append(m.Marshal(), 0x08) // stray trailing varint (ECK=4, no ECM)
+	if _, err := UnmarshalMeta(bad); err == nil {
+		t.Fatal("lone trailing ECK accepted")
+	}
+}
+
+func TestParityIndexLayout(t *testing.T) {
+	// Parity indices live above every data index and inside the chunk
+	// key range, so range enumeration collects data and parity alike.
+	pi := ParityIndex(0, 2, 0)
+	if pi != ParityIndexBase {
+		t.Fatalf("first parity index: %d", pi)
+	}
+	if ParityIndex(3, 2, 1) != ParityIndexBase+7 {
+		t.Fatalf("parity index arithmetic: %d", ParityIndex(3, 2, 1))
+	}
+	dk := ChunkKey("obj", 9, pi)
+	start, end := ChunkKeyRange("obj")
+	if bytes.Compare(dk, start) < 0 || bytes.Compare(dk, end) > 0 {
+		t.Fatal("parity chunk key outside ChunkKeyRange")
+	}
+	if bytes.Compare(dk, ChunkKey("obj", 9, 1<<20)) <= 0 {
+		t.Fatal("parity chunk key does not sort after data chunk keys")
+	}
+}
+
+func TestDecodeRecordInto(t *testing.T) {
+	for _, enc := range []bool{true, false} {
+		c := testCodec(t, enc)
+		rec := &Record{Meta: sampleMeta(), Payload: []byte("pooled payload")}
+		rec.Meta.ContentHash = HashContent(rec.Payload)
+		rec.Meta.Size = int64(len(rec.Payload))
+		blob, err := c.EncodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 0, MaxObjectSize)
+		got, err := c.DecodeRecordInto(blob, buf)
+		if err != nil {
+			t.Fatalf("enc=%v: %v", enc, err)
+		}
+		if !bytes.Equal(got.Payload, rec.Payload) || got.Meta != rec.Meta {
+			t.Fatalf("enc=%v: round trip mismatch", enc)
+		}
+		if cap(buf) >= len(got.Payload) && &buf[:1][0] != &got.Payload[0] {
+			t.Fatalf("enc=%v: payload did not land in the provided buffer", enc)
+		}
+		// Tiny capacity still decodes (alloc fallback for plain; AEAD
+		// grows its dst for encrypted).
+		if got, err := c.DecodeRecordInto(blob, make([]byte, 0, 1)); err != nil || !bytes.Equal(got.Payload, rec.Payload) {
+			t.Fatalf("enc=%v small-buffer fallback: %v", enc, err)
+		}
+	}
+}

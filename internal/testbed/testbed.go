@@ -120,6 +120,13 @@ type Options struct {
 	// (0 = core defaults).
 	SweepKeysPerTick  int
 	SweepBytesPerTick int64
+	// EC enables the erasure-coded storage class for streamed objects
+	// of at least ECMinBytes (0 = core default 4 MB), striped as
+	// ECDataShards+ECParityShards (0,0 = 4+2).
+	EC             bool
+	ECDataShards   int
+	ECParityShards int
+	ECMinBytes     int64
 	// DisableObs turns the observability layer off (no registry,
 	// tracer or audit log) — the kill switch the overhead figure
 	// measures against.
@@ -365,6 +372,10 @@ func bootNode(e *env, name string, ds *driveSet, ownsDrives bool, opts Options, 
 		SweepInterval:        opts.SweepInterval,
 		SweepKeysPerTick:     opts.SweepKeysPerTick,
 		SweepBytesPerTick:    opts.SweepBytesPerTick,
+		EC:                   opts.EC,
+		ECDataShards:         opts.ECDataShards,
+		ECParityShards:       opts.ECParityShards,
+		ECMinBytes:           opts.ECMinBytes,
 		DisableObs:           opts.DisableObs,
 		AuditDir:             opts.AuditDir,
 		AuditSampleAllow:     opts.AuditSampleAllow,
